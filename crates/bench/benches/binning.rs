@@ -1,0 +1,24 @@
+//! Criterion microbench: binning throughput versus granularity — the
+//! quantitative backing of Figure 8 at microbench precision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spmv_autotune::binning::{coarse_binning, coarse_binning_parallel};
+use spmv_sparse::gen;
+
+fn bench_binning(c: &mut Criterion) {
+    let a = gen::random_uniform::<f32>(200_000, 200_000, 1, 1, 8);
+    let mut group = c.benchmark_group("coarse_binning");
+    group.sample_size(20);
+    for u in [1usize, 10, 100, 10_000] {
+        group.bench_with_input(BenchmarkId::new("seq", u), &u, |b, &u| {
+            b.iter(|| coarse_binning(&a, u))
+        });
+        group.bench_with_input(BenchmarkId::new("par", u), &u, |b, &u| {
+            b.iter(|| coarse_binning_parallel(&a, u))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_binning);
+criterion_main!(benches);

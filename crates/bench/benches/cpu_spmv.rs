@@ -1,0 +1,37 @@
+//! Criterion microbench: the native CPU SpMV backends (real wall time,
+//! not simulation) — row-parallel vs NNZ-balanced scheduling on an
+//! imbalanced matrix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spmv_autotune::kernels::cpu::{spmv_nnz_balanced, spmv_row_parallel};
+use spmv_sparse::gen;
+use spmv_sparse::gen::mixture::RowRegime;
+
+fn bench_cpu(c: &mut Criterion) {
+    let a = gen::mixture::<f64>(
+        50_000,
+        50_000,
+        &[RowRegime::new(1, 4, 0.9), RowRegime::new(500, 1500, 0.1)],
+        true,
+        6,
+    );
+    let v: Vec<f64> = (0..a.n_cols()).map(|i| (i % 13) as f64).collect();
+    let mut group = c.benchmark_group("cpu_spmv");
+    group.sample_size(20);
+    group.bench_function("row_parallel", |b| {
+        let mut u = vec![0.0; a.n_rows()];
+        b.iter(|| spmv_row_parallel(&a, &v, &mut u).unwrap())
+    });
+    group.bench_function("nnz_balanced", |b| {
+        let mut u = vec![0.0; a.n_rows()];
+        b.iter(|| spmv_nnz_balanced(&a, &v, &mut u).unwrap())
+    });
+    group.bench_function("sequential_reference", |b| {
+        let mut u = vec![0.0; a.n_rows()];
+        b.iter(|| a.spmv_seq(&v, &mut u).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpu);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion microbench: Table I feature extraction (the per-matrix cost
+//! the runtime pays before predicting a strategy).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spmv_sparse::{gen, FeatureSet, MatrixFeatures};
+
+fn bench_features(c: &mut Criterion) {
+    let a = gen::powerlaw::<f32>(100_000, 1, 300, 2.1, 4);
+    let mut group = c.benchmark_group("features");
+    group.sample_size(30);
+    for (name, set) in [("table1", FeatureSet::TableI), ("extended", FeatureSet::Extended)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &set, |b, &set| {
+            b.iter(|| MatrixFeatures::extract(&a, set))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_features);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion microbench: simulated-kernel evaluation cost per kernel.
+//!
+//! This measures the *simulator's* throughput (how fast a kernel's trace
+//! is produced and priced), which bounds how fast the oracle tuner and
+//! the training pipeline run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spmv_autotune::kernels::{run_kernel, ALL_KERNELS};
+use spmv_autotune::prelude::*;
+use spmv_sparse::gen;
+
+fn bench_kernels(c: &mut Criterion) {
+    let device = GpuDevice::kaveri();
+    let a = gen::random_uniform::<f32>(4_000, 8_000, 16, 48, 1);
+    let rows: Vec<u32> = (0..a.n_rows() as u32).collect();
+    let v = vec![1.0f32; a.n_cols()];
+    let mut group = c.benchmark_group("sim_kernel");
+    group.sample_size(20);
+    for k in ALL_KERNELS {
+        group.bench_with_input(BenchmarkId::from_parameter(k.label()), &k, |b, &k| {
+            let mut u = vec![0.0f32; a.n_rows()];
+            b.iter(|| run_kernel(&device, &a, &rows, k, &v, &mut u))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

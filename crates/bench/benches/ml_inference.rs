@@ -1,0 +1,46 @@
+//! Criterion microbench: decision-tree fitting and rule-set inference —
+//! the "negligible overhead" claim of the prediction pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spmv_ml::{AttrSpec, Dataset, DecisionTree, RuleSet, TreeConfig};
+
+fn synthetic_dataset() -> Dataset {
+    let attrs = vec![
+        AttrSpec::numeric("M"),
+        AttrSpec::numeric("NNZ"),
+        AttrSpec::numeric("Avg_NNZ"),
+        AttrSpec::numeric("Var_NNZ"),
+    ];
+    let mut d = Dataset::new(attrs, vec!["a".into(), "b".into(), "c".into()]);
+    for i in 0..2000 {
+        let m = (i % 100) as f64 * 100.0;
+        let nnz = m * ((i % 7) + 1) as f64;
+        let avg = nnz / m.max(1.0);
+        let var = ((i * 31) % 97) as f64;
+        let label = if avg < 3.0 {
+            0
+        } else if avg < 6.0 {
+            1
+        } else {
+            2
+        };
+        d.push(&[m, nnz, avg, var], label);
+    }
+    d
+}
+
+fn bench_ml(c: &mut Criterion) {
+    let d = synthetic_dataset();
+    let cfg = TreeConfig::default();
+    c.bench_function("tree_fit_2000x4", |b| {
+        b.iter(|| DecisionTree::fit(&d, &cfg))
+    });
+    let tree = DecisionTree::fit(&d, &cfg);
+    let rules = RuleSet::from_tree(&tree, &d, 0.25);
+    let row = [5000.0, 20_000.0, 4.0, 55.0];
+    c.bench_function("tree_predict", |b| b.iter(|| tree.predict(&row)));
+    c.bench_function("ruleset_predict", |b| b.iter(|| rules.predict(&row)));
+}
+
+criterion_group!(benches, bench_ml);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Figure 2 — the motivation: (a) different inputs prefer different
+//! kernels even with a single bin; (b) within one input, different *bins*
+//! prefer different kernels.
+//!
+//! Regenerate with `cargo run --release -p spmv-bench --bin fig2`.
+
+use spmv_autotune::binning::{bin_matrix, BinningScheme};
+use spmv_autotune::kernels::{run_kernel, KernelId};
+use spmv_autotune::prelude::*;
+use spmv_bench::table::{f3, Table};
+use spmv_sparse::gen;
+use spmv_sparse::gen::mixture::RowRegime;
+use spmv_sparse::CsrMatrix;
+
+const FIVE: [KernelId; 5] = [
+    KernelId::Serial,
+    KernelId::Subvector(4),
+    KernelId::Subvector(32),
+    KernelId::Subvector(128),
+    KernelId::Vector,
+];
+
+fn single_bin_cycles(device: &GpuDevice, a: &CsrMatrix<f32>, k: KernelId) -> f64 {
+    let v = vec![1.0f32; a.n_cols()];
+    let mut u = vec![0.0f32; a.n_rows()];
+    run_single_kernel(device, a, k, &v, &mut u).cycles
+}
+
+fn main() {
+    let device = GpuDevice::kaveri();
+    println!("== Figure 2a: five kernels, two inputs, single bin ==");
+    println!("(execution time normalised to the best kernel per input)\n");
+
+    // Input 1: a short-row materials-style matrix; input 2: a long-row
+    // FEM-style matrix.
+    let short = gen::banded::<f32>(60_000, 2, 1);
+    let long = gen::block_structured::<f32>(1_200, 6, 30, 2);
+
+    let mut t = Table::new(vec!["kernel", "short-row input", "long-row input"]);
+    let base_s = FIVE
+        .iter()
+        .map(|&k| single_bin_cycles(&device, &short, k))
+        .fold(f64::INFINITY, f64::min);
+    let base_l = FIVE
+        .iter()
+        .map(|&k| single_bin_cycles(&device, &long, k))
+        .fold(f64::INFINITY, f64::min);
+    for k in FIVE {
+        let cs = single_bin_cycles(&device, &short, k) / base_s;
+        let cl = single_bin_cycles(&device, &long, k) / base_l;
+        t.row(vec![k.label(), f3(cs), f3(cl)]);
+    }
+    t.print();
+    println!("\npaper shape: the best kernel differs per input — the thin kernels win on");
+    println!("the short-row input, the wide ones on the long-row input.\n");
+
+    println!("== Figure 2b: five kernels per bin of one irregular input (U = 100) ==");
+    let a = gen::mixture::<f32>(
+        40_000,
+        40_000,
+        &[
+            RowRegime::new(1, 3, 0.55),
+            RowRegime::new(10, 40, 0.30),
+            RowRegime::new(80, 160, 0.10),
+            RowRegime::new(400, 900, 0.05),
+        ],
+        true,
+        3,
+    );
+    let bins = bin_matrix(&a, BinningScheme::Coarse { u: 100 });
+    let populated: Vec<usize> = (0..bins.bins.len())
+        .filter(|&b| !bins.bins[b].is_empty())
+        .take(4)
+        .collect();
+    let v = vec![1.0f32; a.n_cols()];
+    let mut headers = vec!["kernel".to_string()];
+    headers.extend(populated.iter().map(|b| format!("bin {b}")));
+    let mut t = Table::new(headers);
+    let mut best_per_bin = vec![(f64::INFINITY, KernelId::Serial); populated.len()];
+    let mut cycles = vec![vec![0.0f64; populated.len()]; FIVE.len()];
+    for (ki, &k) in FIVE.iter().enumerate() {
+        for (bi, &b) in populated.iter().enumerate() {
+            let rows = bins.expand(b);
+            let mut u = vec![0.0f32; a.n_rows()];
+            let c = run_kernel(&device, &a, &rows, k, &v, &mut u).cycles;
+            cycles[ki][bi] = c;
+            if c < best_per_bin[bi].0 {
+                best_per_bin[bi] = (c, k);
+            }
+        }
+    }
+    for (ki, &k) in FIVE.iter().enumerate() {
+        let mut row = vec![k.label()];
+        for (bi, _) in populated.iter().enumerate() {
+            row.push(f3(cycles[ki][bi] / best_per_bin[bi].0));
+        }
+        t.row(row);
+    }
+    t.print();
+    println!();
+    for (bi, &b) in populated.iter().enumerate() {
+        println!("bin {b}: best kernel = {}", best_per_bin[bi].1);
+    }
+    let distinct: std::collections::HashSet<_> =
+        best_per_bin.iter().map(|&(_, k)| k).collect();
+    println!(
+        "\npaper shape: different bins of the SAME input pick different kernels \
+         ({} distinct winners across {} bins).",
+        distinct.len(),
+        populated.len()
+    );
+}

@@ -1,0 +1,51 @@
+//! Figure 5 — histogram of non-zeros per row over a UF-like corpus.
+//!
+//! The paper collects 2760 UF matrices and finds ≈98.7% of all rows have
+//! ≤100 non-zeros — the motivation for capping the kernel pool at one
+//! work-group per row. Regenerate with
+//! `cargo run --release -p spmv-bench --bin fig5`
+//! (`SPMV_FIG5_COUNT` shrinks the corpus).
+
+use spmv_bench::{env_usize, Table};
+use spmv_sparse::corpus::{corpus, CorpusConfig};
+use spmv_sparse::histogram::RowHistogram;
+
+fn main() {
+    let count = env_usize("SPMV_FIG5_COUNT", 2760);
+    let cfg = CorpusConfig {
+        count,
+        min_rows: 500,
+        max_rows: 4_000,
+        seed: 0xf16_5eed,
+    };
+    eprintln!("building {count}-matrix corpus …");
+    let mut h = RowHistogram::figure5();
+    for (i, e) in corpus(&cfg).iter().enumerate() {
+        if i % 250 == 0 {
+            eprintln!("  {i}/{count}");
+        }
+        h.add_matrix(&e.generate::<f32>());
+    }
+
+    println!("== Figure 5: NNZ-per-row histogram over {count} matrices ==\n");
+    let mut t = Table::new(vec!["rows with NNZ in", "count", "share %", "cum % (<= upper)"]);
+    let mut cum = 0.0;
+    for ((label, &c), share) in h
+        .labels()
+        .iter()
+        .zip(h.counts())
+        .zip(h.shares())
+    {
+        cum += share * 100.0;
+        t.row(vec![
+            label.clone(),
+            c.to_string(),
+            format!("{:.2}", share * 100.0),
+            format!("{cum:.2}"),
+        ]);
+    }
+    t.print();
+    let le100 = h.cumulative_share_below(101) * 100.0;
+    println!("\nrows with <= 100 NNZ: {le100:.1}%   (paper: ~98.7%)");
+    println!("total rows: {}", h.total_rows());
+}

@@ -1,0 +1,52 @@
+//! Figure 7 — kernel-auto versus CSR-Adaptive (Greathouse & Daga) over
+//! the 16 representative matrices.
+//!
+//! The paper wins on 10 of 16 matrices with speedups up to 1.9×, losing
+//! on crankseg_2, D6-6, dictionary28, europe_osm, Ga3As3H12 and
+//! roadNet-CA (discussed in §IV-C). Regenerate with
+//! `cargo run --release -p spmv-bench --bin fig7`.
+
+use spmv_autotune::prelude::*;
+use spmv_bench::table::{f3, Table};
+use spmv_bench::setup::train_or_load_model;
+use spmv_bench::load_suite;
+use spmv_sparse::suite::SINGLE_BIN_CASES;
+
+fn main() {
+    let device = GpuDevice::kaveri();
+    let (model, _) = train_or_load_model(&device);
+    let auto = AutoSpmv::with_model(device.clone(), model);
+    let baseline = CsrAdaptive::new();
+
+    println!("== Figure 7: speedup of kernel-auto over CSR-Adaptive ==\n");
+    let mut t = Table::new(vec!["matrix", "speedup", "winner", "paper winner"]);
+    let mut wins = 0usize;
+    let mut best = 0.0f64;
+    for case in load_suite() {
+        let a = &case.matrix;
+        let v = vec![1.0f32; a.n_cols()];
+        let mut u = vec![0.0f32; a.n_rows()];
+        let auto_run = auto.run(a, &v, &mut u);
+        let mut u2 = vec![0.0f32; a.n_rows()];
+        let ca = baseline.run(&device, a, &v, &mut u2);
+        let speedup = ca.cycles / auto_run.stats.cycles;
+        if speedup >= 1.0 {
+            wins += 1;
+        }
+        best = best.max(speedup);
+        let paper_winner = if SINGLE_BIN_CASES.contains(&case.meta.name) {
+            "CSR-Adaptive"
+        } else {
+            "auto"
+        };
+        t.row(vec![
+            case.meta.name.to_string(),
+            f3(speedup),
+            if speedup >= 1.0 { "auto" } else { "CSR-Adaptive" }.to_string(),
+            paper_winner.to_string(),
+        ]);
+    }
+    t.print();
+    println!("\nkernel-auto wins on {wins}/16 matrices (paper: 10/16)");
+    println!("best speedup over CSR-Adaptive: {best:.2}x (paper: up to 1.9x)");
+}

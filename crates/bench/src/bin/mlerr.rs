@@ -1,0 +1,57 @@
+//! §III-C — the two-stage model's error rates.
+//!
+//! The paper trains on >2000 UF matrices (75%/25% split) and reports ≈5%
+//! stage-1 (binning scheme) and up to 15% stage-2 (kernel) test error.
+//! Regenerate with `cargo run --release -p spmv-bench --bin mlerr`
+//! (`SPMV_CORPUS_COUNT` sets the corpus size; use 2000 to match the
+//! paper's protocol exactly — takes a while on one core).
+
+use spmv_autotune::kernels::ALL_KERNELS;
+use spmv_autotune::prelude::*;
+use spmv_bench::{train_default_model, Table};
+
+fn main() {
+    let device = GpuDevice::kaveri();
+    let (model, report) = train_default_model(&device);
+
+    println!("== Two-stage model quality (paper §III-C) ==\n");
+    let mut t = Table::new(vec!["stage", "train error %", "test error %", "paper %"]);
+    t.row(vec![
+        "1: binning scheme (U)".to_string(),
+        format!("{:.1}", report.stage1_train_error * 100.0),
+        format!("{:.1}", report.stage1_error() * 100.0),
+        "~5".to_string(),
+    ]);
+    t.row(vec![
+        "2: kernel per bin".to_string(),
+        format!("{:.1}", report.stage2_train_error * 100.0),
+        format!("{:.1}", report.stage2_error() * 100.0),
+        "up to 15".to_string(),
+    ]);
+    t.print();
+    println!(
+        "\ncorpus: {} matrices; stage-2 dataset: {} (matrix, bin) examples",
+        report.n_matrices, report.stage2_examples
+    );
+
+    println!("\nstage-2 per-kernel recall on the test set:");
+    let mut t = Table::new(vec!["kernel", "recall %", "precision %"]);
+    for k in ALL_KERNELS {
+        let i = k.index();
+        t.row(vec![
+            k.label(),
+            format!("{:.0}", report.stage2_cm.recall(i) * 100.0),
+            format!("{:.0}", report.stage2_cm.precision(i) * 100.0),
+        ]);
+    }
+    t.print();
+
+    println!("\nexample stage-1 rules (C5.0-style rule-set):");
+    for line in model.stage1.dump().lines().take(8) {
+        println!("  {line}");
+    }
+    println!("\nexample stage-2 rules:");
+    for line in model.stage2.dump().lines().take(8) {
+        println!("  {line}");
+    }
+}

@@ -1,0 +1,29 @@
+//! Table I — the extracted feature parameters, demonstrated on the
+//! 16-matrix suite. Regenerate with
+//! `cargo run --release -p spmv-bench --bin table1`.
+
+use spmv_bench::{load_suite, Table};
+use spmv_sparse::{FeatureSet, MatrixFeatures};
+
+fn main() {
+    println!("== Table I feature parameters over the 16-matrix suite ==\n");
+    let mut t = Table::new(vec![
+        "matrix", "M", "N", "NNZ", "Var_NNZ", "Avg_NNZ", "Min_NNZ", "Max_NNZ",
+    ]);
+    for case in load_suite() {
+        let f = MatrixFeatures::extract(&case.matrix, FeatureSet::TableI);
+        t.row(vec![
+            case.meta.name.to_string(),
+            f.m.to_string(),
+            f.n.to_string(),
+            f.nnz.to_string(),
+            format!("{:.1}", f.var_nnz),
+            format!("{:.2}", f.avg_nnz),
+            f.min_nnz.to_string(),
+            f.max_nnz.to_string(),
+        ]);
+    }
+    t.print();
+    println!("\n(Extended §IV-C histogram features: pass FeatureSet::Extended — see the");
+    println!(" `ablation` binary for their effect on prediction error.)");
+}

@@ -1,0 +1,38 @@
+//! Table II — the 16 representative matrices: paper dimensions versus the
+//! scaled synthetic analogues used here. Regenerate with
+//! `cargo run --release -p spmv-bench --bin table2`.
+
+use spmv_bench::{load_suite, Table};
+
+fn main() {
+    println!("== Table II: representative matrices (paper vs scaled analogue) ==\n");
+    let mut t = Table::new(vec![
+        "name",
+        "paper RxC",
+        "paper NNZ",
+        "ours RxC",
+        "ours NNZ",
+        "avg NNZ/row",
+        "scale",
+        "kind",
+    ]);
+    for case in load_suite() {
+        let a = &case.matrix;
+        let m = &case.meta;
+        t.row(vec![
+            m.name.to_string(),
+            format!("{}x{}", m.paper_rows, m.paper_cols),
+            m.paper_nnz.to_string(),
+            format!("{}x{}", a.n_rows(), a.n_cols()),
+            a.nnz().to_string(),
+            format!("{:.1}", a.nnz() as f64 / a.n_rows() as f64),
+            format!("{:.3}", a.n_rows() as f64 / m.paper_rows as f64),
+            m.kind.label().to_string(),
+        ]);
+    }
+    t.print();
+    println!("\nrationales (why each analogue preserves the original's regime):");
+    for case in load_suite() {
+        println!("  {:>14}: {}", case.meta.name, case.meta.rationale);
+    }
+}

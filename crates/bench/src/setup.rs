@@ -1,0 +1,106 @@
+//! Shared experiment setup: suite loading, model training, env knobs.
+
+use spmv_autotune::model_io::{load_model_file, save_model_file};
+use spmv_autotune::prelude::*;
+use spmv_autotune::training::TrainerConfig;
+use spmv_sparse::corpus::CorpusConfig;
+use spmv_sparse::suite::{suite, SuiteMatrix};
+use spmv_sparse::CsrMatrix;
+use std::path::PathBuf;
+
+/// Read a `usize` knob from the environment with a default.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A generated suite matrix with its metadata.
+pub struct SuiteCase {
+    /// Table II metadata.
+    pub meta: SuiteMatrix,
+    /// The generated analogue.
+    pub matrix: CsrMatrix<f32>,
+}
+
+/// Generate all 16 Table II analogues (prints progress — generation of
+/// the largest entries takes a few seconds).
+pub fn load_suite() -> Vec<SuiteCase> {
+    suite()
+        .into_iter()
+        .map(|meta| {
+            eprintln!("  generating {} …", meta.name);
+            let matrix = meta.generate();
+            SuiteCase { meta, matrix }
+        })
+        .collect()
+}
+
+fn model_cache_path() -> PathBuf {
+    std::env::var("SPMV_MODEL_CACHE")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("target/spmv-model.txt"))
+}
+
+/// Train (or load from the on-disk cache) the two-stage model used by
+/// the prediction-driven experiments. `SPMV_CORPUS_COUNT` overrides the
+/// corpus size; the cache lives at `SPMV_MODEL_CACHE`
+/// (default `target/spmv-model.txt`) and is keyed implicitly by being
+/// deleted when you want a retrain. Returns the training report only
+/// when training actually ran.
+pub fn train_or_load_model(device: &GpuDevice) -> (TrainedModel, Option<TrainingReport>) {
+    let path = model_cache_path();
+    if path.exists() {
+        match load_model_file(&path) {
+            Ok(m) => {
+                eprintln!("loaded cached model from {}", path.display());
+                return (m, None);
+            }
+            Err(e) => eprintln!("cache at {} unreadable ({e}); retraining", path.display()),
+        }
+    }
+    let count = env_usize("SPMV_CORPUS_COUNT", 300);
+    let config = TrainerConfig {
+        corpus: CorpusConfig {
+            count,
+            min_rows: 500,
+            max_rows: 4_000,
+            seed: 0x5eed_c0de,
+        },
+        ..Default::default()
+    };
+    eprintln!("training two-stage model on {count} corpus matrices …");
+    let t0 = std::time::Instant::now();
+    let (model, report) = Trainer::with_config(device.clone(), config).train();
+    eprintln!("  trained in {:.1?}", t0.elapsed());
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match save_model_file(&model, &path) {
+        Ok(()) => eprintln!("  cached model at {}", path.display()),
+        Err(e) => eprintln!("  could not cache model: {e}"),
+    }
+    (model, Some(report))
+}
+
+/// Back-compat alias used by binaries that always want a report: trains
+/// fresh when the cache was hit but no report is available.
+pub fn train_default_model(device: &GpuDevice) -> (TrainedModel, TrainingReport) {
+    match train_or_load_model(device) {
+        (m, Some(r)) => (m, r),
+        (m, None) => {
+            // Cache hit: synthesise an empty-ish report by re-evaluating
+            // is wasteful; instead tell the caller to delete the cache.
+            eprintln!(
+                "note: model came from cache; error rates below reflect a fresh quick training"
+            );
+            drop(m);
+            let _ = std::fs::remove_file(model_cache_path());
+            match train_or_load_model(device) {
+                (m, Some(r)) => (m, r),
+                _ => unreachable!("training after cache removal yields a report"),
+            }
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Baseline SpMV implementations the paper compares against.
+
+mod csr_adaptive;
+
+pub use csr_adaptive::{CsrAdaptive, RowBlock};

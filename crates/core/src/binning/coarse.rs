@@ -1,0 +1,141 @@
+//! The paper's Algorithm 2: coarse-grained binning over virtual rows.
+
+use super::{Bins, MAX_BINS};
+use spmv_parallel::parallel_map_collect;
+use spmv_sparse::{CsrMatrix, Scalar};
+
+/// Sequential coarse binning with granularity `u` (Algorithm 2).
+///
+/// Step 1 collects per-virtual-row workloads
+/// (`wl[i] = rowPtr[min((i+1)·u, m)] − rowPtr[i·u]`); step 2 scatters the
+/// virtual rows into bins by `binId = ⌊wl/u⌋`, clamping to the overflow
+/// bin `MAX_BINS − 1`.
+pub fn coarse_binning<T: Scalar>(a: &CsrMatrix<T>, u: usize) -> Bins {
+    assert!(u >= 1, "granularity must be at least 1");
+    let m = a.n_rows();
+    let n_virtual = m.div_ceil(u);
+    let row_ptr = a.row_ptr();
+    let mut bins: Vec<Vec<u32>> = vec![Vec::new(); MAX_BINS];
+    for i in 0..n_virtual {
+        let start = i * u;
+        let end = ((i + 1) * u).min(m);
+        let wl = row_ptr[end] - row_ptr[start];
+        let bin_id = (wl / u).min(MAX_BINS - 1);
+        bins[bin_id].push(start as u32);
+    }
+    Bins { m, span: u, bins }
+}
+
+/// Parallel coarse binning: workloads and bin ids are computed with a
+/// data-parallel pass, then scattered sequentially (the scatter is a tiny
+/// fraction of the work at realistic granularities). Used by the
+/// Figure 8 overhead study and by [`crate::framework::AutoSpmv`] on large
+/// matrices.
+pub fn coarse_binning_parallel<T: Scalar>(a: &CsrMatrix<T>, u: usize) -> Bins {
+    assert!(u >= 1, "granularity must be at least 1");
+    let m = a.n_rows();
+    let n_virtual = m.div_ceil(u);
+    let row_ptr = a.row_ptr();
+    // Step 1+2a in parallel: per-virtual-row bin ids.
+    let bin_ids: Vec<u32> = parallel_map_collect(n_virtual, 4096, |i| {
+        let start = i * u;
+        let end = ((i + 1) * u).min(m);
+        let wl = row_ptr[end] - row_ptr[start];
+        (wl / u).min(MAX_BINS - 1) as u32
+    });
+    // Step 2b: counting scatter (stable, deterministic).
+    let mut counts = [0usize; MAX_BINS];
+    for &b in &bin_ids {
+        counts[b as usize] += 1;
+    }
+    let mut bins: Vec<Vec<u32>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+    for (i, &b) in bin_ids.iter().enumerate() {
+        bins[b as usize].push((i * u) as u32);
+    }
+    Bins { m, span: u, bins }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_sparse::gen;
+    use spmv_sparse::gen::mixture::RowRegime;
+
+    #[test]
+    fn section2c_example_separates_short_and_medium_rows() {
+        // The paper's motivating example: 10 rows, first 5 with 1 NNZ,
+        // last 5 with 9 NNZ. With U = 5 the first virtual row (wl = 5)
+        // goes to bin 1 and the second (wl = 45) to bin 9.
+        let regimes = [RowRegime::new(1, 1, 0.5), RowRegime::new(9, 9, 0.5)];
+        let a = gen::mixture::<f64>(10, 100, &regimes, false, 1);
+        let bins = coarse_binning(&a, 5);
+        assert!(bins.validate().is_ok());
+        assert_eq!(bins.bins[1], vec![0]);
+        assert_eq!(bins.bins[9], vec![5]);
+        assert_eq!(bins.populated(), 2);
+    }
+
+    #[test]
+    fn uniform_matrix_lands_in_one_bin() {
+        let a = gen::random_uniform::<f64>(1000, 1000, 4, 4, 2);
+        let bins = coarse_binning(&a, 10);
+        // Every virtual row has wl = 40 → bin 4.
+        assert_eq!(bins.populated(), 1);
+        assert_eq!(bins.bins[4].len(), 100);
+    }
+
+    #[test]
+    fn overflow_rows_go_to_the_last_bin() {
+        // One row with far more NNZ than any bin boundary.
+        let a = gen::mixture::<f64>(
+            10,
+            5000,
+            &[RowRegime::new(1, 1, 0.9), RowRegime::new(2000, 2000, 0.1)],
+            false,
+            3,
+        );
+        let bins = coarse_binning(&a, 1);
+        assert!(bins.validate().is_ok());
+        assert!(!bins.bins[MAX_BINS - 1].is_empty());
+    }
+
+    #[test]
+    fn granularity_one_is_per_row() {
+        let a = gen::random_uniform::<f64>(64, 64, 1, 8, 4);
+        let bins = coarse_binning(&a, 1);
+        assert_eq!(bins.entries(), 64);
+        assert_eq!(bins.span, 1);
+        for i in 0..64 {
+            let wl = a.row_nnz(i).min(MAX_BINS - 1);
+            assert!(bins.bins[wl].contains(&(i as u32)), "row {i} (nnz {wl})");
+        }
+    }
+
+    #[test]
+    fn granularity_larger_than_m_gives_one_virtual_row() {
+        let a = gen::random_uniform::<f64>(50, 50, 2, 2, 5);
+        let bins = coarse_binning(&a, 1000);
+        assert_eq!(bins.entries(), 1);
+        assert!(bins.validate().is_ok());
+        // wl = 100, binId = 100/1000 = 0.
+        assert_eq!(bins.bins[0], vec![0]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let a = gen::powerlaw::<f32>(5000, 1, 300, 2.1, 6);
+        for u in [1usize, 7, 10, 100, 4096] {
+            let s = coarse_binning(&a, u);
+            let p = coarse_binning_parallel(&a, u);
+            assert_eq!(s, p, "u = {u}");
+        }
+    }
+
+    #[test]
+    fn empty_matrix_produces_empty_bins() {
+        let a = spmv_sparse::CsrMatrix::<f32>::zeros(0, 10);
+        let bins = coarse_binning(&a, 10);
+        assert_eq!(bins.populated(), 0);
+        assert!(bins.validate().is_ok());
+    }
+}

@@ -1,0 +1,206 @@
+//! Binning (steps 1–2 of the framework, Algorithm 2): group rows of
+//! similar workload so each group can get its own kernel.
+//!
+//! The paper's scheme is *coarse-grained*: every `U` adjacent rows form
+//! one "virtual" row whose workload is its total NNZ
+//! (`wl[i] = rowPtr[min((i+1)·U, m)] − rowPtr[i·U]`); virtual row `i`
+//! lands in bin `⌊wl[i]/U⌋`, clamped to [`MAX_BINS`] with an overflow
+//! bin for extremely long rows. Only the *first* row index of a virtual
+//! row is stored, which is what keeps the scheme's space and time
+//! overhead negligible (Figure 8).
+//!
+//! Alternative schemes from §III-B/§IV-C are also provided: fine-grained
+//! (per-row), hybrid (fine for short rows, coarse for long), and
+//! single-bin.
+
+mod coarse;
+mod schemes;
+
+pub use coarse::{coarse_binning, coarse_binning_parallel};
+pub use schemes::{bin_matrix, fine_binning, hybrid_binning, single_binning};
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of bins (the paper: "there are up to 100 bins").
+pub const MAX_BINS: usize = 100;
+
+/// How rows are grouped into bins.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinningScheme {
+    /// The paper's coarse-grained virtual-row scheme with granularity `u`.
+    Coarse {
+        /// Number of adjacent rows per virtual row (`U`).
+        u: usize,
+    },
+    /// Per-row binning (`U = 1` — high overhead; kept for the Figure 8
+    /// overhead study and as a tuner candidate).
+    Fine,
+    /// Fine binning for rows under `threshold` NNZ, coarse (with `u`) for
+    /// the rest.
+    Hybrid {
+        /// NNZ boundary between the fine and coarse regimes.
+        threshold: usize,
+        /// Coarse granularity used above the threshold.
+        u: usize,
+    },
+    /// Everything in one bin (the §IV-C fallback that beats binning on
+    /// several matrices).
+    Single,
+}
+
+impl BinningScheme {
+    /// The granularities the paper presets: "U is preset to be 10, 20,
+    /// 50, 100, …, 10^6" (decade steps of 1/2/5).
+    pub fn paper_granularities() -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut base = 10usize;
+        while base <= 1_000_000 {
+            for m in [1, 2, 5] {
+                let u = base * m;
+                if u <= 1_000_000 {
+                    out.push(u);
+                }
+            }
+            base *= 10;
+        }
+        out.push(1_000_000);
+        out.dedup();
+        out
+    }
+
+    /// Short human-readable form.
+    pub fn describe(&self) -> String {
+        match self {
+            BinningScheme::Coarse { u } => format!("coarse U={u}"),
+            BinningScheme::Fine => "fine U=1".into(),
+            BinningScheme::Hybrid { threshold, u } => {
+                format!("hybrid <{threshold} fine, else U={u}")
+            }
+            BinningScheme::Single => "single-bin".into(),
+        }
+    }
+}
+
+/// The result of binning: per bin, the starting row index of each group
+/// of `span` adjacent rows it contains.
+///
+/// For coarse binning every entry covers up to `u` rows; for fine and
+/// single binning every entry covers exactly one row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Bins {
+    /// Rows of the binned matrix.
+    pub m: usize,
+    /// Rows covered per stored entry (the granularity `U`; 1 for fine).
+    pub span: usize,
+    /// `bins[binId]` = starting row indices of the virtual rows in the
+    /// bin.
+    pub bins: Vec<Vec<u32>>,
+}
+
+impl Bins {
+    /// Number of non-empty bins (each costs one kernel launch).
+    pub fn populated(&self) -> usize {
+        self.bins.iter().filter(|b| !b.is_empty()).count()
+    }
+
+    /// Total virtual-row entries across bins.
+    pub fn entries(&self) -> usize {
+        self.bins.iter().map(Vec::len).sum()
+    }
+
+    /// Expand bin `bin_id` into the actual row indices it covers, in
+    /// ascending order within each virtual row (kernels consume this).
+    pub fn expand(&self, bin_id: usize) -> Vec<u32> {
+        let mut rows = Vec::with_capacity(self.bins[bin_id].len() * self.span);
+        for &start in &self.bins[bin_id] {
+            let end = ((start as usize) + self.span).min(self.m);
+            rows.extend(start..end as u32);
+        }
+        rows
+    }
+
+    /// Heap bytes consumed by the bin index lists — the space-overhead
+    /// side of the coarse-vs-fine trade-off (§II-C).
+    pub fn storage_bytes(&self) -> usize {
+        self.entries() * std::mem::size_of::<u32>()
+            + self.bins.capacity() * std::mem::size_of::<Vec<u32>>()
+    }
+
+    /// Check the structural invariants: every row appears in exactly one
+    /// bin, exactly once. (Test/diagnostic helper; O(m).)
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen = vec![false; self.m];
+        for (b, bin) in self.bins.iter().enumerate() {
+            for &start in bin {
+                let start = start as usize;
+                if start % self.span != 0 && self.span > 1 {
+                    return Err(format!("bin {b}: start {start} not aligned to span {}", self.span));
+                }
+                let end = (start + self.span).min(self.m);
+                for r in start..end {
+                    if seen[r] {
+                        return Err(format!("row {r} appears twice"));
+                    }
+                    seen[r] = true;
+                }
+            }
+        }
+        if let Some(r) = seen.iter().position(|&s| !s) {
+            return Err(format!("row {r} missing from all bins"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_granularities_span_10_to_1e6() {
+        let g = BinningScheme::paper_granularities();
+        assert_eq!(g.first(), Some(&10));
+        assert_eq!(g.last(), Some(&1_000_000));
+        assert!(g.contains(&50));
+        assert!(g.contains(&100));
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn expand_covers_span_rows_clipped_to_m() {
+        let bins = Bins {
+            m: 25,
+            span: 10,
+            bins: vec![vec![0, 20], vec![10]],
+        };
+        assert_eq!(bins.expand(0), (0..10).chain(20..25).collect::<Vec<u32>>());
+        assert_eq!(bins.expand(1), (10..20).collect::<Vec<u32>>());
+        assert!(bins.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_missing_and_duplicate_rows() {
+        let missing = Bins {
+            m: 5,
+            span: 1,
+            bins: vec![vec![0, 1, 3, 4]],
+        };
+        assert!(missing.validate().is_err());
+        let dup = Bins {
+            m: 3,
+            span: 1,
+            bins: vec![vec![0, 1], vec![1, 2]],
+        };
+        assert!(dup.validate().is_err());
+    }
+
+    #[test]
+    fn describe_names_each_scheme() {
+        assert!(BinningScheme::Coarse { u: 50 }.describe().contains("U=50"));
+        assert!(BinningScheme::Fine.describe().contains("fine"));
+        assert!(BinningScheme::Single.describe().contains("single"));
+        assert!(BinningScheme::Hybrid { threshold: 8, u: 100 }
+            .describe()
+            .contains("hybrid"));
+    }
+}

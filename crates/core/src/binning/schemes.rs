@@ -1,0 +1,146 @@
+//! The alternative binning schemes of §III-B/§IV-C and the dispatch
+//! helper that applies any [`BinningScheme`].
+
+use super::coarse::coarse_binning;
+use super::{Bins, BinningScheme, MAX_BINS};
+use spmv_sparse::{CsrMatrix, Scalar};
+
+/// Fine-grained binning: every single row is an entry, binned by its own
+/// NNZ. This is the high-overhead scheme the paper declines to use by
+/// default (Figure 8) but keeps in the design space.
+pub fn fine_binning<T: Scalar>(a: &CsrMatrix<T>) -> Bins {
+    coarse_binning(a, 1)
+}
+
+/// Single-bin "binning": all rows in bin 0 (§IV-C, Figure 9). The span is
+/// 1 so the bin expands to every row.
+pub fn single_binning<T: Scalar>(a: &CsrMatrix<T>) -> Bins {
+    let m = a.n_rows();
+    let mut bins: Vec<Vec<u32>> = vec![Vec::new()];
+    bins[0] = (0..m as u32).collect();
+    Bins { m, span: 1, bins }
+}
+
+/// Hybrid binning: rows whose NNZ is below `threshold` are binned
+/// per-row (fine); runs of `u` adjacent rows at or above the threshold
+/// are binned coarsely. §III-B sketches this as an extension; we place
+/// coarse entries in the upper half of the bin space so the two regimes
+/// keep distinct kernels.
+///
+/// Fine entries occupy bins `[0, MAX_BINS/2)` by `min(nnz, MAX_BINS/2−1)`;
+/// coarse virtual rows occupy `[MAX_BINS/2, MAX_BINS)` by
+/// `MAX_BINS/2 + min(wl/u, MAX_BINS/2−1)`.
+///
+/// The returned [`Bins`] has `span = 1`; coarse groups are expanded to
+/// explicit rows at construction (costlier — that is the documented
+/// trade-off of hybrid schemes).
+pub fn hybrid_binning<T: Scalar>(a: &CsrMatrix<T>, threshold: usize, u: usize) -> Bins {
+    assert!(u >= 1);
+    let m = a.n_rows();
+    let half = MAX_BINS / 2;
+    let mut bins: Vec<Vec<u32>> = vec![Vec::new(); MAX_BINS];
+    let mut i = 0usize;
+    while i < m {
+        let nnz = a.row_nnz(i);
+        if nnz < threshold {
+            bins[nnz.min(half - 1)].push(i as u32);
+            i += 1;
+        } else {
+            // Start a coarse virtual row of up to `u` adjacent rows, all
+            // at/above threshold.
+            let start = i;
+            let mut end = i;
+            while end < m && end - start < u && a.row_nnz(end) >= threshold {
+                end += 1;
+            }
+            let wl = a.range_nnz(start, end);
+            let bin = half + (wl / u).min(half - 1);
+            for r in start..end {
+                bins[bin].push(r as u32);
+            }
+            i = end;
+        }
+    }
+    Bins { m, span: 1, bins }
+}
+
+/// Apply any [`BinningScheme`] to a matrix.
+pub fn bin_matrix<T: Scalar>(a: &CsrMatrix<T>, scheme: BinningScheme) -> Bins {
+    match scheme {
+        BinningScheme::Coarse { u } => coarse_binning(a, u),
+        BinningScheme::Fine => fine_binning(a),
+        BinningScheme::Hybrid { threshold, u } => hybrid_binning(a, threshold, u),
+        BinningScheme::Single => single_binning(a),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_sparse::gen;
+    use spmv_sparse::gen::mixture::RowRegime;
+
+    fn irregular() -> CsrMatrix<f64> {
+        gen::mixture(
+            500,
+            2000,
+            &[
+                RowRegime::new(1, 3, 0.6),
+                RowRegime::new(20, 40, 0.3),
+                RowRegime::new(200, 400, 0.1),
+            ],
+            true,
+            9,
+        )
+    }
+
+    #[test]
+    fn single_binning_holds_every_row() {
+        let a = irregular();
+        let bins = single_binning(&a);
+        assert_eq!(bins.populated(), 1);
+        assert_eq!(bins.expand(0).len(), 500);
+        assert!(bins.validate().is_ok());
+    }
+
+    #[test]
+    fn fine_binning_is_per_row() {
+        let a = irregular();
+        let bins = fine_binning(&a);
+        assert_eq!(bins.entries(), 500);
+        assert!(bins.validate().is_ok());
+    }
+
+    #[test]
+    fn hybrid_separates_regimes() {
+        let a = irregular();
+        let bins = hybrid_binning(&a, 10, 50);
+        assert!(bins.validate().is_ok());
+        let half = MAX_BINS / 2;
+        // Short rows live strictly below `half`, long rows at/above.
+        for (b, bin) in bins.bins.iter().enumerate() {
+            for &r in bin {
+                let nnz = a.row_nnz(r as usize);
+                if b < half {
+                    assert!(nnz < 10, "row {r} (nnz {nnz}) in fine bin {b}");
+                } else {
+                    assert!(nnz >= 10, "row {r} (nnz {nnz}) in coarse bin {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bin_matrix_dispatches_all_schemes() {
+        let a = irregular();
+        for scheme in [
+            BinningScheme::Coarse { u: 20 },
+            BinningScheme::Fine,
+            BinningScheme::Hybrid { threshold: 10, u: 50 },
+            BinningScheme::Single,
+        ] {
+            let bins = bin_matrix(&a, scheme);
+            assert!(bins.validate().is_ok(), "{scheme:?}");
+        }
+    }
+}

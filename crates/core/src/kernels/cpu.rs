@@ -1,0 +1,175 @@
+//! Native CPU SpMV kernels on the `spmv-parallel` substrate.
+//!
+//! These are real multithreaded implementations (not simulations) used by
+//! the examples, the CPU side of the heterogeneous scheduling sketch
+//! (§VI future work), and the Criterion microbenches. The two variants
+//! mirror the load-balancing split the paper's binning addresses:
+//! row-parallel (cheap, imbalanced) versus NNZ-balanced partitioning.
+
+use spmv_parallel::parallel_for;
+use spmv_sparse::{CsrMatrix, Scalar, SparseError};
+
+/// Row-parallel SpMV: rows are distributed in fixed-size chunks. The CPU
+/// analogue of `Kernel-Serial`.
+pub fn spmv_row_parallel<T: Scalar>(
+    a: &CsrMatrix<T>,
+    v: &[T],
+    u: &mut [T],
+) -> Result<(), SparseError> {
+    check_dims(a, v, u)?;
+    let out = SliceWriter(u.as_mut_ptr());
+    parallel_for(a.n_rows(), 256, |start, end| {
+        let out = out;
+        for i in start..end {
+            let (cols, vals) = a.row(i);
+            let mut sum = T::ZERO;
+            for (&c, &x) in cols.iter().zip(vals) {
+                sum = x.mul_add_(v[c as usize], sum);
+            }
+            // SAFETY: `parallel_for` hands out disjoint row ranges and
+            // joins before returning; `u` outlives the call.
+            unsafe { *out.0.add(i) = sum };
+        }
+    });
+    Ok(())
+}
+
+/// NNZ-balanced SpMV: the row space is cut at (roughly) equal non-zero
+/// counts via binary search on `rowPtr`, so one dense row cannot
+/// serialise the loop. The CPU analogue of what binning buys the GPU.
+pub fn spmv_nnz_balanced<T: Scalar>(
+    a: &CsrMatrix<T>,
+    v: &[T],
+    u: &mut [T],
+) -> Result<(), SparseError> {
+    check_dims(a, v, u)?;
+    let parts = spmv_parallel::num_threads() * 4;
+    let cuts = nnz_balanced_cuts(a, parts);
+    let out = SliceWriter(u.as_mut_ptr());
+    parallel_for(cuts.len() - 1, 1, |p0, p1| {
+        let out = out;
+        for p in p0..p1 {
+            for i in cuts[p]..cuts[p + 1] {
+                let (cols, vals) = a.row(i);
+                let mut sum = T::ZERO;
+                for (&c, &x) in cols.iter().zip(vals) {
+                    sum = x.mul_add_(v[c as usize], sum);
+                }
+                // SAFETY: cut ranges are disjoint; see above.
+                unsafe { *out.0.add(i) = sum };
+            }
+        }
+    });
+    Ok(())
+}
+
+/// Row boundaries that split the matrix into `parts` spans of roughly
+/// equal NNZ (monotone, first 0, last `n_rows`).
+pub fn nnz_balanced_cuts<T: Scalar>(a: &CsrMatrix<T>, parts: usize) -> Vec<usize> {
+    let parts = parts.max(1);
+    let nnz = a.nnz();
+    let row_ptr = a.row_ptr();
+    let mut cuts = Vec::with_capacity(parts + 1);
+    cuts.push(0);
+    for p in 1..parts {
+        let target = nnz * p / parts;
+        let i = row_ptr.partition_point(|&x| x < target);
+        cuts.push(i.min(a.n_rows()).max(*cuts.last().unwrap()));
+    }
+    cuts.push(a.n_rows());
+    cuts
+}
+
+fn check_dims<T: Scalar>(a: &CsrMatrix<T>, v: &[T], u: &[T]) -> Result<(), SparseError> {
+    if v.len() != a.n_cols() {
+        return Err(SparseError::DimensionMismatch {
+            context: "cpu spmv input".into(),
+            expected: a.n_cols(),
+            got: v.len(),
+        });
+    }
+    if u.len() != a.n_rows() {
+        return Err(SparseError::DimensionMismatch {
+            context: "cpu spmv output".into(),
+            expected: a.n_rows(),
+            got: u.len(),
+        });
+    }
+    Ok(())
+}
+
+#[derive(Clone, Copy)]
+struct SliceWriter<T>(*mut T);
+// SAFETY: used only for disjoint-index writes inside a joined scope.
+unsafe impl<T: Send> Send for SliceWriter<T> {}
+unsafe impl<T: Send> Sync for SliceWriter<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_sparse::csr::figure1_example;
+    use spmv_sparse::gen;
+    use spmv_sparse::gen::mixture::RowRegime;
+    use spmv_sparse::scalar::approx_eq;
+
+    #[test]
+    fn both_variants_match_reference() {
+        let a = gen::mixture::<f64>(
+            1000,
+            1500,
+            &[RowRegime::new(1, 4, 0.7), RowRegime::new(50, 200, 0.3)],
+            true,
+            5,
+        );
+        let v: Vec<f64> = (0..a.n_cols()).map(|i| ((i * 13) % 17) as f64).collect();
+        let reference = a.spmv_seq_alloc(&v).unwrap();
+        for f in [spmv_row_parallel::<f64>, spmv_nnz_balanced::<f64>] {
+            let mut u = vec![0.0; a.n_rows()];
+            f(&a, &v, &mut u).unwrap();
+            for i in 0..a.n_rows() {
+                assert!(approx_eq(u[i], reference[i], a.row_nnz(i)), "row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn dimension_errors_are_reported() {
+        let a = figure1_example::<f64>();
+        let mut u = vec![0.0; 4];
+        assert!(spmv_row_parallel(&a, &[1.0; 3], &mut u).is_err());
+        assert!(spmv_nnz_balanced(&a, &[1.0; 4], &mut vec![0.0; 2]).is_err());
+    }
+
+    #[test]
+    fn cuts_are_monotone_and_cover() {
+        let a = gen::powerlaw::<f32>(5000, 1, 500, 2.0, 7);
+        for parts in [1, 3, 8, 64] {
+            let cuts = nnz_balanced_cuts(&a, parts);
+            assert_eq!(*cuts.first().unwrap(), 0);
+            assert_eq!(*cuts.last().unwrap(), a.n_rows());
+            assert!(cuts.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn cuts_balance_nnz() {
+        let a = gen::random_uniform::<f64>(10_000, 10_000, 1, 9, 8);
+        let cuts = nnz_balanced_cuts(&a, 8);
+        let per_part: Vec<usize> = cuts.windows(2).map(|w| a.range_nnz(w[0], w[1])).collect();
+        let avg = a.nnz() / 8;
+        for (p, &n) in per_part.iter().enumerate() {
+            assert!(
+                n < avg * 2 + 100,
+                "part {p} has {n} nnz (avg {avg}) — unbalanced"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        let a = CsrMatrix::<f32>::zeros(0, 0);
+        let mut u: Vec<f32> = vec![];
+        spmv_row_parallel(&a, &[], &mut u).unwrap();
+        spmv_nnz_balanced(&a, &[], &mut u).unwrap();
+    }
+}

@@ -1,0 +1,169 @@
+//! `Kernel-Serial` (Algorithm 3): every work-item walks one row
+//! sequentially.
+//!
+//! Launched with `⌈rows/256⌉` work-groups of 256 work-items. The trace
+//! captures the two effects that make this kernel collapse on long rows:
+//!
+//! * every loop iteration issues gathers whose lane addresses sit in
+//!   *different* rows, so coalescing degrades with row length;
+//! * a wavefront iterates as long as its **longest** row, so mixing row
+//!   lengths wastes lanes (exactly the imbalance binning removes).
+
+use super::WORKGROUP_SIZE;
+use spmv_gpusim::engine::price_workgroups;
+use spmv_gpusim::trace::WorkgroupCost;
+use spmv_gpusim::{GpuDevice, LaunchStats, LaunchTracer, Region};
+use spmv_sparse::{CsrMatrix, Scalar};
+
+pub(super) fn run<T: Scalar>(
+    device: &GpuDevice,
+    a: &CsrMatrix<T>,
+    rows: &[u32],
+    v: &[T],
+    u: &mut [T],
+) -> LaunchStats {
+    let mut workgroups: Vec<WorkgroupCost> = Vec::with_capacity(rows.len().div_ceil(WORKGROUP_SIZE));
+    let tracer = LaunchTracer::new(device);
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_idx();
+    let values = a.values();
+
+    for (wg_idx, wg_rows) in rows.chunks(WORKGROUP_SIZE).enumerate() {
+        let mut wg = tracer.workgroup(0);
+        for (wave_idx, wave_rows) in wg_rows.chunks(device.wavefront).enumerate() {
+            let mut w = wg.wave();
+            let bin_base = wg_idx * WORKGROUP_SIZE + wave_idx * device.wavefront;
+
+            // rid = bin[binId][tid]: contiguous read of this wave's slice
+            // of the bin's row list.
+            w.read_contiguous(Region::BinRows, bin_base, wave_rows.len(), 4);
+
+            // rowStart/rowEnd: two gathers over rowPtr (4-byte ints on
+            // the device).
+            for pass in 0..2usize {
+                w.begin_access();
+                for &rid in wave_rows {
+                    w.lane_addr(Region::RowPtr, rid as usize + pass, 4);
+                }
+                w.commit_read();
+            }
+            w.alu(2); // sum = 0, loop setup
+
+            // Functional state: one accumulator per lane.
+            let spans: Vec<(usize, usize)> = wave_rows
+                .iter()
+                .map(|&rid| (row_ptr[rid as usize], row_ptr[rid as usize + 1]))
+                .collect();
+            let mut sums: Vec<T> = vec![T::ZERO; wave_rows.len()];
+            let max_len = spans.iter().map(|&(s, e)| e - s).max().unwrap_or(0);
+
+            for t in 0..max_len {
+                // colIdx gather for the active lanes.
+                w.begin_access();
+                for (lane, &(s, e)) in spans.iter().enumerate() {
+                    if s + t < e {
+                        w.lane_addr(Region::ColIdx, s + t, 4);
+                        let _ = lane;
+                    }
+                }
+                w.commit_read();
+                // v gather: addresses are the columns just read.
+                w.begin_access();
+                for &(s, e) in &spans {
+                    if s + t < e {
+                        w.lane_addr(Region::VecIn, col_idx[s + t] as usize, T::BYTES);
+                    }
+                }
+                w.commit_read();
+                // val gather.
+                w.begin_access();
+                for (lane, &(s, e)) in spans.iter().enumerate() {
+                    if s + t < e {
+                        w.lane_addr(Region::Val, s + t, T::BYTES);
+                        // Functional multiply-accumulate.
+                        let col = col_idx[s + t] as usize;
+                        sums[lane] = values[s + t].mul_add_(v[col], sums[lane]);
+                    }
+                }
+                w.commit_read();
+                w.alu(2); // mad + loop bookkeeping
+            }
+
+            // u[rid] = sum — scattered by rid, but rids are ascending so
+            // usually near-contiguous.
+            w.begin_access();
+            for (lane, &rid) in wave_rows.iter().enumerate() {
+                w.lane_addr(Region::VecOut, rid as usize, T::BYTES);
+                u[rid as usize] = sums[lane];
+            }
+            w.commit_write();
+
+            wg.push_wave(w.finish());
+        }
+        workgroups.push(wg.finish());
+    }
+    if workgroups.is_empty() {
+        return LaunchStats::default();
+    }
+    price_workgroups(device, &workgroups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_sparse::gen;
+    use spmv_sparse::gen::mixture::RowRegime;
+
+    #[test]
+    fn divergence_makes_mixed_waves_expensive() {
+        let device = GpuDevice::kaveri();
+        // Same total NNZ, same rows: (a) every row 16 NNZ vs (b) 1-in-64
+        // rows with 1024 NNZ  and the rest with ~0 — the skewed wave
+        // iterates 1024 times with one active lane.
+        let uniform = gen::random_uniform::<f32>(4096, 8192, 16, 16, 1);
+        let skewed = gen::mixture::<f32>(
+            4096,
+            8192,
+            &[RowRegime::new(1, 1, 63.0 / 64.0), RowRegime::new(961, 961, 1.0 / 64.0)],
+            true,
+            2,
+        );
+        let cost = |a: &CsrMatrix<f32>| {
+            let rows: Vec<u32> = (0..a.n_rows() as u32).collect();
+            let v = vec![1.0f32; a.n_cols()];
+            let mut u = vec![0.0f32; a.n_rows()];
+            run(&device, a, &rows, &v, &mut u)
+        };
+        let cu = cost(&uniform);
+        let cs = cost(&skewed);
+        // Both workloads move similar bytes, so the uniform case sits on
+        // the DRAM roofline; the skewed one pays the serialised
+        // max-row-length iterations on top (compute/latency-bound).
+        assert!(
+            cs.cycles > 2.0 * cu.cycles,
+            "skewed {} should far exceed uniform {} at similar NNZ ({} vs {})",
+            cs.cycles,
+            cu.cycles,
+            skewed.nnz(),
+            uniform.nnz()
+        );
+        assert!(
+            !cs.bandwidth_bound,
+            "the divergent launch must be latency-bound, not bandwidth-bound"
+        );
+    }
+
+    #[test]
+    fn cost_scales_with_row_length() {
+        let device = GpuDevice::kaveri();
+        let short = gen::random_uniform::<f32>(1024, 65_536, 8, 8, 3);
+        let long = gen::random_uniform::<f32>(1024, 65_536, 256, 256, 3);
+        let cost = |a: &CsrMatrix<f32>| {
+            let rows: Vec<u32> = (0..a.n_rows() as u32).collect();
+            let v = vec![1.0f32; a.n_cols()];
+            let mut u = vec![0.0f32; a.n_rows()];
+            run(&device, a, &rows, &v, &mut u).cycles
+        };
+        assert!(cost(&long) > 8.0 * cost(&short));
+    }
+}

@@ -1,0 +1,266 @@
+//! `Kernel-SubvectorX` (Algorithm 4) and `Kernel-Vector` (Algorithm 5):
+//! `X` work-items cooperate on one row (`X = 256` = the whole work-group
+//! = Kernel-Vector).
+//!
+//! Per outer iteration the kernel stages `factor · X` products per row
+//! in LDS with **contiguous** (coalesced) reads of `colIdx`/`val`, then
+//! runs a segmented parallel reduction. The trace captures the trade the
+//! paper's kernel pool is built on: coalescing and intra-row parallelism
+//! bought with LDS traffic, barriers, and idle lanes on short rows.
+
+use super::{FACTOR, WORKGROUP_SIZE};
+use spmv_gpusim::engine::price_workgroups;
+use spmv_gpusim::trace::{WaveTracer, WorkgroupCost};
+use spmv_gpusim::{GpuDevice, LaunchStats, LaunchTracer, Region};
+use spmv_sparse::{CsrMatrix, Scalar};
+
+/// One wavefront's share of the work-group: which rows it serves and, for
+/// `X > 64`, which 64-lane slice of each row's subvector it holds.
+struct WaveAssign {
+    /// `(position of the row within the work-group, row id, lane offset
+    /// within the subvector)`.
+    entries: Vec<(usize, u32, usize)>,
+}
+
+pub(super) fn run<T: Scalar>(
+    device: &GpuDevice,
+    a: &CsrMatrix<T>,
+    rows: &[u32],
+    x: usize,
+    v: &[T],
+    u: &mut [T],
+) -> LaunchStats {
+    debug_assert!(x >= 2 && x <= WORKGROUP_SIZE && x.is_power_of_two());
+    let rows_per_wg = (WORKGROUP_SIZE / x).max(1);
+    let lds_bytes = FACTOR * WORKGROUP_SIZE * T::BYTES;
+    let tracer = LaunchTracer::new(device);
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_idx();
+    let values = a.values();
+    let chunk = FACTOR * x; // elements staged per row per outer iteration
+
+    let mut workgroups: Vec<WorkgroupCost> = Vec::with_capacity(rows.len().div_ceil(rows_per_wg));
+    for (wg_idx, wg_rows) in rows.chunks(rows_per_wg).enumerate() {
+        let assigns = assign_waves(device, wg_rows, x);
+        let mut wg_sums: Vec<T> = vec![T::ZERO; wg_rows.len()];
+        let mut traced: Vec<WaveTracer<'_>> = Vec::with_capacity(assigns.len());
+        let wg = tracer.workgroup(lds_bytes);
+
+        for wa in &assigns {
+            let mut w = wg.wave();
+            // rid = bin[...]: the wave reads the row entries it serves.
+            w.read_contiguous(Region::BinRows, wg_idx * rows_per_wg, wa.entries.len(), 4);
+            // rowStart / rowEnd gathers (one lane per distinct row).
+            for pass in 0..2usize {
+                w.begin_access();
+                for &(_, rid, _) in &wa.entries {
+                    w.lane_addr(Region::RowPtr, rid as usize + pass, 4);
+                }
+                w.commit_read();
+            }
+            w.alu(4); // tid/bid arithmetic, sum = 0
+
+            let spans: Vec<(usize, usize)> = wa
+                .entries
+                .iter()
+                .map(|&(_, rid, _)| (row_ptr[rid as usize], row_ptr[rid as usize + 1]))
+                .collect();
+            let outer_iters = spans
+                .iter()
+                .map(|&(s, e)| (e - s).div_ceil(chunk))
+                .max()
+                .unwrap_or(0);
+
+            for it in 0..outer_iters {
+                for t in 0..FACTOR {
+                    // Contiguous per-row segments of colIdx and val; the
+                    // v gather is scattered by the column values.
+                    let mut any = false;
+                    w.begin_access();
+                    for (k, &(pos, _, lane_lo)) in wa.entries.iter().enumerate() {
+                        let (s, e) = spans[k];
+                        let seg = s + (it * FACTOR + t) * x + lane_lo;
+                        let lanes = x.min(device.wavefront);
+                        for idx in seg..(seg + lanes).min(e) {
+                            w.lane_addr(Region::ColIdx, idx, 4);
+                            any = true;
+                            let _ = pos;
+                        }
+                    }
+                    if any {
+                        w.commit_read();
+                        w.begin_access();
+                        for (k, &(_, _, lane_lo)) in wa.entries.iter().enumerate() {
+                            let (s, e) = spans[k];
+                            let seg = s + (it * FACTOR + t) * x + lane_lo;
+                            let lanes = x.min(device.wavefront);
+                            for idx in seg..(seg + lanes).min(e) {
+                                w.lane_addr(Region::VecIn, col_idx[idx] as usize, T::BYTES);
+                            }
+                        }
+                        w.commit_read();
+                        w.begin_access();
+                        for (k, &(pos, _, lane_lo)) in wa.entries.iter().enumerate() {
+                            let (s, e) = spans[k];
+                            let seg = s + (it * FACTOR + t) * x + lane_lo;
+                            let lanes = x.min(device.wavefront);
+                            for idx in seg..(seg + lanes).min(e) {
+                                w.lane_addr(Region::Val, idx, T::BYTES);
+                                // Functional multiply-accumulate.
+                                wg_sums[pos] =
+                                    values[idx].mul_add_(v[col_idx[idx] as usize], wg_sums[pos]);
+                            }
+                        }
+                        w.commit_read();
+                        w.lds(1); // stage the products
+                        w.alu(2);
+                    } else {
+                        w.alu(1); // predicated-off iteration still issues
+                    }
+                }
+                w.barrier();
+                // Segmented reduction of factor·X staged products per
+                // row: fold `factor` in registers, then a log2(X) tree.
+                w.lds(FACTOR as u64);
+                w.alu(FACTOR as u64);
+                let tree_steps = x.trailing_zeros() as u64;
+                w.lds(2 * tree_steps);
+                w.alu(tree_steps);
+                if x > device.wavefront {
+                    // Cross-wave reduction steps need extra barriers.
+                    w.barrier();
+                    let cross = (x / device.wavefront).trailing_zeros() as u64;
+                    for _ in 0..cross {
+                        w.barrier();
+                    }
+                }
+                w.alu(1); // leader accumulates into `sum`
+                w.barrier();
+            }
+            traced.push(w);
+        }
+
+        // Final store: the subvector leaders (lane offset 0) write u.
+        for (wi, wa) in assigns.iter().enumerate() {
+            let leaders: Vec<u32> = wa
+                .entries
+                .iter()
+                .filter(|&&(_, _, lane_lo)| lane_lo == 0)
+                .map(|&(_, rid, _)| rid)
+                .collect();
+            if !leaders.is_empty() {
+                let w = &mut traced[wi];
+                w.begin_access();
+                for &rid in &leaders {
+                    w.lane_addr(Region::VecOut, rid as usize, T::BYTES);
+                }
+                w.commit_write();
+            }
+        }
+        for (pos, &rid) in wg_rows.iter().enumerate() {
+            u[rid as usize] = wg_sums[pos];
+        }
+
+        let mut wg = wg;
+        for w in traced {
+            wg.push_wave(w.finish());
+        }
+        workgroups.push(wg.finish());
+    }
+    if workgroups.is_empty() {
+        return LaunchStats::default();
+    }
+    price_workgroups(device, &workgroups)
+}
+
+/// Partition a work-group's rows onto wavefronts.
+///
+/// * `X ≤ 64`: each wave serves `64/X` whole rows.
+/// * `X > 64`: each row's subvector spans `X/64` waves; wave `w` holds
+///   lane slice `[w·64, (w+1)·64)`.
+fn assign_waves(device: &GpuDevice, wg_rows: &[u32], x: usize) -> Vec<WaveAssign> {
+    let wf = device.wavefront;
+    let mut out = Vec::new();
+    if x <= wf {
+        let rows_per_wave = wf / x;
+        for chunk in wg_rows.chunks(rows_per_wave) {
+            let base = out.len() * rows_per_wave;
+            out.push(WaveAssign {
+                entries: chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &rid)| (base + k, rid, 0))
+                    .collect(),
+            });
+        }
+    } else {
+        let waves_per_row = x / wf;
+        for (pos, &rid) in wg_rows.iter().enumerate() {
+            for slice in 0..waves_per_row {
+                out.push(WaveAssign {
+                    entries: vec![(pos, rid, slice * wf)],
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_sparse::gen;
+
+    fn cost(a: &CsrMatrix<f32>, x: usize) -> f64 {
+        let device = GpuDevice::kaveri();
+        let rows: Vec<u32> = (0..a.n_rows() as u32).collect();
+        let v = vec![1.0f32; a.n_cols()];
+        let mut u = vec![0.0f32; a.n_rows()];
+        run(&device, a, &rows, x, &v, &mut u).cycles
+    }
+
+    #[test]
+    fn wave_assignment_small_x_packs_rows() {
+        let d = GpuDevice::kaveri();
+        let rows: Vec<u32> = (0..64).collect();
+        let waves = assign_waves(&d, &rows, 4);
+        // 16 rows per wave → 4 waves.
+        assert_eq!(waves.len(), 4);
+        assert_eq!(waves[0].entries.len(), 16);
+        assert!(waves[0].entries.iter().all(|&(_, _, lo)| lo == 0));
+        // Positions are unique across waves.
+        let mut pos: Vec<usize> = waves
+            .iter()
+            .flat_map(|w| w.entries.iter().map(|&(p, _, _)| p))
+            .collect();
+        pos.sort_unstable();
+        assert_eq!(pos, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn wave_assignment_large_x_slices_rows() {
+        let d = GpuDevice::kaveri();
+        let rows: Vec<u32> = vec![7, 9];
+        let waves = assign_waves(&d, &rows, 128);
+        // 2 rows × 2 slices = 4 waves, lane offsets 0 and 64.
+        assert_eq!(waves.len(), 4);
+        let offsets: Vec<usize> = waves.iter().map(|w| w.entries[0].2).collect();
+        assert_eq!(offsets, vec![0, 64, 0, 64]);
+    }
+
+    #[test]
+    fn wider_subvectors_win_as_rows_lengthen() {
+        // On 16-NNZ rows sub4 should beat sub128; on 512-NNZ rows the
+        // ordering flips.
+        let short = gen::random_uniform::<f32>(4096, 65_536, 16, 16, 1);
+        let long = gen::random_uniform::<f32>(512, 65_536, 512, 512, 2);
+        assert!(cost(&short, 4) < cost(&short, 128));
+        assert!(cost(&long, 128) < cost(&long, 4));
+    }
+
+    #[test]
+    fn vector_kernel_amortises_on_very_long_rows() {
+        let huge = gen::random_uniform::<f32>(128, 65_536, 4096, 4096, 3);
+        assert!(cost(&huge, 256) < cost(&huge, 8));
+    }
+}

@@ -1,0 +1,177 @@
+//! Persistence for the trained two-stage model.
+//!
+//! The paper's pipeline trains offline and ships classifiers to the
+//! runtime; this module stores a [`TrainedModel`] as a single text file
+//! (both rule-sets via `spmv-ml`'s C5.0-style text format, plus the
+//! granularity class table), so `mlerr`-style training runs can be
+//! reused by later processes without retraining.
+
+use crate::training::TrainedModel;
+use spmv_ml::io::{read_ruleset, write_ruleset, RulesIoError};
+use spmv_sparse::FeatureSet;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Save a trained model to a writer.
+///
+/// Layout:
+/// ```text
+/// spmv-model v1
+/// features <TableI|Extended>
+/// u-classes <u0> <u1> …
+/// <stage-1 rule-set>
+/// <stage-2 rule-set>
+/// ```
+pub fn save_model<W: Write>(model: &TrainedModel, mut w: W) -> Result<(), RulesIoError> {
+    writeln!(w, "spmv-model v1")?;
+    let fs = match model.features {
+        FeatureSet::TableI => "TableI",
+        FeatureSet::Extended => "Extended",
+    };
+    writeln!(w, "features {fs}")?;
+    let us: Vec<String> = model.u_classes.iter().map(|u| u.to_string()).collect();
+    writeln!(w, "u-classes {}", us.join(" "))?;
+    write_ruleset(&model.stage1, &mut w)?;
+    write_ruleset(&model.stage2, &mut w)?;
+    Ok(())
+}
+
+/// Save to a file path.
+pub fn save_model_file(model: &TrainedModel, path: &Path) -> Result<(), RulesIoError> {
+    save_model(model, std::fs::File::create(path)?)
+}
+
+/// Load a model previously written by [`save_model`].
+pub fn load_model<R: Read>(r: R) -> Result<TrainedModel, RulesIoError> {
+    let mut reader = BufReader::new(r);
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    let mut read_line = |reader: &mut BufReader<R>, line: &mut String| -> Result<(), RulesIoError> {
+        line.clear();
+        lineno += 1;
+        if reader.read_line(line)? == 0 {
+            return Err(RulesIoError::Parse(lineno, "unexpected end of file".into()));
+        }
+        Ok(())
+    };
+    read_line(&mut reader, &mut line)?;
+    if line.trim() != "spmv-model v1" {
+        return Err(RulesIoError::Parse(1, format!("bad header '{}'", line.trim())));
+    }
+    read_line(&mut reader, &mut line)?;
+    let features = match line.trim().strip_prefix("features ") {
+        Some("TableI") => FeatureSet::TableI,
+        Some("Extended") => FeatureSet::Extended,
+        other => {
+            return Err(RulesIoError::Parse(2, format!("bad features line {other:?}")));
+        }
+    };
+    read_line(&mut reader, &mut line)?;
+    let u_classes: Vec<usize> = line
+        .trim()
+        .strip_prefix("u-classes ")
+        .ok_or_else(|| RulesIoError::Parse(3, "bad u-classes line".into()))?
+        .split_whitespace()
+        .map(|t| t.parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| RulesIoError::Parse(3, format!("bad granularity: {e}")))?;
+    if u_classes.is_empty() {
+        return Err(RulesIoError::Parse(3, "no granularity classes".into()));
+    }
+    // The remaining bytes hold two rule-sets back to back. Collect the
+    // rest and split on the second "ruleset v1" header.
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest)?;
+    let second = rest[1..]
+        .find("ruleset v1")
+        .map(|i| i + 1)
+        .ok_or_else(|| RulesIoError::Parse(4, "missing stage-2 rule-set".into()))?;
+    let stage1 = read_ruleset(rest[..second].as_bytes())?;
+    let stage2 = read_ruleset(rest[second..].as_bytes())?;
+    if stage1.n_classes() != u_classes.len() {
+        return Err(RulesIoError::Parse(
+            4,
+            format!(
+                "stage-1 classes ({}) disagree with u-classes ({})",
+                stage1.n_classes(),
+                u_classes.len()
+            ),
+        ));
+    }
+    Ok(TrainedModel {
+        stage1,
+        stage2,
+        u_classes,
+        features,
+    })
+}
+
+/// Load from a file path.
+pub fn load_model_file(path: &Path) -> Result<TrainedModel, RulesIoError> {
+    load_model(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::{Trainer, TrainerConfig};
+    use crate::tuner::TunerConfig;
+    use spmv_gpusim::GpuDevice;
+    use spmv_sparse::corpus::CorpusConfig;
+    use spmv_sparse::{gen, MatrixFeatures};
+
+    fn tiny_model() -> TrainedModel {
+        let config = TrainerConfig {
+            corpus: CorpusConfig {
+                count: 25,
+                min_rows: 300,
+                max_rows: 900,
+                seed: 8,
+            },
+            tuner: TunerConfig {
+                granularities: vec![10, 100, 1000],
+                ..TunerConfig::training()
+            },
+            ..Default::default()
+        };
+        Trainer::with_config(GpuDevice::kaveri(), config).train().0
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions() {
+        let model = tiny_model();
+        let mut buf = Vec::new();
+        save_model(&model, &mut buf).unwrap();
+        let loaded = load_model(&buf[..]).unwrap();
+        assert_eq!(loaded.u_classes, model.u_classes);
+        assert_eq!(loaded.features, model.features);
+        for seed in 0..8u64 {
+            let a = gen::random_uniform::<f32>(600, 600, 1, (seed as usize % 40) + 1, seed);
+            let f = MatrixFeatures::extract(&a, model.features);
+            assert_eq!(loaded.predict_u(&f), model.predict_u(&f), "seed {seed}");
+            assert_eq!(
+                loaded.predict_strategy(&a),
+                model.predict_strategy(&a),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(load_model("nope".as_bytes()).is_err());
+        assert!(load_model("spmv-model v1\nfeatures Bogus\n".as_bytes()).is_err());
+        assert!(load_model("spmv-model v1\nfeatures TableI\nu-classes\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let model = tiny_model();
+        let dir = std::env::temp_dir().join("spmv_model_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.txt");
+        save_model_file(&model, &path).unwrap();
+        let loaded = load_model_file(&path).unwrap();
+        assert_eq!(loaded.u_classes, model.u_classes);
+    }
+}

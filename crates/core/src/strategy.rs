@@ -1,0 +1,94 @@
+//! Parallelisation strategies: the (binning scheme, kernel-per-bin)
+//! pairs the framework searches over, predicts, and executes.
+
+use crate::binning::BinningScheme;
+use crate::kernels::KernelId;
+use serde::{Deserialize, Serialize};
+
+/// A complete parallelisation strategy for one matrix: how rows are
+/// binned and which kernel processes each bin.
+///
+/// `kernels[binId]` gives the kernel for bin `binId`; bins that end up
+/// empty are skipped at execution time (no launch, no cost).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Strategy {
+    /// The binning scheme.
+    pub binning: BinningScheme,
+    /// Kernel selection, indexed by bin id.
+    pub kernels: Vec<KernelId>,
+}
+
+impl Strategy {
+    /// A single-bin strategy running one kernel over the whole matrix —
+    /// the "default SpMV" the paper compares against in Figure 6 and the
+    /// §IV-C single-bin fallback.
+    pub fn single_kernel(kernel: KernelId) -> Self {
+        Self {
+            binning: BinningScheme::Single,
+            kernels: vec![kernel],
+        }
+    }
+
+    /// Kernel assigned to `bin_id` (falls back to the last entry, which
+    /// is always the overflow bin's kernel).
+    pub fn kernel_for(&self, bin_id: usize) -> KernelId {
+        self.kernels
+            .get(bin_id)
+            .copied()
+            .or_else(|| self.kernels.last().copied())
+            .unwrap_or(KernelId::Serial)
+    }
+
+    /// One-line human-readable summary.
+    pub fn describe(&self) -> String {
+        let mut used: Vec<String> = Vec::new();
+        let mut last: Option<KernelId> = None;
+        for (b, &k) in self.kernels.iter().enumerate() {
+            if last != Some(k) {
+                used.push(format!("bin{b}+:{k}"));
+                last = Some(k);
+            }
+        }
+        format!("{} [{}]", self.binning.describe(), used.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_kernel_strategy_shape() {
+        let s = Strategy::single_kernel(KernelId::Vector);
+        assert_eq!(s.binning, BinningScheme::Single);
+        assert_eq!(s.kernels.len(), 1);
+        assert_eq!(s.kernel_for(0), KernelId::Vector);
+    }
+
+    #[test]
+    fn kernel_for_clamps_to_last() {
+        let s = Strategy {
+            binning: BinningScheme::Coarse { u: 10 },
+            kernels: vec![KernelId::Serial, KernelId::Subvector(4)],
+        };
+        assert_eq!(s.kernel_for(0), KernelId::Serial);
+        assert_eq!(s.kernel_for(1), KernelId::Subvector(4));
+        assert_eq!(s.kernel_for(99), KernelId::Subvector(4));
+    }
+
+    #[test]
+    fn describe_compresses_runs() {
+        let s = Strategy {
+            binning: BinningScheme::Coarse { u: 100 },
+            kernels: vec![
+                KernelId::Serial,
+                KernelId::Serial,
+                KernelId::Vector,
+            ],
+        };
+        let d = s.describe();
+        assert!(d.contains("U=100"), "{d}");
+        assert!(d.contains("serial"), "{d}");
+        assert!(d.contains("vector"), "{d}");
+    }
+}

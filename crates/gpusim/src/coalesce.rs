@@ -1,0 +1,110 @@
+//! Memory-coalescing model.
+//!
+//! On GCN, a wavefront's vector memory instruction is serviced in units of
+//! cache lines: lanes whose byte addresses fall in the same line share one
+//! transaction. A fully contiguous 64-lane `float` read touches
+//! `64 × 4 / 64 = 4` lines; a fully scattered gather touches up to 64.
+//! This single effect is why the paper's Kernel-Serial collapses on long
+//! rows (each lane walks its *own* row, so lanes diverge across lines)
+//! while Kernel-Vector stays coalesced (adjacent lanes read adjacent
+//! non-zeros).
+
+/// Count the distinct cache lines touched by a set of lane byte addresses.
+///
+/// `scratch` is reused across calls to avoid per-wavefront allocation; its
+/// contents are clobbered.
+pub fn transactions(addresses: &[u64], cache_line: usize, scratch: &mut Vec<u64>) -> usize {
+    debug_assert!(cache_line.is_power_of_two());
+    if addresses.is_empty() {
+        return 0;
+    }
+    let shift = cache_line.trailing_zeros();
+    scratch.clear();
+    scratch.extend(addresses.iter().map(|&a| a >> shift));
+    scratch.sort_unstable();
+    scratch.dedup();
+    scratch.len()
+}
+
+/// Transactions for a contiguous run of `lanes` elements of `elem_bytes`
+/// starting at `base` — the closed form of [`transactions`] for the common
+/// coalesced case, avoiding the sort.
+pub fn transactions_contiguous(
+    base: u64,
+    lanes: usize,
+    elem_bytes: usize,
+    cache_line: usize,
+) -> usize {
+    if lanes == 0 {
+        return 0;
+    }
+    let first = base / cache_line as u64;
+    let last = (base + (lanes * elem_bytes) as u64 - 1) / cache_line as u64;
+    (last - first + 1) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(addrs: &[u64]) -> usize {
+        let mut scratch = Vec::new();
+        transactions(addrs, 64, &mut scratch)
+    }
+
+    #[test]
+    fn contiguous_float_wavefront_needs_four_lines() {
+        let addrs: Vec<u64> = (0..64u64).map(|i| i * 4).collect();
+        assert_eq!(tx(&addrs), 4);
+    }
+
+    #[test]
+    fn scattered_wavefront_needs_one_line_per_lane() {
+        let addrs: Vec<u64> = (0..64u64).map(|i| i * 4096).collect();
+        assert_eq!(tx(&addrs), 64);
+    }
+
+    #[test]
+    fn duplicate_addresses_share_a_transaction() {
+        let addrs = vec![100, 100, 101, 160];
+        // 100/101 in line 1, 160 in line 2.
+        assert_eq!(tx(&addrs), 2);
+    }
+
+    #[test]
+    fn empty_access_is_free() {
+        assert_eq!(tx(&[]), 0);
+    }
+
+    #[test]
+    fn strided_access_degrades_gracefully() {
+        // Stride of 32 bytes: two lanes per 64-byte line.
+        let addrs: Vec<u64> = (0..64u64).map(|i| i * 32).collect();
+        assert_eq!(tx(&addrs), 32);
+    }
+
+    #[test]
+    fn closed_form_matches_general_path() {
+        let mut scratch = Vec::new();
+        for &(base, lanes, eb) in &[
+            (0u64, 64usize, 4usize),
+            (60, 64, 4),
+            (7, 13, 8),
+            (128, 1, 4),
+            (0, 0, 4),
+        ] {
+            let addrs: Vec<u64> = (0..lanes as u64).map(|i| base + i * eb as u64).collect();
+            assert_eq!(
+                transactions_contiguous(base, lanes, eb, 64),
+                transactions(&addrs, 64, &mut scratch),
+                "base={base} lanes={lanes} eb={eb}"
+            );
+        }
+    }
+
+    #[test]
+    fn misaligned_contiguous_run_may_cost_one_extra_line() {
+        // 64 floats starting at byte 60 straddle 5 lines instead of 4.
+        assert_eq!(transactions_contiguous(60, 64, 4, 64), 5);
+    }
+}

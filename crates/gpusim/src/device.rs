@@ -1,0 +1,167 @@
+//! Device descriptors: the microarchitectural parameters the cost model
+//! charges against.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a simulated GPU.
+///
+/// The defaults (`GpuDevice::kaveri()`) model the paper's evaluation
+/// platform, the GPU half of an AMD A10-7850K "Kaveri" APU: 8 GCN compute
+/// units at 720 MHz, each with four 16-lane vector units (64-wide
+/// wavefronts), 64 KiB LDS per CU, and a DRAM controller shared with the
+/// CPU (dual-channel DDR3-2133, ≈25.6 GB/s peak).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GpuDevice {
+    /// Human-readable name (appears in reports).
+    pub name: String,
+    /// Number of compute units.
+    pub cus: usize,
+    /// SIMD units per CU (waves execute concurrently, one per SIMD).
+    pub simd_per_cu: usize,
+    /// Work-items per wavefront.
+    pub wavefront: usize,
+    /// Maximum work-group size (the paper launches 256 everywhere).
+    pub max_workgroup: usize,
+    /// Core clock in MHz (converts cycles to seconds).
+    pub clock_mhz: f64,
+    /// Peak DRAM bandwidth in GB/s.
+    pub dram_gbps: f64,
+    /// Cache-line / memory-transaction size in bytes.
+    pub cache_line: usize,
+    /// Issue cost of one memory transaction, in cycles.
+    pub tx_issue_cycles: u64,
+    /// Round-trip latency of a dependent memory access, in cycles.
+    pub mem_latency_cycles: u64,
+    /// Cost of one LDS operation per wavefront, in cycles.
+    pub lds_op_cycles: u64,
+    /// Cost of one work-group barrier, in cycles.
+    pub barrier_cycles: u64,
+    /// Fixed overhead of one kernel dispatch, in cycles (the paper pays
+    /// one dispatch per non-empty bin, which is what makes over-fine
+    /// binning expensive).
+    pub launch_overhead_cycles: u64,
+    /// LDS capacity per CU in bytes (bounds occupancy).
+    pub lds_per_cu: usize,
+    /// Maximum wavefronts resident per SIMD (GCN: 10).
+    pub max_waves_per_simd: usize,
+}
+
+impl GpuDevice {
+    /// The paper's platform: AMD A10-7850K APU (Kaveri, GCN 1.1).
+    pub fn kaveri() -> Self {
+        Self {
+            name: "AMD A10-7850K APU (simulated)".into(),
+            cus: 8,
+            simd_per_cu: 4,
+            wavefront: 64,
+            max_workgroup: 256,
+            clock_mhz: 720.0,
+            dram_gbps: 25.6,
+            cache_line: 64,
+            tx_issue_cycles: 4,
+            mem_latency_cycles: 300,
+            lds_op_cycles: 2,
+            barrier_cycles: 40,
+            launch_overhead_cycles: 8_000, // ≈ 11 µs HSA dispatch
+            lds_per_cu: 64 * 1024,
+            max_waves_per_simd: 10,
+        }
+    }
+
+    /// A larger discrete-class GPU (more CUs, more bandwidth) used by the
+    /// ablation benches to show the tuner adapts across devices.
+    pub fn discrete() -> Self {
+        Self {
+            name: "discrete GCN GPU (simulated)".into(),
+            cus: 32,
+            clock_mhz: 1000.0,
+            dram_gbps: 224.0,
+            launch_overhead_cycles: 12_000,
+            ..Self::kaveri()
+        }
+    }
+
+    /// A tiny embedded-class GPU (fewer CUs, less bandwidth), the other
+    /// extreme of the ablation.
+    pub fn embedded() -> Self {
+        Self {
+            name: "embedded GCN GPU (simulated)".into(),
+            cus: 2,
+            clock_mhz: 500.0,
+            dram_gbps: 8.0,
+            ..Self::kaveri()
+        }
+    }
+
+    /// Lanes across one CU (`simd_per_cu × 16` on GCN; derived as
+    /// `wavefront` here since a wave occupies one SIMD over 4 cycles).
+    pub fn waves_per_workgroup(&self, wg_size: usize) -> usize {
+        wg_size.div_ceil(self.wavefront)
+    }
+
+    /// DRAM bandwidth expressed in bytes per core cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        (self.dram_gbps * 1e9) / (self.clock_mhz * 1e6)
+    }
+
+    /// Convert a cycle count to seconds at this device's clock.
+    pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_mhz * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kaveri_parameters_match_the_paper_platform() {
+        let d = GpuDevice::kaveri();
+        assert_eq!(d.cus, 8);
+        assert_eq!(d.wavefront, 64);
+        assert_eq!(d.max_workgroup, 256);
+        assert!((d.clock_mhz - 720.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bytes_per_cycle_is_consistent() {
+        let d = GpuDevice::kaveri();
+        // 25.6 GB/s at 720 MHz ≈ 35.6 B/cycle.
+        assert!((d.bytes_per_cycle() - 35.555).abs() < 0.01);
+    }
+
+    #[test]
+    fn cycles_to_seconds_roundtrip() {
+        let d = GpuDevice::kaveri();
+        let s = d.cycles_to_seconds(720e6);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn presets_differ_where_expected() {
+        let k = GpuDevice::kaveri();
+        let big = GpuDevice::discrete();
+        let small = GpuDevice::embedded();
+        assert!(big.cus > k.cus && big.dram_gbps > k.dram_gbps);
+        assert!(small.cus < k.cus && small.dram_gbps < k.dram_gbps);
+        assert_eq!(big.wavefront, k.wavefront);
+    }
+
+    #[test]
+    fn waves_per_workgroup_rounds_up() {
+        let d = GpuDevice::kaveri();
+        assert_eq!(d.waves_per_workgroup(256), 4);
+        assert_eq!(d.waves_per_workgroup(64), 1);
+        assert_eq!(d.waves_per_workgroup(65), 2);
+        assert_eq!(d.waves_per_workgroup(1), 1);
+    }
+
+    #[test]
+    fn clone_and_eq_are_structural() {
+        let d = GpuDevice::kaveri();
+        assert_eq!(d.clone(), d);
+        let mut e = d.clone();
+        e.cus = 99;
+        assert_ne!(d, e);
+    }
+}

@@ -1,0 +1,319 @@
+//! Trace builders: kernels record what each wavefront *does*; the engine
+//! prices it.
+//!
+//! The hierarchy mirrors the OpenCL execution model the paper programs
+//! against: a [`LaunchTracer`] holds work-groups, a [`WorkgroupTracer`]
+//! holds wavefronts, and a [`WaveTracer`] accumulates the per-wavefront
+//! event counts (vector ALU ops, memory transactions with coalescing
+//! applied, dependent-load rounds, LDS traffic, barriers).
+
+use crate::coalesce;
+use crate::device::GpuDevice;
+use crate::Region;
+
+/// Accumulated cost events of one wavefront.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WaveCost {
+    /// Vector ALU instructions issued.
+    pub alu: u64,
+    /// Memory transactions (cache lines) after coalescing.
+    pub transactions: u64,
+    /// Dependent memory rounds (each exposes one latency).
+    pub mem_rounds: u64,
+    /// LDS operations.
+    pub lds_ops: u64,
+    /// Work-group barriers participated in.
+    pub barriers: u64,
+    /// Bytes read from global memory (line-granular).
+    pub bytes_read: u64,
+    /// Bytes written to global memory (line-granular).
+    pub bytes_written: u64,
+}
+
+/// Cost events of one work-group.
+#[derive(Clone, Debug, Default)]
+pub struct WorkgroupCost {
+    /// Per-wavefront costs.
+    pub waves: Vec<WaveCost>,
+    /// LDS bytes this work-group keeps resident (bounds occupancy).
+    pub lds_bytes: usize,
+}
+
+/// Records one wavefront's events. Create through
+/// [`WorkgroupTracer::wave`].
+pub struct WaveTracer<'a> {
+    device: &'a GpuDevice,
+    cost: WaveCost,
+    scratch: Vec<u64>,
+    addr_buf: Vec<u64>,
+}
+
+impl<'a> WaveTracer<'a> {
+    fn new(device: &'a GpuDevice) -> Self {
+        Self {
+            device,
+            cost: WaveCost::default(),
+            scratch: Vec::with_capacity(device.wavefront),
+            addr_buf: Vec::with_capacity(device.wavefront),
+        }
+    }
+
+    /// Issue `n` vector ALU instructions.
+    #[inline]
+    pub fn alu(&mut self, n: u64) {
+        self.cost.alu += n;
+    }
+
+    /// Begin recording lane addresses for one gather; push with
+    /// [`lane_addr`](Self::lane_addr), finish with
+    /// [`commit_read`](Self::commit_read)/[`commit_write`](Self::commit_write).
+    #[inline]
+    pub fn begin_access(&mut self) {
+        self.addr_buf.clear();
+    }
+
+    /// Record that one active lane touches element `index` of `region`.
+    #[inline]
+    pub fn lane_addr(&mut self, region: Region, index: usize, elem_bytes: usize) {
+        self.addr_buf.push(region.addr(index, elem_bytes));
+    }
+
+    /// Price the recorded lane addresses as one read instruction.
+    pub fn commit_read(&mut self) {
+        let tx = coalesce::transactions(&self.addr_buf, self.device.cache_line, &mut self.scratch);
+        self.cost.transactions += tx as u64;
+        self.cost.bytes_read += (tx * self.device.cache_line) as u64;
+        self.cost.mem_rounds += 1;
+        self.cost.alu += 1; // the load instruction itself
+    }
+
+    /// Price the recorded lane addresses as one write instruction.
+    pub fn commit_write(&mut self) {
+        let tx = coalesce::transactions(&self.addr_buf, self.device.cache_line, &mut self.scratch);
+        self.cost.transactions += tx as u64;
+        self.cost.bytes_written += (tx * self.device.cache_line) as u64;
+        // Writes are fire-and-forget on GCN (no dependent latency round).
+        self.cost.alu += 1;
+    }
+
+    /// One coalesced read of `lanes` consecutive `elem_bytes` elements
+    /// starting at `region[start]` — the closed-form fast path for the
+    /// (very common) contiguous case.
+    pub fn read_contiguous(&mut self, region: Region, start: usize, lanes: usize, elem_bytes: usize) {
+        if lanes == 0 {
+            return;
+        }
+        let base = region.addr(start, elem_bytes);
+        let tx = coalesce::transactions_contiguous(base, lanes, elem_bytes, self.device.cache_line);
+        self.cost.transactions += tx as u64;
+        self.cost.bytes_read += (tx * self.device.cache_line) as u64;
+        self.cost.mem_rounds += 1;
+        self.cost.alu += 1;
+    }
+
+    /// Contiguous-write counterpart of
+    /// [`read_contiguous`](Self::read_contiguous).
+    pub fn write_contiguous(&mut self, region: Region, start: usize, lanes: usize, elem_bytes: usize) {
+        if lanes == 0 {
+            return;
+        }
+        let base = region.addr(start, elem_bytes);
+        let tx = coalesce::transactions_contiguous(base, lanes, elem_bytes, self.device.cache_line);
+        self.cost.transactions += tx as u64;
+        self.cost.bytes_written += (tx * self.device.cache_line) as u64;
+        self.cost.alu += 1;
+    }
+
+    /// `n` LDS operations (reads or writes; GCN prices them alike at this
+    /// granularity).
+    #[inline]
+    pub fn lds(&mut self, n: u64) {
+        self.cost.lds_ops += n;
+    }
+
+    /// Participate in one work-group barrier.
+    #[inline]
+    pub fn barrier(&mut self) {
+        self.cost.barriers += 1;
+    }
+
+    /// Finish the wavefront and return its cost.
+    pub fn finish(self) -> WaveCost {
+        self.cost
+    }
+}
+
+/// Records one work-group. Create through [`LaunchTracer::workgroup`].
+pub struct WorkgroupTracer<'a> {
+    device: &'a GpuDevice,
+    cost: WorkgroupCost,
+}
+
+impl<'a> WorkgroupTracer<'a> {
+    fn new(device: &'a GpuDevice, lds_bytes: usize) -> Self {
+        Self {
+            device,
+            cost: WorkgroupCost {
+                waves: Vec::with_capacity(device.max_workgroup / device.wavefront),
+                lds_bytes,
+            },
+        }
+    }
+
+    /// Start tracing one wavefront of this work-group.
+    pub fn wave(&self) -> WaveTracer<'a> {
+        WaveTracer::new(self.device)
+    }
+
+    /// Attach a finished wavefront.
+    pub fn push_wave(&mut self, cost: WaveCost) {
+        self.cost.waves.push(cost);
+    }
+
+    /// Finish the work-group.
+    pub fn finish(self) -> WorkgroupCost {
+        self.cost
+    }
+}
+
+/// Accumulates the work-groups of one kernel launch.
+pub struct LaunchTracer<'a> {
+    device: &'a GpuDevice,
+    workgroups: Vec<WorkgroupCost>,
+}
+
+impl<'a> LaunchTracer<'a> {
+    /// Start tracing a launch on `device`.
+    pub fn new(device: &'a GpuDevice) -> Self {
+        Self {
+            device,
+            workgroups: Vec::new(),
+        }
+    }
+
+    /// The device this launch runs on.
+    pub fn device(&self) -> &'a GpuDevice {
+        self.device
+    }
+
+    /// Start tracing a work-group that keeps `lds_bytes` of LDS resident.
+    pub fn workgroup(&self, lds_bytes: usize) -> WorkgroupTracer<'a> {
+        WorkgroupTracer::new(self.device, lds_bytes)
+    }
+
+    /// Attach a finished work-group.
+    pub fn push_workgroup(&mut self, wg: WorkgroupCost) {
+        self.workgroups.push(wg);
+    }
+
+    /// Attach many finished work-groups (used by parallel tracing).
+    pub fn extend_workgroups(&mut self, wgs: impl IntoIterator<Item = WorkgroupCost>) {
+        self.workgroups.extend(wgs);
+    }
+
+    /// Number of work-groups traced so far.
+    pub fn n_workgroups(&self) -> usize {
+        self.workgroups.len()
+    }
+
+    /// Hand the trace to the engine for pricing.
+    pub fn into_parts(self) -> (&'a GpuDevice, Vec<WorkgroupCost>) {
+        (self.device, self.workgroups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> GpuDevice {
+        GpuDevice::kaveri()
+    }
+
+    #[test]
+    fn gather_prices_coalescing() {
+        let d = device();
+        let lt = LaunchTracer::new(&d);
+        let wg = lt.workgroup(0);
+        let mut w = wg.wave();
+        // 64 contiguous f32 lanes → 4 transactions.
+        w.begin_access();
+        for i in 0..64 {
+            w.lane_addr(Region::Val, i, 4);
+        }
+        w.commit_read();
+        let c = w.finish();
+        assert_eq!(c.transactions, 4);
+        assert_eq!(c.bytes_read, 4 * 64);
+        assert_eq!(c.mem_rounds, 1);
+    }
+
+    #[test]
+    fn scattered_gather_costs_more() {
+        let d = device();
+        let lt = LaunchTracer::new(&d);
+        let wg = lt.workgroup(0);
+        let mut w = wg.wave();
+        w.begin_access();
+        for i in 0..64 {
+            w.lane_addr(Region::VecIn, i * 1000, 4);
+        }
+        w.commit_read();
+        assert_eq!(w.finish().transactions, 64);
+    }
+
+    #[test]
+    fn contiguous_fast_path_matches_gather() {
+        let d = device();
+        let lt = LaunchTracer::new(&d);
+        let wg = lt.workgroup(0);
+        let mut a = wg.wave();
+        a.begin_access();
+        for i in 100..164 {
+            a.lane_addr(Region::ColIdx, i, 4);
+        }
+        a.commit_read();
+        let mut b = wg.wave();
+        b.read_contiguous(Region::ColIdx, 100, 64, 4);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn writes_do_not_add_latency_rounds() {
+        let d = device();
+        let lt = LaunchTracer::new(&d);
+        let wg = lt.workgroup(0);
+        let mut w = wg.wave();
+        w.write_contiguous(Region::VecOut, 0, 64, 4);
+        let c = w.finish();
+        assert_eq!(c.mem_rounds, 0);
+        assert!(c.bytes_written > 0);
+        assert_eq!(c.bytes_read, 0);
+    }
+
+    #[test]
+    fn empty_contiguous_access_is_free() {
+        let d = device();
+        let lt = LaunchTracer::new(&d);
+        let wg = lt.workgroup(0);
+        let mut w = wg.wave();
+        w.read_contiguous(Region::Val, 0, 0, 4);
+        assert_eq!(w.finish(), WaveCost::default());
+    }
+
+    #[test]
+    fn launch_accumulates_workgroups() {
+        let d = device();
+        let mut lt = LaunchTracer::new(&d);
+        for _ in 0..3 {
+            let mut wg = lt.workgroup(1024);
+            let mut w = wg.wave();
+            w.alu(10);
+            wg.push_wave(w.finish());
+            lt.push_workgroup(wg.finish());
+        }
+        assert_eq!(lt.n_workgroups(), 3);
+        let (_, wgs) = lt.into_parts();
+        assert!(wgs.iter().all(|wg| wg.lds_bytes == 1024 && wg.waves.len() == 1));
+    }
+}

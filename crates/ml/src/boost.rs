@@ -1,0 +1,167 @@
+//! AdaBoost.M1 boosting over decision trees — C5.0's flagship addition to
+//! C4.5 (`-b`/`-t` trials). Optional for the paper's pipeline but exposed
+//! for the accuracy ablation.
+
+use crate::dataset::Dataset;
+use crate::tree::{DecisionTree, TreeConfig};
+
+/// An AdaBoost.M1 ensemble of decision trees.
+pub struct BoostedTrees {
+    trees: Vec<(DecisionTree, f64)>,
+    n_classes: usize,
+}
+
+impl BoostedTrees {
+    /// Fit up to `trials` boosted trees. Boosting stops early when a
+    /// round's weighted error hits 0 (perfect) or ≥ 0.5 (no better than
+    /// chance), per the AdaBoost.M1 rules.
+    pub fn fit(data: &Dataset, config: &TreeConfig, trials: usize) -> Self {
+        assert!(trials >= 1);
+        let n = data.len();
+        let mut working = data.clone();
+        working.set_weights(vec![1.0; n]);
+        let mut trees = Vec::new();
+        for _ in 0..trials {
+            let tree = DecisionTree::fit(&working, config);
+            // Weighted error of this round.
+            let total: f64 = working.total_weight();
+            let mut err = 0.0;
+            let mut wrong = vec![false; n];
+            for i in 0..n {
+                if tree.predict(working.row(i)) != working.label(i) {
+                    err += working.weight(i);
+                    wrong[i] = true;
+                }
+            }
+            let err = err / total;
+            if err >= 0.5 {
+                if trees.is_empty() {
+                    trees.push((tree, 1.0));
+                }
+                break;
+            }
+            let beta = (err / (1.0 - err)).max(1e-10);
+            let alpha = (1.0 / beta).ln();
+            trees.push((tree, alpha));
+            if err <= 1e-12 {
+                break;
+            }
+            // Reweight: correct examples shrink by beta, then renormalise
+            // to total weight n (keeps weights well scaled).
+            let mut weights: Vec<f64> = (0..n)
+                .map(|i| {
+                    let w = working.weight(i);
+                    if wrong[i] {
+                        w
+                    } else {
+                        w * beta
+                    }
+                })
+                .collect();
+            let s: f64 = weights.iter().sum();
+            let scale = n as f64 / s;
+            for w in &mut weights {
+                *w = (*w * scale).max(1e-8);
+            }
+            working.set_weights(weights);
+        }
+        Self {
+            trees,
+            n_classes: data.n_classes(),
+        }
+    }
+
+    /// Predict by weighted vote.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        let mut votes = vec![0.0f64; self.n_classes];
+        for (tree, alpha) in &self.trees {
+            votes[tree.predict(row)] += alpha;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(&a.0)))
+            .map(|(c, _)| c)
+            .unwrap_or(0)
+    }
+
+    /// Number of trees actually kept.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::AttrSpec;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn noisy_threshold(seed: u64, n: usize, noise: f64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new(
+            vec![AttrSpec::numeric("x"), AttrSpec::numeric("y")],
+            vec!["a".into(), "b".into()],
+        );
+        for _ in 0..n {
+            let x: f64 = rng.gen_range(0.0..1.0);
+            let y: f64 = rng.gen_range(0.0..1.0);
+            let mut label = usize::from(x + y > 1.0);
+            if rng.gen_bool(noise) {
+                label = 1 - label;
+            }
+            d.push(&[x, y], label);
+        }
+        d
+    }
+
+    fn error_of(pred: impl Fn(&[f64]) -> usize, d: &Dataset) -> f64 {
+        let wrong = (0..d.len()).filter(|&i| pred(d.row(i)) != d.label(i)).count();
+        wrong as f64 / d.len() as f64
+    }
+
+    #[test]
+    fn boosting_beats_a_stump_on_diagonal_boundary() {
+        let train = noisy_threshold(1, 600, 0.0);
+        let test = noisy_threshold(2, 300, 0.0);
+        let stump_cfg = TreeConfig {
+            max_depth: 2,
+            prune: false,
+            ..Default::default()
+        };
+        let stump = DecisionTree::fit(&train, &stump_cfg);
+        let boosted = BoostedTrees::fit(&train, &stump_cfg, 25);
+        let e_stump = error_of(|r| stump.predict(r), &test);
+        let e_boost = error_of(|r| boosted.predict(r), &test);
+        assert!(boosted.n_trees() > 3);
+        assert!(
+            e_boost < e_stump,
+            "boosted {e_boost} !< stump {e_stump} ({} trees)",
+            boosted.n_trees()
+        );
+    }
+
+    #[test]
+    fn perfect_first_round_stops_early() {
+        let mut d = Dataset::new(vec![AttrSpec::numeric("x")], vec!["a".into(), "b".into()]);
+        for i in 0..50 {
+            d.push(&[i as f64], usize::from(i >= 25));
+        }
+        let b = BoostedTrees::fit(&d, &TreeConfig::default(), 10);
+        assert_eq!(b.n_trees(), 1);
+        assert_eq!(b.predict(&[0.0]), 0);
+        assert_eq!(b.predict(&[49.0]), 1);
+    }
+
+    #[test]
+    fn single_trial_equals_plain_tree() {
+        let d = noisy_threshold(3, 200, 0.05);
+        let cfg = TreeConfig::default();
+        let t = DecisionTree::fit(&d, &cfg);
+        let b = BoostedTrees::fit(&d, &cfg, 1);
+        for i in 0..d.len() {
+            assert_eq!(t.predict(d.row(i)), b.predict(d.row(i)));
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! k-fold cross-validation.
+
+use crate::dataset::Dataset;
+use crate::metrics::ConfusionMatrix;
+use crate::tree::{DecisionTree, TreeConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Deterministically split `[0, n)` into `k` folds of near-equal size.
+pub fn fold_indices(n: usize, k: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(k >= 2 && k <= n, "need 2 <= k <= n");
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed));
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (pos, i) in idx.into_iter().enumerate() {
+        folds[pos % k].push(i);
+    }
+    folds
+}
+
+/// Run k-fold cross-validation of a decision tree on `data`, returning
+/// the pooled confusion matrix over all held-out folds.
+pub fn cross_validate(data: &Dataset, config: &TreeConfig, k: usize, seed: u64) -> ConfusionMatrix {
+    let folds = fold_indices(data.len(), k, seed);
+    let mut cm = ConfusionMatrix::new(data.n_classes());
+    for held in 0..k {
+        let train_idx: Vec<usize> = folds
+            .iter()
+            .enumerate()
+            .filter(|&(f, _)| f != held)
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect();
+        let train = data.subset(&train_idx);
+        let tree = DecisionTree::fit(&train, config);
+        for &i in &folds[held] {
+            cm.record(data.label(i), tree.predict(data.row(i)));
+        }
+    }
+    cm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::AttrSpec;
+
+    #[test]
+    fn folds_partition_the_index_space() {
+        let folds = fold_indices(103, 5, 9);
+        assert_eq!(folds.len(), 5);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..103).collect::<Vec<_>>());
+        let sizes: Vec<usize> = folds.iter().map(Vec::len).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn cv_on_learnable_problem_has_low_error() {
+        let mut d = Dataset::new(vec![AttrSpec::numeric("x")], vec!["a".into(), "b".into()]);
+        for i in 0..200 {
+            d.push(&[i as f64], usize::from(i >= 100));
+        }
+        let cm = cross_validate(&d, &TreeConfig::default(), 5, 1);
+        assert_eq!(cm.total(), 200);
+        assert!(cm.error_rate() < 0.05, "error = {}", cm.error_rate());
+    }
+
+    #[test]
+    fn cv_is_deterministic() {
+        let mut d = Dataset::new(vec![AttrSpec::numeric("x")], vec!["a".into(), "b".into()]);
+        for i in 0..60 {
+            d.push(&[(i % 17) as f64], usize::from(i % 3 == 0));
+        }
+        let a = cross_validate(&d, &TreeConfig::default(), 4, 7);
+        let b = cross_validate(&d, &TreeConfig::default(), 4, 7);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,302 @@
+//! Tabular datasets with numeric and categorical attributes and
+//! per-example weights (weights feed both boosting and the paper's
+//! bin-population weighting).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Kind of one attribute column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttrKind {
+    /// Continuous numeric attribute, split by `≤ threshold`.
+    Numeric,
+    /// Categorical attribute with the given arity; values are codes
+    /// `0..arity` stored as `f64`.
+    Categorical(usize),
+}
+
+/// Name and kind of one attribute column.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AttrSpec {
+    /// Column name (appears in printed trees and rules).
+    pub name: String,
+    /// Column kind.
+    pub kind: AttrKind,
+}
+
+impl AttrSpec {
+    /// A numeric column.
+    pub fn numeric(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            kind: AttrKind::Numeric,
+        }
+    }
+
+    /// A categorical column with `arity` distinct codes.
+    pub fn categorical(name: impl Into<String>, arity: usize) -> Self {
+        Self {
+            name: name.into(),
+            kind: AttrKind::Categorical(arity),
+        }
+    }
+}
+
+/// A weighted, labelled tabular dataset (row-major, `f64` storage;
+/// categorical values are integer codes).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Dataset {
+    attrs: Vec<AttrSpec>,
+    class_names: Vec<String>,
+    data: Vec<f64>,
+    labels: Vec<usize>,
+    weights: Vec<f64>,
+}
+
+impl Dataset {
+    /// An empty dataset with the given schema.
+    pub fn new(attrs: Vec<AttrSpec>, class_names: Vec<String>) -> Self {
+        assert!(!class_names.is_empty(), "need at least one class");
+        Self {
+            attrs,
+            class_names,
+            data: Vec::new(),
+            labels: Vec::new(),
+            weights: Vec::new(),
+        }
+    }
+
+    /// Schema of the attribute columns.
+    pub fn attrs(&self) -> &[AttrSpec] {
+        &self.attrs
+    }
+
+    /// Number of attribute columns.
+    pub fn n_attrs(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Class labels' names.
+    pub fn class_names(&self) -> &[String] {
+        &self.class_names
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has no examples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Append one example with unit weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width or label is out of range, or a categorical
+    /// value is not a valid code.
+    pub fn push(&mut self, row: &[f64], label: usize) {
+        self.push_weighted(row, label, 1.0);
+    }
+
+    /// Append one weighted example.
+    pub fn push_weighted(&mut self, row: &[f64], label: usize, weight: f64) {
+        assert_eq!(row.len(), self.attrs.len(), "row width mismatch");
+        assert!(label < self.class_names.len(), "label out of range");
+        assert!(weight > 0.0, "weights must be positive");
+        for (v, a) in row.iter().zip(&self.attrs) {
+            if let AttrKind::Categorical(ar) = a.kind {
+                let code = *v as usize;
+                assert!(
+                    code as f64 == *v && code < ar,
+                    "invalid categorical code {v} for '{}'",
+                    a.name
+                );
+            }
+        }
+        self.data.extend_from_slice(row);
+        self.labels.push(label);
+        self.weights.push(weight);
+    }
+
+    /// The `i`-th example's attribute row.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        let w = self.attrs.len();
+        &self.data[i * w..(i + 1) * w]
+    }
+
+    /// The `i`-th example's label.
+    #[inline]
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// The `i`-th example's weight.
+    #[inline]
+    pub fn weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// Replace all weights (used by boosting). Length must match.
+    pub fn set_weights(&mut self, weights: Vec<f64>) {
+        assert_eq!(weights.len(), self.len());
+        assert!(weights.iter().all(|&w| w > 0.0));
+        self.weights = weights;
+    }
+
+    /// Total weight of the dataset.
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Weighted class distribution over the examples selected by
+    /// `indices`.
+    pub fn class_distribution(&self, indices: &[usize]) -> Vec<f64> {
+        let mut dist = vec![0.0; self.n_classes()];
+        for &i in indices {
+            dist[self.labels[i]] += self.weights[i];
+        }
+        dist
+    }
+
+    /// Majority class among `indices` (ties break to the lower label, so
+    /// the result is deterministic).
+    pub fn majority_class(&self, indices: &[usize]) -> usize {
+        let dist = self.class_distribution(indices);
+        dist.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(&a.0)))
+            .map(|(c, _)| c)
+            .unwrap_or(0)
+    }
+
+    /// Deterministic shuffled split into `(train, test)` index sets with
+    /// `train_frac` of the examples in the training set — the paper's
+    /// 75%/25% protocol when `train_frac = 0.75`.
+    pub fn train_test_split(&self, train_frac: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+        assert!((0.0..=1.0).contains(&train_frac));
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut StdRng::seed_from_u64(seed));
+        let cut = ((self.len() as f64) * train_frac).round() as usize;
+        let test = idx.split_off(cut.min(idx.len()));
+        (idx, test)
+    }
+
+    /// Materialise a subset as its own dataset (weights preserved).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let mut out = Dataset::new(self.attrs.clone(), self.class_names.clone());
+        for &i in indices {
+            out.push_weighted(self.row(i), self.labels[i], self.weights[i]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let mut d = Dataset::new(
+            vec![AttrSpec::numeric("x"), AttrSpec::categorical("c", 3)],
+            vec!["a".into(), "b".into()],
+        );
+        d.push(&[1.0, 0.0], 0);
+        d.push(&[2.0, 1.0], 1);
+        d.push(&[3.0, 2.0], 1);
+        d
+    }
+
+    #[test]
+    fn push_and_access() {
+        let d = toy();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.row(1), &[2.0, 1.0]);
+        assert_eq!(d.label(2), 1);
+        assert_eq!(d.weight(0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_wrong_width() {
+        let mut d = toy();
+        d.push(&[1.0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_label() {
+        let mut d = toy();
+        d.push(&[1.0, 0.0], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid categorical code")]
+    fn rejects_bad_category() {
+        let mut d = toy();
+        d.push(&[1.0, 7.0], 0);
+    }
+
+    #[test]
+    fn distribution_and_majority() {
+        let d = toy();
+        let idx: Vec<usize> = (0..3).collect();
+        assert_eq!(d.class_distribution(&idx), vec![1.0, 2.0]);
+        assert_eq!(d.majority_class(&idx), 1);
+        assert_eq!(d.majority_class(&[0]), 0);
+    }
+
+    #[test]
+    fn majority_tie_breaks_low() {
+        let mut d = Dataset::new(vec![AttrSpec::numeric("x")], vec!["a".into(), "b".into()]);
+        d.push(&[0.0], 1);
+        d.push(&[0.0], 0);
+        assert_eq!(d.majority_class(&[0, 1]), 0);
+    }
+
+    #[test]
+    fn split_is_deterministic_and_partitions() {
+        let mut d = Dataset::new(vec![AttrSpec::numeric("x")], vec!["a".into(), "b".into()]);
+        for i in 0..100 {
+            d.push(&[i as f64], i % 2);
+        }
+        let (tr1, te1) = d.train_test_split(0.75, 9);
+        let (tr2, te2) = d.train_test_split(0.75, 9);
+        assert_eq!(tr1, tr2);
+        assert_eq!(te1, te2);
+        assert_eq!(tr1.len(), 75);
+        assert_eq!(te1.len(), 25);
+        let mut all: Vec<usize> = tr1.iter().chain(&te1).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn subset_preserves_rows_and_weights() {
+        let mut d = toy();
+        d.set_weights(vec![1.0, 2.0, 3.0]);
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.row(0), &[3.0, 2.0]);
+        assert_eq!(s.weight(0), 3.0);
+        assert_eq!(s.label(1), 0);
+    }
+
+    #[test]
+    fn total_weight_sums() {
+        let mut d = toy();
+        assert_eq!(d.total_weight(), 3.0);
+        d.set_weights(vec![0.5, 0.5, 1.0]);
+        assert_eq!(d.total_weight(), 2.0);
+    }
+}

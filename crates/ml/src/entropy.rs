@@ -1,0 +1,113 @@
+//! Information-theoretic split criteria: entropy, information gain, split
+//! info, and gain ratio — the C4.5 selection machinery.
+
+/// Shannon entropy (bits) of a weighted class distribution.
+pub fn entropy(dist: &[f64]) -> f64 {
+    let total: f64 = dist.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut h = 0.0;
+    for &w in dist {
+        if w > 0.0 {
+            let p = w / total;
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+/// Information gain of partitioning a parent distribution (entropy
+/// `parent_h`, total weight `parent_w`) into the given child
+/// distributions.
+pub fn information_gain(parent_h: f64, parent_w: f64, children: &[Vec<f64>]) -> f64 {
+    if parent_w <= 0.0 {
+        return 0.0;
+    }
+    let mut weighted = 0.0;
+    for dist in children {
+        let w: f64 = dist.iter().sum();
+        if w > 0.0 {
+            weighted += (w / parent_w) * entropy(dist);
+        }
+    }
+    parent_h - weighted
+}
+
+/// Split information (the entropy of the partition sizes themselves),
+/// C4.5's normaliser that penalises high-arity splits.
+pub fn split_info(parent_w: f64, child_weights: &[f64]) -> f64 {
+    if parent_w <= 0.0 {
+        return 0.0;
+    }
+    let mut si = 0.0;
+    for &w in child_weights {
+        if w > 0.0 {
+            let p = w / parent_w;
+            si -= p * p.log2();
+        }
+    }
+    si
+}
+
+/// Gain ratio = gain / split-info, with C4.5's guard: a vanishing split
+/// info (a near-trivial partition) yields ratio 0 so such splits are
+/// never chosen.
+pub fn gain_ratio(gain: f64, si: f64) -> f64 {
+    if si <= 1e-10 {
+        0.0
+    } else {
+        gain / si
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_extremes() {
+        assert_eq!(entropy(&[10.0, 0.0]), 0.0);
+        assert!((entropy(&[5.0, 5.0]) - 1.0).abs() < 1e-12);
+        assert!((entropy(&[1.0, 1.0, 1.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(entropy(&[]), 0.0);
+        assert_eq!(entropy(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn entropy_is_weight_scale_invariant() {
+        let a = entropy(&[3.0, 7.0]);
+        let b = entropy(&[30.0, 70.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_split_gains_full_entropy() {
+        let parent = [5.0, 5.0];
+        let h = entropy(&parent);
+        let g = information_gain(h, 10.0, &[vec![5.0, 0.0], vec![0.0, 5.0]]);
+        assert!((g - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn useless_split_gains_nothing() {
+        let parent = [6.0, 6.0];
+        let h = entropy(&parent);
+        let g = information_gain(h, 12.0, &[vec![3.0, 3.0], vec![3.0, 3.0]]);
+        assert!(g.abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_info_penalises_high_arity() {
+        // 2-way even split: SI = 1 bit; 8-way even split: SI = 3 bits.
+        assert!((split_info(8.0, &[4.0, 4.0]) - 1.0).abs() < 1e-12);
+        assert!((split_info(8.0, &[1.0; 8]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gain_ratio_guards_trivial_partitions() {
+        assert_eq!(gain_ratio(0.5, 0.0), 0.0);
+        assert!((gain_ratio(0.5, 1.0) - 0.5).abs() < 1e-12);
+        assert!((gain_ratio(0.6, 2.0) - 0.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,246 @@
+//! Plain-text persistence for rule-sets.
+//!
+//! C5.0 ships its classifiers as text files; we do the same so a trained
+//! strategy model can be stored in a repository and loaded without
+//! retraining (no external serialisation crates needed).
+//!
+//! Format (line-oriented, versioned):
+//!
+//! ```text
+//! ruleset v1
+//! classes <n>
+//! attrs <name> <name> …
+//! default <class>
+//! rule <class> <accuracy> <cond>*      # cond = le:<attr>:<value> |
+//! …                                    #        gt:<attr>:<value> |
+//! end                                  #        eq:<attr>:<code>
+//! ```
+
+use crate::rules::{Cond, Rule, RuleSet};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors from rule-set (de)serialisation.
+#[derive(Debug)]
+pub enum RulesIoError {
+    /// Malformed input at the given 1-based line.
+    Parse(usize, String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for RulesIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RulesIoError::Parse(line, msg) => write!(f, "line {line}: {msg}"),
+            RulesIoError::Io(e) => write!(f, "i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RulesIoError {}
+
+impl From<std::io::Error> for RulesIoError {
+    fn from(e: std::io::Error) -> Self {
+        RulesIoError::Io(e)
+    }
+}
+
+/// Serialise a rule-set to the text format.
+pub fn write_ruleset<W: Write>(rs: &RuleSet, mut w: W) -> Result<(), RulesIoError> {
+    let mut s = String::new();
+    let _ = writeln!(s, "ruleset v1");
+    let _ = writeln!(s, "classes {}", rs.n_classes());
+    let _ = writeln!(s, "attrs {}", rs.attr_names().join(" "));
+    let _ = writeln!(s, "default {}", rs.default_class());
+    for r in rs.rules() {
+        let _ = write!(s, "rule {} {}", r.class, r.accuracy);
+        for c in &r.conds {
+            match *c {
+                Cond::Le(a, v) => {
+                    let _ = write!(s, " le:{a}:{v}");
+                }
+                Cond::Gt(a, v) => {
+                    let _ = write!(s, " gt:{a}:{v}");
+                }
+                Cond::Eq(a, code) => {
+                    let _ = write!(s, " eq:{a}:{code}");
+                }
+            }
+        }
+        let _ = writeln!(s);
+    }
+    let _ = writeln!(s, "end");
+    w.write_all(s.as_bytes())?;
+    Ok(())
+}
+
+/// Parse a rule-set from the text format.
+pub fn read_ruleset<R: Read>(r: R) -> Result<RuleSet, RulesIoError> {
+    let mut lines = BufReader::new(r).lines().enumerate();
+    let mut next = || -> Result<(usize, String), RulesIoError> {
+        match lines.next() {
+            Some((i, l)) => Ok((i + 1, l?)),
+            None => Err(RulesIoError::Parse(0, "unexpected end of file".into())),
+        }
+    };
+    let (ln, header) = next()?;
+    if header.trim() != "ruleset v1" {
+        return Err(RulesIoError::Parse(ln, format!("bad header '{header}'")));
+    }
+    let (ln, classes) = next()?;
+    let n_classes: usize = classes
+        .strip_prefix("classes ")
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or_else(|| RulesIoError::Parse(ln, "bad classes line".into()))?;
+    let (ln, attrs_line) = next()?;
+    let attr_names: Vec<String> = attrs_line
+        .strip_prefix("attrs ")
+        .ok_or_else(|| RulesIoError::Parse(ln, "bad attrs line".into()))?
+        .split_whitespace()
+        .map(str::to_string)
+        .collect();
+    let (ln, default_line) = next()?;
+    let default_class: usize = default_line
+        .strip_prefix("default ")
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or_else(|| RulesIoError::Parse(ln, "bad default line".into()))?;
+    if default_class >= n_classes {
+        return Err(RulesIoError::Parse(ln, "default class out of range".into()));
+    }
+
+    let mut rules = Vec::new();
+    loop {
+        let (ln, line) = next()?;
+        let line = line.trim();
+        if line == "end" {
+            break;
+        }
+        let mut toks = line.split_whitespace();
+        if toks.next() != Some("rule") {
+            return Err(RulesIoError::Parse(ln, format!("expected rule, got '{line}'")));
+        }
+        let class: usize = toks
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| RulesIoError::Parse(ln, "bad rule class".into()))?;
+        if class >= n_classes {
+            return Err(RulesIoError::Parse(ln, "rule class out of range".into()));
+        }
+        let accuracy: f64 = toks
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| RulesIoError::Parse(ln, "bad rule accuracy".into()))?;
+        let mut conds = Vec::new();
+        for tok in toks {
+            let mut parts = tok.splitn(3, ':');
+            let (op, a, v) = (
+                parts.next().unwrap_or(""),
+                parts.next().unwrap_or(""),
+                parts.next().unwrap_or(""),
+            );
+            let attr: usize = a
+                .parse()
+                .map_err(|_| RulesIoError::Parse(ln, format!("bad attr in '{tok}'")))?;
+            if attr >= attr_names.len() {
+                return Err(RulesIoError::Parse(ln, "attr index out of range".into()));
+            }
+            let cond = match op {
+                "le" => Cond::Le(
+                    attr,
+                    v.parse()
+                        .map_err(|_| RulesIoError::Parse(ln, format!("bad value in '{tok}'")))?,
+                ),
+                "gt" => Cond::Gt(
+                    attr,
+                    v.parse()
+                        .map_err(|_| RulesIoError::Parse(ln, format!("bad value in '{tok}'")))?,
+                ),
+                "eq" => Cond::Eq(
+                    attr,
+                    v.parse()
+                        .map_err(|_| RulesIoError::Parse(ln, format!("bad code in '{tok}'")))?,
+                ),
+                other => {
+                    return Err(RulesIoError::Parse(ln, format!("unknown op '{other}'")));
+                }
+            };
+            conds.push(cond);
+        }
+        rules.push(Rule {
+            conds,
+            class,
+            accuracy,
+        });
+    }
+    Ok(RuleSet::from_parts(rules, default_class, attr_names, n_classes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{AttrSpec, Dataset};
+    use crate::tree::{DecisionTree, TreeConfig};
+
+    fn sample_ruleset() -> RuleSet {
+        let mut d = Dataset::new(
+            vec![AttrSpec::numeric("x"), AttrSpec::categorical("c", 3)],
+            vec!["a".into(), "b".into()],
+        );
+        for i in 0..60 {
+            d.push(&[i as f64, (i % 3) as f64], usize::from(i >= 30));
+        }
+        let t = DecisionTree::fit(&d, &TreeConfig::default());
+        RuleSet::from_tree(&t, &d, 0.25)
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions() {
+        let rs = sample_ruleset();
+        let mut buf = Vec::new();
+        write_ruleset(&rs, &mut buf).unwrap();
+        let rs2 = read_ruleset(&buf[..]).unwrap();
+        for i in 0..80 {
+            for c in 0..3 {
+                let row = [i as f64, c as f64];
+                assert_eq!(rs.predict(&row), rs2.predict(&row), "row {row:?}");
+            }
+        }
+        assert_eq!(rs.default_class(), rs2.default_class());
+        assert_eq!(rs.rules().len(), rs2.rules().len());
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_ruleset("not a ruleset\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_class() {
+        let text = "ruleset v1\nclasses 2\nattrs x\ndefault 5\nend\n";
+        assert!(read_ruleset(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_op() {
+        let text = "ruleset v1\nclasses 2\nattrs x\ndefault 0\nrule 1 0.9 zz:0:1\nend\n";
+        assert!(read_ruleset(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let text = "ruleset v1\nclasses 2\nattrs x\ndefault 0\nrule 1 0.9\n";
+        assert!(read_ruleset(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_ruleset_roundtrips() {
+        let text = "ruleset v1\nclasses 3\nattrs a b\ndefault 2\nend\n";
+        let rs = read_ruleset(text.as_bytes()).unwrap();
+        assert_eq!(rs.predict(&[0.0, 0.0]), 2);
+        let mut buf = Vec::new();
+        write_ruleset(&rs, &mut buf).unwrap();
+        let rs2 = read_ruleset(&buf[..]).unwrap();
+        assert_eq!(rs2.default_class(), 2);
+    }
+}

@@ -1,0 +1,155 @@
+//! Evaluation metrics: confusion matrices, error rates, per-class
+//! precision/recall — the numbers the paper quotes for its two training
+//! stages (≈5% and ≈15% test error).
+
+use serde::{Deserialize, Serialize};
+
+/// A square confusion matrix; `counts[actual][predicted]`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    n_classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// An empty matrix over `n_classes` classes.
+    pub fn new(n_classes: usize) -> Self {
+        Self {
+            n_classes,
+            counts: vec![0; n_classes * n_classes],
+        }
+    }
+
+    /// Record one `(actual, predicted)` pair.
+    pub fn record(&mut self, actual: usize, predicted: usize) {
+        assert!(actual < self.n_classes && predicted < self.n_classes);
+        self.counts[actual * self.n_classes + predicted] += 1;
+    }
+
+    /// Count at `(actual, predicted)`.
+    pub fn get(&self, actual: usize, predicted: usize) -> u64 {
+        self.counts[actual * self.n_classes + predicted]
+    }
+
+    /// Total recorded pairs.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Correct predictions (trace).
+    pub fn correct(&self) -> u64 {
+        (0..self.n_classes).map(|c| self.get(c, c)).sum()
+    }
+
+    /// Fraction correct in `[0, 1]`; 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.correct() as f64 / t as f64
+        }
+    }
+
+    /// `1 - accuracy` — the figure the paper reports per training stage.
+    pub fn error_rate(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            1.0 - self.accuracy()
+        }
+    }
+
+    /// Precision of one class (correct positives / predicted positives);
+    /// 1.0 when the class is never predicted.
+    pub fn precision(&self, class: usize) -> f64 {
+        let predicted: u64 = (0..self.n_classes).map(|a| self.get(a, class)).sum();
+        if predicted == 0 {
+            1.0
+        } else {
+            self.get(class, class) as f64 / predicted as f64
+        }
+    }
+
+    /// Recall of one class (correct positives / actual positives); 1.0
+    /// when the class never occurs.
+    pub fn recall(&self, class: usize) -> f64 {
+        let actual: u64 = (0..self.n_classes).map(|p| self.get(class, p)).sum();
+        if actual == 0 {
+            1.0
+        } else {
+            self.get(class, class) as f64 / actual as f64
+        }
+    }
+
+    /// Unweighted mean of per-class F1 scores.
+    pub fn macro_f1(&self) -> f64 {
+        let mut sum = 0.0;
+        for c in 0..self.n_classes {
+            let p = self.precision(c);
+            let r = self.recall(c);
+            sum += if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+        }
+        sum / self.n_classes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConfusionMatrix {
+        let mut m = ConfusionMatrix::new(2);
+        // actual 0: 8 right, 2 wrong; actual 1: 7 right, 3 wrong.
+        for _ in 0..8 {
+            m.record(0, 0);
+        }
+        for _ in 0..2 {
+            m.record(0, 1);
+        }
+        for _ in 0..7 {
+            m.record(1, 1);
+        }
+        for _ in 0..3 {
+            m.record(1, 0);
+        }
+        m
+    }
+
+    #[test]
+    fn accuracy_and_error_rate() {
+        let m = sample();
+        assert_eq!(m.total(), 20);
+        assert_eq!(m.correct(), 15);
+        assert!((m.accuracy() - 0.75).abs() < 1e-12);
+        assert!((m.error_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall() {
+        let m = sample();
+        // class 0: predicted 11 times, 8 correct; actual 10 times.
+        assert!((m.precision(0) - 8.0 / 11.0).abs() < 1e-12);
+        assert!((m.recall(0) - 0.8).abs() < 1e-12);
+        assert!((m.precision(1) - 7.0 / 9.0).abs() < 1e-12);
+        assert!((m.recall(1) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_defaults() {
+        let m = ConfusionMatrix::new(3);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.error_rate(), 0.0);
+        assert_eq!(m.precision(0), 1.0);
+        assert_eq!(m.recall(2), 1.0);
+    }
+
+    #[test]
+    fn macro_f1_perfect_is_one() {
+        let mut m = ConfusionMatrix::new(2);
+        m.record(0, 0);
+        m.record(1, 1);
+        assert!((m.macro_f1() - 1.0).abs() < 1e-12);
+    }
+}

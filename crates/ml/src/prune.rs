@@ -1,0 +1,127 @@
+//! Pessimistic (confidence-factor) error estimation, C4.5's pruning
+//! criterion: the observed leaf error rate is replaced by the upper bound
+//! of its binomial confidence interval, so small leaves look worse than
+//! big ones and get folded away.
+
+/// Upper bound on the error count of a leaf that covers `n` (weighted)
+/// examples and misclassifies `e` of them, at confidence factor `cf`
+/// (C4.5 default 0.25). Uses the standard normal-approximation form of
+/// C4.5's `U_CF(E, N)`.
+pub fn pessimistic_errors(n: f64, e: f64, cf: f64) -> f64 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    let z = normal_quantile(1.0 - cf);
+    let f = (e / n).clamp(0.0, 1.0);
+    let z2 = z * z;
+    let upper = (f + z2 / (2.0 * n)
+        + z * (f / n - f * f / n + z2 / (4.0 * n * n)).max(0.0).sqrt())
+        / (1.0 + z2 / n);
+    upper.min(1.0) * n
+}
+
+/// Inverse CDF of the standard normal distribution (Acklam's rational
+/// approximation; |relative error| < 1.15e-9 over (0, 1)).
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile needs p in (0, 1), got {p}");
+    // Coefficients for the central and tail regions.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_matches_known_values() {
+        assert!(normal_quantile(0.5).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-5);
+        assert!((normal_quantile(0.75) - 0.674490).abs() < 1e-5);
+        assert!((normal_quantile(0.025) + 1.959964).abs() < 1e-5);
+        assert!((normal_quantile(1e-6) + 4.753424).abs() < 1e-4);
+    }
+
+    #[test]
+    fn quantile_is_antisymmetric() {
+        for &p in &[0.1, 0.25, 0.4, 0.01, 0.001] {
+            let a = normal_quantile(p);
+            let b = normal_quantile(1.0 - p);
+            assert!((a + b).abs() < 1e-7, "p = {p}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn pessimistic_errors_exceed_observed() {
+        // The upper bound is always at least the observed error count.
+        for &(n, e) in &[(10.0, 0.0), (10.0, 2.0), (100.0, 15.0), (3.0, 1.0)] {
+            let u = pessimistic_errors(n, e, 0.25);
+            assert!(u >= e, "U({e}/{n}) = {u} < {e}");
+            assert!(u <= n);
+        }
+    }
+
+    #[test]
+    fn small_leaves_are_penalised_relatively_more() {
+        // Same observed rate, smaller support → larger pessimistic rate.
+        let small = pessimistic_errors(5.0, 1.0, 0.25) / 5.0;
+        let large = pessimistic_errors(500.0, 100.0, 0.25) / 500.0;
+        assert!(small > large);
+    }
+
+    #[test]
+    fn zero_support_is_free() {
+        assert_eq!(pessimistic_errors(0.0, 0.0, 0.25), 0.0);
+    }
+
+    #[test]
+    fn lower_confidence_prunes_harder() {
+        // Smaller CF → larger upper bound (more pessimism).
+        let strict = pessimistic_errors(20.0, 2.0, 0.10);
+        let lax = pessimistic_errors(20.0, 2.0, 0.40);
+        assert!(strict > lax);
+    }
+}

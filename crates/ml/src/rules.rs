@@ -1,0 +1,323 @@
+//! Rule-set extraction — C5.0's "ruleset" output mode, which is exactly
+//! what the paper consumes ("the C5.0 can offer a rule-set, which is a
+//! set of if-then statements", §III-C).
+//!
+//! Every root-to-leaf path of a trained tree becomes one rule; rule
+//! conditions are then greedily simplified (dropped while the pessimistic
+//! error on the training data does not worsen), and rules are ordered by
+//! their pessimistic accuracy with a majority-class default at the end.
+
+use crate::dataset::Dataset;
+use crate::prune::pessimistic_errors;
+use crate::tree::{DecisionTree, Node};
+use serde::{Deserialize, Serialize};
+
+/// One condition of a rule.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Cond {
+    /// `row[attr] ≤ value`.
+    Le(usize, f64),
+    /// `row[attr] > value`.
+    Gt(usize, f64),
+    /// Categorical equality `row[attr] == code`.
+    Eq(usize, usize),
+}
+
+impl Cond {
+    /// Whether a row satisfies the condition.
+    #[inline]
+    pub fn matches(&self, row: &[f64]) -> bool {
+        match *self {
+            Cond::Le(a, v) => row[a] <= v,
+            Cond::Gt(a, v) => row[a] > v,
+            Cond::Eq(a, c) => row[a] as usize == c,
+        }
+    }
+
+    fn render(&self, names: &[String]) -> String {
+        match *self {
+            Cond::Le(a, v) => format!("{} <= {:.6}", names[a], v),
+            Cond::Gt(a, v) => format!("{} > {:.6}", names[a], v),
+            Cond::Eq(a, c) => format!("{} = {}", names[a], c),
+        }
+    }
+}
+
+/// An if-then rule.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    /// Conjunction of conditions.
+    pub conds: Vec<Cond>,
+    /// Class predicted when all conditions hold.
+    pub class: usize,
+    /// Pessimistic accuracy estimate on the training data (orders the
+    /// rule list).
+    pub accuracy: f64,
+}
+
+impl Rule {
+    /// Whether a row satisfies every condition.
+    pub fn matches(&self, row: &[f64]) -> bool {
+        self.conds.iter().all(|c| c.matches(row))
+    }
+}
+
+/// An ordered rule list with a default class.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+    default_class: usize,
+    attr_names: Vec<String>,
+    n_classes: usize,
+}
+
+impl RuleSet {
+    /// Extract and simplify a rule-set from a trained tree, using `data`
+    /// (normally the training set) to estimate rule quality.
+    pub fn from_tree(tree: &DecisionTree, data: &Dataset, cf: f64) -> Self {
+        let mut raw: Vec<(Vec<Cond>, usize)> = Vec::new();
+        collect_paths(tree, tree.root(), &mut Vec::new(), &mut raw);
+        let mut rules: Vec<Rule> = raw
+            .into_iter()
+            .map(|(conds, class)| simplify(conds, class, data, cf))
+            .collect();
+        // Order by estimated accuracy, longest-first among ties so more
+        // specific rules shadow generic ones.
+        rules.sort_by(|a, b| {
+            b.accuracy
+                .partial_cmp(&a.accuracy)
+                .unwrap()
+                .then(b.conds.len().cmp(&a.conds.len()))
+        });
+        let all: Vec<usize> = (0..data.len()).collect();
+        let default_class = data.majority_class(&all);
+        Self {
+            rules,
+            default_class,
+            attr_names: tree.attr_names().to_vec(),
+            n_classes: tree.n_classes(),
+        }
+    }
+
+    /// Predict by first matching rule, falling back to the default class.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        for r in &self.rules {
+            if r.matches(row) {
+                return r.class;
+            }
+        }
+        self.default_class
+    }
+
+    /// Rebuild a rule-set from parts (used by [`crate::io`]).
+    pub fn from_parts(
+        rules: Vec<Rule>,
+        default_class: usize,
+        attr_names: Vec<String>,
+        n_classes: usize,
+    ) -> Self {
+        assert!(default_class < n_classes);
+        Self {
+            rules,
+            default_class,
+            attr_names,
+            n_classes,
+        }
+    }
+
+    /// The rules, in match order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Attribute names, in row order.
+    pub fn attr_names(&self) -> &[String] {
+        &self.attr_names
+    }
+
+    /// The fallback class.
+    pub fn default_class(&self) -> usize {
+        self.default_class
+    }
+
+    /// Number of target classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Render as C5.0-style `if … then class …` text.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (i, r) in self.rules.iter().enumerate() {
+            let conds = if r.conds.is_empty() {
+                "true".to_string()
+            } else {
+                r.conds
+                    .iter()
+                    .map(|c| c.render(&self.attr_names))
+                    .collect::<Vec<_>>()
+                    .join(" and ")
+            };
+            let _ = writeln!(
+                out,
+                "rule {i}: if {conds} then class {} [acc {:.3}]",
+                r.class, r.accuracy
+            );
+        }
+        let _ = writeln!(out, "default: class {}", self.default_class);
+        out
+    }
+}
+
+fn collect_paths(
+    tree: &DecisionTree,
+    node: usize,
+    path: &mut Vec<Cond>,
+    out: &mut Vec<(Vec<Cond>, usize)>,
+) {
+    match tree.node(node) {
+        Node::Leaf { class, .. } => out.push((path.clone(), *class)),
+        Node::Numeric {
+            attr,
+            threshold,
+            left,
+            right,
+            ..
+        } => {
+            path.push(Cond::Le(*attr, *threshold));
+            collect_paths(tree, *left, path, out);
+            path.pop();
+            path.push(Cond::Gt(*attr, *threshold));
+            collect_paths(tree, *right, path, out);
+            path.pop();
+        }
+        Node::Categorical { attr, children, .. } => {
+            for (code, &c) in children.iter().enumerate() {
+                path.push(Cond::Eq(*attr, code));
+                collect_paths(tree, c, path, out);
+                path.pop();
+            }
+        }
+    }
+}
+
+/// Pessimistic error of the rule `conds → class` on `data`.
+fn rule_pessimistic(conds: &[Cond], class: usize, data: &Dataset, cf: f64) -> (f64, f64) {
+    let mut n = 0.0;
+    let mut e = 0.0;
+    for i in 0..data.len() {
+        let row = data.row(i);
+        if conds.iter().all(|c| c.matches(row)) {
+            let w = data.weight(i);
+            n += w;
+            if data.label(i) != class {
+                e += w;
+            }
+        }
+    }
+    (n, pessimistic_errors(n, e, cf))
+}
+
+/// Greedily drop conditions while the pessimistic error rate does not
+/// increase (C4.5rules' simplification step).
+fn simplify(mut conds: Vec<Cond>, class: usize, data: &Dataset, cf: f64) -> Rule {
+    let (n, est) = rule_pessimistic(&conds, class, data, cf);
+    let mut rate = if n > 0.0 { est / n } else { 1.0 };
+    loop {
+        let mut best: Option<(usize, f64, f64, f64)> = None; // (idx, n, est, rate)
+        for k in 0..conds.len() {
+            let mut trial = conds.clone();
+            trial.remove(k);
+            let (tn, test_) = rule_pessimistic(&trial, class, data, cf);
+            let trate = if tn > 0.0 { test_ / tn } else { 1.0 };
+            if trate <= rate + 1e-12 && best.map_or(true, |(_, _, _, br)| trate < br) {
+                best = Some((k, tn, test_, trate));
+            }
+        }
+        match best {
+            Some((k, _tn, _test, trate)) => {
+                conds.remove(k);
+                rate = trate;
+                if conds.is_empty() {
+                    break;
+                }
+            }
+            None => break,
+        }
+    }
+    Rule {
+        conds,
+        class,
+        accuracy: 1.0 - rate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::AttrSpec;
+    use crate::tree::TreeConfig;
+
+    fn threshold_ds() -> Dataset {
+        let mut d = Dataset::new(
+            vec![AttrSpec::numeric("x"), AttrSpec::numeric("noise")],
+            vec!["lo".into(), "hi".into()],
+        );
+        for i in 0..100 {
+            d.push(&[i as f64, (i * 7 % 13) as f64], usize::from(i >= 50));
+        }
+        d
+    }
+
+    #[test]
+    fn ruleset_predicts_like_the_tree_on_clean_data() {
+        let d = threshold_ds();
+        let t = DecisionTree::fit(&d, &TreeConfig::default());
+        let rs = RuleSet::from_tree(&t, &d, 0.25);
+        for i in 0..d.len() {
+            assert_eq!(rs.predict(d.row(i)), d.label(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn rules_are_simplified() {
+        let d = threshold_ds();
+        let t = DecisionTree::fit(&d, &TreeConfig::default());
+        let rs = RuleSet::from_tree(&t, &d, 0.25);
+        // The clean threshold problem needs rules of at most 1 condition.
+        assert!(rs.rules().iter().all(|r| r.conds.len() <= 1));
+    }
+
+    #[test]
+    fn dump_is_readable() {
+        let d = threshold_ds();
+        let t = DecisionTree::fit(&d, &TreeConfig::default());
+        let rs = RuleSet::from_tree(&t, &d, 0.25);
+        let s = rs.dump();
+        assert!(s.contains("if"), "{s}");
+        assert!(s.contains("then class"), "{s}");
+        assert!(s.contains("default"), "{s}");
+    }
+
+    #[test]
+    fn default_class_is_majority() {
+        let mut d = Dataset::new(vec![AttrSpec::numeric("x")], vec!["a".into(), "b".into()]);
+        for _ in 0..30 {
+            d.push(&[0.0], 1);
+        }
+        d.push(&[1.0], 0);
+        let t = DecisionTree::fit(&d, &TreeConfig::default());
+        let rs = RuleSet::from_tree(&t, &d, 0.25);
+        assert_eq!(rs.default_class(), 1);
+    }
+
+    #[test]
+    fn cond_matching_semantics() {
+        assert!(Cond::Le(0, 5.0).matches(&[5.0]));
+        assert!(!Cond::Le(0, 5.0).matches(&[5.1]));
+        assert!(Cond::Gt(0, 5.0).matches(&[5.1]));
+        assert!(Cond::Eq(1, 3).matches(&[0.0, 3.0]));
+        assert!(!Cond::Eq(1, 3).matches(&[0.0, 2.0]));
+    }
+}

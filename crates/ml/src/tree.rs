@@ -1,0 +1,753 @@
+//! The decision-tree learner (C4.5-style induction + pessimistic
+//! pruning).
+
+use crate::dataset::{AttrKind, Dataset};
+use crate::entropy::{entropy, gain_ratio, information_gain, split_info};
+use crate::prune::pessimistic_errors;
+use serde::{Deserialize, Serialize};
+
+/// Induction hyper-parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Minimum (weighted) examples on *each* side of an accepted split
+    /// (C4.5's `-m`, default 2).
+    pub min_split: f64,
+    /// Hard depth cap (a safety net; C4.5 has none).
+    pub max_depth: usize,
+    /// Confidence factor for pessimistic pruning (C4.5's `-c`, default
+    /// 0.25). Larger prunes less.
+    pub cf: f64,
+    /// Whether to prune at all.
+    pub prune: bool,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            min_split: 2.0,
+            max_depth: 40,
+            cf: 0.25,
+            prune: true,
+        }
+    }
+}
+
+/// One node of the tree (arena storage; children are node indices).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Node {
+    /// Terminal node.
+    Leaf {
+        /// Predicted class.
+        class: usize,
+        /// Weighted examples that reached the leaf in training.
+        n: f64,
+        /// Weighted training misclassifications at the leaf.
+        errors: f64,
+    },
+    /// Binary split on a numeric attribute: `row[attr] ≤ threshold` goes
+    /// left.
+    Numeric {
+        /// Attribute index.
+        attr: usize,
+        /// Split threshold.
+        threshold: f64,
+        /// Left (≤) child index.
+        left: usize,
+        /// Right (>) child index.
+        right: usize,
+        /// Majority class at this node (fallback for missing branches).
+        majority: usize,
+    },
+    /// Multiway split on a categorical attribute; `children[code]`.
+    Categorical {
+        /// Attribute index.
+        attr: usize,
+        /// One child per category code.
+        children: Vec<usize>,
+        /// Majority class at this node.
+        majority: usize,
+    },
+}
+
+/// A trained decision tree.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    root: usize,
+    n_classes: usize,
+    attr_names: Vec<String>,
+}
+
+impl DecisionTree {
+    /// Induce a tree from `data` with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn fit(data: &Dataset, config: &TreeConfig) -> Self {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let mut tree = Self {
+            nodes: Vec::new(),
+            root: 0,
+            n_classes: data.n_classes(),
+            attr_names: data.attrs().iter().map(|a| a.name.clone()).collect(),
+        };
+        let indices: Vec<usize> = (0..data.len()).collect();
+        tree.root = tree.build(data, indices, config, 0);
+        if config.prune {
+            tree.prune_node(tree.root, config.cf);
+        }
+        tree
+    }
+
+    /// Predict the class of one attribute row.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        let mut cur = self.root;
+        loop {
+            match &self.nodes[cur] {
+                Node::Leaf { class, .. } => return *class,
+                Node::Numeric {
+                    attr,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    cur = if row[*attr] <= *threshold { *left } else { *right };
+                }
+                Node::Categorical {
+                    attr,
+                    children,
+                    majority,
+                } => {
+                    let code = row[*attr] as usize;
+                    match children.get(code) {
+                        Some(&c) => cur = c,
+                        None => return *majority,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (after pruning, unreachable arena slots are not
+    /// counted).
+    pub fn n_nodes(&self) -> usize {
+        self.count(self.root)
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.count_leaves(self.root)
+    }
+
+    /// Depth of the tree (a lone leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        self.depth_of(self.root)
+    }
+
+    /// Number of target classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Attribute names (for printing).
+    pub fn attr_names(&self) -> &[String] {
+        &self.attr_names
+    }
+
+    pub(crate) fn root(&self) -> usize {
+        self.root
+    }
+
+    pub(crate) fn node(&self, i: usize) -> &Node {
+        &self.nodes[i]
+    }
+
+    /// Render the tree as indented text (the C4.5 `-v` style dump).
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        self.dump_node(self.root, 0, &mut out);
+        out
+    }
+
+    fn dump_node(&self, i: usize, depth: usize, out: &mut String) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        match &self.nodes[i] {
+            Node::Leaf { class, n, errors } => {
+                let _ = writeln!(out, "{pad}-> class {class} ({n:.1}, err {errors:.1})");
+            }
+            Node::Numeric {
+                attr,
+                threshold,
+                left,
+                right,
+                ..
+            } => {
+                let name = &self.attr_names[*attr];
+                let _ = writeln!(out, "{pad}{name} <= {threshold:.6}:");
+                self.dump_node(*left, depth + 1, out);
+                let _ = writeln!(out, "{pad}{name} > {threshold:.6}:");
+                self.dump_node(*right, depth + 1, out);
+            }
+            Node::Categorical { attr, children, .. } => {
+                let name = &self.attr_names[*attr];
+                for (code, &c) in children.iter().enumerate() {
+                    let _ = writeln!(out, "{pad}{name} = {code}:");
+                    self.dump_node(c, depth + 1, out);
+                }
+            }
+        }
+    }
+
+    fn count(&self, i: usize) -> usize {
+        match &self.nodes[i] {
+            Node::Leaf { .. } => 1,
+            Node::Numeric { left, right, .. } => 1 + self.count(*left) + self.count(*right),
+            Node::Categorical { children, .. } => {
+                1 + children.iter().map(|&c| self.count(c)).sum::<usize>()
+            }
+        }
+    }
+
+    fn count_leaves(&self, i: usize) -> usize {
+        match &self.nodes[i] {
+            Node::Leaf { .. } => 1,
+            Node::Numeric { left, right, .. } => {
+                self.count_leaves(*left) + self.count_leaves(*right)
+            }
+            Node::Categorical { children, .. } => {
+                children.iter().map(|&c| self.count_leaves(c)).sum()
+            }
+        }
+    }
+
+    fn depth_of(&self, i: usize) -> usize {
+        match &self.nodes[i] {
+            Node::Leaf { .. } => 1,
+            Node::Numeric { left, right, .. } => {
+                1 + self.depth_of(*left).max(self.depth_of(*right))
+            }
+            Node::Categorical { children, .. } => {
+                1 + children.iter().map(|&c| self.depth_of(c)).max().unwrap_or(0)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Induction
+    // ------------------------------------------------------------------
+
+    fn leaf_for(&mut self, data: &Dataset, indices: &[usize]) -> usize {
+        let dist = data.class_distribution(indices);
+        let n: f64 = dist.iter().sum();
+        let class = data.majority_class(indices);
+        let errors = n - dist[class];
+        self.nodes.push(Node::Leaf { class, n, errors });
+        self.nodes.len() - 1
+    }
+
+    fn build(
+        &mut self,
+        data: &Dataset,
+        indices: Vec<usize>,
+        config: &TreeConfig,
+        depth: usize,
+    ) -> usize {
+        let dist = data.class_distribution(&indices);
+        let total_w: f64 = dist.iter().sum();
+        let n_nonzero = dist.iter().filter(|&&w| w > 0.0).count();
+        if n_nonzero <= 1 || depth >= config.max_depth || total_w < 2.0 * config.min_split {
+            return self.leaf_for(data, &indices);
+        }
+        let parent_h = entropy(&dist);
+
+        // Evaluate every attribute's best split.
+        let mut candidates: Vec<SplitCandidate> = Vec::new();
+        for attr in 0..data.n_attrs() {
+            let cand = match data.attrs()[attr].kind {
+                AttrKind::Numeric => best_numeric_split(data, &indices, attr, parent_h, total_w, config),
+                AttrKind::Categorical(arity) => {
+                    best_categorical_split(data, &indices, attr, arity, parent_h, total_w, config)
+                }
+            };
+            if let Some(c) = cand {
+                candidates.push(c);
+            }
+        }
+        if candidates.is_empty() {
+            return self.leaf_for(data, &indices);
+        }
+
+        // C4.5: only consider attributes whose gain is at least the
+        // average gain, then pick the best gain *ratio*.
+        let avg_gain: f64 =
+            candidates.iter().map(|c| c.gain).sum::<f64>() / candidates.len() as f64;
+        let best = candidates
+            .iter()
+            .filter(|c| c.gain >= avg_gain - 1e-12)
+            .max_by(|a, b| {
+                a.ratio
+                    .partial_cmp(&b.ratio)
+                    .unwrap()
+                    .then(b.attr.cmp(&a.attr))
+            })
+            .cloned();
+        let best = match best {
+            Some(b) if b.gain > 1e-12 => b,
+            _ => return self.leaf_for(data, &indices),
+        };
+
+        let majority = data.majority_class(&indices);
+        match best.kind {
+            SplitKind::Numeric(threshold) => {
+                let (mut left, mut right) = (Vec::new(), Vec::new());
+                for &i in &indices {
+                    if data.row(i)[best.attr] <= threshold {
+                        left.push(i);
+                    } else {
+                        right.push(i);
+                    }
+                }
+                let l = self.build(data, left, config, depth + 1);
+                let r = self.build(data, right, config, depth + 1);
+                self.nodes.push(Node::Numeric {
+                    attr: best.attr,
+                    threshold,
+                    left: l,
+                    right: r,
+                    majority,
+                });
+                self.nodes.len() - 1
+            }
+            SplitKind::Categorical(arity) => {
+                let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); arity];
+                for &i in &indices {
+                    let code = data.row(i)[best.attr] as usize;
+                    buckets[code].push(i);
+                }
+                let children: Vec<usize> = buckets
+                    .into_iter()
+                    .map(|bucket| {
+                        if bucket.is_empty() {
+                            // Empty branch: a majority leaf.
+                            self.nodes.push(Node::Leaf {
+                                class: majority,
+                                n: 0.0,
+                                errors: 0.0,
+                            });
+                            self.nodes.len() - 1
+                        } else {
+                            self.build(data, bucket, config, depth + 1)
+                        }
+                    })
+                    .collect();
+                self.nodes.push(Node::Categorical {
+                    attr: best.attr,
+                    children,
+                    majority,
+                });
+                self.nodes.len() - 1
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Pruning
+    // ------------------------------------------------------------------
+
+    /// Bottom-up pessimistic pruning. Returns `(n, errors, est_errors)`
+    /// of the (possibly replaced) subtree rooted at `i`.
+    fn prune_node(&mut self, i: usize, cf: f64) -> (f64, f64, f64) {
+        match self.nodes[i].clone() {
+            Node::Leaf { n, errors, .. } => (n, errors, pessimistic_errors(n, errors, cf)),
+            Node::Numeric {
+                left,
+                right,
+                majority,
+                ..
+            } => {
+                let (ln, le, lest) = self.prune_node(left, cf);
+                let (rn, re, rest) = self.prune_node(right, cf);
+                let (n, e, est) = (ln + rn, le + re, lest + rest);
+                self.maybe_collapse(i, n, e, est, majority, cf)
+            }
+            Node::Categorical {
+                children, majority, ..
+            } => {
+                let mut n = 0.0;
+                let mut e = 0.0;
+                let mut est = 0.0;
+                for c in children {
+                    let (cn, ce, cest) = self.prune_node(c, cf);
+                    n += cn;
+                    e += ce;
+                    est += cest;
+                }
+                self.maybe_collapse(i, n, e, est, majority, cf)
+            }
+        }
+    }
+
+    /// Replace node `i` by a majority leaf when the leaf's pessimistic
+    /// error does not exceed the subtree's.
+    fn maybe_collapse(
+        &mut self,
+        i: usize,
+        n: f64,
+        subtree_errors: f64,
+        subtree_est: f64,
+        majority: usize,
+        cf: f64,
+    ) -> (f64, f64, f64) {
+        // Training errors a majority leaf would make here: n minus the
+        // weight that the majority class itself covers. We recover it
+        // from the children's error structure conservatively via the
+        // subtree errors plus re-labelled examples; the exact count needs
+        // the distribution, so we store majority-correct weight in the
+        // leaf errors when collapsing. For the collapse test we need the
+        // leaf error count, which is n - majority_weight. Since the
+        // children were just pruned we can measure it by summing leaves.
+        let leaf_errors = n - self.majority_weight(i, majority);
+        let leaf_est = pessimistic_errors(n, leaf_errors, cf);
+        if leaf_est <= subtree_est + 0.1 {
+            self.nodes[i] = Node::Leaf {
+                class: majority,
+                n,
+                errors: leaf_errors,
+            };
+            (n, leaf_errors, leaf_est)
+        } else {
+            (n, subtree_errors, subtree_est)
+        }
+    }
+
+    /// Weighted training examples of class `class` under node `i`,
+    /// recovered from leaf statistics.
+    fn majority_weight(&self, i: usize, class: usize) -> f64 {
+        match &self.nodes[i] {
+            Node::Leaf {
+                class: lc,
+                n,
+                errors,
+            } => {
+                if *lc == class {
+                    n - errors
+                } else {
+                    // Lower bound: we only know the leaf's own class
+                    // share exactly; other classes' shares are folded
+                    // into `errors`. Assume none of it is `class` —
+                    // conservative (pruning slightly less aggressive).
+                    0.0
+                }
+            }
+            Node::Numeric { left, right, .. } => {
+                self.majority_weight(*left, class) + self.majority_weight(*right, class)
+            }
+            Node::Categorical { children, .. } => children
+                .iter()
+                .map(|&c| self.majority_weight(c, class))
+                .sum(),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum SplitKind {
+    Numeric(f64),
+    Categorical(usize),
+}
+
+#[derive(Clone, Debug)]
+struct SplitCandidate {
+    attr: usize,
+    gain: f64,
+    ratio: f64,
+    kind: SplitKind,
+}
+
+/// Best `≤ threshold` split on a numeric attribute, or `None` when no
+/// admissible threshold exists.
+fn best_numeric_split(
+    data: &Dataset,
+    indices: &[usize],
+    attr: usize,
+    parent_h: f64,
+    total_w: f64,
+    config: &TreeConfig,
+) -> Option<SplitCandidate> {
+    let n_classes = data.n_classes();
+    let mut items: Vec<(f64, usize, f64)> = indices
+        .iter()
+        .map(|&i| (data.row(i)[attr], data.label(i), data.weight(i)))
+        .collect();
+    items.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+
+    let mut right_dist = vec![0.0f64; n_classes];
+    for &(_, label, w) in &items {
+        right_dist[label] += w;
+    }
+    let mut left_dist = vec![0.0f64; n_classes];
+    let mut left_w = 0.0;
+    let mut best: Option<(f64, f64, f64)> = None; // (gain, ratio, threshold)
+
+    let mut k = 0;
+    while k < items.len() {
+        // Advance over ties in value.
+        let v = items[k].0;
+        while k < items.len() && items[k].0 == v {
+            let (_, label, w) = items[k];
+            left_dist[label] += w;
+            right_dist[label] -= w;
+            left_w += w;
+            k += 1;
+        }
+        if k == items.len() {
+            break;
+        }
+        let right_w = total_w - left_w;
+        if left_w < config.min_split || right_w < config.min_split {
+            continue;
+        }
+        let next_v = items[k].0;
+        let weighted = (left_w / total_w) * entropy(&left_dist)
+            + (right_w / total_w) * entropy(&right_dist);
+        let gain = parent_h - weighted;
+        let si = split_info(total_w, &[left_w, right_w]);
+        let ratio = gain_ratio(gain, si);
+        let threshold = v + (next_v - v) / 2.0;
+        if best.map_or(true, |(_, r, _)| ratio > r) {
+            best = Some((gain, ratio, threshold));
+        }
+    }
+    best.map(|(gain, ratio, threshold)| SplitCandidate {
+        attr,
+        gain,
+        ratio,
+        kind: SplitKind::Numeric(threshold),
+    })
+}
+
+/// Multiway split on a categorical attribute, or `None` when fewer than
+/// two branches would be populated.
+fn best_categorical_split(
+    data: &Dataset,
+    indices: &[usize],
+    attr: usize,
+    arity: usize,
+    parent_h: f64,
+    total_w: f64,
+    config: &TreeConfig,
+) -> Option<SplitCandidate> {
+    let n_classes = data.n_classes();
+    let mut dists = vec![vec![0.0f64; n_classes]; arity];
+    for &i in indices {
+        let code = data.row(i)[attr] as usize;
+        dists[code][data.label(i)] += data.weight(i);
+    }
+    let child_weights: Vec<f64> = dists.iter().map(|d| d.iter().sum()).collect();
+    let populated = child_weights.iter().filter(|&&w| w > 0.0).count();
+    if populated < 2 {
+        return None;
+    }
+    // C4.5's -m: at least two branches must carry min_split weight.
+    let heavy = child_weights
+        .iter()
+        .filter(|&&w| w >= config.min_split)
+        .count();
+    if heavy < 2 {
+        return None;
+    }
+    let gain = information_gain(parent_h, total_w, &dists);
+    let si = split_info(total_w, &child_weights);
+    let ratio = gain_ratio(gain, si);
+    Some(SplitCandidate {
+        attr,
+        gain,
+        ratio,
+        kind: SplitKind::Categorical(arity),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::AttrSpec;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn numeric_ds(points: &[(f64, usize)]) -> Dataset {
+        let mut d = Dataset::new(
+            vec![AttrSpec::numeric("x")],
+            vec!["a".into(), "b".into()],
+        );
+        for &(x, y) in points {
+            d.push(&[x], y);
+        }
+        d
+    }
+
+    #[test]
+    fn single_threshold_problem_is_learned_exactly() {
+        let pts: Vec<(f64, usize)> = (0..100)
+            .map(|i| (i as f64, usize::from(i >= 37)))
+            .collect();
+        let d = numeric_ds(&pts);
+        let t = DecisionTree::fit(&d, &TreeConfig::default());
+        for &(x, y) in &pts {
+            assert_eq!(t.predict(&[x]), y, "x = {x}");
+        }
+        assert!(t.depth() <= 2, "depth = {}", t.depth());
+    }
+
+    #[test]
+    fn pure_dataset_yields_single_leaf() {
+        let d = numeric_ds(&[(1.0, 0), (2.0, 0), (3.0, 0)]);
+        let t = DecisionTree::fit(&d, &TreeConfig::default());
+        assert_eq!(t.n_nodes(), 1);
+        assert_eq!(t.predict(&[100.0]), 0);
+    }
+
+    #[test]
+    fn xor_on_two_numerics_is_learned() {
+        let mut d = Dataset::new(
+            vec![AttrSpec::numeric("x"), AttrSpec::numeric("y")],
+            vec!["a".into(), "b".into()],
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..400 {
+            let x: f64 = rng.gen_range(0.0..1.0);
+            let y: f64 = rng.gen_range(0.0..1.0);
+            let label = usize::from((x > 0.5) ^ (y > 0.5));
+            d.push(&[x, y], label);
+        }
+        let t = DecisionTree::fit(&d, &TreeConfig::default());
+        let mut errors = 0;
+        for i in 0..d.len() {
+            if t.predict(d.row(i)) != d.label(i) {
+                errors += 1;
+            }
+        }
+        assert!(errors < 20, "errors = {errors}");
+    }
+
+    #[test]
+    fn categorical_split_is_used() {
+        let mut d = Dataset::new(
+            vec![AttrSpec::categorical("c", 3)],
+            vec!["a".into(), "b".into(), "c".into()],
+        );
+        for _ in 0..10 {
+            d.push(&[0.0], 0);
+            d.push(&[1.0], 1);
+            d.push(&[2.0], 2);
+        }
+        let t = DecisionTree::fit(&d, &TreeConfig::default());
+        assert_eq!(t.predict(&[0.0]), 0);
+        assert_eq!(t.predict(&[1.0]), 1);
+        assert_eq!(t.predict(&[2.0]), 2);
+    }
+
+    #[test]
+    fn unseen_category_falls_back_to_majority() {
+        let mut d = Dataset::new(
+            vec![AttrSpec::categorical("c", 5)],
+            vec!["a".into(), "b".into()],
+        );
+        for _ in 0..10 {
+            d.push(&[0.0], 0);
+        }
+        for _ in 0..30 {
+            d.push(&[1.0], 1);
+        }
+        let t = DecisionTree::fit(&d, &TreeConfig::default());
+        // Code 4 was never seen populated; must not panic.
+        let p = t.predict(&[4.0]);
+        assert!(p == 0 || p == 1);
+    }
+
+    #[test]
+    fn pruning_shrinks_noisy_trees() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let pts: Vec<(f64, usize)> = (0..500)
+            .map(|i| {
+                let y = usize::from(i >= 250) ^ usize::from(rng.gen_bool(0.08));
+                (i as f64, y)
+            })
+            .collect();
+        let d = numeric_ds(&pts);
+        let unpruned = DecisionTree::fit(
+            &d,
+            &TreeConfig {
+                prune: false,
+                ..Default::default()
+            },
+        );
+        let pruned = DecisionTree::fit(&d, &TreeConfig::default());
+        assert!(
+            pruned.n_nodes() < unpruned.n_nodes(),
+            "pruned {} !< unpruned {}",
+            pruned.n_nodes(),
+            unpruned.n_nodes()
+        );
+        // Pruned tree still gets the signal right.
+        assert_eq!(pruned.predict(&[10.0]), 0);
+        assert_eq!(pruned.predict(&[490.0]), 1);
+    }
+
+    #[test]
+    fn weights_shift_the_majority() {
+        let mut d = Dataset::new(vec![AttrSpec::numeric("x")], vec!["a".into(), "b".into()]);
+        // 3 light examples of class 0, 1 heavy example of class 1, all at
+        // the same x → a single leaf whose majority is the heavy class.
+        d.push_weighted(&[1.0], 0, 1.0);
+        d.push_weighted(&[1.0], 0, 1.0);
+        d.push_weighted(&[1.0], 0, 1.0);
+        d.push_weighted(&[1.0], 1, 10.0);
+        let t = DecisionTree::fit(&d, &TreeConfig::default());
+        assert_eq!(t.predict(&[1.0]), 1);
+    }
+
+    #[test]
+    fn min_split_blocks_tiny_partitions() {
+        let pts: Vec<(f64, usize)> = vec![(1.0, 0), (2.0, 1)];
+        let d = numeric_ds(&pts);
+        let t = DecisionTree::fit(
+            &d,
+            &TreeConfig {
+                min_split: 2.0,
+                ..Default::default()
+            },
+        );
+        // Splitting 2 examples would leave 1 per side < min_split.
+        assert_eq!(t.n_nodes(), 1);
+    }
+
+    #[test]
+    fn dump_mentions_attribute_names() {
+        let pts: Vec<(f64, usize)> = (0..40).map(|i| (i as f64, usize::from(i >= 20))).collect();
+        let d = numeric_ds(&pts);
+        let t = DecisionTree::fit(&d, &TreeConfig::default());
+        let s = t.dump();
+        assert!(s.contains("x <="), "dump: {s}");
+    }
+
+    #[test]
+    fn depth_cap_is_respected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pts: Vec<(f64, usize)> = (0..256)
+            .map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0..2)))
+            .collect();
+        let d = numeric_ds(&pts);
+        let t = DecisionTree::fit(
+            &d,
+            &TreeConfig {
+                max_depth: 3,
+                prune: false,
+                ..Default::default()
+            },
+        );
+        assert!(t.depth() <= 4);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests of the decision-tree learner: it must never panic on
+//! odd-but-valid datasets, always emit valid classes, and behave sanely
+//! under pruning and weighting.
+
+use proptest::prelude::*;
+use spmv_ml::io::{read_ruleset, write_ruleset};
+use spmv_ml::{AttrSpec, Dataset, DecisionTree, RuleSet, TreeConfig};
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    // 2 numeric attrs + 1 categorical(3), 2–4 classes, 1–120 rows.
+    (2usize..5, 1usize..120).prop_flat_map(|(n_classes, n_rows)| {
+        proptest::collection::vec(
+            (
+                -100.0f64..100.0,
+                -1.0f64..1.0,
+                0usize..3,
+                0usize..n_classes,
+            ),
+            n_rows,
+        )
+        .prop_map(move |rows| {
+            let mut d = Dataset::new(
+                vec![
+                    AttrSpec::numeric("x"),
+                    AttrSpec::numeric("y"),
+                    AttrSpec::categorical("c", 3),
+                ],
+                (0..n_classes).map(|i| format!("k{i}")).collect(),
+            );
+            for (x, y, c, label) in rows {
+                d.push(&[x, y, c as f64], label);
+            }
+            d
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn fit_and_predict_never_panic_and_stay_in_range(d in arb_dataset()) {
+        let tree = DecisionTree::fit(&d, &TreeConfig::default());
+        for i in 0..d.len() {
+            let p = tree.predict(d.row(i));
+            prop_assert!(p < d.n_classes());
+        }
+        // Off-distribution probes must also be classified.
+        for probe in [[-1e9, 0.0, 0.0], [1e9, -5.0, 2.0], [0.0, 0.0, 1.0]] {
+            prop_assert!(tree.predict(&probe) < d.n_classes());
+        }
+    }
+
+    #[test]
+    fn unpruned_tree_fits_training_data_at_least_as_well(d in arb_dataset()) {
+        let pruned = DecisionTree::fit(&d, &TreeConfig::default());
+        let raw = DecisionTree::fit(&d, &TreeConfig { prune: false, ..Default::default() });
+        let err = |t: &DecisionTree| {
+            (0..d.len()).filter(|&i| t.predict(d.row(i)) != d.label(i)).count()
+        };
+        prop_assert!(err(&raw) <= err(&pruned));
+        prop_assert!(pruned.n_nodes() <= raw.n_nodes());
+    }
+
+    #[test]
+    fn ruleset_roundtrips_through_text(d in arb_dataset()) {
+        let tree = DecisionTree::fit(&d, &TreeConfig::default());
+        let rs = RuleSet::from_tree(&tree, &d, 0.25);
+        let mut buf = Vec::new();
+        write_ruleset(&rs, &mut buf).unwrap();
+        let rs2 = read_ruleset(&buf[..]).unwrap();
+        for i in 0..d.len() {
+            prop_assert_eq!(rs.predict(d.row(i)), rs2.predict(d.row(i)));
+        }
+    }
+
+    #[test]
+    fn constant_labels_yield_a_single_leaf(rows in 1usize..60, label in 0usize..3) {
+        let mut d = Dataset::new(
+            vec![AttrSpec::numeric("x")],
+            vec!["a".into(), "b".into(), "c".into()],
+        );
+        for i in 0..rows {
+            d.push(&[i as f64], label);
+        }
+        let tree = DecisionTree::fit(&d, &TreeConfig::default());
+        prop_assert_eq!(tree.n_nodes(), 1);
+        prop_assert_eq!(tree.predict(&[1e6]), label);
+    }
+
+    #[test]
+    fn duplicating_examples_does_not_change_predictions(d in arb_dataset()) {
+        // Doubling every example (same weights) is an entropy no-op.
+        let mut doubled = Dataset::new(
+            d.attrs().to_vec(),
+            d.class_names().to_vec(),
+        );
+        for i in 0..d.len() {
+            doubled.push(d.row(i), d.label(i));
+            doubled.push(d.row(i), d.label(i));
+        }
+        let t1 = DecisionTree::fit(&d, &TreeConfig { prune: false, min_split: 1.0, ..Default::default() });
+        let t2 = DecisionTree::fit(&doubled, &TreeConfig { prune: false, min_split: 1.0, ..Default::default() });
+        for i in 0..d.len() {
+            prop_assert_eq!(t1.predict(d.row(i)), t2.predict(d.row(i)), "row {}", i);
+        }
+    }
+}

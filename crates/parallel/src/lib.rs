@@ -1,0 +1,26 @@
+//! # spmv-parallel
+//!
+//! A small, dependency-light data-parallel substrate: the CPU analogue of
+//! the paper's OpenCL work-group machinery. The CPU-native SpMV kernels
+//! run on this, and the GPU *simulator* uses it to cost work-groups
+//! concurrently.
+//!
+//! Two layers are provided:
+//!
+//! * [`parallel_for`]-style free functions built on `crossbeam::scope`
+//!   that operate on borrowed data with dynamic (atomic-counter) chunk
+//!   scheduling — the moral equivalent of a `#pragma omp parallel for
+//!   schedule(dynamic)`;
+//! * a persistent [`pool::ThreadPool`] for `'static` jobs, so repeated
+//!   small launches (one per bin, as the framework issues) don't pay
+//!   thread spawn/join each time.
+
+#![warn(missing_docs)]
+
+pub mod partition;
+pub mod pool;
+pub mod scope;
+
+pub use partition::{chunk_ranges, Chunk};
+pub use pool::ThreadPool;
+pub use scope::{num_threads, parallel_for, parallel_map_collect, parallel_reduce};

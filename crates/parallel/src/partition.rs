@@ -1,0 +1,80 @@
+//! Range partitioning helpers shared by the scheduling layers.
+
+/// A half-open index range assigned to one worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Chunk {
+    /// First index (inclusive).
+    pub start: usize,
+    /// One past the last index.
+    pub end: usize,
+}
+
+impl Chunk {
+    /// Number of items in the chunk.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the chunk is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Split `[0, n)` into at most `parts` near-equal contiguous chunks
+/// (the first `n % parts` chunks get one extra item). Returns fewer than
+/// `parts` chunks when `n < parts`; never returns empty chunks.
+pub fn chunk_ranges(n: usize, parts: usize) -> Vec<Chunk> {
+    if n == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(n);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(Chunk {
+            start,
+            end: start + len,
+        });
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_range_without_overlap() {
+        for &(n, p) in &[(10usize, 3usize), (7, 7), (100, 8), (3, 10), (1, 1)] {
+            let chunks = chunk_ranges(n, p);
+            assert!(chunks.len() <= p);
+            let mut cursor = 0;
+            for c in &chunks {
+                assert_eq!(c.start, cursor);
+                assert!(!c.is_empty());
+                cursor = c.end;
+            }
+            assert_eq!(cursor, n);
+        }
+    }
+
+    #[test]
+    fn balanced_within_one() {
+        let chunks = chunk_ranges(100, 7);
+        let min = chunks.iter().map(Chunk::len).min().unwrap();
+        let max = chunks.iter().map(Chunk::len).max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(chunk_ranges(0, 4).is_empty());
+        assert!(chunk_ranges(4, 0).is_empty());
+    }
+}

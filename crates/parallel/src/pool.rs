@@ -1,0 +1,204 @@
+//! A persistent thread pool for `'static` jobs.
+//!
+//! The auto-tuning framework issues one kernel launch per bin; on the CPU
+//! backend those launches are frequent and small, so respawning threads
+//! per launch (as the scoped layer does) would dominate. The pool keeps
+//! workers parked on a crossbeam channel and hands out boxed jobs;
+//! [`ThreadPool::run_batch`] submits a batch and blocks until all of it
+//! completes.
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct BatchState {
+    pending: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl BatchState {
+    fn new(n: usize) -> Arc<Self> {
+        Arc::new(Self {
+            pending: AtomicUsize::new(n),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn complete_one(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = self.lock.lock();
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut g = self.lock.lock();
+        while self.pending.load(Ordering::Acquire) != 0 {
+            self.cv.wait(&mut g);
+        }
+    }
+}
+
+/// A fixed-size pool of parked worker threads.
+pub struct ThreadPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    size: usize,
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `size` workers (clamped to ≥ 1).
+    pub fn new(size: usize) -> Self {
+        let size = size.max(1);
+        let (tx, rx) = unbounded::<Job>();
+        let workers = (0..size)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("spmv-pool-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self {
+            tx: Some(tx),
+            workers,
+            size,
+        }
+    }
+
+    /// Pool with one worker per available core (or `SPMV_NUM_THREADS`).
+    pub fn with_default_size() -> Self {
+        Self::new(crate::scope::num_threads())
+    }
+
+    /// Number of workers.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Submit one fire-and-forget job.
+    pub fn submit<F: FnOnce() + Send + 'static>(&self, f: F) {
+        self.tx
+            .as_ref()
+            .expect("pool already shut down")
+            .send(Box::new(f))
+            .expect("pool workers exited early");
+    }
+
+    /// Submit a batch of jobs and block until every one has finished.
+    pub fn run_batch<I>(&self, jobs: I)
+    where
+        I: IntoIterator,
+        I::Item: FnOnce() + Send + 'static,
+    {
+        let jobs: Vec<I::Item> = jobs.into_iter().collect();
+        if jobs.is_empty() {
+            return;
+        }
+        let state = BatchState::new(jobs.len());
+        for job in jobs {
+            let st = Arc::clone(&state);
+            self.submit(move || {
+                job();
+                st.complete_one();
+            });
+        }
+        state.wait();
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Close the channel so workers drain and exit, then join them.
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn batch_completes_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        let jobs: Vec<_> = (0..100)
+            .map(|i| {
+                let c = Arc::clone(&counter);
+                move || {
+                    c.fetch_add(i, Ordering::Relaxed);
+                }
+            })
+            .collect();
+        pool.run_batch(jobs);
+        assert_eq!(counter.load(Ordering::Relaxed), (0..100).sum::<u64>());
+    }
+
+    #[test]
+    fn empty_batch_returns_immediately() {
+        let pool = ThreadPool::new(2);
+        pool.run_batch(Vec::<fn()>::new());
+    }
+
+    #[test]
+    fn sequential_batches_are_ordered() {
+        let pool = ThreadPool::new(3);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for round in 0..5 {
+            let jobs: Vec<_> = (0..10)
+                .map(|_| {
+                    let log = Arc::clone(&log);
+                    move || log.lock().push(round)
+                })
+                .collect();
+            pool.run_batch(jobs);
+        }
+        let log = log.lock();
+        // Each round's 10 entries appear before any later round's.
+        for (i, w) in log.windows(2).enumerate() {
+            assert!(w[0] <= w[1], "out of order at {i}: {:?}", &log[..]);
+        }
+        assert_eq!(log.len(), 50);
+    }
+
+    #[test]
+    fn size_is_clamped_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.size(), 1);
+        let hit = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hit);
+        pool.run_batch([move || {
+            h.store(7, Ordering::Relaxed);
+        }]);
+        assert_eq!(hit.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..10 {
+            let c = Arc::clone(&counter);
+            pool.submit(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool); // must drain and join without hanging
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+}

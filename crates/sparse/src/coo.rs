@@ -1,0 +1,200 @@
+//! Coordinate (triplet) format, the natural construction and interchange
+//! format: generators and the Matrix Market reader build a [`CooMatrix`]
+//! and convert it to CSR once.
+
+use crate::csr::CsrMatrix;
+
+use crate::scalar::Scalar;
+
+/// A sparse matrix as an unordered list of `(row, col, value)` triplets.
+#[derive(Clone, Debug)]
+pub struct CooMatrix<T> {
+    n_rows: usize,
+    n_cols: usize,
+    rows: Vec<u32>,
+    cols: Vec<u32>,
+    vals: Vec<T>,
+}
+
+impl<T: Scalar> CooMatrix<T> {
+    /// An empty `n_rows × n_cols` triplet list.
+    pub fn new(n_rows: usize, n_cols: usize) -> Self {
+        assert!(n_rows <= u32::MAX as usize && n_cols <= u32::MAX as usize);
+        Self {
+            n_rows,
+            n_cols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Pre-allocate space for `cap` triplets.
+    pub fn with_capacity(n_rows: usize, n_cols: usize, cap: usize) -> Self {
+        let mut m = Self::new(n_rows, n_cols);
+        m.rows.reserve(cap);
+        m.cols.reserve(cap);
+        m.vals.reserve(cap);
+        m
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored triplets (duplicates counted individually).
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Append one entry. Panics in debug builds if out of range.
+    #[inline]
+    pub fn push(&mut self, row: usize, col: usize, val: T) {
+        debug_assert!(row < self.n_rows, "row {row} out of range {}", self.n_rows);
+        debug_assert!(col < self.n_cols, "col {col} out of range {}", self.n_cols);
+        self.rows.push(row as u32);
+        self.cols.push(col as u32);
+        self.vals.push(val);
+    }
+
+    /// Iterate over the stored triplets.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .zip(&self.vals)
+            .map(|((&r, &c), &v)| (r as usize, c as usize, v))
+    }
+
+    /// Convert to CSR, summing duplicate `(row, col)` entries.
+    ///
+    /// The conversion is a counting sort on rows followed by an in-row
+    /// sort on columns, so it is `O(nnz log nnz_row)` and deterministic.
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        // Counting sort by row.
+        let mut counts = vec![0usize; self.n_rows + 1];
+        for &r in &self.rows {
+            counts[r as usize + 1] += 1;
+        }
+        for i in 0..self.n_rows {
+            counts[i + 1] += counts[i];
+        }
+        let mut col_idx = vec![0u32; self.nnz()];
+        let mut values = vec![T::ZERO; self.nnz()];
+        let mut next = counts.clone();
+        for ((&r, &c), &v) in self.rows.iter().zip(&self.cols).zip(&self.vals) {
+            let slot = next[r as usize];
+            next[r as usize] += 1;
+            col_idx[slot] = c;
+            values[slot] = v;
+        }
+        // Sort within each row and merge duplicates.
+        let mut out_ptr = vec![0usize; self.n_rows + 1];
+        let mut out_cols: Vec<u32> = Vec::with_capacity(self.nnz());
+        let mut out_vals: Vec<T> = Vec::with_capacity(self.nnz());
+        let mut scratch: Vec<(u32, T)> = Vec::new();
+        for i in 0..self.n_rows {
+            let (s, e) = (counts[i], counts[i + 1]);
+            scratch.clear();
+            scratch.extend(col_idx[s..e].iter().copied().zip(values[s..e].iter().copied()));
+            scratch.sort_by_key(|&(c, _)| c);
+            let mut k = 0;
+            while k < scratch.len() {
+                let (c, mut v) = scratch[k];
+                let mut j = k + 1;
+                while j < scratch.len() && scratch[j].0 == c {
+                    v += scratch[j].1;
+                    j += 1;
+                }
+                out_cols.push(c);
+                out_vals.push(v);
+                k = j;
+            }
+            out_ptr[i + 1] = out_cols.len();
+        }
+        CsrMatrix::from_parts_unchecked(self.n_rows, self.n_cols, out_ptr, out_cols, out_vals)
+    }
+
+    /// Symmetrise: for every off-diagonal `(i, j, v)` also store `(j, i, v)`.
+    /// Requires a square triplet list; used when expanding Matrix Market
+    /// `symmetric` files.
+    pub fn symmetrise(&mut self) {
+        assert_eq!(self.n_rows, self.n_cols, "symmetrise needs a square matrix");
+        let n = self.nnz();
+        for k in 0..n {
+            if self.rows[k] != self.cols[k] {
+                let (r, c, v) = (self.rows[k], self.cols[k], self.vals[k]);
+                self.rows.push(c);
+                self.cols.push(r);
+                self.vals.push(v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_csr_sorts_and_merges_duplicates() {
+        let mut coo = CooMatrix::new(2, 3);
+        coo.push(1, 2, 5.0);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 2.0);
+        coo.push(1, 2, 7.0); // duplicate of (1,2)
+        let a = coo.to_csr();
+        assert_eq!(a.nnz(), 3);
+        assert!(a.rows_sorted());
+        let (cols, vals) = a.row(1);
+        assert_eq!(cols, &[0, 2]);
+        assert_eq!(vals, &[2.0, 12.0]);
+    }
+
+    #[test]
+    fn empty_rows_are_preserved() {
+        let mut coo = CooMatrix::new(4, 4);
+        coo.push(3, 0, 1.0);
+        let a = coo.to_csr();
+        assert_eq!(a.row_nnz(0), 0);
+        assert_eq!(a.row_nnz(1), 0);
+        assert_eq!(a.row_nnz(2), 0);
+        assert_eq!(a.row_nnz(3), 1);
+    }
+
+    #[test]
+    fn symmetrise_mirrors_off_diagonals() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 1, 2.0);
+        coo.push(1, 1, 9.0); // diagonal: not duplicated
+        coo.symmetrise();
+        let a = coo.to_csr();
+        assert_eq!(a.nnz(), 3);
+        let d = a.to_dense();
+        assert_eq!(d.get(0, 1), 2.0);
+        assert_eq!(d.get(1, 0), 2.0);
+        assert_eq!(d.get(1, 1), 9.0);
+    }
+
+    #[test]
+    fn roundtrip_csr_coo_csr() {
+        let a = crate::csr::figure1_example::<f64>();
+        let b = a.to_coo().to_csr();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn iter_reports_pushed_triplets() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 2.0);
+        let t: Vec<_> = coo.iter().collect();
+        assert_eq!(t, vec![(0, 0, 1.0), (1, 1, 2.0)]);
+    }
+}

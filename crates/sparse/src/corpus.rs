@@ -1,0 +1,245 @@
+//! A UF-collection-like training corpus.
+//!
+//! The paper trains its two-stage model on "over 2000 sparse matrices from
+//! the UF collection" and motivates its kernel pool with the row-length
+//! histogram of 2760 UF matrices (Figure 5: ≈98.7% of rows have ≤100
+//! non-zeros). This module samples a synthetic corpus spanning the same
+//! regimes: every matrix is drawn from one of the domain generators with
+//! randomised parameters, deterministically from `(corpus_seed, index)`.
+
+use crate::csr::CsrMatrix;
+use crate::gen;
+use crate::gen::mixture::RowRegime;
+use crate::scalar::Scalar;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator family a corpus matrix is drawn from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// Uniform random short rows.
+    RandomShort,
+    /// Uniform random medium rows.
+    RandomMedium,
+    /// Power-law graph.
+    PowerLaw,
+    /// Banded / stencil.
+    Banded,
+    /// Dense block-coupled (FEM-like, long rows).
+    Block,
+    /// Incidence (fixed tiny row length, tall).
+    Incidence,
+    /// Multi-regime mixture (irregular).
+    Mixture,
+    /// R-MAT graph.
+    Rmat,
+    /// Road-network lattice.
+    RoadNet,
+}
+
+/// Weights roughly matching the UF collection's composition: short-row
+/// matrices dominate (Figure 5), long-row FEM/CFD matrices are a small
+/// minority, irregular graphs sit in between.
+const FAMILY_WEIGHTS: [(Family, f64); 9] = [
+    (Family::RandomShort, 0.18),
+    (Family::RandomMedium, 0.12),
+    (Family::PowerLaw, 0.15),
+    (Family::Banded, 0.15),
+    (Family::Block, 0.08),
+    (Family::Incidence, 0.10),
+    (Family::Mixture, 0.10),
+    (Family::Rmat, 0.06),
+    (Family::RoadNet, 0.06),
+];
+
+/// Configuration of a corpus sample.
+#[derive(Clone, Copy, Debug)]
+pub struct CorpusConfig {
+    /// Number of matrices.
+    pub count: usize,
+    /// Minimum rows per matrix.
+    pub min_rows: usize,
+    /// Maximum rows per matrix.
+    pub max_rows: usize,
+    /// Master seed; `(seed, index)` fully determines matrix `index`.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self {
+            count: 2000,
+            min_rows: 1_000,
+            max_rows: 20_000,
+            seed: 0x5eed_c0de,
+        }
+    }
+}
+
+/// Description of one corpus member (generated lazily).
+#[derive(Clone, Copy, Debug)]
+pub struct CorpusEntry {
+    /// Index within the corpus.
+    pub index: usize,
+    /// Family the matrix is drawn from.
+    pub family: Family,
+    seed: u64,
+    rows: usize,
+}
+
+impl CorpusEntry {
+    /// Materialise the matrix.
+    pub fn generate<T: Scalar>(&self) -> CsrMatrix<T> {
+        build_matrix(self.family, self.rows, self.seed)
+    }
+}
+
+/// Enumerate a corpus: cheap (no matrices are built until
+/// [`CorpusEntry::generate`] is called, so callers can parallelise).
+pub fn corpus(cfg: &CorpusConfig) -> Vec<CorpusEntry> {
+    (0..cfg.count)
+        .map(|index| {
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let family = pick_family(&mut rng);
+            let rows = rng.gen_range(cfg.min_rows..=cfg.max_rows);
+            CorpusEntry {
+                index,
+                family,
+                seed: rng.gen(),
+                rows,
+            }
+        })
+        .collect()
+}
+
+fn pick_family(rng: &mut StdRng) -> Family {
+    let total: f64 = FAMILY_WEIGHTS.iter().map(|&(_, w)| w).sum();
+    let mut u = rng.gen_range(0.0..total);
+    for &(f, w) in &FAMILY_WEIGHTS {
+        if u < w {
+            return f;
+        }
+        u -= w;
+    }
+    FAMILY_WEIGHTS[FAMILY_WEIGHTS.len() - 1].0
+}
+
+fn build_matrix<T: Scalar>(family: Family, rows: usize, seed: u64) -> CsrMatrix<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match family {
+        Family::RandomShort => {
+            let hi = rng.gen_range(2..=12);
+            gen::random_uniform(rows, rows, 1, hi, seed)
+        }
+        Family::RandomMedium => {
+            let lo = rng.gen_range(8..=32);
+            let hi = lo + rng.gen_range(8..=64);
+            gen::random_uniform(rows, rows.max(hi * 4), lo, hi, seed)
+        }
+        Family::PowerLaw => {
+            let alpha = rng.gen_range(1.8..=3.0);
+            let max_deg = rng.gen_range(50..=400).min(rows);
+            gen::powerlaw(rows, 1, max_deg, alpha, seed)
+        }
+        Family::Banded => {
+            let hb = rng.gen_range(1..=8);
+            gen::banded(rows, hb, seed)
+        }
+        Family::Block => {
+            let bs = rng.gen_range(3..=8);
+            let coupling = rng.gen_range(4..=30);
+            let n_blocks = (rows / bs).max(coupling + 1);
+            gen::block_structured(n_blocks, bs, coupling, seed)
+        }
+        Family::Incidence => {
+            let k = rng.gen_range(1..=5);
+            let cols = (rows / rng.gen_range(2..=8)).max(k + 1);
+            gen::incidence(rows, cols, k, seed)
+        }
+        Family::Mixture => {
+            let regimes = [
+                RowRegime::new(1, 4, rng.gen_range(0.3..0.7)),
+                RowRegime::new(8, 64, rng.gen_range(0.2..0.5)),
+                RowRegime::new(100, 600, rng.gen_range(0.02..0.15)),
+            ];
+            gen::mixture(rows, rows.max(1200), &regimes, true, seed)
+        }
+        Family::Rmat => {
+            let scale = (rows as f64).log2().floor() as u32;
+            let scale = scale.clamp(8, 15);
+            gen::rmat(scale, rng.gen_range(4..=12), 0.57, 0.19, 0.19, seed)
+        }
+        Family::RoadNet => {
+            let side = (rows as f64).sqrt() as usize;
+            gen::road_network(side.max(8), side.max(8), rng.gen_range(0.5..0.95), seed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::RowHistogram;
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let cfg = CorpusConfig {
+            count: 10,
+            ..Default::default()
+        };
+        let a: Vec<_> = corpus(&cfg);
+        let b: Vec<_> = corpus(&cfg);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.family, y.family);
+            assert_eq!(x.generate::<f32>(), y.generate::<f32>());
+        }
+    }
+
+    #[test]
+    fn corpus_spans_multiple_families() {
+        let cfg = CorpusConfig {
+            count: 100,
+            min_rows: 500,
+            max_rows: 1500,
+            ..Default::default()
+        };
+        let entries = corpus(&cfg);
+        let mut fams: Vec<_> = entries.iter().map(|e| e.family).collect();
+        fams.sort_by_key(|f| format!("{f:?}"));
+        fams.dedup();
+        assert!(fams.len() >= 6, "only {} families sampled", fams.len());
+    }
+
+    #[test]
+    fn figure5_shape_most_rows_are_short() {
+        // Reproduces the paper's Figure-5 motivation at small scale:
+        // the vast majority of rows across the corpus have <= 100 NNZ.
+        let cfg = CorpusConfig {
+            count: 60,
+            min_rows: 500,
+            max_rows: 3000,
+            seed: 77,
+        };
+        let mut h = RowHistogram::decades();
+        for e in corpus(&cfg) {
+            h.add_matrix(&e.generate::<f32>());
+        }
+        let share = h.cumulative_share_below(101);
+        assert!(share > 0.90, "share of rows <= 100 nnz = {share}");
+    }
+
+    #[test]
+    fn matrices_have_sane_dimensions() {
+        let cfg = CorpusConfig {
+            count: 30,
+            min_rows: 800,
+            max_rows: 2000,
+            seed: 3,
+        };
+        for e in corpus(&cfg) {
+            let a = e.generate::<f32>();
+            assert!(a.n_rows() >= 200, "{:?} rows = {}", e.family, a.n_rows());
+            assert!(a.nnz() > 0);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Minimal row-major dense matrix, used as the correctness oracle in tests
+//! and tiny examples. Not a performance structure.
+
+use crate::scalar::Scalar;
+
+/// A row-major dense matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseMatrix<T> {
+    n_rows: usize,
+    n_cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> DenseMatrix<T> {
+    /// An all-zero `n_rows × n_cols` matrix.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        Self {
+            n_rows,
+            n_cols,
+            data: vec![T::ZERO; n_rows * n_cols],
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Element at `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        self.data[i * self.n_cols + j]
+    }
+
+    /// Mutable element at `(i, j)`.
+    #[inline]
+    pub fn get_mut(&mut self, i: usize, j: usize) -> &mut T {
+        &mut self.data[i * self.n_cols + j]
+    }
+
+    /// Dense matrix-vector product, the ultimate reference for SpMV tests.
+    pub fn matvec(&self, v: &[T]) -> Vec<T> {
+        assert_eq!(v.len(), self.n_cols);
+        (0..self.n_rows)
+            .map(|i| {
+                let mut s = T::ZERO;
+                for j in 0..self.n_cols {
+                    s = self.get(i, j).mul_add_(v[j], s);
+                }
+                s
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_small() {
+        let mut d = DenseMatrix::zeros(2, 3);
+        *d.get_mut(0, 0) = 1.0;
+        *d.get_mut(0, 2) = 2.0;
+        *d.get_mut(1, 1) = 3.0;
+        let u = d.matvec(&[1.0, 10.0, 100.0]);
+        assert_eq!(u, vec![201.0, 30.0]);
+    }
+
+    #[test]
+    fn dense_matches_csr_reference() {
+        let a = crate::csr::figure1_example::<f64>();
+        let v = vec![0.5, -1.0, 2.0, 4.0];
+        let via_dense = a.to_dense().matvec(&v);
+        let via_csr = a.spmv_seq_alloc(&v).unwrap();
+        assert_eq!(via_dense, via_csr);
+    }
+}

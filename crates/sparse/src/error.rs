@@ -1,0 +1,93 @@
+//! Error type for sparse-matrix construction and I/O.
+
+use std::fmt;
+
+/// Errors produced while constructing, validating, or parsing sparse
+/// matrices.
+#[derive(Debug)]
+pub enum SparseError {
+    /// Structural invariant violated (non-monotone row pointer, column
+    /// index out of range, array-length mismatch, …).
+    InvalidStructure(String),
+    /// Dimension mismatch between operands (e.g. SpMV with a wrong-length
+    /// vector).
+    DimensionMismatch {
+        /// Human-readable description of the operation.
+        context: String,
+        /// Size the operation expected.
+        expected: usize,
+        /// Size it was given.
+        got: usize,
+    },
+    /// Matrix Market (or other) parse failure, with 1-based line number.
+    Parse {
+        /// Line at which parsing failed.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::InvalidStructure(msg) => write!(f, "invalid sparse structure: {msg}"),
+            SparseError::DimensionMismatch {
+                context,
+                expected,
+                got,
+            } => write!(f, "dimension mismatch in {context}: expected {expected}, got {got}"),
+            SparseError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            SparseError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SparseError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = SparseError::InvalidStructure("bad".into());
+        assert!(e.to_string().contains("bad"));
+        let e = SparseError::DimensionMismatch {
+            context: "spmv".into(),
+            expected: 4,
+            got: 5,
+        };
+        assert!(e.to_string().contains("spmv"));
+        assert!(e.to_string().contains('4'));
+        let e = SparseError::Parse {
+            line: 7,
+            message: "nope".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn io_error_source() {
+        use std::error::Error;
+        let e = SparseError::from(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,183 @@
+//! Sparsity feature extraction — the paper's Table I parameters, which
+//! feed the two-stage machine-learning model, plus the extended
+//! histogram-based features that §IV-C proposes as future work.
+
+use crate::csr::CsrMatrix;
+use crate::histogram::RowHistogram;
+use crate::scalar::Scalar;
+use serde::{Deserialize, Serialize};
+
+/// Which feature vector to extract.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeatureSet {
+    /// Exactly Table I: `{M, N, NNZ, Var_NNZ, Avg_NNZ, Min_NNZ, Max_NNZ}`.
+    TableI,
+    /// Table I plus the row-NNZ histogram shares the paper's §IV-C
+    /// ("Parameters") suggests to capture the ratio of short/medium/long
+    /// rows.
+    Extended,
+}
+
+/// The extracted feature parameters of one sparse matrix (Table I).
+///
+/// * Basic matrix info: `m` (rows), `n` (columns), `nnz`.
+/// * Non-zero distribution info: variance, average, minimum and maximum of
+///   non-zeros per row.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MatrixFeatures {
+    /// `M` — the number of rows.
+    pub m: usize,
+    /// `N` — the number of columns.
+    pub n: usize,
+    /// `NNZ` — the overall number of non-zeros.
+    pub nnz: usize,
+    /// `Var_NNZ` — the (population) variance of non-zeros per row.
+    pub var_nnz: f64,
+    /// `Avg_NNZ` — the average of non-zeros per row.
+    pub avg_nnz: f64,
+    /// `Min_NNZ` — the minimum of non-zeros per row.
+    pub min_nnz: usize,
+    /// `Max_NNZ` — the maximum of non-zeros per row.
+    pub max_nnz: usize,
+    /// Extended features (§IV-C): share of rows whose NNZ falls in each
+    /// power-of-ten histogram bucket `[1, 10), [10, 100), [100, 1000), ≥1000`
+    /// plus the share of empty rows. Empty unless [`FeatureSet::Extended`]
+    /// was requested.
+    pub hist_shares: Vec<f64>,
+}
+
+impl MatrixFeatures {
+    /// Extract features from a CSR matrix.
+    pub fn extract<T: Scalar>(a: &CsrMatrix<T>, set: FeatureSet) -> Self {
+        let m = a.n_rows();
+        let nnz = a.nnz();
+        let avg = if m == 0 { 0.0 } else { nnz as f64 / m as f64 };
+        let mut min_nnz = usize::MAX;
+        let mut max_nnz = 0usize;
+        let mut var_acc = 0.0f64;
+        for i in 0..m {
+            let r = a.row_nnz(i);
+            min_nnz = min_nnz.min(r);
+            max_nnz = max_nnz.max(r);
+            let d = r as f64 - avg;
+            var_acc += d * d;
+        }
+        if m == 0 {
+            min_nnz = 0;
+        }
+        let var_nnz = if m == 0 { 0.0 } else { var_acc / m as f64 };
+        let hist_shares = match set {
+            FeatureSet::TableI => Vec::new(),
+            FeatureSet::Extended => {
+                let h = RowHistogram::of_matrix(a);
+                h.decade_shares()
+            }
+        };
+        Self {
+            m,
+            n: a.n_cols(),
+            nnz,
+            var_nnz,
+            avg_nnz: avg,
+            min_nnz,
+            max_nnz,
+            hist_shares,
+        }
+    }
+
+    /// Flatten into the numeric attribute vector consumed by the learner,
+    /// in the fixed order `{M, N, NNZ, Var_NNZ, Avg_NNZ, Min_NNZ, Max_NNZ}`
+    /// (then histogram shares, when extended).
+    pub fn to_vec(&self) -> Vec<f64> {
+        let mut v = vec![
+            self.m as f64,
+            self.n as f64,
+            self.nnz as f64,
+            self.var_nnz,
+            self.avg_nnz,
+            self.min_nnz as f64,
+            self.max_nnz as f64,
+        ];
+        v.extend_from_slice(&self.hist_shares);
+        v
+    }
+
+    /// Names for each position of [`to_vec`](Self::to_vec), used when
+    /// printing learned rule-sets.
+    pub fn attr_names(set: FeatureSet) -> Vec<&'static str> {
+        let mut names = vec![
+            "M", "N", "NNZ", "Var_NNZ", "Avg_NNZ", "Min_NNZ", "Max_NNZ",
+        ];
+        if set == FeatureSet::Extended {
+            names.extend_from_slice(&[
+                "Share_empty",
+                "Share_1_10",
+                "Share_10_100",
+                "Share_100_1000",
+                "Share_ge_1000",
+            ]);
+        }
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::figure1_example;
+
+    #[test]
+    fn table1_features_of_figure1() {
+        let a = figure1_example::<f64>();
+        let f = MatrixFeatures::extract(&a, FeatureSet::TableI);
+        assert_eq!(f.m, 4);
+        assert_eq!(f.n, 4);
+        assert_eq!(f.nnz, 8);
+        assert_eq!(f.avg_nnz, 2.0);
+        assert_eq!(f.min_nnz, 1);
+        assert_eq!(f.max_nnz, 3);
+        // rows have nnz {2,2,1,3}; var = ((0)^2+(0)^2+(1)^2+(1)^2)/4 = 0.5
+        assert!((f.var_nnz - 0.5).abs() < 1e-12);
+        assert!(f.hist_shares.is_empty());
+    }
+
+    #[test]
+    fn extended_features_have_five_shares_summing_to_one() {
+        let a = figure1_example::<f64>();
+        let f = MatrixFeatures::extract(&a, FeatureSet::Extended);
+        assert_eq!(f.hist_shares.len(), 5);
+        let s: f64 = f.hist_shares.iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_features_are_zero() {
+        let a = crate::csr::CsrMatrix::<f64>::zeros(0, 0);
+        let f = MatrixFeatures::extract(&a, FeatureSet::TableI);
+        assert_eq!(f.m, 0);
+        assert_eq!(f.nnz, 0);
+        assert_eq!(f.avg_nnz, 0.0);
+        assert_eq!(f.min_nnz, 0);
+        assert_eq!(f.max_nnz, 0);
+    }
+
+    #[test]
+    fn vector_order_is_stable() {
+        let a = figure1_example::<f64>();
+        let f = MatrixFeatures::extract(&a, FeatureSet::TableI);
+        let v = f.to_vec();
+        assert_eq!(v.len(), MatrixFeatures::attr_names(FeatureSet::TableI).len());
+        assert_eq!(v[0], 4.0); // M
+        assert_eq!(v[2], 8.0); // NNZ
+        assert_eq!(v[6], 3.0); // Max_NNZ
+    }
+
+    #[test]
+    fn uniform_rows_have_zero_variance() {
+        let a = crate::csr::CsrMatrix::<f64>::identity(10);
+        let f = MatrixFeatures::extract(&a, FeatureSet::TableI);
+        assert_eq!(f.var_nnz, 0.0);
+        assert_eq!(f.min_nnz, 1);
+        assert_eq!(f.max_nnz, 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Banded and stencil matrices: materials/2D-3D mesh problems
+//! (`cryg10000`, `whitaker3_dual` in Table II) concentrate their
+//! non-zeros near the diagonal with very regular, short rows.
+
+use super::{gen_value, seeded_rng, RowsBuilder};
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+
+/// An `n × n` banded matrix with the given half-bandwidth: row `i` holds
+/// non-zeros in columns `[i - hb, i + hb]` clipped to the matrix.
+pub fn banded<T: Scalar>(n: usize, half_bandwidth: usize, seed: u64) -> CsrMatrix<T> {
+    let mut rng = seeded_rng(seed);
+    let mut b = RowsBuilder::with_capacity(n, n, n * (2 * half_bandwidth + 1));
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    for i in 0..n {
+        cols.clear();
+        vals.clear();
+        let lo = i.saturating_sub(half_bandwidth);
+        let hi = (i + half_bandwidth).min(n - 1);
+        for c in lo..=hi {
+            cols.push(c as u32);
+            vals.push(gen_value::<T>(&mut rng));
+        }
+        b.push_row_sorted(&cols, &vals);
+    }
+    b.finish()
+}
+
+/// The 1-D Poisson stencil `tridiag(-1, 2, -1)` of size `n` — the
+/// canonical symmetric positive-definite test matrix for the CG example.
+pub fn laplacian_1d<T: Scalar>(n: usize) -> CsrMatrix<T> {
+    let mut b = RowsBuilder::with_capacity(n, n, 3 * n);
+    let (one, two) = (T::ONE, T::from_f64(2.0));
+    let neg = T::ZERO - one;
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    for i in 0..n {
+        cols.clear();
+        vals.clear();
+        if i > 0 {
+            cols.push((i - 1) as u32);
+            vals.push(neg);
+        }
+        cols.push(i as u32);
+        vals.push(two);
+        if i + 1 < n {
+            cols.push((i + 1) as u32);
+            vals.push(neg);
+        }
+        b.push_row_sorted(&cols, &vals);
+    }
+    b.finish()
+}
+
+/// The 5-point 2-D Poisson stencil on a `gx × gy` grid (size
+/// `gx·gy × gx·gy`), symmetric positive definite. This is the structure of
+/// `apache1`-style structural problems and the CG example's default
+/// operator.
+pub fn laplacian_2d<T: Scalar>(gx: usize, gy: usize) -> CsrMatrix<T> {
+    let n = gx * gy;
+    let mut b = RowsBuilder::with_capacity(n, n, 5 * n);
+    let four = T::from_f64(4.0);
+    let neg = T::ZERO - T::ONE;
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    for y in 0..gy {
+        for x in 0..gx {
+            let i = y * gx + x;
+            cols.clear();
+            vals.clear();
+            if y > 0 {
+                cols.push((i - gx) as u32);
+                vals.push(neg);
+            }
+            if x > 0 {
+                cols.push((i - 1) as u32);
+                vals.push(neg);
+            }
+            cols.push(i as u32);
+            vals.push(four);
+            if x + 1 < gx {
+                cols.push((i + 1) as u32);
+                vals.push(neg);
+            }
+            if y + 1 < gy {
+                cols.push((i + gx) as u32);
+                vals.push(neg);
+            }
+            b.push_row_sorted(&cols, &vals);
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banded_row_widths() {
+        let a = banded::<f64>(10, 2, 1);
+        assert_eq!(a.row_nnz(0), 3); // cols 0..=2
+        assert_eq!(a.row_nnz(5), 5); // cols 3..=7
+        assert_eq!(a.row_nnz(9), 3); // cols 7..=9
+        assert!(a.rows_sorted());
+    }
+
+    #[test]
+    fn laplacian_1d_structure() {
+        let a = laplacian_1d::<f64>(5);
+        assert_eq!(a.nnz(), 3 * 5 - 2);
+        let (cols, vals) = a.row(2);
+        assert_eq!(cols, &[1, 2, 3]);
+        assert_eq!(vals, &[-1.0, 2.0, -1.0]);
+    }
+
+    #[test]
+    fn laplacian_1d_is_symmetric() {
+        let a = laplacian_1d::<f64>(8);
+        assert_eq!(a, a.transpose());
+    }
+
+    #[test]
+    fn laplacian_2d_structure() {
+        let a = laplacian_2d::<f64>(3, 3);
+        assert_eq!(a.n_rows(), 9);
+        // Corner has 3 entries, edge 4, interior 5.
+        assert_eq!(a.row_nnz(0), 3);
+        assert_eq!(a.row_nnz(1), 4);
+        assert_eq!(a.row_nnz(4), 5);
+        assert_eq!(a, a.transpose());
+    }
+
+    #[test]
+    fn laplacian_2d_row_sums_nonneg() {
+        // Diagonally dominant: row sums are >= 0 (0 in the interior).
+        let a = laplacian_2d::<f64>(4, 4);
+        for i in 0..a.n_rows() {
+            let (_, vals) = a.row(i);
+            let s: f64 = vals.iter().sum();
+            assert!(s >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Block-structured matrices: FEM/structural problems (`crankseg_2`,
+//! `pkustk14`, `pcrystk02` in Table II) couple small dense node blocks,
+//! giving uniformly *long* rows (tens to hundreds of NNZ).
+
+use super::{gen_value, seeded_rng, RowsBuilder};
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+use rand::Rng;
+
+/// Generate a block-structured `n × n` matrix (`n = n_blocks ·
+/// block_size`): each block row holds its diagonal block plus
+/// `coupling` randomly chosen neighbour blocks, every block fully dense.
+/// Rows therefore carry `(1 + coupling) · block_size` non-zeros each.
+pub fn block_structured<T: Scalar>(
+    n_blocks: usize,
+    block_size: usize,
+    coupling: usize,
+    seed: u64,
+) -> CsrMatrix<T> {
+    let n = n_blocks * block_size;
+    let mut rng = seeded_rng(seed);
+    let per_row = (1 + coupling).min(n_blocks) * block_size;
+    let mut b = RowsBuilder::with_capacity(n, n, n * per_row);
+    let mut block_cols: Vec<usize> = Vec::new();
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    for bi in 0..n_blocks {
+        // Pick the coupled blocks once per block row (all rows of the
+        // block share the same sparsity, as in FEM assembly).
+        block_cols.clear();
+        block_cols.push(bi);
+        while block_cols.len() < (1 + coupling).min(n_blocks) {
+            // Prefer near-diagonal neighbours, as meshes do.
+            let span = (n_blocks / 8).max(2);
+            let off = rng.gen_range(0..=2 * span) as isize - span as isize;
+            let bj = (bi as isize + off).rem_euclid(n_blocks as isize) as usize;
+            if !block_cols.contains(&bj) {
+                block_cols.push(bj);
+            }
+        }
+        block_cols.sort_unstable();
+        for _ in 0..block_size {
+            cols.clear();
+            vals.clear();
+            for &bj in &block_cols {
+                for k in 0..block_size {
+                    cols.push((bj * block_size + k) as u32);
+                    vals.push(gen_value::<T>(&mut rng));
+                }
+            }
+            b.push_row_sorted(&cols, &vals);
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_uniformly_long() {
+        let a = block_structured::<f64>(16, 8, 3, 1);
+        assert_eq!(a.n_rows(), 128);
+        for i in 0..a.n_rows() {
+            assert_eq!(a.row_nnz(i), 4 * 8);
+        }
+        assert!(a.rows_sorted());
+    }
+
+    #[test]
+    fn diagonal_block_is_present() {
+        let a = block_structured::<f64>(8, 4, 2, 2);
+        for i in 0..a.n_rows() {
+            let bi = i / 4;
+            let (cols, _) = a.row(i);
+            for k in 0..4 {
+                let want = (bi * 4 + k) as u32;
+                assert!(cols.contains(&want), "row {i} missing diagonal col {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn coupling_clamped_to_block_count() {
+        let a = block_structured::<f32>(2, 3, 10, 3);
+        for i in 0..a.n_rows() {
+            assert_eq!(a.row_nnz(i), 2 * 3);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Combinatorial incidence matrices (`ch7-9-b3`, `D6-6`, `shar_te2-b2` in
+//! Table II): tall rectangular simplicial-boundary matrices where *every*
+//! row has exactly the same small number of non-zeros.
+
+use super::{sample_distinct_columns, seeded_rng, RowsBuilder};
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+use rand::Rng;
+
+/// Generate an `m × n` incidence-style matrix with exactly `k` non-zeros
+/// per row, values alternating ±1 as in a boundary operator.
+pub fn incidence<T: Scalar>(m: usize, n: usize, k: usize, seed: u64) -> CsrMatrix<T> {
+    let mut rng = seeded_rng(seed);
+    let mut b = RowsBuilder::with_capacity(n, m, m * k);
+    let mut cols = Vec::new();
+    let mut vals: Vec<T> = Vec::new();
+    let neg = T::ZERO - T::ONE;
+    for _ in 0..m {
+        sample_distinct_columns(&mut rng, n, k, &mut cols);
+        vals.clear();
+        let flip: bool = rng.gen();
+        vals.extend(cols.iter().enumerate().map(|(idx, _)| {
+            if (idx % 2 == 0) ^ flip {
+                T::ONE
+            } else {
+                neg
+            }
+        }));
+        b.push_row_sorted(&cols, &vals);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_k_per_row() {
+        let a = incidence::<f64>(200, 40, 4, 1);
+        assert!((0..200).all(|i| a.row_nnz(i) == 4));
+        assert_eq!(a.nnz(), 800);
+    }
+
+    #[test]
+    fn tall_rectangular_shape() {
+        let a = incidence::<f32>(1000, 100, 3, 2);
+        assert_eq!(a.n_rows(), 1000);
+        assert_eq!(a.n_cols(), 100);
+    }
+
+    #[test]
+    fn values_are_plus_minus_one() {
+        let a = incidence::<f64>(50, 20, 4, 3);
+        assert!(a.values().iter().all(|&v| v == 1.0 || v == -1.0));
+    }
+}

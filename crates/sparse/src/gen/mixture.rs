@@ -1,0 +1,128 @@
+//! Mixture-of-regimes matrices: rows drawn from several length regimes
+//! interleaved in memory. This is the irregular case the paper's binning
+//! motivates (§II-C's 10-row example of 5 short + 5 medium rows), and the
+//! workload where per-bin kernel selection wins the most.
+
+use super::{gen_value, sample_distinct_columns, seeded_rng, RowsBuilder};
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+use rand::Rng;
+
+/// One row-length regime of a mixture matrix.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RowRegime {
+    /// Minimum NNZ of rows in this regime.
+    pub min_nnz: usize,
+    /// Maximum NNZ (inclusive).
+    pub max_nnz: usize,
+    /// Relative weight (probability mass) of this regime.
+    pub weight: f64,
+}
+
+impl RowRegime {
+    /// Convenience constructor.
+    pub fn new(min_nnz: usize, max_nnz: usize, weight: f64) -> Self {
+        assert!(min_nnz <= max_nnz && weight > 0.0);
+        Self {
+            min_nnz,
+            max_nnz,
+            weight,
+        }
+    }
+}
+
+/// Generate an `m × n` matrix whose rows are independently assigned to one
+/// of the `regimes` (probability ∝ weight); each row then draws its NNZ
+/// uniformly within the regime. With `shuffle = false` the regimes appear
+/// in contiguous stretches (like the paper's §II-C example); with
+/// `shuffle = true` they interleave randomly.
+pub fn mixture<T: Scalar>(
+    m: usize,
+    n: usize,
+    regimes: &[RowRegime],
+    shuffle: bool,
+    seed: u64,
+) -> CsrMatrix<T> {
+    assert!(!regimes.is_empty());
+    let mut rng = seeded_rng(seed);
+    let total_w: f64 = regimes.iter().map(|r| r.weight).sum();
+
+    // Assign a regime to every row.
+    let mut assignment: Vec<usize> = if shuffle {
+        (0..m)
+            .map(|_| {
+                let mut u = rng.gen_range(0.0..total_w);
+                for (k, r) in regimes.iter().enumerate() {
+                    if u < r.weight {
+                        return k;
+                    }
+                    u -= r.weight;
+                }
+                regimes.len() - 1
+            })
+            .collect()
+    } else {
+        // Contiguous stretches proportional to weight.
+        let mut v = Vec::with_capacity(m);
+        for (k, r) in regimes.iter().enumerate() {
+            let count = ((r.weight / total_w) * m as f64).round() as usize;
+            v.extend(std::iter::repeat(k).take(count));
+        }
+        v.truncate(m);
+        while v.len() < m {
+            v.push(regimes.len() - 1);
+        }
+        v
+    };
+    debug_assert_eq!(assignment.len(), m);
+
+    let mut b = RowsBuilder::with_capacity(n, m, m * 8);
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    for k in assignment.drain(..) {
+        let r = &regimes[k];
+        let nnz = rng.gen_range(r.min_nnz..=r.max_nnz).min(n);
+        sample_distinct_columns(&mut rng, n, nnz, &mut cols);
+        vals.clear();
+        vals.extend(cols.iter().map(|_| gen_value::<T>(&mut rng)));
+        b.push_row_sorted(&cols, &vals);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_mixture_reproduces_section2c_example() {
+        // 5 short rows (1 nnz) followed by 5 medium rows (9 nnz).
+        let regimes = [RowRegime::new(1, 1, 0.5), RowRegime::new(9, 9, 0.5)];
+        let a = mixture::<f64>(10, 100, &regimes, false, 1);
+        for i in 0..5 {
+            assert_eq!(a.row_nnz(i), 1, "row {i}");
+        }
+        for i in 5..10 {
+            assert_eq!(a.row_nnz(i), 9, "row {i}");
+        }
+    }
+
+    #[test]
+    fn shuffled_mixture_interleaves() {
+        let regimes = [RowRegime::new(1, 1, 0.5), RowRegime::new(64, 64, 0.5)];
+        let a = mixture::<f64>(1000, 2000, &regimes, true, 2);
+        let short = (0..1000).filter(|&i| a.row_nnz(i) == 1).count();
+        assert!(short > 350 && short < 650, "short = {short}");
+        // Interleaved: the first 100 rows should contain both regimes.
+        let head_short = (0..100).filter(|&i| a.row_nnz(i) == 1).count();
+        assert!(head_short > 10 && head_short < 90);
+    }
+
+    #[test]
+    fn weights_shape_the_mixture() {
+        let regimes = [RowRegime::new(1, 2, 0.9), RowRegime::new(100, 120, 0.1)];
+        let a = mixture::<f64>(2000, 4000, &regimes, true, 3);
+        let long = (0..2000).filter(|&i| a.row_nnz(i) >= 100).count();
+        assert!(long > 100 && long < 320, "long = {long}");
+    }
+}

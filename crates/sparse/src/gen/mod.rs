@@ -1,0 +1,201 @@
+//! Deterministic synthetic sparse-matrix generators.
+//!
+//! The paper evaluates on UF-collection matrices from several application
+//! domains (Table II: structural/FEM problems, undirected graphs, road
+//! networks, combinatorial incidence matrices, meshes, quantum chemistry,
+//! CFD). These generators produce matrices with the same row-length
+//! distributions and shapes, deterministically from a seed, standing in
+//! for the proprietary downloads.
+
+pub mod banded;
+pub mod block;
+pub mod incidence;
+pub mod mixture;
+pub mod powerlaw;
+pub mod random;
+pub mod rmat;
+pub mod roadnet;
+
+pub use banded::{banded, laplacian_1d, laplacian_2d};
+pub use block::block_structured;
+pub use incidence::incidence;
+pub use mixture::{mixture, RowRegime};
+pub use powerlaw::powerlaw;
+pub use random::random_uniform;
+pub use rmat::rmat;
+pub use roadnet::road_network;
+
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Incremental CSR builder: rows are appended in order, so `row_ptr` is
+/// monotone by construction.
+pub struct RowsBuilder<T> {
+    n_cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> RowsBuilder<T> {
+    /// Start building a matrix with `n_cols` columns.
+    pub fn new(n_cols: usize) -> Self {
+        Self {
+            n_cols,
+            row_ptr: vec![0],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Pre-allocate for an expected row and non-zero count.
+    pub fn with_capacity(n_cols: usize, rows: usize, nnz: usize) -> Self {
+        let mut b = Self::new(n_cols);
+        b.row_ptr.reserve(rows);
+        b.col_idx.reserve(nnz);
+        b.values.reserve(nnz);
+        b
+    }
+
+    /// Append one row given parallel column/value slices. Columns are
+    /// sorted and deduplicated (last value wins for duplicates).
+    pub fn push_row(&mut self, cols: &[u32], vals: &[T]) {
+        debug_assert_eq!(cols.len(), vals.len());
+        let mut pairs: Vec<(u32, T)> = cols.iter().copied().zip(vals.iter().copied()).collect();
+        pairs.sort_by_key(|&(c, _)| c);
+        pairs.dedup_by_key(|&mut (c, _)| c);
+        for (c, v) in pairs {
+            debug_assert!((c as usize) < self.n_cols);
+            self.col_idx.push(c);
+            self.values.push(v);
+        }
+        self.row_ptr.push(self.col_idx.len());
+    }
+
+    /// Append one row whose columns are already sorted and unique.
+    pub fn push_row_sorted(&mut self, cols: &[u32], vals: &[T]) {
+        debug_assert!(cols.windows(2).all(|w| w[0] < w[1]));
+        self.col_idx.extend_from_slice(cols);
+        self.values.extend_from_slice(vals);
+        self.row_ptr.push(self.col_idx.len());
+    }
+
+    /// Append an empty row.
+    pub fn push_empty_row(&mut self) {
+        self.row_ptr.push(self.col_idx.len());
+    }
+
+    /// Rows appended so far.
+    pub fn rows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Finish and produce the CSR matrix.
+    pub fn finish(self) -> CsrMatrix<T> {
+        let rows = self.row_ptr.len() - 1;
+        CsrMatrix::from_parts_unchecked(rows, self.n_cols, self.row_ptr, self.col_idx, self.values)
+    }
+}
+
+/// Draw `k` distinct column indices from `[0, n_cols)`, sorted ascending.
+///
+/// Uses rejection sampling with a scratch sort — efficient for the sparse
+/// regime (`k ≪ n_cols`) and exact (falls back to a partial
+/// Fisher–Yates when `k` approaches `n_cols`).
+pub fn sample_distinct_columns(rng: &mut StdRng, n_cols: usize, k: usize, out: &mut Vec<u32>) {
+    out.clear();
+    let k = k.min(n_cols);
+    if k == 0 {
+        return;
+    }
+    if k * 4 >= n_cols {
+        // Dense regime: partial Fisher–Yates over all columns.
+        let mut cols: Vec<u32> = (0..n_cols as u32).collect();
+        for i in 0..k {
+            let j = rng.gen_range(i..n_cols);
+            cols.swap(i, j);
+        }
+        out.extend_from_slice(&cols[..k]);
+        out.sort_unstable();
+        return;
+    }
+    // Sparse regime: rejection sampling.
+    while out.len() < k {
+        let need = k - out.len();
+        for _ in 0..need {
+            out.push(rng.gen_range(0..n_cols as u32));
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+}
+
+/// A deterministic RNG from a 64-bit seed (all generators use this).
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Draw a non-zero value in `[0.1, 1.0]` (bounded away from zero so
+/// accumulated sums stay well conditioned in tests).
+pub fn gen_value<T: Scalar>(rng: &mut StdRng) -> T {
+    T::from_f64(rng.gen_range(0.1..=1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_valid_matrix() {
+        let mut b = RowsBuilder::<f64>::new(5);
+        b.push_row(&[3, 1], &[30.0, 10.0]);
+        b.push_empty_row();
+        b.push_row_sorted(&[0, 4], &[1.0, 2.0]);
+        let a = b.finish();
+        assert_eq!(a.n_rows(), 3);
+        assert_eq!(a.nnz(), 4);
+        assert!(a.rows_sorted());
+        let (cols, vals) = a.row(0);
+        assert_eq!(cols, &[1, 3]);
+        assert_eq!(vals, &[10.0, 30.0]);
+    }
+
+    #[test]
+    fn builder_dedups_duplicate_columns() {
+        let mut b = RowsBuilder::<f64>::new(4);
+        b.push_row(&[2, 2, 1], &[1.0, 2.0, 3.0]);
+        let a = b.finish();
+        assert_eq!(a.row_nnz(0), 2);
+    }
+
+    #[test]
+    fn sample_distinct_columns_is_distinct_and_sorted() {
+        let mut rng = seeded_rng(7);
+        let mut out = Vec::new();
+        for &(n, k) in &[(100usize, 10usize), (16, 16), (1000, 3), (8, 6)] {
+            sample_distinct_columns(&mut rng, n, k, &mut out);
+            assert_eq!(out.len(), k.min(n));
+            assert!(out.windows(2).all(|w| w[0] < w[1]));
+            assert!(out.iter().all(|&c| (c as usize) < n));
+        }
+    }
+
+    #[test]
+    fn sample_clamps_k_to_n() {
+        let mut rng = seeded_rng(1);
+        let mut out = Vec::new();
+        sample_distinct_columns(&mut rng, 4, 10, &mut out);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = random_uniform::<f64>(50, 50, 1, 8, 42);
+        let b = random_uniform::<f64>(50, 50, 1, 8, 42);
+        assert_eq!(a, b);
+        let c = random_uniform::<f64>(50, 50, 1, 8, 43);
+        assert_ne!(a, c);
+    }
+}

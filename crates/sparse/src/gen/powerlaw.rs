@@ -1,0 +1,75 @@
+//! Power-law (scale-free) degree distributions: web/social-style graphs
+//! where most rows are very short and a few are very long — the regime
+//! where binning pays off most.
+
+use super::{gen_value, sample_distinct_columns, seeded_rng, RowsBuilder};
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+use rand::Rng;
+
+/// Generate an `n × n` adjacency-like matrix whose row degrees follow a
+/// truncated discrete power law: `P(deg = d) ∝ d^(-alpha)` for
+/// `d ∈ [min_deg, max_deg]`.
+///
+/// Sampling uses the inverse-CDF of the (continuous) Pareto distribution
+/// rounded to integers, which is accurate enough for workload shaping.
+pub fn powerlaw<T: Scalar>(
+    n: usize,
+    min_deg: usize,
+    max_deg: usize,
+    alpha: f64,
+    seed: u64,
+) -> CsrMatrix<T> {
+    assert!(min_deg >= 1 && min_deg <= max_deg);
+    assert!(alpha > 1.0, "power-law exponent must exceed 1");
+    let mut rng = seeded_rng(seed);
+    let mut b = RowsBuilder::with_capacity(n, n, n * min_deg * 2);
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    let (lo, hi) = (min_deg as f64, max_deg as f64 + 1.0);
+    let a1 = 1.0 - alpha;
+    let (lo_p, hi_p) = (lo.powf(a1), hi.powf(a1));
+    for _ in 0..n {
+        // Inverse CDF of truncated Pareto.
+        let u: f64 = rng.gen();
+        let x = (lo_p + u * (hi_p - lo_p)).powf(1.0 / a1);
+        let deg = (x.floor() as usize).clamp(min_deg, max_deg).min(n);
+        sample_distinct_columns(&mut rng, n, deg, &mut cols);
+        vals.clear();
+        vals.extend(cols.iter().map(|_| gen_value::<T>(&mut rng)));
+        b.push_row_sorted(&cols, &vals);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrees_within_bounds() {
+        let a = powerlaw::<f64>(500, 1, 100, 2.2, 9);
+        for i in 0..a.n_rows() {
+            let d = a.row_nnz(i);
+            assert!((1..=100).contains(&d));
+        }
+    }
+
+    #[test]
+    fn distribution_is_heavy_tailed() {
+        let a = powerlaw::<f64>(5000, 1, 200, 2.0, 10);
+        let short = (0..a.n_rows()).filter(|&i| a.row_nnz(i) <= 4).count();
+        let long = (0..a.n_rows()).filter(|&i| a.row_nnz(i) >= 50).count();
+        // Most rows are short, but a non-trivial tail of long rows exists.
+        assert!(short > a.n_rows() / 2, "short = {short}");
+        assert!(long > 0, "expected a heavy tail");
+        assert!(short > 10 * long);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = powerlaw::<f32>(100, 1, 50, 2.5, 3);
+        let b = powerlaw::<f32>(100, 1, 50, 2.5, 3);
+        assert_eq!(a, b);
+    }
+}

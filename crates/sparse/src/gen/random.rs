@@ -1,0 +1,72 @@
+//! Uniform random sparsity: every row draws its NNZ uniformly from a
+//! range and places them in random distinct columns. The simplest
+//! "no structure" workload, and the backbone of the training corpus.
+
+use super::{gen_value, sample_distinct_columns, seeded_rng, RowsBuilder};
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+use rand::Rng;
+
+/// Generate an `m × n` matrix whose rows have between `min_nnz` and
+/// `max_nnz` (inclusive) non-zeros in uniformly random columns.
+///
+/// # Panics
+///
+/// Panics if `min_nnz > max_nnz`.
+pub fn random_uniform<T: Scalar>(
+    m: usize,
+    n: usize,
+    min_nnz: usize,
+    max_nnz: usize,
+    seed: u64,
+) -> CsrMatrix<T> {
+    assert!(min_nnz <= max_nnz, "min_nnz > max_nnz");
+    let mut rng = seeded_rng(seed);
+    let mut b = RowsBuilder::with_capacity(n, m, m * (min_nnz + max_nnz) / 2);
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    for _ in 0..m {
+        let k = rng.gen_range(min_nnz..=max_nnz).min(n);
+        sample_distinct_columns(&mut rng, n, k, &mut cols);
+        vals.clear();
+        vals.extend(cols.iter().map(|_| gen_value::<T>(&mut rng)));
+        b.push_row_sorted(&cols, &vals);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_and_bounds_hold() {
+        let a = random_uniform::<f64>(100, 80, 2, 6, 1);
+        assert_eq!(a.n_rows(), 100);
+        assert_eq!(a.n_cols(), 80);
+        for i in 0..a.n_rows() {
+            let r = a.row_nnz(i);
+            assert!((2..=6).contains(&r), "row {i} has {r} nnz");
+        }
+        assert!(a.rows_sorted());
+    }
+
+    #[test]
+    fn fixed_nnz_per_row() {
+        let a = random_uniform::<f32>(30, 30, 4, 4, 2);
+        assert!((0..30).all(|i| a.row_nnz(i) == 4));
+        assert_eq!(a.nnz(), 120);
+    }
+
+    #[test]
+    fn nnz_clamped_by_columns() {
+        let a = random_uniform::<f64>(5, 3, 10, 10, 3);
+        assert!((0..5).all(|i| a.row_nnz(i) == 3));
+    }
+
+    #[test]
+    fn values_are_nonzero() {
+        let a = random_uniform::<f64>(20, 20, 1, 5, 4);
+        assert!(a.values().iter().all(|&v| v >= 0.1 && v <= 1.0));
+    }
+}

@@ -1,0 +1,89 @@
+//! Recursive-matrix (R-MAT) graph generator (Chakrabarti, Zhan &
+//! Faloutsos, 2004): produces the skewed, community-structured adjacency
+//! matrices typical of the undirected-graph entries in Table II
+//! (`bfly`, `dictionary28`).
+
+use super::{gen_value, seeded_rng};
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+use rand::Rng;
+
+/// Generate an R-MAT graph with `2^scale` vertices and roughly
+/// `edge_factor · 2^scale` distinct edges (duplicates are merged).
+///
+/// `(a, b, c)` are the standard recursive quadrant probabilities (the
+/// fourth is `1 - a - b - c`). Kronecker-style defaults:
+/// `a = 0.57, b = 0.19, c = 0.19`.
+pub fn rmat<T: Scalar>(
+    scale: u32,
+    edge_factor: usize,
+    a: f64,
+    b: f64,
+    c: f64,
+    seed: u64,
+) -> CsrMatrix<T> {
+    assert!(a + b + c <= 1.0 + 1e-12, "quadrant probabilities exceed 1");
+    let n = 1usize << scale;
+    let edges = edge_factor * n;
+    let mut rng = seeded_rng(seed);
+    let mut coo = CooMatrix::<T>::with_capacity(n, n, edges);
+    for _ in 0..edges {
+        let (mut r0, mut r1, mut c0, mut c1) = (0usize, n, 0usize, n);
+        while r1 - r0 > 1 {
+            let u: f64 = rng.gen();
+            let (rh, ch) = ((r0 + r1) / 2, (c0 + c1) / 2);
+            if u < a {
+                r1 = rh;
+                c1 = ch;
+            } else if u < a + b {
+                r1 = rh;
+                c0 = ch;
+            } else if u < a + b + c {
+                r0 = rh;
+                c1 = ch;
+            } else {
+                r0 = rh;
+                c0 = ch;
+            }
+        }
+        coo.push(r0, c0, gen_value::<T>(&mut rng));
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_are_power_of_two() {
+        let a = rmat::<f64>(8, 4, 0.57, 0.19, 0.19, 5);
+        assert_eq!(a.n_rows(), 256);
+        assert_eq!(a.n_cols(), 256);
+        assert!(a.nnz() <= 4 * 256);
+        assert!(a.nnz() > 256); // duplicates merge, but most survive
+    }
+
+    #[test]
+    fn skewed_parameters_concentrate_mass_in_first_quadrant() {
+        let a = rmat::<f64>(10, 8, 0.7, 0.1, 0.1, 6);
+        let m = a.n_rows();
+        let top: usize = (0..m / 4).map(|i| a.row_nnz(i)).sum();
+        let bottom: usize = (3 * m / 4..m).map(|i| a.row_nnz(i)).sum();
+        assert!(
+            top > 3 * bottom,
+            "expected top-quadrant skew, top = {top}, bottom = {bottom}"
+        );
+    }
+
+    #[test]
+    fn uniform_parameters_spread_mass() {
+        let a = rmat::<f64>(9, 6, 0.25, 0.25, 0.25, 7);
+        let m = a.n_rows();
+        let top: usize = (0..m / 2).map(|i| a.row_nnz(i)).sum();
+        let bottom: usize = (m / 2..m).map(|i| a.row_nnz(i)).sum();
+        let ratio = top as f64 / bottom.max(1) as f64;
+        assert!(ratio > 0.7 && ratio < 1.4, "ratio = {ratio}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Road-network-like graphs (`roadNet-CA`, `europe_osm` in Table II):
+//! near-planar grids with degree ~2–4 and enormous row counts — the
+//! extreme short-row regime.
+
+use super::{gen_value, seeded_rng};
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+use rand::Rng;
+
+/// Generate a road-network-like symmetric adjacency matrix on a
+/// `gx × gy` lattice: each node connects to its right/down neighbours
+/// with probability `keep`, plus occasional "shortcut" edges, yielding
+/// average degree ≈ `2·keep` to `4·keep` like real road graphs.
+pub fn road_network<T: Scalar>(gx: usize, gy: usize, keep: f64, seed: u64) -> CsrMatrix<T> {
+    let n = gx * gy;
+    let mut rng = seeded_rng(seed);
+    let mut coo = CooMatrix::<T>::with_capacity(n, n, 4 * n);
+    let add = |coo: &mut CooMatrix<T>, a: usize, bn: usize, rng: &mut rand::rngs::StdRng| {
+        let v = gen_value::<T>(rng);
+        coo.push(a, bn, v);
+        coo.push(bn, a, v);
+    };
+    for y in 0..gy {
+        for x in 0..gx {
+            let i = y * gx + x;
+            if x + 1 < gx && rng.gen_bool(keep) {
+                add(&mut coo, i, i + 1, &mut rng);
+            }
+            if y + 1 < gy && rng.gen_bool(keep) {
+                add(&mut coo, i, i + gx, &mut rng);
+            }
+            // Rare shortcut (bridge/highway), ~1% of nodes.
+            if rng.gen_bool(0.01) {
+                let j = rng.gen_range(0..n);
+                if j != i {
+                    add(&mut coo, i, j, &mut rng);
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrees_are_small() {
+        let a = road_network::<f64>(50, 50, 0.9, 1);
+        let max_deg = (0..a.n_rows()).map(|i| a.row_nnz(i)).max().unwrap();
+        let avg = a.nnz() as f64 / a.n_rows() as f64;
+        assert!(avg > 1.0 && avg < 5.0, "avg degree = {avg}");
+        assert!(max_deg <= 10, "max degree = {max_deg}");
+    }
+
+    #[test]
+    fn matrix_is_symmetric() {
+        let a = road_network::<f64>(20, 20, 0.8, 2);
+        assert_eq!(a, a.transpose());
+    }
+
+    #[test]
+    fn keep_probability_thins_the_graph() {
+        let dense = road_network::<f64>(40, 40, 1.0, 3);
+        let sparse = road_network::<f64>(40, 40, 0.5, 3);
+        assert!(sparse.nnz() < dense.nnz());
+    }
+}

@@ -1,0 +1,247 @@
+//! Row-length (NNZ-per-row) histograms.
+//!
+//! Figure 5 of the paper plots the histogram of non-zeros per row over
+//! 2760 UF-collection matrices to motivate the kernel pool: about 98.7%
+//! of all rows have ≤ 100 non-zeros, so no multi-work-group kernels are
+//! needed. [`RowHistogram`] regenerates that figure over our synthetic
+//! corpus and also backs the extended feature set.
+
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+use serde::{Deserialize, Serialize};
+
+/// A histogram over the number of non-zeros per row.
+///
+/// Buckets are `[lo, hi)` ranges; an implicit overflow bucket catches
+/// everything at or above the last edge.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RowHistogram {
+    /// Bucket lower edges; bucket `i` covers `[edges[i], edges[i+1])` and
+    /// the last bucket covers `[edges.last(), ∞)`.
+    edges: Vec<usize>,
+    counts: Vec<u64>,
+    total_rows: u64,
+}
+
+impl RowHistogram {
+    /// Histogram with the given ascending bucket edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edges` is empty or not strictly ascending.
+    pub fn with_edges(edges: Vec<usize>) -> Self {
+        assert!(!edges.is_empty(), "need at least one bucket edge");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be strictly ascending"
+        );
+        let n = edges.len();
+        Self {
+            edges,
+            counts: vec![0; n],
+            total_rows: 0,
+        }
+    }
+
+    /// The bucket layout used throughout the reproduction (and by the
+    /// extended features): `0, [1,10), [10,100), [100,1000), ≥1000`.
+    pub fn decades() -> Self {
+        Self::with_edges(vec![0, 1, 10, 100, 1000])
+    }
+
+    /// Figure-5 style buckets: finer granularity under 100 NNZ.
+    pub fn figure5() -> Self {
+        Self::with_edges(vec![0, 1, 2, 4, 8, 16, 32, 64, 100, 1000, 10_000])
+    }
+
+    /// Build the decade histogram of one matrix.
+    pub fn of_matrix<T: Scalar>(a: &CsrMatrix<T>) -> Self {
+        let mut h = Self::decades();
+        h.add_matrix(a);
+        h
+    }
+
+    /// Record one row length.
+    #[inline]
+    pub fn add_row(&mut self, nnz: usize) {
+        // Linear scan: bucket counts are tiny (≤ ~12) so this beats a
+        // binary search in practice.
+        let mut idx = self.edges.len() - 1;
+        for (i, w) in self.edges.windows(2).enumerate() {
+            if nnz >= w[0] && nnz < w[1] {
+                idx = i;
+                break;
+            }
+        }
+        self.counts[idx] += 1;
+        self.total_rows += 1;
+    }
+
+    /// Record every row of a matrix.
+    pub fn add_matrix<T: Scalar>(&mut self, a: &CsrMatrix<T>) {
+        for i in 0..a.n_rows() {
+            self.add_row(a.row_nnz(i));
+        }
+    }
+
+    /// Merge another histogram with identical bucket edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edges differ.
+    pub fn merge(&mut self, other: &RowHistogram) {
+        assert_eq!(self.edges, other.edges, "histogram layouts differ");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total_rows += other.total_rows;
+    }
+
+    /// Total rows recorded.
+    pub fn total_rows(&self) -> u64 {
+        self.total_rows
+    }
+
+    /// Raw bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Bucket edges.
+    pub fn edges(&self) -> &[usize] {
+        &self.edges
+    }
+
+    /// Share of rows per bucket, in bucket order (sums to 1 when any rows
+    /// were recorded).
+    pub fn shares(&self) -> Vec<f64> {
+        if self.total_rows == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total_rows as f64)
+            .collect()
+    }
+
+    /// Shares for the decade layout (used by the extended feature set).
+    pub fn decade_shares(&self) -> Vec<f64> {
+        self.shares()
+    }
+
+    /// Cumulative share of rows with NNZ strictly below `limit`
+    /// (e.g. `limit = 101` reproduces the paper's "98.7% of rows have
+    /// ≤ 100 non-zeros" statistic when the bucket edges align).
+    pub fn cumulative_share_below(&self, limit: usize) -> f64 {
+        if self.total_rows == 0 {
+            return 0.0;
+        }
+        let mut acc = 0u64;
+        for (i, w) in self.edges.windows(2).enumerate() {
+            if w[1] <= limit {
+                acc += self.counts[i];
+            }
+        }
+        if *self.edges.last().unwrap() < limit {
+            acc += self.counts[self.edges.len() - 1];
+        }
+        acc as f64 / self.total_rows as f64
+    }
+
+    /// Human-readable bucket labels (`"[10, 100)"`, `"≥ 1000"`, …).
+    pub fn labels(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .edges
+            .windows(2)
+            .map(|w| {
+                if w[1] == w[0] + 1 {
+                    format!("{}", w[0])
+                } else {
+                    format!("[{}, {})", w[0], w[1])
+                }
+            })
+            .collect();
+        out.push(format!(">= {}", self.edges.last().unwrap()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::figure1_example;
+
+    #[test]
+    fn decades_bucket_assignment() {
+        let mut h = RowHistogram::decades();
+        h.add_row(0); // bucket 0 (empty rows)
+        h.add_row(1); // [1,10)
+        h.add_row(9); // [1,10)
+        h.add_row(10); // [10,100)
+        h.add_row(99); // [10,100)
+        h.add_row(100); // [100,1000)
+        h.add_row(5000); // overflow >= 1000
+        assert_eq!(h.counts(), &[1, 2, 2, 1, 1]);
+        assert_eq!(h.total_rows(), 7);
+    }
+
+    #[test]
+    fn of_matrix_counts_rows() {
+        let h = RowHistogram::of_matrix(&figure1_example::<f64>());
+        assert_eq!(h.total_rows(), 4);
+        // rows have 2,2,1,3 nnz → all in [1,10)
+        assert_eq!(h.counts(), &[0, 4, 0, 0, 0]);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let h = RowHistogram::of_matrix(&figure1_example::<f64>());
+        let s: f64 = h.shares().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cumulative_share_below_counts_whole_buckets() {
+        let mut h = RowHistogram::decades();
+        for nnz in [1, 5, 50, 500, 5000] {
+            h.add_row(nnz);
+        }
+        assert!((h.cumulative_share_below(10) - 0.4).abs() < 1e-12);
+        assert!((h.cumulative_share_below(100) - 0.6).abs() < 1e-12);
+        assert!((h.cumulative_share_below(1000) - 0.8).abs() < 1e-12);
+        assert!((h.cumulative_share_below(1_000_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = RowHistogram::decades();
+        a.add_row(1);
+        let mut b = RowHistogram::decades();
+        b.add_row(20);
+        b.add_row(2);
+        a.merge(&b);
+        assert_eq!(a.total_rows(), 3);
+        assert_eq!(a.counts(), &[0, 2, 1, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram layouts differ")]
+    fn merge_rejects_mismatched_layouts() {
+        let mut a = RowHistogram::decades();
+        let b = RowHistogram::figure5();
+        a.merge(&b);
+    }
+
+    #[test]
+    fn labels_cover_every_bucket() {
+        let h = RowHistogram::decades();
+        assert_eq!(h.labels().len(), h.counts().len());
+    }
+
+    #[test]
+    fn empty_histogram_shares_are_zero() {
+        let h = RowHistogram::decades();
+        assert_eq!(h.shares(), vec![0.0; 5]);
+        assert_eq!(h.cumulative_share_below(100), 0.0);
+    }
+}

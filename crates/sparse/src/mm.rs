@@ -1,0 +1,296 @@
+//! Matrix Market I/O.
+//!
+//! The UF (SuiteSparse) collection the paper trains on is distributed in
+//! the Matrix Market exchange format. This module implements the subset
+//! used by that collection: `matrix coordinate {real|integer|pattern}
+//! {general|symmetric|skew-symmetric}` plus `array real general` for dense
+//! vectors.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Value field declared in the Matrix Market header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MmField {
+    /// Real-valued entries.
+    Real,
+    /// Integer entries (read as reals).
+    Integer,
+    /// Pattern-only entries (values default to 1).
+    Pattern,
+}
+
+/// Symmetry declared in the Matrix Market header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MmSymmetry {
+    /// All entries stored explicitly.
+    General,
+    /// Lower triangle stored; mirrored on read.
+    Symmetric,
+    /// Lower triangle stored; mirrored with negated values on read.
+    SkewSymmetric,
+}
+
+fn parse_header(line: &str) -> Result<(MmField, MmSymmetry), SparseError> {
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    let bad = |msg: &str| SparseError::Parse {
+        line: 1,
+        message: msg.to_string(),
+    };
+    if toks.len() < 5 || !toks[0].eq_ignore_ascii_case("%%MatrixMarket") {
+        return Err(bad("missing %%MatrixMarket banner"));
+    }
+    if !toks[1].eq_ignore_ascii_case("matrix") || !toks[2].eq_ignore_ascii_case("coordinate") {
+        return Err(bad("only 'matrix coordinate' objects are supported"));
+    }
+    let field = match toks[3].to_ascii_lowercase().as_str() {
+        "real" => MmField::Real,
+        "integer" => MmField::Integer,
+        "pattern" => MmField::Pattern,
+        other => {
+            return Err(bad(&format!("unsupported field type '{other}'")));
+        }
+    };
+    let sym = match toks[4].to_ascii_lowercase().as_str() {
+        "general" => MmSymmetry::General,
+        "symmetric" => MmSymmetry::Symmetric,
+        "skew-symmetric" => MmSymmetry::SkewSymmetric,
+        other => {
+            return Err(bad(&format!("unsupported symmetry '{other}'")));
+        }
+    };
+    Ok((field, sym))
+}
+
+/// Read a Matrix Market coordinate file into CSR form.
+///
+/// Symmetric/skew-symmetric storage is expanded, duplicate entries are
+/// summed, and rows are sorted by column — the result is always a valid,
+/// canonical [`CsrMatrix`].
+pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<CsrMatrix<T>, SparseError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or(SparseError::Parse {
+            line: 1,
+            message: "empty file".into(),
+        })??;
+    let (field, sym) = parse_header(&header)?;
+
+    let mut lineno = 1usize;
+    // Skip comments, find the size line.
+    let size_line = loop {
+        lineno += 1;
+        match lines.next() {
+            Some(l) => {
+                let l = l?;
+                let t = l.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                break l;
+            }
+            None => {
+                return Err(SparseError::Parse {
+                    line: lineno,
+                    message: "missing size line".into(),
+                })
+            }
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| SparseError::Parse {
+            line: lineno,
+            message: format!("bad size line: {e}"),
+        })?;
+    if dims.len() != 3 {
+        return Err(SparseError::Parse {
+            line: lineno,
+            message: format!("size line needs 3 fields, got {}", dims.len()),
+        });
+    }
+    let (m, n, declared_nnz) = (dims[0], dims[1], dims[2]);
+    let mut coo = CooMatrix::<T>::with_capacity(m, n, declared_nnz);
+
+    let mut seen = 0usize;
+    for l in lines {
+        lineno += 1;
+        let l = l?;
+        let t = l.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse_idx = |tok: Option<&str>, what: &str| -> Result<usize, SparseError> {
+            tok.ok_or_else(|| SparseError::Parse {
+                line: lineno,
+                message: format!("missing {what}"),
+            })?
+            .parse::<usize>()
+            .map_err(|e| SparseError::Parse {
+                line: lineno,
+                message: format!("bad {what}: {e}"),
+            })
+        };
+        let i = parse_idx(it.next(), "row index")?;
+        let j = parse_idx(it.next(), "column index")?;
+        if i == 0 || j == 0 || i > m || j > n {
+            return Err(SparseError::Parse {
+                line: lineno,
+                message: format!("index ({i}, {j}) out of 1-based range ({m}, {n})"),
+            });
+        }
+        let v = match field {
+            MmField::Pattern => T::ONE,
+            _ => {
+                let tok = it.next().ok_or_else(|| SparseError::Parse {
+                    line: lineno,
+                    message: "missing value".into(),
+                })?;
+                let x: f64 = tok.parse().map_err(|e| SparseError::Parse {
+                    line: lineno,
+                    message: format!("bad value: {e}"),
+                })?;
+                T::from_f64(x)
+            }
+        };
+        let (i, j) = (i - 1, j - 1);
+        coo.push(i, j, v);
+        match sym {
+            MmSymmetry::General => {}
+            MmSymmetry::Symmetric if i != j => coo.push(j, i, v),
+            MmSymmetry::SkewSymmetric if i != j => coo.push(j, i, T::ZERO - v),
+            _ => {}
+        }
+        seen += 1;
+    }
+    if seen != declared_nnz {
+        return Err(SparseError::Parse {
+            line: lineno,
+            message: format!("declared {declared_nnz} entries but found {seen}"),
+        });
+    }
+    Ok(coo.to_csr())
+}
+
+/// Read a Matrix Market file from disk.
+pub fn read_matrix_market_file<T: Scalar>(path: &Path) -> Result<CsrMatrix<T>, SparseError> {
+    read_matrix_market(std::fs::File::open(path)?)
+}
+
+/// Write a CSR matrix as `matrix coordinate real general`.
+pub fn write_matrix_market<T: Scalar, W: Write>(
+    a: &CsrMatrix<T>,
+    mut w: W,
+) -> Result<(), SparseError> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by spmv-sparse")?;
+    writeln!(w, "{} {} {}", a.n_rows(), a.n_cols(), a.nnz())?;
+    for (i, j, v) in a.iter() {
+        writeln!(w, "{} {} {}", i + 1, j + 1, v.to_f64())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::figure1_example;
+
+    #[test]
+    fn roundtrip_write_read() {
+        let a = figure1_example::<f64>();
+        let mut buf = Vec::new();
+        write_matrix_market(&a, &mut buf).unwrap();
+        let b: CsrMatrix<f64> = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pattern_matrices_get_unit_values() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n";
+        let a: CsrMatrix<f32> = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.values(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn symmetric_storage_is_expanded() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n1 1 5\n2 1 7\n3 2 9\n";
+        let a: CsrMatrix<f64> = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.nnz(), 5); // diag + 2 mirrored pairs
+        let d = a.to_dense();
+        assert_eq!(d.get(0, 1), 7.0);
+        assert_eq!(d.get(1, 0), 7.0);
+        assert_eq!(d.get(2, 1), 9.0);
+        assert_eq!(d.get(1, 2), 9.0);
+    }
+
+    #[test]
+    fn skew_symmetric_negates_mirror() {
+        let text =
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 3\n";
+        let a: CsrMatrix<f64> = read_matrix_market(text.as_bytes()).unwrap();
+        let d = a.to_dense();
+        assert_eq!(d.get(1, 0), 3.0);
+        assert_eq!(d.get(0, 1), -3.0);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "%%MatrixMarket matrix coordinate real general\n% a comment\n\n2 2 1\n% another\n1 2 4.5\n";
+        let a: CsrMatrix<f64> = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.to_dense().get(0, 1), 4.5);
+    }
+
+    #[test]
+    fn integer_field_parses_as_real() {
+        let text = "%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 42\n";
+        let a: CsrMatrix<f64> = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.values(), &[42.0]);
+    }
+
+    #[test]
+    fn rejects_bad_banner() {
+        let r = read_matrix_market::<f64, _>("not a matrix\n1 1 0\n".as_bytes());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_index() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market::<f64, _>(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_entry_count() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_matrix_market::<f64, _>(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_based_index() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        assert!(read_matrix_market::<f64, _>(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let a = figure1_example::<f32>();
+        let dir = std::env::temp_dir().join("spmv_sparse_mm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig1.mtx");
+        let mut f = std::fs::File::create(&path).unwrap();
+        write_matrix_market(&a, &mut f).unwrap();
+        drop(f);
+        let b: CsrMatrix<f32> = read_matrix_market_file(&path).unwrap();
+        assert_eq!(a, b);
+    }
+}

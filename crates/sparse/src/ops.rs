@@ -1,0 +1,244 @@
+//! Further sparse kernels the paper's conclusion names as extension
+//! targets for the framework ("this approach is also generic to other
+//! sparse matrix applications (e.g., SpGeMM, SpElementWise)"):
+//! sparse–sparse product (Gustavson's algorithm), sparse addition, and
+//! element-wise (Hadamard) product.
+//!
+//! These run on the CPU; they give the examples real workloads and give
+//! future binning/kernel-selection work the same substrate SpMV has.
+
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+
+/// Sparse matrix–matrix product `C = A · B` (Gustavson's row-wise
+/// algorithm with a dense accumulator, `O(flops)`).
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] when `A.n_cols() != B.n_rows()`.
+pub fn spgemm<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Result<CsrMatrix<T>, SparseError> {
+    if a.n_cols() != b.n_rows() {
+        return Err(SparseError::DimensionMismatch {
+            context: "spgemm inner dimension".into(),
+            expected: a.n_cols(),
+            got: b.n_rows(),
+        });
+    }
+    let n = b.n_cols();
+    let mut acc: Vec<T> = vec![T::ZERO; n];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut row_ptr = Vec::with_capacity(a.n_rows() + 1);
+    row_ptr.push(0usize);
+    let mut col_idx: Vec<u32> = Vec::new();
+    let mut values: Vec<T> = Vec::new();
+    for i in 0..a.n_rows() {
+        touched.clear();
+        let (a_cols, a_vals) = a.row(i);
+        for (&k, &av) in a_cols.iter().zip(a_vals) {
+            let (b_cols, b_vals) = b.row(k as usize);
+            for (&j, &bv) in b_cols.iter().zip(b_vals) {
+                let j = j as usize;
+                if acc[j] == T::ZERO && !touched.contains(&(j as u32)) {
+                    touched.push(j as u32);
+                }
+                acc[j] += av * bv;
+            }
+        }
+        touched.sort_unstable();
+        for &j in &touched {
+            col_idx.push(j);
+            values.push(acc[j as usize]);
+            acc[j as usize] = T::ZERO;
+        }
+        row_ptr.push(col_idx.len());
+    }
+    Ok(CsrMatrix::from_parts_unchecked(
+        a.n_rows(),
+        n,
+        row_ptr,
+        col_idx,
+        values,
+    ))
+}
+
+/// Sparse addition `C = A + B` by a two-pointer row merge.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] on shape mismatch.
+pub fn sparse_add<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+) -> Result<CsrMatrix<T>, SparseError> {
+    merge(a, b, "sparse_add", |x, y| match (x, y) {
+        (Some(x), Some(y)) => Some(x + y),
+        (Some(x), None) => Some(x),
+        (None, Some(y)) => Some(y),
+        (None, None) => None,
+    })
+}
+
+/// Element-wise (Hadamard) product `C = A ∘ B`: only positions stored in
+/// *both* operands survive.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] on shape mismatch.
+pub fn sparse_elementwise_mul<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+) -> Result<CsrMatrix<T>, SparseError> {
+    merge(a, b, "sparse_elementwise_mul", |x, y| match (x, y) {
+        (Some(x), Some(y)) => Some(x * y),
+        _ => None,
+    })
+}
+
+fn merge<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    context: &str,
+    f: impl Fn(Option<T>, Option<T>) -> Option<T>,
+) -> Result<CsrMatrix<T>, SparseError> {
+    if a.n_rows() != b.n_rows() || a.n_cols() != b.n_cols() {
+        return Err(SparseError::DimensionMismatch {
+            context: format!("{context} shape"),
+            expected: a.n_rows(),
+            got: b.n_rows(),
+        });
+    }
+    debug_assert!(a.rows_sorted() && b.rows_sorted(), "{context} needs sorted rows");
+    let mut row_ptr = Vec::with_capacity(a.n_rows() + 1);
+    row_ptr.push(0usize);
+    let mut col_idx = Vec::new();
+    let mut values = Vec::new();
+    for i in 0..a.n_rows() {
+        let (ac, av) = a.row(i);
+        let (bc, bv) = b.row(i);
+        let (mut p, mut q) = (0usize, 0usize);
+        while p < ac.len() || q < bc.len() {
+            let (col, x, y) = if q >= bc.len() || (p < ac.len() && ac[p] < bc[q]) {
+                let r = (ac[p], Some(av[p]), None);
+                p += 1;
+                r
+            } else if p >= ac.len() || bc[q] < ac[p] {
+                let r = (bc[q], None, Some(bv[q]));
+                q += 1;
+                r
+            } else {
+                let r = (ac[p], Some(av[p]), Some(bv[q]));
+                p += 1;
+                q += 1;
+                r
+            };
+            if let Some(v) = f(x, y) {
+                col_idx.push(col);
+                values.push(v);
+            }
+        }
+        row_ptr.push(col_idx.len());
+    }
+    Ok(CsrMatrix::from_parts_unchecked(
+        a.n_rows(),
+        a.n_cols(),
+        row_ptr,
+        col_idx,
+        values,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::figure1_example;
+    use crate::dense::DenseMatrix;
+    use crate::gen;
+    use crate::scalar::approx_eq;
+
+    fn dense_mul(a: &DenseMatrix<f64>, b: &DenseMatrix<f64>) -> DenseMatrix<f64> {
+        let mut c = DenseMatrix::zeros(a.n_rows(), b.n_cols());
+        for i in 0..a.n_rows() {
+            for k in 0..a.n_cols() {
+                let x = a.get(i, k);
+                if x != 0.0 {
+                    for j in 0..b.n_cols() {
+                        *c.get_mut(i, j) += x * b.get(k, j);
+                    }
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn spgemm_matches_dense_reference() {
+        let a = gen::random_uniform::<f64>(40, 30, 1, 6, 1);
+        let b = gen::random_uniform::<f64>(30, 50, 1, 6, 2);
+        let c = spgemm(&a, &b).unwrap();
+        let reference = dense_mul(&a.to_dense(), &b.to_dense());
+        let cd = c.to_dense();
+        for i in 0..40 {
+            for j in 0..50 {
+                assert!(
+                    approx_eq(cd.get(i, j), reference.get(i, j), 30),
+                    "({i},{j}): {} vs {}",
+                    cd.get(i, j),
+                    reference.get(i, j)
+                );
+            }
+        }
+        assert!(c.rows_sorted());
+    }
+
+    #[test]
+    fn spgemm_identity_is_neutral() {
+        let a = figure1_example::<f64>();
+        let i4 = CsrMatrix::identity(4);
+        assert_eq!(spgemm(&a, &i4).unwrap(), a);
+        assert_eq!(spgemm(&i4, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn spgemm_rejects_mismatched_dims() {
+        let a = gen::random_uniform::<f64>(5, 7, 1, 3, 3);
+        let b = gen::random_uniform::<f64>(8, 5, 1, 3, 4);
+        assert!(spgemm(&a, &b).is_err());
+    }
+
+    #[test]
+    fn sparse_add_matches_dense() {
+        let a = gen::random_uniform::<f64>(25, 25, 1, 5, 5);
+        let b = gen::random_uniform::<f64>(25, 25, 1, 5, 6);
+        let c = sparse_add(&a, &b).unwrap();
+        let (da, db, dc) = (a.to_dense(), b.to_dense(), c.to_dense());
+        for i in 0..25 {
+            for j in 0..25 {
+                assert!(approx_eq(dc.get(i, j), da.get(i, j) + db.get(i, j), 2));
+            }
+        }
+        assert!(c.rows_sorted());
+    }
+
+    #[test]
+    fn elementwise_keeps_only_common_positions() {
+        let a = figure1_example::<f64>();
+        let i4 = CsrMatrix::<f64>::identity(4);
+        let c = sparse_elementwise_mul(&a, &i4).unwrap();
+        // A's diagonal entries: (0,0)=1 and (3,3)=1 only.
+        assert_eq!(c.nnz(), 2);
+        let d = c.to_dense();
+        assert_eq!(d.get(0, 0), 1.0);
+        assert_eq!(d.get(3, 3), 1.0);
+    }
+
+    #[test]
+    fn add_with_self_doubles() {
+        let a = figure1_example::<f64>();
+        let c = sparse_add(&a, &a).unwrap();
+        assert_eq!(c.nnz(), a.nnz());
+        for ((_, _, x), (_, _, y)) in c.iter().zip(a.iter()) {
+            assert_eq!(x, 2.0 * y);
+        }
+    }
+}

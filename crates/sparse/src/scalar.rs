@@ -1,0 +1,149 @@
+//! Numeric scalar abstraction so the whole stack works in either `f32`
+//! (the paper's OpenCL kernels use `float`) or `f64` (preferred by the
+//! iterative-solver examples).
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// Floating-point element type of a sparse matrix.
+///
+/// Implemented for `f32` and `f64`. The associated constants let the
+/// simulated GPU charge the correct number of bytes per element and the
+/// tests pick sensible comparison tolerances.
+pub trait Scalar:
+    Copy
+    + Send
+    + Sync
+    + PartialOrd
+    + Debug
+    + Display
+    + Default
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + Sum
+    + 'static
+{
+    /// Size of one element in bytes (4 for `f32`, 8 for `f64`).
+    const BYTES: usize;
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// A relative tolerance suitable for comparing accumulated dot
+    /// products of this precision.
+    const TOL: f64;
+
+    /// Lossy conversion from `f64`.
+    fn from_f64(x: f64) -> Self;
+    /// Widening conversion to `f64`.
+    fn to_f64(self) -> f64;
+    /// Fused (or at least contracted) multiply-add: `self * a + b`.
+    fn mul_add_(self, a: Self, b: Self) -> Self;
+    /// Absolute value.
+    fn abs_(self) -> Self;
+    /// Square root.
+    fn sqrt_(self) -> Self;
+}
+
+impl Scalar for f32 {
+    const BYTES: usize = 4;
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const TOL: f64 = 1e-4;
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn mul_add_(self, a: Self, b: Self) -> Self {
+        self.mul_add(a, b)
+    }
+    #[inline]
+    fn abs_(self) -> Self {
+        self.abs()
+    }
+    #[inline]
+    fn sqrt_(self) -> Self {
+        self.sqrt()
+    }
+}
+
+impl Scalar for f64 {
+    const BYTES: usize = 8;
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const TOL: f64 = 1e-10;
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn mul_add_(self, a: Self, b: Self) -> Self {
+        self.mul_add(a, b)
+    }
+    #[inline]
+    fn abs_(self) -> Self {
+        self.abs()
+    }
+    #[inline]
+    fn sqrt_(self) -> Self {
+        self.sqrt()
+    }
+}
+
+/// Compare two accumulated values with a tolerance scaled by the number of
+/// accumulated terms, suitable for validating SpMV outputs computed with
+/// different summation orders.
+pub fn approx_eq<T: Scalar>(a: T, b: T, terms: usize) -> bool {
+    let (a, b) = (a.to_f64(), b.to_f64());
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= T::TOL * scale * (terms.max(1) as f64).sqrt().max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_constants() {
+        assert_eq!(<f32 as Scalar>::BYTES, 4);
+        assert_eq!(<f32 as Scalar>::ZERO, 0.0f32);
+        assert_eq!(<f32 as Scalar>::ONE, 1.0f32);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let x = 1234.5678f64;
+        assert_eq!(<f64 as Scalar>::from_f64(x).to_f64(), x);
+    }
+
+    #[test]
+    fn mul_add_matches_naive() {
+        let r = 2.0f64.mul_add_(3.0, 4.0);
+        assert_eq!(r, 10.0);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_summation_order() {
+        // Sum of 1e6 values in different orders differs in low bits.
+        let a: f32 = (0..1000).map(|i| (i as f32) * 1e-3).sum();
+        let b: f32 = (0..1000).rev().map(|i| (i as f32) * 1e-3).sum();
+        assert!(approx_eq(a, b, 1000));
+        assert!(!approx_eq(1.0f32, 2.0f32, 1));
+    }
+}

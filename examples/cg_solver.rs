@@ -1,0 +1,82 @@
+//! Conjugate-gradient solver on the auto-tuned SpMV (CPU backend).
+//!
+//! SpMV dominates CG iterations; this example solves a 2-D Poisson
+//! problem with the NNZ-balanced native kernel and verifies the residual
+//! actually converges. Run with `cargo run --release --example cg_solver`.
+
+use spmv_repro::autotune::kernels::cpu::spmv_nnz_balanced;
+use spmv_repro::sparse::gen::laplacian_2d;
+use spmv_repro::sparse::CsrMatrix;
+
+/// Solve `A x = b` by conjugate gradients; returns (solution, residual
+/// history).
+fn conjugate_gradient(
+    a: &CsrMatrix<f64>,
+    b: &[f64],
+    max_iters: usize,
+    tol: f64,
+) -> (Vec<f64>, Vec<f64>) {
+    let n = a.n_rows();
+    let mut x = vec![0.0f64; n];
+    let mut r = b.to_vec();
+    let mut p = r.clone();
+    let mut ap = vec![0.0f64; n];
+    let dot = |a: &[f64], b: &[f64]| a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>();
+    let mut rs_old = dot(&r, &r);
+    let mut history = vec![rs_old.sqrt()];
+    for _ in 0..max_iters {
+        spmv_nnz_balanced(a, &p, &mut ap).expect("dims");
+        let alpha = rs_old / dot(&p, &ap);
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rs_new = dot(&r, &r);
+        history.push(rs_new.sqrt());
+        if rs_new.sqrt() < tol {
+            break;
+        }
+        let beta = rs_new / rs_old;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rs_old = rs_new;
+    }
+    (x, history)
+}
+
+fn main() {
+    let (gx, gy) = (120usize, 120usize);
+    let a = laplacian_2d::<f64>(gx, gy);
+    println!(
+        "2-D Poisson operator: {} unknowns, {} nnz",
+        a.n_rows(),
+        a.nnz()
+    );
+
+    // Manufactured solution: x* = 1 everywhere → b = A·1.
+    let x_star = vec![1.0f64; a.n_rows()];
+    let b = a.spmv_seq_alloc(&x_star).unwrap();
+
+    let t0 = std::time::Instant::now();
+    let (x, history) = conjugate_gradient(&a, &b, 2_000, 1e-10);
+    let elapsed = t0.elapsed();
+
+    let err = x
+        .iter()
+        .zip(&x_star)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!(
+        "converged in {} iterations, {:.1?} (residual {:.2e})",
+        history.len() - 1,
+        elapsed,
+        history.last().unwrap()
+    );
+    println!("max |x - x*| = {err:.2e}");
+    for (i, r) in history.iter().enumerate().step_by(history.len() / 10 + 1) {
+        println!("  iter {i:>5}: residual {r:.3e}");
+    }
+    assert!(err < 1e-6, "CG failed to converge");
+    println!("\nCG solved the system through the auto-tuned SpMV stack.");
+}

@@ -1,0 +1,79 @@
+//! Matrix explorer: load a Matrix Market file (or generate a demo
+//! matrix), print its Table I features, row histogram, and the strategy
+//! the tuner picks for it — with the full candidate table.
+//!
+//! Run with `cargo run --release --example matrix_explorer [file.mtx]`.
+
+use spmv_repro::autotune::binning::BinningScheme;
+use spmv_repro::autotune::prelude::*;
+use spmv_repro::sparse::gen::{self, RowRegime};
+use spmv_repro::sparse::histogram::RowHistogram;
+use spmv_repro::sparse::mm::read_matrix_market_file;
+use spmv_repro::sparse::{CsrMatrix, FeatureSet, MatrixFeatures};
+
+fn main() {
+    let a: CsrMatrix<f32> = match std::env::args().nth(1) {
+        Some(path) => {
+            println!("loading {path} …");
+            read_matrix_market_file(std::path::Path::new(&path)).expect("valid Matrix Market file")
+        }
+        None => {
+            println!("no file given — generating a demo mixture matrix");
+            gen::mixture(
+                25_000,
+                25_000,
+                &[
+                    RowRegime::new(1, 5, 0.6),
+                    RowRegime::new(20, 80, 0.3),
+                    RowRegime::new(200, 500, 0.1),
+                ],
+                true,
+                1,
+            )
+        }
+    };
+
+    println!("\n-- Table I features --");
+    let f = MatrixFeatures::extract(&a, FeatureSet::TableI);
+    for (name, val) in MatrixFeatures::attr_names(FeatureSet::TableI)
+        .iter()
+        .zip(f.to_vec())
+    {
+        println!("  {name:>8}: {val:.2}");
+    }
+
+    println!("\n-- NNZ-per-row histogram --");
+    let h = RowHistogram::of_matrix(&a);
+    for (label, share) in h.labels().iter().zip(h.shares()) {
+        let bar = "#".repeat((share * 50.0).round() as usize);
+        println!("  {label:>12}: {:5.1}% {bar}", share * 100.0);
+    }
+
+    println!("\n-- Tuning (exhaustive oracle on the simulated APU) --");
+    let device = GpuDevice::kaveri();
+    let tuned = Tuner::new(device.clone()).tune(&a);
+    println!("  candidates:");
+    for c in &tuned.candidates {
+        let marker = if (c.cycles - tuned.cycles).abs() < 1e-9 {
+            " <- best"
+        } else {
+            ""
+        };
+        println!(
+            "    {:<22} {:>12.0} cycles, {:>3} bins{marker}",
+            c.scheme.describe(),
+            c.cycles,
+            c.choices.len()
+        );
+    }
+    println!("\n  winning strategy: {}", tuned.strategy.describe());
+    if let BinningScheme::Coarse { u } = tuned.strategy.binning {
+        println!("  (virtual rows of {u} adjacent rows, binId = workload / {u})");
+    }
+    for c in tuned.winning_choices() {
+        println!(
+            "    bin {:>3}: {:>7} rows, {:>9} nnz -> {}",
+            c.bin_id, c.rows, c.nnz, c.kernel
+        );
+    }
+}

@@ -1,0 +1,6 @@
+//! Re-exports for examples and integration tests.
+pub use spmv_autotune as autotune;
+pub use spmv_gpusim as gpusim;
+pub use spmv_ml as ml;
+pub use spmv_parallel as parallel;
+pub use spmv_sparse as sparse;

@@ -1,0 +1,187 @@
+//! Cross-crate integration tests: the full pipeline from generated
+//! matrices through binning, kernels, tuning, training and prediction.
+
+use spmv_repro::autotune::binning::{bin_matrix, BinningScheme};
+use spmv_repro::autotune::kernels::{run_kernel, ALL_KERNELS};
+use spmv_repro::autotune::prelude::*;
+use spmv_repro::autotune::training::TrainerConfig;
+use spmv_repro::autotune::tuner::TunerConfig;
+use spmv_repro::gpusim::GpuDevice;
+use spmv_repro::sparse::corpus::CorpusConfig;
+use spmv_repro::sparse::gen::{self, RowRegime};
+use spmv_repro::sparse::scalar::approx_eq;
+use spmv_repro::sparse::CsrMatrix;
+
+fn irregular(seed: u64) -> CsrMatrix<f32> {
+    gen::mixture(
+        3_000,
+        4_000,
+        &[
+            RowRegime::new(1, 4, 0.6),
+            RowRegime::new(16, 64, 0.3),
+            RowRegime::new(256, 700, 0.1),
+        ],
+        true,
+        seed,
+    )
+}
+
+#[test]
+fn every_kernel_on_every_binning_scheme_is_correct() {
+    let a = irregular(1);
+    let v: Vec<f32> = (0..a.n_cols()).map(|i| ((i % 9) as f32) - 4.0).collect();
+    let reference = a.spmv_seq_alloc(&v).unwrap();
+    let device = GpuDevice::kaveri();
+    for scheme in [
+        BinningScheme::Coarse { u: 10 },
+        BinningScheme::Coarse { u: 1000 },
+        BinningScheme::Fine,
+        BinningScheme::Hybrid { threshold: 16, u: 100 },
+        BinningScheme::Single,
+    ] {
+        for kernel in ALL_KERNELS {
+            let bins = bin_matrix(&a, scheme);
+            let mut u = vec![0.0f32; a.n_rows()];
+            for b in 0..bins.bins.len() {
+                if bins.bins[b].is_empty() {
+                    continue;
+                }
+                let rows = bins.expand(b);
+                run_kernel(&device, &a, &rows, kernel, &v, &mut u);
+            }
+            for i in 0..a.n_rows() {
+                assert!(
+                    approx_eq(u[i], reference[i], a.row_nnz(i)),
+                    "{scheme:?} + {kernel}: row {i}: {} vs {}",
+                    u[i],
+                    reference[i]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn trained_model_drives_a_correct_and_competitive_run() {
+    let device = GpuDevice::kaveri();
+    let config = TrainerConfig {
+        corpus: CorpusConfig {
+            count: 60,
+            min_rows: 400,
+            max_rows: 1_500,
+            seed: 5,
+        },
+        tuner: TunerConfig {
+            granularities: vec![10, 100, 1_000, 10_000],
+            kernels: ALL_KERNELS.to_vec(),
+            include_single_bin: false,
+        },
+        ..Default::default()
+    };
+    let (model, report) = Trainer::with_config(device.clone(), config).train();
+    // The model must do meaningfully better than chance on both stages.
+    assert!(report.stage1_error() < 0.6, "stage1 {}", report.stage1_error());
+    assert!(report.stage2_error() < 0.6, "stage2 {}", report.stage2_error());
+
+    let a = irregular(7);
+    let v = vec![1.0f32; a.n_cols()];
+    let reference = a.spmv_seq_alloc(&v).unwrap();
+    let auto = AutoSpmv::with_model(device.clone(), model);
+    let mut u = vec![0.0f32; a.n_rows()];
+    let run = auto.run(&a, &v, &mut u);
+    for i in 0..a.n_rows() {
+        assert!(approx_eq(u[i], reference[i], a.row_nnz(i)), "row {i}");
+    }
+    // Predicted strategy should beat at least one of the single-kernel
+    // extremes (the weaker default) even with prediction error.
+    let mut scratch = vec![0.0f32; a.n_rows()];
+    let serial = run_single_kernel(&device, &a, KernelId::Serial, &v, &mut scratch);
+    let vector = run_single_kernel(&device, &a, KernelId::Vector, &v, &mut scratch);
+    let worst = serial.cycles.max(vector.cycles);
+    assert!(
+        run.stats.cycles < worst,
+        "predicted {} vs worst default {}",
+        run.stats.cycles,
+        worst
+    );
+}
+
+#[test]
+fn oracle_beats_all_nine_single_kernel_defaults_on_irregular_input() {
+    let a = irregular(11);
+    let v = vec![1.0f32; a.n_cols()];
+    let device = GpuDevice::kaveri();
+    let tuned = Tuner::new(device.clone()).tune(&a);
+    let mut u = vec![0.0f32; a.n_rows()];
+    let auto = run_strategy(&device, &a, &tuned.strategy, &v, &mut u);
+    for k in ALL_KERNELS {
+        let single = run_single_kernel(&device, &a, k, &v, &mut u);
+        assert!(
+            auto.cycles <= single.cycles + 1e-6,
+            "single {k} ({}) beat auto ({})",
+            single.cycles,
+            auto.cycles
+        );
+    }
+}
+
+#[test]
+fn csr_adaptive_and_auto_agree_numerically() {
+    let a = irregular(13);
+    let v: Vec<f32> = (0..a.n_cols()).map(|i| (i % 4) as f32).collect();
+    let device = GpuDevice::kaveri();
+    let mut u1 = vec![0.0f32; a.n_rows()];
+    CsrAdaptive::new().run(&device, &a, &v, &mut u1);
+    let mut u2 = vec![0.0f32; a.n_rows()];
+    let auto = AutoSpmv::with_oracle(device);
+    auto.run(&a, &v, &mut u2);
+    for i in 0..a.n_rows() {
+        assert!(
+            approx_eq(u1[i], u2[i], a.row_nnz(i)),
+            "row {i}: {} vs {}",
+            u1[i],
+            u2[i]
+        );
+    }
+}
+
+#[test]
+fn matrix_market_roundtrip_preserves_tuning_inputs() {
+    let a = irregular(17);
+    let mut buf = Vec::new();
+    spmv_repro::sparse::mm::write_matrix_market(&a, &mut buf).unwrap();
+    let b: CsrMatrix<f32> = spmv_repro::sparse::mm::read_matrix_market(&buf[..]).unwrap();
+    assert_eq!(a, b);
+    let fa = spmv_repro::sparse::MatrixFeatures::extract(
+        &a,
+        spmv_repro::sparse::FeatureSet::TableI,
+    );
+    let fb = spmv_repro::sparse::MatrixFeatures::extract(
+        &b,
+        spmv_repro::sparse::FeatureSet::TableI,
+    );
+    assert_eq!(fa, fb);
+}
+
+#[test]
+fn f64_pipeline_works_end_to_end() {
+    // The whole stack is generic over the scalar; exercise f64.
+    let a = gen::powerlaw::<f64>(1_500, 1, 200, 2.2, 23);
+    let v: Vec<f64> = (0..a.n_cols()).map(|i| 1.0 / (1.0 + i as f64)).collect();
+    let reference = a.spmv_seq_alloc(&v).unwrap();
+    let device = GpuDevice::kaveri();
+    let tuned = Tuner::with_config(
+        device.clone(),
+        TunerConfig {
+            granularities: vec![10, 100],
+            kernels: ALL_KERNELS.to_vec(),
+            include_single_bin: true,
+        },
+    )
+    .tune(&a);
+    let mut u = vec![0.0f64; a.n_rows()];
+    run_strategy(&device, &a, &tuned.strategy, &v, &mut u);
+    for i in 0..a.n_rows() {
+        assert!(approx_eq(u[i], reference[i], a.row_nnz(i)), "row {i}");
+    }
+}
