@@ -8,7 +8,10 @@ fn bench_features(c: &mut Criterion) {
     let a = gen::powerlaw::<f32>(100_000, 1, 300, 2.1, 4);
     let mut group = c.benchmark_group("features");
     group.sample_size(30);
-    for (name, set) in [("table1", FeatureSet::TableI), ("extended", FeatureSet::Extended)] {
+    for (name, set) in [
+        ("table1", FeatureSet::TableI),
+        ("extended", FeatureSet::Extended),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &set, |b, &set| {
             b.iter(|| MatrixFeatures::extract(&a, set))
         });

@@ -1,0 +1,75 @@
+//! Criterion bench for the plan/execute split: repeated SpMV through one
+//! compiled [`SpmvPlan`] versus re-planning (feature extraction +
+//! strategy selection + binning + row-list expansion) on every apply —
+//! the cost profile of an iterative solver with and without the split.
+//!
+//! Acceptance target: over a ≥10-iteration solve, the planned loop beats
+//! the replanning loop by ≥2×.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spmv_autotune::prelude::*;
+use spmv_sparse::gen;
+use spmv_sparse::gen::mixture::RowRegime;
+use spmv_sparse::CsrMatrix;
+
+const ITERS: usize = 10;
+
+fn matrix() -> CsrMatrix<f64> {
+    gen::mixture(
+        30_000,
+        30_000,
+        &[
+            RowRegime::new(1, 4, 0.8),
+            RowRegime::new(40, 120, 0.15),
+            RowRegime::new(400, 900, 0.05),
+        ],
+        true,
+        17,
+    )
+}
+
+fn auto() -> AutoSpmv {
+    AutoSpmv::with_tuner(Tuner::with_config(
+        GpuDevice::kaveri(),
+        TunerConfig {
+            granularities: vec![100, 1_000],
+            kernels: ALL_KERNELS.to_vec(),
+            include_single_bin: false,
+        },
+    ))
+}
+
+fn bench_plan_reuse(c: &mut Criterion) {
+    let a = matrix();
+    let v: Vec<f64> = (0..a.n_cols()).map(|i| (i % 9) as f64).collect();
+    let auto = auto();
+    let mut group = c.benchmark_group("plan_reuse");
+    group.sample_size(10);
+
+    // Plan once outside the timed region, execute ITERS times inside it —
+    // the intended hot path (no binning, no allocation per call).
+    let plan = auto.plan_native(&a);
+    group.bench_with_input(BenchmarkId::new("planned", ITERS), &ITERS, |b, &iters| {
+        let mut u = vec![0.0f64; a.n_rows()];
+        b.iter(|| {
+            for _ in 0..iters {
+                plan.execute(&a, &v, &mut u).unwrap();
+            }
+        })
+    });
+
+    // The naive loop: full select → bin → expand on every apply.
+    group.bench_with_input(BenchmarkId::new("replanned", ITERS), &ITERS, |b, &iters| {
+        let mut u = vec![0.0f64; a.n_rows()];
+        b.iter(|| {
+            for _ in 0..iters {
+                let throwaway = auto.plan_native(&a);
+                throwaway.execute(&a, &v, &mut u).unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_reuse);
+criterion_main!(benches);

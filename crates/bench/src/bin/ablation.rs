@@ -37,11 +37,7 @@ fn irregular() -> CsrMatrix<f32> {
 
 fn main() {
     let a = irregular();
-    eprintln!(
-        "ablation matrix: {} rows, {} nnz",
-        a.n_rows(),
-        a.nnz()
-    );
+    eprintln!("ablation matrix: {} rows, {} nnz", a.n_rows(), a.nnz());
 
     // ------------------------------------------------------------------
     println!("== Ablation 1: granularity sweep (per-bin best kernels) ==\n");
@@ -65,11 +61,19 @@ fn main() {
         ]);
     }
     t.print();
-    println!("best U: {} — the stage-1 label the model must learn\n", best_u.0);
+    println!(
+        "best U: {} — the stage-1 label the model must learn\n",
+        best_u.0
+    );
 
     // ------------------------------------------------------------------
     println!("== Ablation 2: single-bin candidate (the §IV-C extension) ==\n");
-    let mut t = Table::new(vec!["matrix", "binned-only (M)", "with single-bin (M)", "winner"]);
+    let mut t = Table::new(vec![
+        "matrix",
+        "binned-only (M)",
+        "with single-bin (M)",
+        "winner",
+    ]);
     for name in ["europe_osm", "D6-6", "crankseg_2", "apache1"] {
         let m = spmv_sparse::suite::by_name(name).unwrap().generate();
         let paper = Tuner::with_config(device.clone(), TunerConfig::paper()).tune(&m);
@@ -91,7 +95,11 @@ fn main() {
     // ------------------------------------------------------------------
     println!("== Ablation 3: device sweep (performance portability) ==\n");
     let mut t = Table::new(vec!["device", "best U", "strategy"]);
-    for dev in [GpuDevice::kaveri(), GpuDevice::discrete(), GpuDevice::embedded()] {
+    for dev in [
+        GpuDevice::kaveri(),
+        GpuDevice::discrete(),
+        GpuDevice::embedded(),
+    ] {
         let tuned = Tuner::with_config(dev.clone(), TunerConfig::paper()).tune(&a);
         let u = match tuned.strategy.binning {
             BinningScheme::Coarse { u } => u.to_string(),
@@ -141,14 +149,22 @@ fn main() {
     let shuffled = permute_symmetric(&banded, &Permutation::new(idx).unwrap());
     let rcm = reverse_cuthill_mckee(&shuffled);
     let restored = permute_symmetric(&shuffled, &rcm);
-    let mut t = Table::new(vec!["ordering", "bandwidth", "serial-kernel transactions", "cycles (M)"]);
-    for (name, m) in [("banded (original)", &banded), ("shuffled", &shuffled), ("RCM-restored", &restored)] {
+    let mut t = Table::new(vec![
+        "ordering",
+        "bandwidth",
+        "serial-kernel transactions",
+        "cycles (M)",
+    ]);
+    for (name, m) in [
+        ("banded (original)", &banded),
+        ("shuffled", &shuffled),
+        ("RCM-restored", &restored),
+    ] {
         let rows: Vec<u32> = (0..m.n_rows() as u32).collect();
         let v = vec![1.0f32; m.n_cols()];
         let mut u = vec![0.0f32; m.n_rows()];
-        let stats = spmv_autotune::kernels::run_kernel(
-            &device, m, &rows, KernelId::Serial, &v, &mut u,
-        );
+        let stats =
+            spmv_autotune::kernels::run_kernel(&device, m, &rows, KernelId::Serial, &v, &mut u);
         t.row(vec![
             name.to_string(),
             bandwidth(m).to_string(),

@@ -101,8 +101,7 @@ fn main() {
     for (bi, &b) in populated.iter().enumerate() {
         println!("bin {b}: best kernel = {}", best_per_bin[bi].1);
     }
-    let distinct: std::collections::HashSet<_> =
-        best_per_bin.iter().map(|&(_, k)| k).collect();
+    let distinct: std::collections::HashSet<_> = best_per_bin.iter().map(|&(_, k)| k).collect();
     println!(
         "\npaper shape: different bins of the SAME input pick different kernels \
          ({} distinct winners across {} bins).",

@@ -28,14 +28,14 @@ fn main() {
     }
 
     println!("== Figure 5: NNZ-per-row histogram over {count} matrices ==\n");
-    let mut t = Table::new(vec!["rows with NNZ in", "count", "share %", "cum % (<= upper)"]);
+    let mut t = Table::new(vec![
+        "rows with NNZ in",
+        "count",
+        "share %",
+        "cum % (<= upper)",
+    ]);
     let mut cum = 0.0;
-    for ((label, &c), share) in h
-        .labels()
-        .iter()
-        .zip(h.counts())
-        .zip(h.shares())
-    {
+    for ((label, &c), share) in h.labels().iter().zip(h.counts()).zip(h.shares()) {
         cum += share * 100.0;
         t.row(vec![
             label.clone(),

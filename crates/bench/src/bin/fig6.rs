@@ -32,18 +32,24 @@ fn main() {
         let a = &case.matrix;
         let v = vec![1.0f32; a.n_cols()];
         let mut u = vec![0.0f32; a.n_rows()];
-        let auto_run = auto.run(a, &v, &mut u);
+        // Compile the predicted strategy into a plan, then execute it —
+        // the same plan/execute path iterative callers use.
+        let plan = auto.plan(a);
+        let cost = plan
+            .execute(a, &v, &mut u)
+            .expect("plan compiled for this matrix");
+        let auto_stats = cost.stats.unwrap_or_default();
         let serial = run_single_kernel(&device, a, KernelId::Serial, &v, &mut u);
         let vector = run_single_kernel(&device, a, KernelId::Vector, &v, &mut u);
-        let su = serial.cycles / auto_run.stats.cycles;
-        let vu = vector.cycles / auto_run.stats.cycles;
+        let su = serial.cycles / auto_stats.cycles;
+        let vu = vector.cycles / auto_stats.cycles;
         s_speedups.push(su);
         v_speedups.push(vu);
         t.row(vec![
             case.meta.name.to_string(),
             f3(su),
             f3(vu),
-            auto_run.strategy.describe(),
+            plan.strategy().describe(),
         ]);
     }
     t.print();

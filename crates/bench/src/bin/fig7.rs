@@ -7,9 +7,9 @@
 //! `cargo run --release -p spmv-bench --bin fig7`.
 
 use spmv_autotune::prelude::*;
-use spmv_bench::table::{f3, Table};
-use spmv_bench::setup::train_or_load_model;
 use spmv_bench::load_suite;
+use spmv_bench::setup::train_or_load_model;
+use spmv_bench::table::{f3, Table};
 use spmv_sparse::suite::SINGLE_BIN_CASES;
 
 fn main() {
@@ -42,7 +42,12 @@ fn main() {
         t.row(vec![
             case.meta.name.to_string(),
             f3(speedup),
-            if speedup >= 1.0 { "auto" } else { "CSR-Adaptive" }.to_string(),
+            if speedup >= 1.0 {
+                "auto"
+            } else {
+                "CSR-Adaptive"
+            }
+            .to_string(),
             paper_winner.to_string(),
         ]);
     }

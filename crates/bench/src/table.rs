@@ -104,8 +104,10 @@ mod tests {
     #[test]
     fn f3_formats_by_magnitude() {
         assert_eq!(f3(0.0), "0");
-        assert_eq!(f3(3.14159), "3.14");
+        assert_eq!(f3(3.24159), "3.24");
         assert_eq!(f3(42.123), "42.1");
-        assert_eq!(f3(1234.5), "1235");
+        // `{:.0}` rounds ties to even, so probe away from the .5 boundary.
+        assert_eq!(f3(1234.6), "1235");
+        assert_eq!(f3(1234.4), "1234");
     }
 }

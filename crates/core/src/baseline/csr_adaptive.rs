@@ -162,8 +162,8 @@ impl CsrAdaptive {
                 w.read_contiguous(Region::ColIdx, seg, n, 4);
                 w.read_contiguous(Region::Val, seg, n, T::BYTES);
                 w.begin_access();
-                for idx in seg..seg + n {
-                    w.lane_addr(Region::VecIn, col_idx[idx] as usize, T::BYTES);
+                for &c in &col_idx[seg..seg + n] {
+                    w.lane_addr(Region::VecIn, c as usize, T::BYTES);
                 }
                 w.commit_read();
                 w.lds(1);
@@ -236,8 +236,8 @@ impl CsrAdaptive {
                 w.read_contiguous(Region::ColIdx, seg, n, 4);
                 w.read_contiguous(Region::Val, seg, n, T::BYTES);
                 w.begin_access();
-                for idx in seg..seg + n {
-                    w.lane_addr(Region::VecIn, col_idx[idx] as usize, T::BYTES);
+                for &c in &col_idx[seg..seg + n] {
+                    w.lane_addr(Region::VecIn, c as usize, T::BYTES);
                 }
                 w.commit_read();
                 w.alu(2);

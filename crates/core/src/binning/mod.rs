@@ -19,13 +19,11 @@ mod schemes;
 pub use coarse::{coarse_binning, coarse_binning_parallel};
 pub use schemes::{bin_matrix, fine_binning, hybrid_binning, single_binning};
 
-use serde::{Deserialize, Serialize};
-
 /// Maximum number of bins (the paper: "there are up to 100 bins").
 pub const MAX_BINS: usize = 100;
 
 /// How rows are grouped into bins.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BinningScheme {
     /// The paper's coarse-grained virtual-row scheme with granularity `u`.
     Coarse {
@@ -133,15 +131,18 @@ impl Bins {
         for (b, bin) in self.bins.iter().enumerate() {
             for &start in bin {
                 let start = start as usize;
-                if start % self.span != 0 && self.span > 1 {
-                    return Err(format!("bin {b}: start {start} not aligned to span {}", self.span));
+                if !start.is_multiple_of(self.span) && self.span > 1 {
+                    return Err(format!(
+                        "bin {b}: start {start} not aligned to span {}",
+                        self.span
+                    ));
                 }
                 let end = (start + self.span).min(self.m);
-                for r in start..end {
-                    if seen[r] {
+                for (r, s) in seen.iter_mut().enumerate().take(end).skip(start) {
+                    if *s {
                         return Err(format!("row {r} appears twice"));
                     }
-                    seen[r] = true;
+                    *s = true;
                 }
             }
         }
@@ -199,8 +200,11 @@ mod tests {
         assert!(BinningScheme::Coarse { u: 50 }.describe().contains("U=50"));
         assert!(BinningScheme::Fine.describe().contains("fine"));
         assert!(BinningScheme::Single.describe().contains("single"));
-        assert!(BinningScheme::Hybrid { threshold: 8, u: 100 }
-            .describe()
-            .contains("hybrid"));
+        assert!(BinningScheme::Hybrid {
+            threshold: 8,
+            u: 100
+        }
+        .describe()
+        .contains("hybrid"));
     }
 }

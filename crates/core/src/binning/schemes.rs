@@ -2,7 +2,7 @@
 //! helper that applies any [`BinningScheme`].
 
 use super::coarse::coarse_binning;
-use super::{Bins, BinningScheme, MAX_BINS};
+use super::{BinningScheme, Bins, MAX_BINS};
 use spmv_sparse::{CsrMatrix, Scalar};
 
 /// Fine-grained binning: every single row is an entry, binned by its own
@@ -136,7 +136,10 @@ mod tests {
         for scheme in [
             BinningScheme::Coarse { u: 20 },
             BinningScheme::Fine,
-            BinningScheme::Hybrid { threshold: 10, u: 50 },
+            BinningScheme::Hybrid {
+                threshold: 10,
+                u: 50,
+            },
             BinningScheme::Single,
         ] {
             let bins = bin_matrix(&a, scheme);

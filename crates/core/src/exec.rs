@@ -1,0 +1,295 @@
+//! Execution backends: where a planned kernel launch actually runs.
+//!
+//! The framework's upper layers (plan compilation, strategy selection,
+//! heterogeneous routing) decide *what* to launch — a kernel over a row
+//! subset — and an [`ExecBackend`] decides *where*: on the simulated GPU
+//! (functional execution plus architectural pricing) or natively on the
+//! CPU thread pool. Both backends compute the same `u[r] = Σ A[r,·]·v`
+//! for the rows they are handed, so they are interchangeable under one
+//! [`crate::plan::SpmvPlan`].
+
+use crate::kernels::cpu::{spmv_rows_chunked, spmv_rows_nnz_balanced};
+use crate::kernels::{run_kernel, KernelId};
+use spmv_gpusim::{GpuDevice, LaunchStats};
+use spmv_sparse::{CsrMatrix, Scalar};
+use std::time::{Duration, Instant};
+
+/// What one launch (or an accumulated sequence of launches) cost.
+///
+/// Simulated launches carry priced [`LaunchStats`]; native launches only
+/// have wall time — the two clocks are not comparable, so `stats` is
+/// optional rather than zero-filled.
+#[derive(Clone, Debug, Default)]
+pub struct LaunchCost {
+    /// Modelled device cost, when the backend simulates one.
+    pub stats: Option<LaunchStats>,
+    /// Measured wall time of the launch on the host.
+    pub wall: Duration,
+}
+
+impl LaunchCost {
+    /// Fold another launch into this one: stats accumulate (appearing if
+    /// absent), wall times add.
+    pub fn accumulate(&mut self, other: &LaunchCost) {
+        self.wall += other.wall;
+        match (&mut self.stats, &other.stats) {
+            (Some(mine), Some(theirs)) => mine.accumulate(theirs),
+            (None, Some(theirs)) => self.stats = Some(theirs.clone()),
+            _ => {}
+        }
+    }
+
+    /// Modelled cycles, `0.0` for purely native execution.
+    pub fn cycles(&self) -> f64 {
+        self.stats.as_ref().map_or(0.0, |s| s.cycles)
+    }
+}
+
+/// A place kernel launches execute: hands a kernel and a row subset to
+/// some substrate and reports what it cost.
+///
+/// The trait is generic over the scalar at the trait level (not the
+/// method level) so `Box<dyn ExecBackend<T>>` is object-safe and a plan
+/// can own its backend.
+pub trait ExecBackend<T: Scalar>: Send + Sync {
+    /// Stable backend name for reports (`"sim-gpu"`, `"native-cpu"`).
+    fn name(&self) -> &'static str;
+
+    /// Execute `kernel` over `rows`: `u[r] = Σ_j A[r, j]·v[j]` for each
+    /// `r ∈ rows`, other entries of `u` untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v`/`u` lengths don't match the matrix — callers
+    /// ([`crate::plan::SpmvPlan::execute`]) validate first.
+    fn launch(
+        &self,
+        a: &CsrMatrix<T>,
+        rows: &[u32],
+        kernel: KernelId,
+        v: &[T],
+        u: &mut [T],
+    ) -> LaunchCost;
+}
+
+/// The trace-driven simulated-GPU backend: kernels execute functionally
+/// while being priced on a [`GpuDevice`] model. This is the path every
+/// paper figure uses.
+#[derive(Clone, Debug)]
+pub struct SimGpuBackend {
+    device: GpuDevice,
+}
+
+impl SimGpuBackend {
+    /// Backend pricing launches on `device`.
+    pub fn new(device: GpuDevice) -> Self {
+        Self { device }
+    }
+
+    /// The device model launches are priced on.
+    pub fn device(&self) -> &GpuDevice {
+        &self.device
+    }
+}
+
+impl<T: Scalar> ExecBackend<T> for SimGpuBackend {
+    fn name(&self) -> &'static str {
+        "sim-gpu"
+    }
+
+    fn launch(
+        &self,
+        a: &CsrMatrix<T>,
+        rows: &[u32],
+        kernel: KernelId,
+        v: &[T],
+        u: &mut [T],
+    ) -> LaunchCost {
+        let t0 = Instant::now();
+        let stats = run_kernel(&self.device, a, rows, kernel, v, u);
+        LaunchCost {
+            stats: Some(stats),
+            wall: t0.elapsed(),
+        }
+    }
+}
+
+/// The native multithreaded CPU backend on the `spmv-parallel` pool.
+///
+/// [`KernelId`]s map onto the two CPU scheduling disciplines rather than
+/// being emulated thread-for-thread:
+///
+/// * `Serial` (one work-item per row) → row-chunked dynamic scheduling —
+///   the same "cheap on uniform short rows" trade-off;
+/// * `Subvector(_)` / `Vector` (cooperative rows) → NNZ-balanced
+///   partitioning of the bin's row list — the CPU's answer to long-row
+///   load imbalance.
+#[derive(Clone, Debug)]
+pub struct NativeCpuBackend {
+    /// Rows per scheduling chunk for the row-chunked path.
+    grain: usize,
+    /// Partitions per launch for the NNZ-balanced path.
+    parts: usize,
+}
+
+impl Default for NativeCpuBackend {
+    fn default() -> Self {
+        Self {
+            grain: 256,
+            parts: spmv_parallel::num_threads() * 4,
+        }
+    }
+}
+
+impl NativeCpuBackend {
+    /// Backend with the default scheduling parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Override the row-chunk grain (Serial path).
+    pub fn with_grain(mut self, grain: usize) -> Self {
+        self.grain = grain.max(1);
+        self
+    }
+
+    /// Override the partition count (Subvector/Vector path).
+    pub fn with_parts(mut self, parts: usize) -> Self {
+        self.parts = parts.max(1);
+        self
+    }
+}
+
+impl<T: Scalar> ExecBackend<T> for NativeCpuBackend {
+    fn name(&self) -> &'static str {
+        "native-cpu"
+    }
+
+    fn launch(
+        &self,
+        a: &CsrMatrix<T>,
+        rows: &[u32],
+        kernel: KernelId,
+        v: &[T],
+        u: &mut [T],
+    ) -> LaunchCost {
+        let t0 = Instant::now();
+        let result = match kernel {
+            KernelId::Serial => spmv_rows_chunked(a, rows, self.grain, v, u),
+            KernelId::Subvector(_) | KernelId::Vector => {
+                spmv_rows_nnz_balanced(a, rows, self.parts, v, u)
+            }
+        };
+        result.expect("plan validated dimensions");
+        LaunchCost {
+            stats: None,
+            wall: t0.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::ALL_KERNELS;
+    use spmv_sparse::gen;
+    use spmv_sparse::gen::mixture::RowRegime;
+    use spmv_sparse::scalar::approx_eq;
+
+    fn probe() -> CsrMatrix<f64> {
+        gen::mixture(
+            600,
+            800,
+            &[
+                RowRegime::new(1, 3, 0.5),
+                RowRegime::new(20, 80, 0.4),
+                RowRegime::new(200, 400, 0.1),
+            ],
+            true,
+            11,
+        )
+    }
+
+    #[test]
+    fn backends_agree_with_reference_on_every_kernel() {
+        let a = probe();
+        let v: Vec<f64> = (0..a.n_cols()).map(|i| ((i % 9) as f64) - 4.0).collect();
+        let reference = a.spmv_seq_alloc(&v).unwrap();
+        let rows: Vec<u32> = (0..a.n_rows() as u32).collect();
+        let sim = SimGpuBackend::new(GpuDevice::kaveri());
+        let cpu = NativeCpuBackend::new();
+        for k in ALL_KERNELS {
+            for (name, backend) in [("sim", &sim as &dyn ExecBackend<f64>), ("cpu", &cpu)] {
+                let mut u = vec![0.0f64; a.n_rows()];
+                backend.launch(&a, &rows, k, &v, &mut u);
+                for i in 0..a.n_rows() {
+                    assert!(
+                        approx_eq(u[i], reference[i], a.row_nnz(i).max(1)),
+                        "{name}/{k} row {i}: {} vs {}",
+                        u[i],
+                        reference[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backends_only_touch_requested_rows() {
+        let a = probe();
+        let v = vec![1.0f64; a.n_cols()];
+        let subset: Vec<u32> = (0..a.n_rows() as u32).step_by(3).collect();
+        let sim = SimGpuBackend::new(GpuDevice::kaveri());
+        let cpu = NativeCpuBackend::new();
+        for backend in [&sim as &dyn ExecBackend<f64>, &cpu] {
+            let mut u = vec![f64::NAN; a.n_rows()];
+            backend.launch(&a, &subset, KernelId::Subvector(8), &v, &mut u);
+            for (i, &x) in u.iter().enumerate() {
+                if subset.contains(&(i as u32)) {
+                    assert!(!x.is_nan(), "{} skipped row {i}", backend.name());
+                } else {
+                    assert!(x.is_nan(), "{} touched row {i}", backend.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sim_backend_prices_native_does_not() {
+        let a = probe();
+        let v = vec![1.0f64; a.n_cols()];
+        let rows: Vec<u32> = (0..a.n_rows() as u32).collect();
+        let mut u = vec![0.0f64; a.n_rows()];
+        let sim_cost =
+            SimGpuBackend::new(GpuDevice::kaveri()).launch(&a, &rows, KernelId::Serial, &v, &mut u);
+        assert!(sim_cost.stats.is_some());
+        assert!(sim_cost.cycles() > 0.0);
+        let cpu_cost = NativeCpuBackend::new().launch(&a, &rows, KernelId::Serial, &v, &mut u);
+        assert!(cpu_cost.stats.is_none());
+        assert_eq!(cpu_cost.cycles(), 0.0);
+    }
+
+    #[test]
+    fn launch_cost_accumulates_both_clocks() {
+        let stats = LaunchStats {
+            cycles: 10.0,
+            workgroups: 2,
+            ..Default::default()
+        };
+        let mut total = LaunchCost {
+            stats: None,
+            wall: Duration::from_millis(1),
+        };
+        total.accumulate(&LaunchCost {
+            stats: Some(stats.clone()),
+            wall: Duration::from_millis(2),
+        });
+        total.accumulate(&LaunchCost {
+            stats: Some(stats),
+            wall: Duration::from_millis(3),
+        });
+        assert_eq!(total.wall, Duration::from_millis(6));
+        assert_eq!(total.cycles(), 20.0);
+        assert_eq!(total.stats.as_ref().unwrap().workgroups, 4);
+    }
+}

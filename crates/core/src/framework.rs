@@ -1,17 +1,27 @@
 //! The end-to-end runtime (Figure 3): extract features → predict a
 //! strategy with the trained rule-sets → bin → launch the selected kernel
 //! per bin.
+//!
+//! All execution flows through the plan/execute split:
+//! [`AutoSpmv::plan`] compiles a [`SpmvPlan`] once per sparsity pattern
+//! and iterative callers execute it repeatedly; the one-shot entry points
+//! ([`run_strategy`], [`run_single_kernel`], [`AutoSpmv::run`]) are thin
+//! wrappers that compile a throwaway plan and execute it once.
 
-use crate::binning::bin_matrix;
-use crate::kernels::{run_kernel, KernelId};
+use crate::exec::{ExecBackend, LaunchCost, NativeCpuBackend, SimGpuBackend};
+use crate::kernels::KernelId;
+use crate::plan::SpmvPlan;
 use crate::strategy::Strategy;
 use crate::training::TrainedModel;
 use crate::tuner::Tuner;
 use spmv_gpusim::{GpuDevice, LaunchStats};
-use spmv_sparse::{CsrMatrix, FeatureSet, MatrixFeatures, Scalar};
+use spmv_sparse::{CsrMatrix, MatrixFeatures, Scalar};
 
 /// Execute an explicit [`Strategy`] on the simulated device: one kernel
 /// launch per populated bin, costs accumulated.
+///
+/// One-shot convenience over [`SpmvPlan`] — compiles and executes a plan
+/// in one call. Iterative callers should compile once and reuse.
 pub fn run_strategy<T: Scalar>(
     device: &GpuDevice,
     a: &CsrMatrix<T>,
@@ -19,17 +29,15 @@ pub fn run_strategy<T: Scalar>(
     v: &[T],
     u: &mut [T],
 ) -> LaunchStats {
-    let bins = bin_matrix(a, strategy.binning);
-    let mut total = LaunchStats::default();
-    for bin_id in 0..bins.bins.len() {
-        if bins.bins[bin_id].is_empty() {
-            continue;
-        }
-        let rows = bins.expand(bin_id);
-        let stats = run_kernel(device, a, &rows, strategy.kernel_for(bin_id), v, u);
-        total.accumulate(&stats);
-    }
-    total
+    let plan = SpmvPlan::compile(
+        a,
+        strategy.clone(),
+        Box::new(SimGpuBackend::new(device.clone())),
+    );
+    let cost = plan
+        .execute(a, v, u)
+        .expect("plan compiled for this matrix");
+    cost.stats.unwrap_or_default()
 }
 
 /// The "default SpMV using only one single kernel" of Figure 6: all rows
@@ -80,6 +88,15 @@ impl AutoSpmv {
         }
     }
 
+    /// Auto-tuner driven by an explicitly configured oracle tuner (e.g.
+    /// a reduced search space for interactive use).
+    pub fn with_tuner(tuner: Tuner) -> Self {
+        Self {
+            device: tuner.device().clone(),
+            selector: Selector::Oracle(tuner),
+        }
+    }
+
     /// Auto-tuner driven by a trained model (the paper's deployment
     /// mode).
     pub fn with_model(device: GpuDevice, model: TrainedModel) -> Self {
@@ -102,24 +119,52 @@ impl AutoSpmv {
         }
     }
 
-    /// Full pipeline: select, bin, execute, report.
+    /// Compile a plan for `a` on the simulated GPU: select a strategy,
+    /// freeze features and bins, and return a reusable [`SpmvPlan`].
+    /// The intended entry point for iterative solvers.
+    pub fn plan<T: Scalar>(&self, a: &CsrMatrix<T>) -> SpmvPlan<T> {
+        self.plan_on(a, Box::new(SimGpuBackend::new(self.device.clone())))
+    }
+
+    /// Compile a plan executing natively on the CPU thread pool (same
+    /// strategy selection; launches run real multithreaded kernels).
+    pub fn plan_native<T: Scalar>(&self, a: &CsrMatrix<T>) -> SpmvPlan<T> {
+        self.plan_on(a, Box::new(NativeCpuBackend::new()))
+    }
+
+    /// Compile a plan on an explicit backend.
+    pub fn plan_on<T: Scalar>(
+        &self,
+        a: &CsrMatrix<T>,
+        backend: Box<dyn ExecBackend<T>>,
+    ) -> SpmvPlan<T> {
+        SpmvPlan::compile(a, self.select(a), backend)
+    }
+
+    /// Full pipeline: select, bin, execute, report. One-shot wrapper
+    /// over [`AutoSpmv::plan`] — iterative callers should plan once.
     pub fn run<T: Scalar>(&self, a: &CsrMatrix<T>, v: &[T], u: &mut [T]) -> AutoRunReport {
-        let features = MatrixFeatures::extract(a, FeatureSet::TableI);
-        let strategy = self.select(a);
-        let stats = run_strategy(&self.device, a, &strategy, v, u);
+        let plan = self.plan(a);
+        let cost = plan
+            .execute(a, v, u)
+            .expect("plan compiled for this matrix");
         AutoRunReport {
-            strategy,
-            stats,
-            features,
+            strategy: plan.strategy().clone(),
+            stats: cost.stats.unwrap_or_default(),
+            features: plan.features().clone(),
         }
     }
 }
 
 /// Heterogeneous-scheduling sketch (§VI, future work): bins whose rows
-/// carry little work are routed to the (real) CPU backend while heavy
+/// carry little work are routed to the native CPU backend while heavy
 /// bins stay on the simulated GPU. Returns the GPU launch cost and the
 /// measured CPU wall time separately — they run on different clocks and
 /// the paper leaves their overlap to future work.
+///
+/// Both sides go through [`ExecBackend::launch`] with the strategy's
+/// kernel for each bin, so CPU-routed bins get the same strategy-aware,
+/// multithreaded treatment as GPU-routed ones.
 pub fn run_hetero<T: Scalar>(
     device: &GpuDevice,
     a: &CsrMatrix<T>,
@@ -128,32 +173,20 @@ pub fn run_hetero<T: Scalar>(
     v: &[T],
     u: &mut [T],
 ) -> (LaunchStats, std::time::Duration) {
-    let bins = bin_matrix(a, strategy.binning);
-    let mut gpu = LaunchStats::default();
-    let mut cpu_rows: Vec<u32> = Vec::new();
-    for bin_id in 0..bins.bins.len() {
-        if bins.bins[bin_id].is_empty() {
-            continue;
-        }
-        let rows = bins.expand(bin_id);
-        let nnz: usize = rows.iter().map(|&r| a.row_nnz(r as usize)).sum();
+    let gpu_backend = SimGpuBackend::new(device.clone());
+    let cpu_backend = NativeCpuBackend::new();
+    let bins = crate::binning::bin_matrix(a, strategy.binning);
+    let mut gpu = LaunchCost::default();
+    let mut cpu = LaunchCost::default();
+    for (bin_id, rows, nnz) in crate::plan::expand_populated(a, &bins) {
+        let kernel = strategy.kernel_for(bin_id);
         if nnz <= cpu_bin_nnz_limit {
-            cpu_rows.extend(rows);
+            cpu.accumulate(&cpu_backend.launch(a, &rows, kernel, v, u));
         } else {
-            let stats = run_kernel(device, a, &rows, strategy.kernel_for(bin_id), v, u);
-            gpu.accumulate(&stats);
+            gpu.accumulate(&gpu_backend.launch(a, &rows, kernel, v, u));
         }
     }
-    let start = std::time::Instant::now();
-    for &r in &cpu_rows {
-        let (cols, vals) = a.row(r as usize);
-        let mut sum = T::ZERO;
-        for (&c, &x) in cols.iter().zip(vals) {
-            sum = x.mul_add_(v[c as usize], sum);
-        }
-        u[r as usize] = sum;
-    }
-    (gpu, start.elapsed())
+    (gpu.stats.unwrap_or_default(), cpu.wall)
 }
 
 #[cfg(test)]

@@ -19,7 +19,6 @@ pub fn spmv_row_parallel<T: Scalar>(
     check_dims(a, v, u)?;
     let out = SliceWriter(u.as_mut_ptr());
     parallel_for(a.n_rows(), 256, |start, end| {
-        let out = out;
         for i in start..end {
             let (cols, vals) = a.row(i);
             let mut sum = T::ZERO;
@@ -28,7 +27,7 @@ pub fn spmv_row_parallel<T: Scalar>(
             }
             // SAFETY: `parallel_for` hands out disjoint row ranges and
             // joins before returning; `u` outlives the call.
-            unsafe { *out.0.add(i) = sum };
+            unsafe { out.write(i, sum) };
         }
     });
     Ok(())
@@ -47,7 +46,6 @@ pub fn spmv_nnz_balanced<T: Scalar>(
     let cuts = nnz_balanced_cuts(a, parts);
     let out = SliceWriter(u.as_mut_ptr());
     parallel_for(cuts.len() - 1, 1, |p0, p1| {
-        let out = out;
         for p in p0..p1 {
             for i in cuts[p]..cuts[p + 1] {
                 let (cols, vals) = a.row(i);
@@ -56,11 +54,98 @@ pub fn spmv_nnz_balanced<T: Scalar>(
                     sum = x.mul_add_(v[c as usize], sum);
                 }
                 // SAFETY: cut ranges are disjoint; see above.
-                unsafe { *out.0.add(i) = sum };
+                unsafe { out.write(i, sum) };
             }
         }
     });
     Ok(())
+}
+
+/// SpMV over an explicit row subset, rows distributed in fixed-size
+/// chunks of the `rows` list. Backs [`KernelId::Serial`] on the native
+/// CPU backend: cheap scheduling, no balancing — right for bins of
+/// uniformly short rows.
+///
+/// [`KernelId::Serial`]: crate::kernels::KernelId::Serial
+pub fn spmv_rows_chunked<T: Scalar>(
+    a: &CsrMatrix<T>,
+    rows: &[u32],
+    grain: usize,
+    v: &[T],
+    u: &mut [T],
+) -> Result<(), SparseError> {
+    check_dims(a, v, u)?;
+    let out = SliceWriter(u.as_mut_ptr());
+    parallel_for(rows.len(), grain.max(1), |start, end| {
+        for &r in &rows[start..end] {
+            let (cols, vals) = a.row(r as usize);
+            let mut sum = T::ZERO;
+            for (&c, &x) in cols.iter().zip(vals) {
+                sum = x.mul_add_(v[c as usize], sum);
+            }
+            // SAFETY: each row id appears once in `rows`, so writes are
+            // disjoint; `parallel_for` joins before returning.
+            unsafe { out.write(r as usize, sum) };
+        }
+    });
+    Ok(())
+}
+
+/// SpMV over an explicit row subset with NNZ-balanced partitioning: the
+/// `rows` list is cut into `parts` spans of roughly equal non-zero count
+/// in one O(|rows|) scan, so one heavy row cannot serialise the launch.
+/// Backs the subvector/vector kernels on the native CPU backend.
+pub fn spmv_rows_nnz_balanced<T: Scalar>(
+    a: &CsrMatrix<T>,
+    rows: &[u32],
+    parts: usize,
+    v: &[T],
+    u: &mut [T],
+) -> Result<(), SparseError> {
+    check_dims(a, v, u)?;
+    let cuts = rows_nnz_cuts(a, rows, parts);
+    let out = SliceWriter(u.as_mut_ptr());
+    parallel_for(cuts.len() - 1, 1, |p0, p1| {
+        for p in p0..p1 {
+            for &r in &rows[cuts[p]..cuts[p + 1]] {
+                let (cols, vals) = a.row(r as usize);
+                let mut sum = T::ZERO;
+                for (&c, &x) in cols.iter().zip(vals) {
+                    sum = x.mul_add_(v[c as usize], sum);
+                }
+                // SAFETY: cut spans are disjoint; see above.
+                unsafe { out.write(r as usize, sum) };
+            }
+        }
+    });
+    Ok(())
+}
+
+/// Positions into `rows` that split it into `parts` spans of roughly
+/// equal NNZ (monotone, first 0, last `rows.len()`). One linear scan;
+/// the result is O(parts), never O(m).
+pub fn rows_nnz_cuts<T: Scalar>(a: &CsrMatrix<T>, rows: &[u32], parts: usize) -> Vec<usize> {
+    let parts = parts.max(1);
+    let total: usize = rows.iter().map(|&r| a.row_nnz(r as usize)).sum();
+    let mut cuts = Vec::with_capacity(parts + 1);
+    cuts.push(0);
+    let mut acc = 0usize;
+    let mut next_part = 1usize;
+    for (i, &r) in rows.iter().enumerate() {
+        if next_part >= parts {
+            break;
+        }
+        acc += a.row_nnz(r as usize);
+        while next_part < parts && acc >= total * next_part / parts {
+            cuts.push(i + 1);
+            next_part += 1;
+        }
+    }
+    while cuts.len() < parts {
+        cuts.push(rows.len());
+    }
+    cuts.push(rows.len());
+    cuts
 }
 
 /// Row boundaries that split the matrix into `parts` spans of roughly
@@ -104,6 +189,16 @@ struct SliceWriter<T>(*mut T);
 unsafe impl<T: Send> Send for SliceWriter<T> {}
 unsafe impl<T: Send> Sync for SliceWriter<T> {}
 
+impl<T> SliceWriter<T> {
+    /// # Safety
+    ///
+    /// `i` must be in bounds of the wrapped slice and no other thread may
+    /// write index `i` concurrently.
+    unsafe fn write(&self, i: usize, val: T) {
+        unsafe { *self.0.add(i) = val };
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,7 +232,7 @@ mod tests {
         let a = figure1_example::<f64>();
         let mut u = vec![0.0; 4];
         assert!(spmv_row_parallel(&a, &[1.0; 3], &mut u).is_err());
-        assert!(spmv_nnz_balanced(&a, &[1.0; 4], &mut vec![0.0; 2]).is_err());
+        assert!(spmv_nnz_balanced(&a, &[1.0; 4], &mut [0.0; 2]).is_err());
     }
 
     #[test]

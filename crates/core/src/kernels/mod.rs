@@ -20,7 +20,6 @@ pub mod cpu;
 mod serial;
 mod subvector;
 
-use serde::{Deserialize, Serialize};
 use spmv_gpusim::{GpuDevice, LaunchStats};
 use spmv_sparse::{CsrMatrix, Scalar};
 
@@ -32,7 +31,7 @@ pub const WORKGROUP_SIZE: usize = 256;
 pub const FACTOR: usize = 4;
 
 /// Identifier of one kernel in the pool.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum KernelId {
     /// One work-item per row.
     Serial,

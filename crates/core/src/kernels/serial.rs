@@ -22,7 +22,8 @@ pub(super) fn run<T: Scalar>(
     v: &[T],
     u: &mut [T],
 ) -> LaunchStats {
-    let mut workgroups: Vec<WorkgroupCost> = Vec::with_capacity(rows.len().div_ceil(WORKGROUP_SIZE));
+    let mut workgroups: Vec<WorkgroupCost> =
+        Vec::with_capacity(rows.len().div_ceil(WORKGROUP_SIZE));
     let tracer = LaunchTracer::new(device);
     let row_ptr = a.row_ptr();
     let col_idx = a.col_idx();
@@ -124,7 +125,10 @@ mod tests {
         let skewed = gen::mixture::<f32>(
             4096,
             8192,
-            &[RowRegime::new(1, 1, 63.0 / 64.0), RowRegime::new(961, 961, 1.0 / 64.0)],
+            &[
+                RowRegime::new(1, 1, 63.0 / 64.0),
+                RowRegime::new(961, 961, 1.0 / 64.0),
+            ],
             true,
             2,
         );

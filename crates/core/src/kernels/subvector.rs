@@ -30,7 +30,7 @@ pub(super) fn run<T: Scalar>(
     v: &[T],
     u: &mut [T],
 ) -> LaunchStats {
-    debug_assert!(x >= 2 && x <= WORKGROUP_SIZE && x.is_power_of_two());
+    debug_assert!((2..=WORKGROUP_SIZE).contains(&x) && x.is_power_of_two());
     let rows_per_wg = (WORKGROUP_SIZE / x).max(1);
     let lds_bytes = FACTOR * WORKGROUP_SIZE * T::BYTES;
     let tracer = LaunchTracer::new(device);
@@ -94,8 +94,10 @@ pub(super) fn run<T: Scalar>(
                             let (s, e) = spans[k];
                             let seg = s + (it * FACTOR + t) * x + lane_lo;
                             let lanes = x.min(device.wavefront);
-                            for idx in seg..(seg + lanes).min(e) {
-                                w.lane_addr(Region::VecIn, col_idx[idx] as usize, T::BYTES);
+                            if seg < e {
+                                for &c in &col_idx[seg..(seg + lanes).min(e)] {
+                                    w.lane_addr(Region::VecIn, c as usize, T::BYTES);
+                                }
                             }
                         }
                         w.commit_read();

@@ -23,7 +23,12 @@
 //! * [`training`] — the two-stage dataset construction and model fitting
 //!   (§III-C);
 //! * [`framework`] — the runtime: features → predicted strategy →
-//!   binning → per-bin kernel launches ([`AutoSpmv`]).
+//!   binning → per-bin kernel launches ([`AutoSpmv`]);
+//! * [`exec`] — execution backends behind one [`ExecBackend`] trait:
+//!   the simulated GPU and the native multithreaded CPU pool;
+//! * [`plan`] — the plan/execute split: [`SpmvPlan`] freezes features,
+//!   strategy and expanded bin row lists once per sparsity pattern so
+//!   iterative solvers pay no per-call tuning or allocation.
 //!
 //! ## Quick start
 //!
@@ -50,9 +55,11 @@
 
 pub mod baseline;
 pub mod binning;
+pub mod exec;
 pub mod framework;
 pub mod kernels;
 pub mod model_io;
+pub mod plan;
 pub mod strategy;
 pub mod training;
 pub mod tuner;
@@ -61,9 +68,11 @@ pub mod tuner;
 pub mod prelude {
     pub use crate::baseline::CsrAdaptive;
     pub use crate::binning::{BinningScheme, Bins};
-    pub use crate::framework::{run_single_kernel, run_strategy, AutoSpmv};
+    pub use crate::exec::{ExecBackend, LaunchCost, NativeCpuBackend, SimGpuBackend};
+    pub use crate::framework::{run_hetero, run_single_kernel, run_strategy, AutoSpmv};
     pub use crate::kernels::{KernelId, ALL_KERNELS};
     pub use crate::model_io::{load_model_file, save_model_file};
+    pub use crate::plan::{BinDispatch, PatternFingerprint, PlanError, SpmvPlan};
     pub use crate::strategy::Strategy;
     pub use crate::training::{TrainedModel, Trainer, TrainingReport};
     pub use crate::tuner::{TunedStrategy, Tuner, TunerConfig};

@@ -46,24 +46,31 @@ pub fn load_model<R: Read>(r: R) -> Result<TrainedModel, RulesIoError> {
     let mut reader = BufReader::new(r);
     let mut line = String::new();
     let mut lineno = 0usize;
-    let mut read_line = |reader: &mut BufReader<R>, line: &mut String| -> Result<(), RulesIoError> {
-        line.clear();
-        lineno += 1;
-        if reader.read_line(line)? == 0 {
-            return Err(RulesIoError::Parse(lineno, "unexpected end of file".into()));
-        }
-        Ok(())
-    };
+    let mut read_line =
+        |reader: &mut BufReader<R>, line: &mut String| -> Result<(), RulesIoError> {
+            line.clear();
+            lineno += 1;
+            if reader.read_line(line)? == 0 {
+                return Err(RulesIoError::Parse(lineno, "unexpected end of file".into()));
+            }
+            Ok(())
+        };
     read_line(&mut reader, &mut line)?;
     if line.trim() != "spmv-model v1" {
-        return Err(RulesIoError::Parse(1, format!("bad header '{}'", line.trim())));
+        return Err(RulesIoError::Parse(
+            1,
+            format!("bad header '{}'", line.trim()),
+        ));
     }
     read_line(&mut reader, &mut line)?;
     let features = match line.trim().strip_prefix("features ") {
         Some("TableI") => FeatureSet::TableI,
         Some("Extended") => FeatureSet::Extended,
         other => {
-            return Err(RulesIoError::Parse(2, format!("bad features line {other:?}")));
+            return Err(RulesIoError::Parse(
+                2,
+                format!("bad features line {other:?}"),
+            ));
         }
     };
     read_line(&mut reader, &mut line)?;
@@ -86,8 +93,8 @@ pub fn load_model<R: Read>(r: R) -> Result<TrainedModel, RulesIoError> {
         .find("ruleset v1")
         .map(|i| i + 1)
         .ok_or_else(|| RulesIoError::Parse(4, "missing stage-2 rule-set".into()))?;
-    let stage1 = read_ruleset(rest[..second].as_bytes())?;
-    let stage2 = read_ruleset(rest[second..].as_bytes())?;
+    let stage1 = read_ruleset(&rest.as_bytes()[..second])?;
+    let stage2 = read_ruleset(&rest.as_bytes()[second..])?;
     if stage1.n_classes() != u_classes.len() {
         return Err(RulesIoError::Parse(
             4,

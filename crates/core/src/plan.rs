@@ -1,0 +1,385 @@
+//! Compiled execution plans: tune once, run many.
+//!
+//! Binning, feature extraction, and strategy selection are all
+//! per-*pattern* work — they depend only on the sparsity structure, not
+//! the stored values. Iterative consumers (CG, PageRank, time-stepping)
+//! run SpMV hundreds of times on one pattern, so [`SpmvPlan`] freezes
+//! that work at compile time: the predicted [`Strategy`], the extracted
+//! [`MatrixFeatures`], the expanded per-bin row lists, and the backend to
+//! launch on. [`SpmvPlan::execute`] then does *no* binning, feature
+//! extraction, or row-list allocation — it walks the dispatch table and
+//! launches.
+//!
+//! A [`PatternFingerprint`] guards reuse: executing a plan against a
+//! matrix with a different structure is a typed [`PlanError`], never a
+//! silently wrong result. Value-only updates (same pattern, new numbers)
+//! are the intended use and need no recompilation.
+
+use crate::binning::{bin_matrix, Bins};
+use crate::exec::{ExecBackend, LaunchCost};
+use crate::kernels::KernelId;
+use crate::strategy::Strategy;
+use spmv_sparse::{CsrMatrix, FeatureSet, MatrixFeatures, Scalar};
+
+/// Structural identity of a CSR matrix: dimensions, NNZ, and an FNV-1a
+/// checksum of the row-pointer array. Two matrices with equal
+/// fingerprints have the same row lengths everywhere, which is exactly
+/// the information binning consumed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PatternFingerprint {
+    /// Rows.
+    pub m: usize,
+    /// Columns.
+    pub n: usize,
+    /// Stored non-zeros.
+    pub nnz: usize,
+    /// FNV-1a over the row-pointer array.
+    pub row_ptr_hash: u64,
+}
+
+impl PatternFingerprint {
+    /// Fingerprint `a`'s sparsity structure. O(m), allocation-free.
+    pub fn of<T: Scalar>(a: &CsrMatrix<T>) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &p in a.row_ptr() {
+            h ^= p as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self {
+            m: a.n_rows(),
+            n: a.n_cols(),
+            nnz: a.nnz(),
+            row_ptr_hash: h,
+        }
+    }
+}
+
+/// Why a plan refused to execute.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// The matrix handed to [`SpmvPlan::execute`] has a different
+    /// sparsity structure than the one the plan was compiled for.
+    PatternMismatch {
+        /// Fingerprint the plan was compiled against.
+        expected: PatternFingerprint,
+        /// Fingerprint of the matrix handed to `execute`.
+        got: PatternFingerprint,
+    },
+    /// An input or output vector has the wrong length.
+    DimensionMismatch {
+        /// Which slice was wrong (`"input vector"` / `"output vector"`).
+        what: &'static str,
+        /// Length the plan requires.
+        expected: usize,
+        /// Length received.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::PatternMismatch { expected, got } => write!(
+                f,
+                "plan compiled for pattern {}x{}/{} nnz (hash {:#x}) executed \
+                 against {}x{}/{} nnz (hash {:#x}); recompile the plan for \
+                 structurally different matrices",
+                expected.m,
+                expected.n,
+                expected.nnz,
+                expected.row_ptr_hash,
+                got.m,
+                got.n,
+                got.nnz,
+                got.row_ptr_hash,
+            ),
+            PlanError::DimensionMismatch {
+                what,
+                expected,
+                got,
+            } => {
+                write!(f, "{what}: expected length {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// One entry of a plan's dispatch table: a populated bin with its row
+/// list pre-expanded and its kernel already chosen.
+#[derive(Clone, Debug)]
+pub struct BinDispatch {
+    /// Bin id under the plan's binning scheme.
+    pub bin_id: usize,
+    /// Kernel the strategy assigns this bin.
+    pub kernel: KernelId,
+    /// The actual row indices, expanded once at compile time.
+    pub rows: Vec<u32>,
+    /// Non-zeros covered by the bin.
+    pub nnz: usize,
+}
+
+/// Expand every populated bin of `bins` into `(bin_id, rows, nnz)`
+/// triples — the one place row lists are materialised; plans and the
+/// tuner both build on it so the work happens once per pattern.
+pub(crate) fn expand_populated<T: Scalar>(
+    a: &CsrMatrix<T>,
+    bins: &Bins,
+) -> Vec<(usize, Vec<u32>, usize)> {
+    (0..bins.bins.len())
+        .filter(|&b| !bins.bins[b].is_empty())
+        .map(|b| {
+            let rows = bins.expand(b);
+            let nnz = rows.iter().map(|&r| a.row_nnz(r as usize)).sum();
+            (b, rows, nnz)
+        })
+        .collect()
+}
+
+/// A compiled SpMV: frozen strategy, features, fingerprint, dispatch
+/// table, and backend. Build with [`SpmvPlan::compile`] (or
+/// [`crate::framework::AutoSpmv::plan`]), then call
+/// [`execute`](SpmvPlan::execute) as many times as the solver needs.
+pub struct SpmvPlan<T: Scalar> {
+    strategy: Strategy,
+    features: MatrixFeatures,
+    fingerprint: PatternFingerprint,
+    dispatch: Vec<BinDispatch>,
+    backend: Box<dyn ExecBackend<T>>,
+}
+
+impl<T: Scalar> SpmvPlan<T> {
+    /// Compile `strategy` for `a` on `backend`: extract features, bin,
+    /// expand every populated bin's row list, and freeze the kernel
+    /// choice per bin.
+    pub fn compile(a: &CsrMatrix<T>, strategy: Strategy, backend: Box<dyn ExecBackend<T>>) -> Self {
+        let features = MatrixFeatures::extract(a, FeatureSet::TableI);
+        let fingerprint = PatternFingerprint::of(a);
+        let bins = bin_matrix(a, strategy.binning);
+        let dispatch = expand_populated(a, &bins)
+            .into_iter()
+            .map(|(bin_id, rows, nnz)| BinDispatch {
+                bin_id,
+                kernel: strategy.kernel_for(bin_id),
+                rows,
+                nnz,
+            })
+            .collect();
+        Self {
+            strategy,
+            features,
+            fingerprint,
+            dispatch,
+            backend,
+        }
+    }
+
+    /// Execute the plan: one backend launch per dispatch entry.
+    ///
+    /// Validates dimensions and the pattern fingerprint (O(m) scan, no
+    /// allocation), then launches over the cached row lists. Value-only
+    /// updates to `a` since compilation are fine; structural changes are
+    /// a [`PlanError::PatternMismatch`].
+    pub fn execute(&self, a: &CsrMatrix<T>, v: &[T], u: &mut [T]) -> Result<LaunchCost, PlanError> {
+        if v.len() != self.fingerprint.n {
+            return Err(PlanError::DimensionMismatch {
+                what: "input vector",
+                expected: self.fingerprint.n,
+                got: v.len(),
+            });
+        }
+        if u.len() != self.fingerprint.m {
+            return Err(PlanError::DimensionMismatch {
+                what: "output vector",
+                expected: self.fingerprint.m,
+                got: u.len(),
+            });
+        }
+        let got = PatternFingerprint::of(a);
+        if got != self.fingerprint {
+            return Err(PlanError::PatternMismatch {
+                expected: self.fingerprint,
+                got,
+            });
+        }
+        let mut total = LaunchCost::default();
+        for d in &self.dispatch {
+            let cost = self.backend.launch(a, &d.rows, d.kernel, v, u);
+            total.accumulate(&cost);
+        }
+        Ok(total)
+    }
+
+    /// The frozen strategy.
+    pub fn strategy(&self) -> &Strategy {
+        &self.strategy
+    }
+
+    /// Features extracted at compile time.
+    pub fn features(&self) -> &MatrixFeatures {
+        &self.features
+    }
+
+    /// The pattern this plan is bound to.
+    pub fn fingerprint(&self) -> &PatternFingerprint {
+        &self.fingerprint
+    }
+
+    /// The dispatch table (one entry per populated bin).
+    pub fn dispatch(&self) -> &[BinDispatch] {
+        &self.dispatch
+    }
+
+    /// Name of the backend launches run on.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Number of kernel launches per execution.
+    pub fn launches(&self) -> usize {
+        self.dispatch.len()
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for SpmvPlan<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpmvPlan")
+            .field("strategy", &self.strategy)
+            .field("fingerprint", &self.fingerprint)
+            .field("launches", &self.dispatch.len())
+            .field("backend", &self.backend.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binning::BinningScheme;
+    use crate::exec::{NativeCpuBackend, SimGpuBackend};
+    use spmv_gpusim::GpuDevice;
+    use spmv_sparse::gen;
+    use spmv_sparse::scalar::approx_eq;
+
+    fn plan_for(a: &CsrMatrix<f64>) -> SpmvPlan<f64> {
+        let strategy = Strategy {
+            binning: BinningScheme::Coarse { u: 10 },
+            kernels: vec![KernelId::Serial; 8],
+        };
+        SpmvPlan::compile(
+            a,
+            strategy,
+            Box::new(SimGpuBackend::new(GpuDevice::kaveri())),
+        )
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_structures_not_values() {
+        let a = gen::random_uniform::<f64>(200, 200, 1, 6, 1);
+        let mut b = a.clone();
+        b.fill_values_with(|k| k as f64 * 0.5);
+        assert_eq!(PatternFingerprint::of(&a), PatternFingerprint::of(&b));
+        let c = gen::random_uniform::<f64>(200, 200, 1, 6, 2);
+        assert_ne!(PatternFingerprint::of(&a), PatternFingerprint::of(&c));
+    }
+
+    #[test]
+    fn execute_matches_reference_and_reuses_across_value_updates() {
+        let mut a = gen::powerlaw::<f64>(500, 1, 80, 2.1, 9);
+        let plan = plan_for(&a);
+        let v: Vec<f64> = (0..a.n_cols()).map(|i| (i % 4) as f64).collect();
+        for round in 0..3 {
+            let mut u = vec![0.0f64; a.n_rows()];
+            plan.execute(&a, &v, &mut u).unwrap();
+            let reference = a.spmv_seq_alloc(&v).unwrap();
+            for i in 0..a.n_rows() {
+                assert!(
+                    approx_eq(u[i], reference[i], a.row_nnz(i).max(1)),
+                    "round {round} row {i}"
+                );
+            }
+            a.fill_values_with(|k| ((k + round) % 7) as f64 - 3.0);
+        }
+    }
+
+    #[test]
+    fn structural_mismatch_is_a_typed_error() {
+        let a = gen::random_uniform::<f64>(300, 300, 2, 5, 3);
+        let b = gen::random_uniform::<f64>(300, 300, 2, 5, 4);
+        let plan = plan_for(&a);
+        let v = vec![1.0f64; 300];
+        let mut u = vec![0.0f64; 300];
+        match plan.execute(&b, &v, &mut u) {
+            Err(PlanError::PatternMismatch { .. }) => {}
+            other => panic!("expected PatternMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_a_typed_error() {
+        let a = gen::random_uniform::<f64>(100, 120, 1, 4, 5);
+        let plan = plan_for(&a);
+        let mut u = vec![0.0f64; 100];
+        assert!(matches!(
+            plan.execute(&a, &[0.0; 7], &mut u),
+            Err(PlanError::DimensionMismatch {
+                what: "input vector",
+                ..
+            })
+        ));
+        assert!(matches!(
+            plan.execute(&a, &vec![0.0; 120], &mut [0.0; 3]),
+            Err(PlanError::DimensionMismatch {
+                what: "output vector",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn dispatch_covers_every_row_exactly_once() {
+        let a = gen::powerlaw::<f64>(700, 1, 120, 2.0, 6);
+        let plan = plan_for(&a);
+        let mut seen = vec![0usize; a.n_rows()];
+        for d in plan.dispatch() {
+            for &r in &d.rows {
+                seen[r as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn native_plan_matches_sim_plan() {
+        let a = gen::powerlaw::<f64>(400, 1, 90, 2.2, 7);
+        let strategy = Strategy {
+            binning: BinningScheme::Coarse { u: 10 },
+            kernels: (0..8)
+                .map(|b| {
+                    if b < 4 {
+                        KernelId::Serial
+                    } else {
+                        KernelId::Vector
+                    }
+                })
+                .collect(),
+        };
+        let sim = SpmvPlan::compile(
+            &a,
+            strategy.clone(),
+            Box::new(SimGpuBackend::new(GpuDevice::kaveri())),
+        );
+        let cpu = SpmvPlan::compile(&a, strategy, Box::new(NativeCpuBackend::new()));
+        let v: Vec<f64> = (0..a.n_cols())
+            .map(|i| ((i * 3) % 11) as f64 - 5.0)
+            .collect();
+        let mut u1 = vec![0.0f64; a.n_rows()];
+        let mut u2 = vec![0.0f64; a.n_rows()];
+        sim.execute(&a, &v, &mut u1).unwrap();
+        cpu.execute(&a, &v, &mut u2).unwrap();
+        for i in 0..a.n_rows() {
+            assert!(approx_eq(u1[i], u2[i], a.row_nnz(i).max(1)), "row {i}");
+        }
+    }
+}

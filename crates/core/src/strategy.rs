@@ -3,14 +3,13 @@
 
 use crate::binning::BinningScheme;
 use crate::kernels::KernelId;
-use serde::{Deserialize, Serialize};
 
 /// A complete parallelisation strategy for one matrix: how rows are
 /// binned and which kernel processes each bin.
 ///
 /// `kernels[binId]` gives the kernel for bin `binId`; bins that end up
 /// empty are skipped at execution time (no launch, no cost).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Strategy {
     /// The binning scheme.
     pub binning: BinningScheme,
@@ -80,11 +79,7 @@ mod tests {
     fn describe_compresses_runs() {
         let s = Strategy {
             binning: BinningScheme::Coarse { u: 100 },
-            kernels: vec![
-                KernelId::Serial,
-                KernelId::Serial,
-                KernelId::Vector,
-            ],
+            kernels: vec![KernelId::Serial, KernelId::Serial, KernelId::Vector],
         };
         let d = s.describe();
         assert!(d.contains("U=100"), "{d}");

@@ -170,10 +170,7 @@ impl Trainer {
                 BinningScheme::Coarse { u } => u,
                 _ => granularities[0],
             };
-            let u_class = granularities
-                .iter()
-                .position(|&g| g == u)
-                .unwrap_or(0);
+            let u_class = granularities.iter().position(|&g| g == u).unwrap_or(0);
             let bins = tuned
                 .winning_choices()
                 .iter()
@@ -336,7 +333,11 @@ mod tests {
     fn split_respects_fraction_and_partitions() {
         let (train, test) = split(100, 0.75, 3);
         assert_eq!(train.len() + test.len(), 100);
-        assert!(test.len() >= 13 && test.len() <= 38, "test = {}", test.len());
+        assert!(
+            test.len() >= 13 && test.len() <= 38,
+            "test = {}",
+            test.len()
+        );
         let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
         all.sort_unstable();
         assert_eq!(all, (0..100).collect::<Vec<_>>());

@@ -91,10 +91,7 @@ impl CandidateResult {
         }
         // Fill gaps (unpopulated bins) with the nearest populated choice
         // below, so the strategy is total.
-        let mut last = kernels
-            .first()
-            .copied()
-            .unwrap_or(KernelId::Serial);
+        let mut last = kernels.first().copied().unwrap_or(KernelId::Serial);
         let populated: Vec<usize> = self.choices.iter().map(|c| c.bin_id).collect();
         for (b, k) in kernels.iter_mut().enumerate() {
             if populated.contains(&b) {
@@ -166,25 +163,27 @@ impl Tuner {
 
     /// Evaluate one binning scheme: per populated bin, run every kernel
     /// and keep the cheapest.
-    pub fn evaluate_scheme<T: Scalar>(&self, a: &CsrMatrix<T>, scheme: BinningScheme) -> CandidateResult {
+    ///
+    /// The matrix is binned **once** per scheme and every populated
+    /// bin's row list is expanded **once** (via the same
+    /// [`crate::plan`] expansion plans use); all nine kernel candidates
+    /// then share those cached row lists instead of re-binning.
+    pub fn evaluate_scheme<T: Scalar>(
+        &self,
+        a: &CsrMatrix<T>,
+        scheme: BinningScheme,
+    ) -> CandidateResult {
         let bins = bin_matrix(a, scheme);
+        let expanded = crate::plan::expand_populated(a, &bins);
         let v = vec![T::ONE; a.n_cols()];
         let mut scratch = vec![T::ZERO; a.n_rows()];
         let mut choices = Vec::new();
         let mut cycles = 0.0;
-        for bin_id in 0..bins.bins.len() {
-            if bins.bins[bin_id].is_empty() {
-                continue;
-            }
-            let rows = bins.expand(bin_id);
-            let nnz: usize = rows.iter().map(|&r| a.row_nnz(r as usize)).sum();
+        for (bin_id, rows, nnz) in expanded {
             let mut best: Option<(KernelId, LaunchStats)> = None;
             for &k in &self.config.kernels {
                 let stats = run_kernel(&self.device, a, &rows, k, &v, &mut scratch);
-                if best
-                    .as_ref()
-                    .map_or(true, |(_, b)| stats.cycles < b.cycles)
-                {
+                if best.as_ref().is_none_or(|(_, b)| stats.cycles < b.cycles) {
                     best = Some((k, stats));
                 }
             }
@@ -233,10 +232,7 @@ impl Tuner {
 }
 
 /// `parallel_map_collect` for non-`Default` results.
-fn parallel_map_collect_nc<T: Send + Clone>(
-    n: usize,
-    f: impl Fn(usize) -> T + Sync,
-) -> Vec<T> {
+fn parallel_map_collect_nc<T: Send + Clone>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
     let slots: Vec<Option<T>> = parallel_map_collect(n, 1, |i| Some(f(i)));
     slots.into_iter().map(Option::unwrap).collect()
 }

@@ -1,0 +1,157 @@
+//! Integration suite for the plan/execute split: one compiled
+//! [`SpmvPlan`] reused across value updates, structural-change safety,
+//! and cross-backend agreement (sim-GPU vs native-CPU) over the whole
+//! kernel pool.
+
+use spmv_autotune::prelude::*;
+use spmv_gpusim::GpuDevice;
+use spmv_sparse::gen;
+use spmv_sparse::gen::mixture::RowRegime;
+use spmv_sparse::scalar::approx_eq;
+use spmv_sparse::CsrMatrix;
+
+fn irregular(seed: u64) -> CsrMatrix<f64> {
+    gen::mixture(
+        1_800,
+        2_400,
+        &[
+            RowRegime::new(1, 3, 0.55),
+            RowRegime::new(10, 60, 0.35),
+            RowRegime::new(300, 600, 0.10),
+        ],
+        true,
+        seed,
+    )
+}
+
+fn small_auto() -> AutoSpmv {
+    AutoSpmv::with_tuner(Tuner::with_config(
+        GpuDevice::kaveri(),
+        TunerConfig {
+            granularities: vec![10, 100, 1_000],
+            kernels: ALL_KERNELS.to_vec(),
+            include_single_bin: true,
+        },
+    ))
+}
+
+fn assert_matches_reference(a: &CsrMatrix<f64>, u: &[f64], reference: &[f64]) {
+    for i in 0..a.n_rows() {
+        assert!(
+            approx_eq(u[i], reference[i], a.row_nnz(i).max(1)),
+            "row {i}: {} vs reference {}",
+            u[i],
+            reference[i]
+        );
+    }
+}
+
+/// One plan, many value updates: as long as the sparsity pattern is
+/// unchanged, `execute` must track the matrix's *current* values and
+/// match the sequential reference every time — on both backends.
+#[test]
+fn plan_reuse_tracks_value_updates() {
+    let auto = small_auto();
+    for native in [false, true] {
+        let mut a = irregular(41);
+        let plan = if native {
+            auto.plan_native(&a)
+        } else {
+            auto.plan(&a)
+        };
+        let v: Vec<f64> = (0..a.n_cols()).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let mut u = vec![0.0f64; a.n_rows()];
+        for round in 0..4u64 {
+            // Same pattern, new values (e.g. a Jacobian refresh).
+            a.fill_values_with(|k| ((k as u64).wrapping_mul(round + 1) % 11) as f64 - 5.0);
+            let reference = a.spmv_seq_alloc(&v).unwrap();
+            plan.execute(&a, &v, &mut u)
+                .unwrap_or_else(|e| panic!("{} round {round}: {e}", plan.backend_name()));
+            assert_matches_reference(&a, &u, &reference);
+        }
+    }
+}
+
+/// A structurally different matrix must be rejected with a typed error —
+/// never silently computed with stale bins.
+#[test]
+fn pattern_mismatch_is_rejected_not_miscomputed() {
+    let auto = small_auto();
+    let a = irregular(42);
+    let plan = auto.plan(&a);
+
+    // Same shape and nnz budget, different pattern.
+    let b = irregular(43);
+    let v = vec![1.0f64; b.n_cols()];
+    let sentinel = -7.5f64;
+    let mut u = vec![sentinel; b.n_rows()];
+    match plan.execute(&b, &v, &mut u) {
+        Err(PlanError::PatternMismatch { expected, got }) => {
+            assert_eq!(expected, *plan.fingerprint());
+            assert_eq!(got, PatternFingerprint::of(&b));
+        }
+        other => panic!("expected PatternMismatch, got {other:?}"),
+    }
+    // The mismatch must be detected before any rows are written.
+    assert!(
+        u.iter().all(|&x| x == sentinel),
+        "output written despite pattern mismatch"
+    );
+
+    // Wrong operand lengths are also typed errors.
+    let mut short_u = vec![0.0f64; a.n_rows() - 1];
+    assert!(matches!(
+        plan.execute(&a, &v[..a.n_cols()], &mut short_u),
+        Err(PlanError::DimensionMismatch { .. })
+    ));
+}
+
+/// The two backends are interchangeable: for every kernel in the pool,
+/// a single-kernel plan on the sim-GPU and on the native CPU agree with
+/// the sequential reference (and hence with each other).
+#[test]
+fn backends_agree_on_every_kernel() {
+    let a = irregular(44);
+    let v: Vec<f64> = (0..a.n_cols())
+        .map(|i| ((i % 13) as f64) * 0.25 - 1.5)
+        .collect();
+    let reference = a.spmv_seq_alloc(&v).unwrap();
+    for kernel in ALL_KERNELS {
+        let strategy = Strategy::single_kernel(kernel);
+        let sim_plan = SpmvPlan::compile(
+            &a,
+            strategy.clone(),
+            Box::new(SimGpuBackend::new(GpuDevice::kaveri())),
+        );
+        let cpu_plan = SpmvPlan::compile(&a, strategy, Box::new(NativeCpuBackend::new()));
+        let mut u_sim = vec![0.0f64; a.n_rows()];
+        let mut u_cpu = vec![0.0f64; a.n_rows()];
+        let sim_cost = sim_plan.execute(&a, &v, &mut u_sim).unwrap();
+        let cpu_cost = cpu_plan.execute(&a, &v, &mut u_cpu).unwrap();
+        assert_matches_reference(&a, &u_sim, &reference);
+        assert_matches_reference(&a, &u_cpu, &reference);
+        // Different clocks: the sim prices cycles, the CPU only wall time.
+        assert!(sim_cost.stats.is_some(), "{kernel}: sim launch unpriced");
+        assert!(cpu_cost.stats.is_none(), "{kernel}: cpu launch priced");
+    }
+}
+
+/// A tuned (multi-bin) strategy also agrees across backends, not just
+/// single-kernel plans.
+#[test]
+fn tuned_plans_agree_across_backends() {
+    let auto = small_auto();
+    let a = irregular(45);
+    let v: Vec<f64> = (0..a.n_cols()).map(|i| ((i * 3) % 17) as f64).collect();
+    let reference = a.spmv_seq_alloc(&v).unwrap();
+    let sim_plan = auto.plan(&a);
+    let cpu_plan = auto.plan_native(&a);
+    assert_eq!(sim_plan.strategy(), cpu_plan.strategy());
+    assert_eq!(sim_plan.launches(), cpu_plan.launches());
+    let mut u = vec![0.0f64; a.n_rows()];
+    sim_plan.execute(&a, &v, &mut u).unwrap();
+    assert_matches_reference(&a, &u, &reference);
+    u.fill(0.0);
+    cpu_plan.execute(&a, &v, &mut u).unwrap();
+    assert_matches_reference(&a, &u, &reference);
+}

@@ -38,8 +38,10 @@ pub fn transactions_contiguous(
     if lanes == 0 {
         return 0;
     }
+    // The general model counts each lane's *start* address, so the last
+    // line is the one holding the final lane's start — not its last byte.
     let first = base / cache_line as u64;
-    let last = (base + (lanes * elem_bytes) as u64 - 1) / cache_line as u64;
+    let last = (base + ((lanes - 1) * elem_bytes) as u64) / cache_line as u64;
     (last - first + 1) as usize
 }
 

@@ -1,8 +1,6 @@
 //! Device descriptors: the microarchitectural parameters the cost model
 //! charges against.
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters of a simulated GPU.
 ///
 /// The defaults (`GpuDevice::kaveri()`) model the paper's evaluation
@@ -10,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// units at 720 MHz, each with four 16-lane vector units (64-wide
 /// wavefronts), 64 KiB LDS per CU, and a DRAM controller shared with the
 /// CPU (dual-channel DDR3-2133, ≈25.6 GB/s peak).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GpuDevice {
     /// Human-readable name (appears in reports).
     pub name: String,

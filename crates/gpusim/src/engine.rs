@@ -135,8 +135,7 @@ pub fn price_workgroups(device: &GpuDevice, workgroups: &[WorkgroupCost]) -> Lau
     }
 
     let compute_cycles = cu_load.iter().fold(0.0f64, |m, &c| m.max(c));
-    let bw_cycles =
-        (stats.bytes_read + stats.bytes_written) as f64 / device.bytes_per_cycle();
+    let bw_cycles = (stats.bytes_read + stats.bytes_written) as f64 / device.bytes_per_cycle();
     stats.bandwidth_bound = bw_cycles > compute_cycles;
     stats.cycles = compute_cycles.max(bw_cycles) + device.launch_overhead_cycles as f64;
     stats.seconds = device.cycles_to_seconds(stats.cycles);
@@ -153,12 +152,13 @@ fn occupancy(device: &GpuDevice, workgroups: &[WorkgroupCost], total_waves: usiz
     let work_limited = (total_waves as f64 / simds).max(1.0);
     // LDS bound: how many work-groups fit per CU.
     let max_lds = workgroups.iter().map(|wg| wg.lds_bytes).max().unwrap_or(0);
-    let lds_limited = if max_lds == 0 {
-        device.max_waves_per_simd as f64
-    } else {
-        let wgs_per_cu = (device.lds_per_cu / max_lds).max(1);
-        let avg_waves_per_wg = total_waves as f64 / workgroups.len() as f64;
-        ((wgs_per_cu as f64 * avg_waves_per_wg) / device.simd_per_cu as f64).max(1.0)
+    let lds_limited = match device.lds_per_cu.checked_div(max_lds) {
+        None => device.max_waves_per_simd as f64,
+        Some(q) => {
+            let wgs_per_cu = q.max(1);
+            let avg_waves_per_wg = total_waves as f64 / workgroups.len() as f64;
+            ((wgs_per_cu as f64 * avg_waves_per_wg) / device.simd_per_cu as f64).max(1.0)
+        }
     };
     work_limited
         .min(lds_limited)
@@ -320,7 +320,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let one = price_workgroups(&d, &[wg.clone()]);
+        let one = price_workgroups(&d, std::slice::from_ref(&wg));
         let mut two = one.clone();
         two.accumulate(&one);
         assert_eq!(two.cycles, 2.0 * one.cycles);

@@ -102,13 +102,7 @@ mod tests {
 
     #[test]
     fn addresses_scale_with_element_size() {
-        assert_eq!(
-            Region::Val.addr(10, 4) - Region::Val.addr(0, 4),
-            40
-        );
-        assert_eq!(
-            Region::Val.addr(10, 8) - Region::Val.addr(0, 8),
-            80
-        );
+        assert_eq!(Region::Val.addr(10, 4) - Region::Val.addr(0, 4), 40);
+        assert_eq!(Region::Val.addr(10, 8) - Region::Val.addr(0, 8), 80);
     }
 }

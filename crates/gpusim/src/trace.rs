@@ -99,7 +99,13 @@ impl<'a> WaveTracer<'a> {
     /// One coalesced read of `lanes` consecutive `elem_bytes` elements
     /// starting at `region[start]` — the closed-form fast path for the
     /// (very common) contiguous case.
-    pub fn read_contiguous(&mut self, region: Region, start: usize, lanes: usize, elem_bytes: usize) {
+    pub fn read_contiguous(
+        &mut self,
+        region: Region,
+        start: usize,
+        lanes: usize,
+        elem_bytes: usize,
+    ) {
         if lanes == 0 {
             return;
         }
@@ -113,7 +119,13 @@ impl<'a> WaveTracer<'a> {
 
     /// Contiguous-write counterpart of
     /// [`read_contiguous`](Self::read_contiguous).
-    pub fn write_contiguous(&mut self, region: Region, start: usize, lanes: usize, elem_bytes: usize) {
+    pub fn write_contiguous(
+        &mut self,
+        region: Region,
+        start: usize,
+        lanes: usize,
+        elem_bytes: usize,
+    ) {
         if lanes == 0 {
             return;
         }
@@ -314,6 +326,8 @@ mod tests {
         }
         assert_eq!(lt.n_workgroups(), 3);
         let (_, wgs) = lt.into_parts();
-        assert!(wgs.iter().all(|wg| wg.lds_bytes == 1024 && wg.waves.len() == 1));
+        assert!(wgs
+            .iter()
+            .all(|wg| wg.lds_bytes == 1024 && wg.waves.len() == 1));
     }
 }

@@ -1,11 +1,15 @@
 //! Property tests of the cost model's axioms: coalescing bounds, pricing
-//! monotonicity, and accumulation arithmetic.
+//! monotonicity, and accumulation arithmetic. Randomised inputs come
+//! from a seeded generator for reproducibility.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use spmv_gpusim::coalesce::{transactions, transactions_contiguous};
 use spmv_gpusim::engine::price_workgroups;
 use spmv_gpusim::trace::{WaveCost, WorkgroupCost};
 use spmv_gpusim::GpuDevice;
+
+const CASES: usize = 128;
 
 fn wg(waves: Vec<WaveCost>, lds: usize) -> WorkgroupCost {
     WorkgroupCost {
@@ -14,91 +18,180 @@ fn wg(waves: Vec<WaveCost>, lds: usize) -> WorkgroupCost {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn random_addrs(rng: &mut StdRng, max_addr: u64) -> Vec<u64> {
+    let lanes = rng.gen_range(1usize..64);
+    (0..lanes).map(|_| rng.gen_range(0..max_addr)).collect()
+}
 
-    /// 1 ≤ transactions ≤ lanes for any non-empty address set.
-    #[test]
-    fn transaction_count_bounds(addrs in proptest::collection::vec(0u64..1_000_000, 1..64)) {
-        let mut scratch = Vec::new();
+/// 1 ≤ transactions ≤ lanes for any non-empty address set.
+#[test]
+fn transaction_count_bounds() {
+    let mut rng = StdRng::seed_from_u64(0x6501);
+    let mut scratch = Vec::new();
+    for _ in 0..CASES {
+        let addrs = random_addrs(&mut rng, 1_000_000);
         let tx = transactions(&addrs, 64, &mut scratch);
-        prop_assert!(tx >= 1);
-        prop_assert!(tx <= addrs.len());
+        assert!(tx >= 1);
+        assert!(tx <= addrs.len());
     }
+}
 
-    /// Coalescing is permutation-invariant.
-    #[test]
-    fn transactions_ignore_lane_order(mut addrs in proptest::collection::vec(0u64..100_000, 1..64)) {
-        let mut scratch = Vec::new();
+/// Coalescing is permutation-invariant.
+#[test]
+fn transactions_ignore_lane_order() {
+    let mut rng = StdRng::seed_from_u64(0x6502);
+    let mut scratch = Vec::new();
+    for _ in 0..CASES {
+        let mut addrs = random_addrs(&mut rng, 100_000);
         let a = transactions(&addrs, 64, &mut scratch);
         addrs.reverse();
         let b = transactions(&addrs, 64, &mut scratch);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    /// The contiguous closed form always matches the general path.
-    #[test]
-    fn contiguous_closed_form(base in 0u64..10_000, lanes in 0usize..128, eb in prop_oneof![Just(4usize), Just(8usize)]) {
+/// The contiguous closed form always matches the general path.
+#[test]
+fn contiguous_closed_form() {
+    let mut rng = StdRng::seed_from_u64(0x6503);
+    let mut scratch = Vec::new();
+    for _ in 0..CASES {
+        let base = rng.gen_range(0u64..10_000);
+        let lanes = rng.gen_range(0usize..128);
+        let eb = if rng.gen_bool(0.5) { 4usize } else { 8usize };
         let addrs: Vec<u64> = (0..lanes as u64).map(|i| base + i * eb as u64).collect();
-        let mut scratch = Vec::new();
-        prop_assert_eq!(
+        assert_eq!(
             transactions_contiguous(base, lanes, eb, 64),
             transactions(&addrs, 64, &mut scratch)
         );
     }
+}
 
-    /// Pricing is monotone in every wave cost component.
-    #[test]
-    fn pricing_is_monotone(
-        alu in 0u64..10_000,
-        tx in 0u64..10_000,
-        rounds in 0u64..1_000,
-        lds in 0u64..10_000,
-        barriers in 0u64..100,
-    ) {
-        let d = GpuDevice::kaveri();
-        let base = WaveCost { alu, transactions: tx, mem_rounds: rounds, lds_ops: lds, barriers, ..Default::default() };
+/// Pricing is monotone in every wave cost component.
+#[test]
+fn pricing_is_monotone() {
+    let mut rng = StdRng::seed_from_u64(0x6504);
+    let d = GpuDevice::kaveri();
+    for _ in 0..CASES {
+        let alu = rng.gen_range(0u64..10_000);
+        let tx = rng.gen_range(0u64..10_000);
+        let rounds = rng.gen_range(0u64..1_000);
+        let lds = rng.gen_range(0u64..10_000);
+        let barriers = rng.gen_range(0u64..100);
+        let base = WaveCost {
+            alu,
+            transactions: tx,
+            mem_rounds: rounds,
+            lds_ops: lds,
+            barriers,
+            ..Default::default()
+        };
         let cost = |w: WaveCost| price_workgroups(&d, &[wg(vec![w], 0)]).cycles;
         let c0 = cost(base);
         for bumped in [
-            WaveCost { alu: alu + 1, ..base },
-            WaveCost { transactions: tx + 1, ..base },
-            WaveCost { mem_rounds: rounds + 1, ..base },
-            WaveCost { lds_ops: lds + 1, ..base },
-            WaveCost { barriers: barriers + 1, ..base },
+            WaveCost {
+                alu: alu + 1,
+                ..base
+            },
+            WaveCost {
+                transactions: tx + 1,
+                ..base
+            },
+            WaveCost {
+                mem_rounds: rounds + 1,
+                ..base
+            },
+            WaveCost {
+                lds_ops: lds + 1,
+                ..base
+            },
+            WaveCost {
+                barriers: barriers + 1,
+                ..base
+            },
         ] {
-            prop_assert!(cost(bumped) >= c0);
+            assert!(cost(bumped) >= c0);
         }
     }
+}
 
-    /// Adding a work-group never reduces the launch cost.
-    #[test]
-    fn more_workgroups_never_cost_less(n in 1usize..40, alu in 1u64..10_000) {
-        let d = GpuDevice::kaveri();
-        let unit = wg(vec![WaveCost { alu, ..Default::default() }; 4], 256);
+/// Adding a work-group never reduces the launch cost.
+#[test]
+fn more_workgroups_never_cost_less() {
+    let mut rng = StdRng::seed_from_u64(0x6505);
+    let d = GpuDevice::kaveri();
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..40);
+        let alu = rng.gen_range(1u64..10_000);
+        let unit = wg(
+            vec![
+                WaveCost {
+                    alu,
+                    ..Default::default()
+                };
+                4
+            ],
+            256,
+        );
         let small = price_workgroups(&d, &vec![unit.clone(); n]).cycles;
         let big = price_workgroups(&d, &vec![unit; n + 1]).cycles;
-        prop_assert!(big + 1e-9 >= small);
+        assert!(big + 1e-9 >= small);
     }
+}
 
-    /// Accumulating launch stats adds cycles and counters exactly.
-    #[test]
-    fn accumulate_is_additive(a_alu in 0u64..1_000, b_alu in 0u64..1_000) {
-        let d = GpuDevice::kaveri();
-        let s1 = price_workgroups(&d, &[wg(vec![WaveCost { alu: a_alu, ..Default::default() }], 0)]);
-        let s2 = price_workgroups(&d, &[wg(vec![WaveCost { alu: b_alu, ..Default::default() }], 0)]);
+/// Accumulating launch stats adds cycles and counters exactly.
+#[test]
+fn accumulate_is_additive() {
+    let mut rng = StdRng::seed_from_u64(0x6506);
+    let d = GpuDevice::kaveri();
+    for _ in 0..CASES {
+        let a_alu = rng.gen_range(0u64..1_000);
+        let b_alu = rng.gen_range(0u64..1_000);
+        let s1 = price_workgroups(
+            &d,
+            &[wg(
+                vec![WaveCost {
+                    alu: a_alu,
+                    ..Default::default()
+                }],
+                0,
+            )],
+        );
+        let s2 = price_workgroups(
+            &d,
+            &[wg(
+                vec![WaveCost {
+                    alu: b_alu,
+                    ..Default::default()
+                }],
+                0,
+            )],
+        );
         let mut sum = s1.clone();
         sum.accumulate(&s2);
-        prop_assert!((sum.cycles - (s1.cycles + s2.cycles)).abs() < 1e-9);
-        prop_assert_eq!(sum.alu, s1.alu + s2.alu);
-        prop_assert_eq!(sum.workgroups, 2);
+        assert!((sum.cycles - (s1.cycles + s2.cycles)).abs() < 1e-9);
+        assert_eq!(sum.alu, s1.alu + s2.alu);
+        assert_eq!(sum.workgroups, 2);
     }
+}
 
-    /// Seconds and cycles stay consistent with the device clock.
-    #[test]
-    fn seconds_track_cycles(alu in 0u64..100_000) {
-        let d = GpuDevice::kaveri();
-        let s = price_workgroups(&d, &[wg(vec![WaveCost { alu, ..Default::default() }], 0)]);
-        prop_assert!((s.seconds - d.cycles_to_seconds(s.cycles)).abs() < 1e-15);
+/// Seconds and cycles stay consistent with the device clock.
+#[test]
+fn seconds_track_cycles() {
+    let mut rng = StdRng::seed_from_u64(0x6507);
+    let d = GpuDevice::kaveri();
+    for _ in 0..CASES {
+        let alu = rng.gen_range(0u64..100_000);
+        let s = price_workgroups(
+            &d,
+            &[wg(
+                vec![WaveCost {
+                    alu,
+                    ..Default::default()
+                }],
+                0,
+            )],
+        );
+        assert!((s.seconds - d.cycles_to_seconds(s.cycles)).abs() < 1e-15);
     }
 }

@@ -27,10 +27,10 @@ impl BoostedTrees {
             let total: f64 = working.total_weight();
             let mut err = 0.0;
             let mut wrong = vec![false; n];
-            for i in 0..n {
+            for (i, w) in wrong.iter_mut().enumerate() {
                 if tree.predict(working.row(i)) != working.label(i) {
                     err += working.weight(i);
-                    wrong[i] = true;
+                    *w = true;
                 }
             }
             let err = err / total;
@@ -117,7 +117,9 @@ mod tests {
     }
 
     fn error_of(pred: impl Fn(&[f64]) -> usize, d: &Dataset) -> f64 {
-        let wrong = (0..d.len()).filter(|&i| pred(d.row(i)) != d.label(i)).count();
+        let wrong = (0..d.len())
+            .filter(|&i| pred(d.row(i)) != d.label(i))
+            .count();
         wrong as f64 / d.len() as f64
     }
 

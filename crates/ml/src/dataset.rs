@@ -5,10 +5,9 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 /// Kind of one attribute column.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AttrKind {
     /// Continuous numeric attribute, split by `≤ threshold`.
     Numeric,
@@ -18,7 +17,7 @@ pub enum AttrKind {
 }
 
 /// Name and kind of one attribute column.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AttrSpec {
     /// Column name (appears in printed trees and rules).
     pub name: String,
@@ -46,7 +45,7 @@ impl AttrSpec {
 
 /// A weighted, labelled tabular dataset (row-major, `f64` storage;
 /// categorical values are integer codes).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Dataset {
     attrs: Vec<AttrSpec>,
     class_names: Vec<String>,

@@ -118,7 +118,10 @@ pub fn read_ruleset<R: Read>(r: R) -> Result<RuleSet, RulesIoError> {
         }
         let mut toks = line.split_whitespace();
         if toks.next() != Some("rule") {
-            return Err(RulesIoError::Parse(ln, format!("expected rule, got '{line}'")));
+            return Err(RulesIoError::Parse(
+                ln,
+                format!("expected rule, got '{line}'"),
+            ));
         }
         let class: usize = toks
             .next()
@@ -173,7 +176,12 @@ pub fn read_ruleset<R: Read>(r: R) -> Result<RuleSet, RulesIoError> {
             accuracy,
         });
     }
-    Ok(RuleSet::from_parts(rules, default_class, attr_names, n_classes))
+    Ok(RuleSet::from_parts(
+        rules,
+        default_class,
+        attr_names,
+        n_classes,
+    ))
 }
 
 #[cfg(test)]

@@ -2,10 +2,8 @@
 //! precision/recall — the numbers the paper quotes for its two training
 //! stages (≈5% and ≈15% test error).
 
-use serde::{Deserialize, Serialize};
-
 /// A square confusion matrix; `counts[actual][predicted]`.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ConfusionMatrix {
     n_classes: usize,
     counts: Vec<u64>,
@@ -89,7 +87,11 @@ impl ConfusionMatrix {
         for c in 0..self.n_classes {
             let p = self.precision(c);
             let r = self.recall(c);
-            sum += if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+            sum += if p + r == 0.0 {
+                0.0
+            } else {
+                2.0 * p * r / (p + r)
+            };
         }
         sum / self.n_classes as f64
     }

@@ -14,8 +14,7 @@ pub fn pessimistic_errors(n: f64, e: f64, cf: f64) -> f64 {
     let z = normal_quantile(1.0 - cf);
     let f = (e / n).clamp(0.0, 1.0);
     let z2 = z * z;
-    let upper = (f + z2 / (2.0 * n)
-        + z * (f / n - f * f / n + z2 / (4.0 * n * n)).max(0.0).sqrt())
+    let upper = (f + z2 / (2.0 * n) + z * (f / n - f * f / n + z2 / (4.0 * n * n)).max(0.0).sqrt())
         / (1.0 + z2 / n);
     upper.min(1.0) * n
 }
@@ -29,7 +28,7 @@ pub fn normal_quantile(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];

@@ -10,10 +10,9 @@
 use crate::dataset::Dataset;
 use crate::prune::pessimistic_errors;
 use crate::tree::{DecisionTree, Node};
-use serde::{Deserialize, Serialize};
 
 /// One condition of a rule.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Cond {
     /// `row[attr] ≤ value`.
     Le(usize, f64),
@@ -44,7 +43,7 @@ impl Cond {
 }
 
 /// An if-then rule.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Rule {
     /// Conjunction of conditions.
     pub conds: Vec<Cond>,
@@ -63,7 +62,7 @@ impl Rule {
 }
 
 /// An ordered rule list with a default class.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RuleSet {
     rules: Vec<Rule>,
     default_class: usize,
@@ -231,7 +230,7 @@ fn simplify(mut conds: Vec<Cond>, class: usize, data: &Dataset, cf: f64) -> Rule
             trial.remove(k);
             let (tn, test_) = rule_pessimistic(&trial, class, data, cf);
             let trate = if tn > 0.0 { test_ / tn } else { 1.0 };
-            if trate <= rate + 1e-12 && best.map_or(true, |(_, _, _, br)| trate < br) {
+            if trate <= rate + 1e-12 && best.is_none_or(|(_, _, _, br)| trate < br) {
                 best = Some((k, tn, test_, trate));
             }
         }

@@ -4,10 +4,9 @@
 use crate::dataset::{AttrKind, Dataset};
 use crate::entropy::{entropy, gain_ratio, information_gain, split_info};
 use crate::prune::pessimistic_errors;
-use serde::{Deserialize, Serialize};
 
 /// Induction hyper-parameters.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct TreeConfig {
     /// Minimum (weighted) examples on *each* side of an accepted split
     /// (C4.5's `-m`, default 2).
@@ -33,7 +32,7 @@ impl Default for TreeConfig {
 }
 
 /// One node of the tree (arena storage; children are node indices).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub enum Node {
     /// Terminal node.
     Leaf {
@@ -70,7 +69,7 @@ pub enum Node {
 }
 
 /// A trained decision tree.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DecisionTree {
     nodes: Vec<Node>,
     root: usize,
@@ -113,7 +112,11 @@ impl DecisionTree {
                     right,
                     ..
                 } => {
-                    cur = if row[*attr] <= *threshold { *left } else { *right };
+                    cur = if row[*attr] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
                 Node::Categorical {
                     attr,
@@ -230,7 +233,11 @@ impl DecisionTree {
                 1 + self.depth_of(*left).max(self.depth_of(*right))
             }
             Node::Categorical { children, .. } => {
-                1 + children.iter().map(|&c| self.depth_of(c)).max().unwrap_or(0)
+                1 + children
+                    .iter()
+                    .map(|&c| self.depth_of(c))
+                    .max()
+                    .unwrap_or(0)
             }
         }
     }
@@ -267,7 +274,9 @@ impl DecisionTree {
         let mut candidates: Vec<SplitCandidate> = Vec::new();
         for attr in 0..data.n_attrs() {
             let cand = match data.attrs()[attr].kind {
-                AttrKind::Numeric => best_numeric_split(data, &indices, attr, parent_h, total_w, config),
+                AttrKind::Numeric => {
+                    best_numeric_split(data, &indices, attr, parent_h, total_w, config)
+                }
                 AttrKind::Categorical(arity) => {
                     best_categorical_split(data, &indices, attr, arity, parent_h, total_w, config)
                 }
@@ -511,13 +520,13 @@ fn best_numeric_split(
             continue;
         }
         let next_v = items[k].0;
-        let weighted = (left_w / total_w) * entropy(&left_dist)
-            + (right_w / total_w) * entropy(&right_dist);
+        let weighted =
+            (left_w / total_w) * entropy(&left_dist) + (right_w / total_w) * entropy(&right_dist);
         let gain = parent_h - weighted;
         let si = split_info(total_w, &[left_w, right_w]);
         let ratio = gain_ratio(gain, si);
         let threshold = v + (next_v - v) / 2.0;
-        if best.map_or(true, |(_, r, _)| ratio > r) {
+        if best.is_none_or(|(_, r, _)| ratio > r) {
             best = Some((gain, ratio, threshold));
         }
     }
@@ -578,10 +587,7 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn numeric_ds(points: &[(f64, usize)]) -> Dataset {
-        let mut d = Dataset::new(
-            vec![AttrSpec::numeric("x")],
-            vec!["a".into(), "b".into()],
-        );
+        let mut d = Dataset::new(vec![AttrSpec::numeric("x")], vec!["a".into(), "b".into()]);
         for &(x, y) in points {
             d.push(&[x], y);
         }
@@ -590,9 +596,7 @@ mod tests {
 
     #[test]
     fn single_threshold_problem_is_learned_exactly() {
-        let pts: Vec<(f64, usize)> = (0..100)
-            .map(|i| (i as f64, usize::from(i >= 37)))
-            .collect();
+        let pts: Vec<(f64, usize)> = (0..100).map(|i| (i as f64, usize::from(i >= 37))).collect();
         let d = numeric_ds(&pts);
         let t = DecisionTree::fit(&d, &TreeConfig::default());
         for &(x, y) in &pts {

@@ -1,81 +1,99 @@
 //! Property tests of the decision-tree learner: it must never panic on
 //! odd-but-valid datasets, always emit valid classes, and behave sanely
-//! under pruning and weighting.
+//! under pruning and weighting. Randomised datasets come from a seeded
+//! generator for reproducibility.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use spmv_ml::io::{read_ruleset, write_ruleset};
 use spmv_ml::{AttrSpec, Dataset, DecisionTree, RuleSet, TreeConfig};
 
-fn arb_dataset() -> impl Strategy<Value = Dataset> {
-    // 2 numeric attrs + 1 categorical(3), 2–4 classes, 1–120 rows.
-    (2usize..5, 1usize..120).prop_flat_map(|(n_classes, n_rows)| {
-        proptest::collection::vec(
-            (
-                -100.0f64..100.0,
-                -1.0f64..1.0,
-                0usize..3,
-                0usize..n_classes,
-            ),
-            n_rows,
-        )
-        .prop_map(move |rows| {
-            let mut d = Dataset::new(
-                vec![
-                    AttrSpec::numeric("x"),
-                    AttrSpec::numeric("y"),
-                    AttrSpec::categorical("c", 3),
-                ],
-                (0..n_classes).map(|i| format!("k{i}")).collect(),
-            );
-            for (x, y, c, label) in rows {
-                d.push(&[x, y, c as f64], label);
-            }
-            d
-        })
-    })
+const CASES: usize = 96;
+
+/// 2 numeric attrs + 1 categorical(3), 2–4 classes, 1–120 rows.
+fn random_dataset(rng: &mut StdRng) -> Dataset {
+    let n_classes = rng.gen_range(2usize..5);
+    let n_rows = rng.gen_range(1usize..120);
+    let mut d = Dataset::new(
+        vec![
+            AttrSpec::numeric("x"),
+            AttrSpec::numeric("y"),
+            AttrSpec::categorical("c", 3),
+        ],
+        (0..n_classes).map(|i| format!("k{i}")).collect(),
+    );
+    for _ in 0..n_rows {
+        let x = rng.gen_range(-100.0f64..100.0);
+        let y = rng.gen_range(-1.0f64..1.0);
+        let c = rng.gen_range(0usize..3);
+        let label = rng.gen_range(0..n_classes);
+        d.push(&[x, y, c as f64], label);
+    }
+    d
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn fit_and_predict_never_panic_and_stay_in_range(d in arb_dataset()) {
+#[test]
+fn fit_and_predict_never_panic_and_stay_in_range() {
+    let mut rng = StdRng::seed_from_u64(0x3101);
+    for _ in 0..CASES {
+        let d = random_dataset(&mut rng);
         let tree = DecisionTree::fit(&d, &TreeConfig::default());
         for i in 0..d.len() {
             let p = tree.predict(d.row(i));
-            prop_assert!(p < d.n_classes());
+            assert!(p < d.n_classes());
         }
         // Off-distribution probes must also be classified.
         for probe in [[-1e9, 0.0, 0.0], [1e9, -5.0, 2.0], [0.0, 0.0, 1.0]] {
-            prop_assert!(tree.predict(&probe) < d.n_classes());
+            assert!(tree.predict(&probe) < d.n_classes());
         }
     }
+}
 
-    #[test]
-    fn unpruned_tree_fits_training_data_at_least_as_well(d in arb_dataset()) {
+#[test]
+fn unpruned_tree_fits_training_data_at_least_as_well() {
+    let mut rng = StdRng::seed_from_u64(0x3102);
+    for _ in 0..CASES {
+        let d = random_dataset(&mut rng);
         let pruned = DecisionTree::fit(&d, &TreeConfig::default());
-        let raw = DecisionTree::fit(&d, &TreeConfig { prune: false, ..Default::default() });
+        let raw = DecisionTree::fit(
+            &d,
+            &TreeConfig {
+                prune: false,
+                ..Default::default()
+            },
+        );
         let err = |t: &DecisionTree| {
-            (0..d.len()).filter(|&i| t.predict(d.row(i)) != d.label(i)).count()
+            (0..d.len())
+                .filter(|&i| t.predict(d.row(i)) != d.label(i))
+                .count()
         };
-        prop_assert!(err(&raw) <= err(&pruned));
-        prop_assert!(pruned.n_nodes() <= raw.n_nodes());
+        assert!(err(&raw) <= err(&pruned));
+        assert!(pruned.n_nodes() <= raw.n_nodes());
     }
+}
 
-    #[test]
-    fn ruleset_roundtrips_through_text(d in arb_dataset()) {
+#[test]
+fn ruleset_roundtrips_through_text() {
+    let mut rng = StdRng::seed_from_u64(0x3103);
+    for _ in 0..CASES {
+        let d = random_dataset(&mut rng);
         let tree = DecisionTree::fit(&d, &TreeConfig::default());
         let rs = RuleSet::from_tree(&tree, &d, 0.25);
         let mut buf = Vec::new();
         write_ruleset(&rs, &mut buf).unwrap();
         let rs2 = read_ruleset(&buf[..]).unwrap();
         for i in 0..d.len() {
-            prop_assert_eq!(rs.predict(d.row(i)), rs2.predict(d.row(i)));
+            assert_eq!(rs.predict(d.row(i)), rs2.predict(d.row(i)));
         }
     }
+}
 
-    #[test]
-    fn constant_labels_yield_a_single_leaf(rows in 1usize..60, label in 0usize..3) {
+#[test]
+fn constant_labels_yield_a_single_leaf() {
+    let mut rng = StdRng::seed_from_u64(0x3104);
+    for _ in 0..CASES {
+        let rows = rng.gen_range(1usize..60);
+        let label = rng.gen_range(0usize..3);
         let mut d = Dataset::new(
             vec![AttrSpec::numeric("x")],
             vec!["a".into(), "b".into(), "c".into()],
@@ -84,25 +102,31 @@ proptest! {
             d.push(&[i as f64], label);
         }
         let tree = DecisionTree::fit(&d, &TreeConfig::default());
-        prop_assert_eq!(tree.n_nodes(), 1);
-        prop_assert_eq!(tree.predict(&[1e6]), label);
+        assert_eq!(tree.n_nodes(), 1);
+        assert_eq!(tree.predict(&[1e6]), label);
     }
+}
 
-    #[test]
-    fn duplicating_examples_does_not_change_predictions(d in arb_dataset()) {
-        // Doubling every example (same weights) is an entropy no-op.
-        let mut doubled = Dataset::new(
-            d.attrs().to_vec(),
-            d.class_names().to_vec(),
-        );
+#[test]
+fn duplicating_examples_does_not_change_predictions() {
+    // Doubling every example (same weights) is an entropy no-op.
+    let mut rng = StdRng::seed_from_u64(0x3105);
+    for _ in 0..CASES {
+        let d = random_dataset(&mut rng);
+        let mut doubled = Dataset::new(d.attrs().to_vec(), d.class_names().to_vec());
         for i in 0..d.len() {
             doubled.push(d.row(i), d.label(i));
             doubled.push(d.row(i), d.label(i));
         }
-        let t1 = DecisionTree::fit(&d, &TreeConfig { prune: false, min_split: 1.0, ..Default::default() });
-        let t2 = DecisionTree::fit(&doubled, &TreeConfig { prune: false, min_split: 1.0, ..Default::default() });
+        let cfg = TreeConfig {
+            prune: false,
+            min_split: 1.0,
+            ..Default::default()
+        };
+        let t1 = DecisionTree::fit(&d, &cfg);
+        let t2 = DecisionTree::fit(&doubled, &cfg);
         for i in 0..d.len() {
-            prop_assert_eq!(t1.predict(d.row(i)), t2.predict(d.row(i)), "row {}", i);
+            assert_eq!(t1.predict(d.row(i)), t2.predict(d.row(i)), "row {i}");
         }
     }
 }

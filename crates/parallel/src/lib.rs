@@ -7,7 +7,7 @@
 //!
 //! Two layers are provided:
 //!
-//! * [`parallel_for`]-style free functions built on `crossbeam::scope`
+//! * [`parallel_for`]-style free functions built on `std::thread::scope`
 //!   that operate on borrowed data with dynamic (atomic-counter) chunk
 //!   scheduling — the moral equivalent of a `#pragma omp parallel for
 //!   schedule(dynamic)`;

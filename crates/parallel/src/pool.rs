@@ -3,14 +3,13 @@
 //! The auto-tuning framework issues one kernel launch per bin; on the CPU
 //! backend those launches are frequent and small, so respawning threads
 //! per launch (as the scoped layer does) would dominate. The pool keeps
-//! workers parked on a crossbeam channel and hands out boxed jobs;
+//! workers parked on a shared queue and hands out boxed jobs;
 //! [`ThreadPool::run_batch`] submits a batch and blocks until all of it
 //! completes.
 
-use crossbeam::channel::{unbounded, Sender};
-use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -32,15 +31,15 @@ impl BatchState {
 
     fn complete_one(&self) {
         if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let _g = self.lock.lock();
+            let _g = self.lock.lock().unwrap();
             self.cv.notify_all();
         }
     }
 
     fn wait(&self) {
-        let mut g = self.lock.lock();
+        let mut g = self.lock.lock().unwrap();
         while self.pending.load(Ordering::Acquire) != 0 {
-            self.cv.wait(&mut g);
+            g = self.cv.wait(g).unwrap();
         }
     }
 }
@@ -56,14 +55,17 @@ impl ThreadPool {
     /// Spawn a pool with `size` workers (clamped to ≥ 1).
     pub fn new(size: usize) -> Self {
         let size = size.max(1);
-        let (tx, rx) = unbounded::<Job>();
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
         let workers = (0..size)
             .map(|i| {
-                let rx = rx.clone();
+                let rx = Arc::clone(&rx);
                 std::thread::Builder::new()
                     .name(format!("spmv-pool-{i}"))
                     .spawn(move || {
-                        while let Ok(job) = rx.recv() {
+                        // Hold the queue lock only while dequeuing, never
+                        // while running the job.
+                        while let Some(job) = next_job(&rx) {
                             job();
                         }
                     })
@@ -118,6 +120,10 @@ impl ThreadPool {
     }
 }
 
+fn next_job(rx: &Mutex<Receiver<Job>>) -> Option<Job> {
+    rx.lock().unwrap().recv().ok()
+}
+
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         // Close the channel so workers drain and exit, then join them.
@@ -163,12 +169,12 @@ mod tests {
             let jobs: Vec<_> = (0..10)
                 .map(|_| {
                     let log = Arc::clone(&log);
-                    move || log.lock().push(round)
+                    move || log.lock().unwrap().push(round)
                 })
                 .collect();
             pool.run_batch(jobs);
         }
-        let log = log.lock();
+        let log = log.lock().unwrap();
         // Each round's 10 entries appear before any later round's.
         for (i, w) in log.windows(2).enumerate() {
             assert!(w[0] <= w[1], "out of order at {i}: {:?}", &log[..]);

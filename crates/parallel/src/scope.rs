@@ -1,8 +1,8 @@
 //! Scoped data-parallel loops over borrowed data.
 //!
-//! Built directly on `crossbeam::thread::scope`, with a shared atomic
-//! cursor for dynamic scheduling: workers repeatedly claim the next chunk
-//! of `grain` items until the index space is exhausted. This is the
+//! Built directly on `std::thread::scope`, with a shared atomic cursor
+//! for dynamic scheduling: workers repeatedly claim the next chunk of
+//! `grain` items until the index space is exhausted. This is the
 //! load-balancing discipline the paper's binning is designed around —
 //! uneven per-item work (rows of different NNZ) must not serialise on one
 //! slow worker.
@@ -44,9 +44,9 @@ where
     }
     let cursor = AtomicUsize::new(0);
     let workers = workers.min(n.div_ceil(grain));
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let start = cursor.fetch_add(grain, Ordering::Relaxed);
                 if start >= n {
                     break;
@@ -55,8 +55,7 @@ where
                 body(start, end);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 /// Map every index of `[0, n)` through `f` and collect the results in
@@ -133,7 +132,9 @@ where
             unsafe { *p.0.add(i) = Some(f(i)) };
         }
     });
-    out.into_iter().map(|x| x.expect("chunk not computed")).collect()
+    out.into_iter()
+        .map(|x| x.expect("chunk not computed"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -146,8 +147,8 @@ mod tests {
         let n = 10_000;
         let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
         parallel_for(n, 64, |s, e| {
-            for i in s..e {
-                hits[i].fetch_add(1, Ordering::Relaxed);
+            for h in &hits[s..e] {
+                h.fetch_add(1, Ordering::Relaxed);
             }
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
@@ -217,11 +218,11 @@ mod tests {
         if num_threads() < 2 {
             return;
         }
-        let ids = parking_lot_free_thread_ids();
+        let ids = distinct_thread_ids();
         assert!(ids >= 1);
     }
 
-    fn parking_lot_free_thread_ids() -> usize {
+    fn distinct_thread_ids() -> usize {
         use std::collections::HashSet;
         use std::sync::Mutex;
         let seen = Mutex::new(HashSet::new());

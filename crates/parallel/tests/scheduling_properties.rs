@@ -1,56 +1,83 @@
 //! Property tests of the scheduling substrate: every index visited
 //! exactly once, partitions exact, reductions independent of grain.
+//! Randomised sizes come from a seeded generator for reproducibility.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use spmv_parallel::{chunk_ranges, parallel_for, parallel_map_collect, parallel_reduce, Chunk};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    #[test]
-    fn chunks_partition_exactly(n in 0usize..10_000, parts in 0usize..64) {
+#[test]
+fn chunks_partition_exactly() {
+    let mut rng = StdRng::seed_from_u64(0x5C01);
+    for _ in 0..CASES {
+        let n = rng.gen_range(0usize..10_000);
+        let parts = rng.gen_range(0usize..64);
         let chunks = chunk_ranges(n, parts);
         let mut cursor = 0usize;
         for c in &chunks {
-            prop_assert_eq!(c.start, cursor);
-            prop_assert!(c.end > c.start);
+            assert_eq!(c.start, cursor);
+            assert!(c.end > c.start);
             cursor = c.end;
         }
-        prop_assert_eq!(cursor, if parts == 0 { 0 } else { n });
+        assert_eq!(cursor, if parts == 0 { 0 } else { n });
         if n > 0 && parts > 0 {
             let min = chunks.iter().map(Chunk::len).min().unwrap();
             let max = chunks.iter().map(Chunk::len).max().unwrap();
-            prop_assert!(max - min <= 1);
+            assert!(max - min <= 1);
         }
     }
+}
 
-    #[test]
-    fn parallel_for_visits_each_index_once(n in 0usize..5_000, grain in 1usize..512) {
+#[test]
+fn parallel_for_visits_each_index_once() {
+    let mut rng = StdRng::seed_from_u64(0x5C02);
+    for _ in 0..CASES {
+        let n = rng.gen_range(0usize..5_000);
+        let grain = rng.gen_range(1usize..512);
         let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
         parallel_for(n, grain, |s, e| {
-            for i in s..e {
-                hits[i].fetch_add(1, Ordering::Relaxed);
+            for h in &hits[s..e] {
+                h.fetch_add(1, Ordering::Relaxed);
             }
         });
-        prop_assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
+}
 
-    #[test]
-    fn map_collect_is_order_preserving(n in 0usize..3_000, grain in 1usize..256) {
+#[test]
+fn map_collect_is_order_preserving() {
+    let mut rng = StdRng::seed_from_u64(0x5C03);
+    for _ in 0..CASES {
+        let n = rng.gen_range(0usize..3_000);
+        let grain = rng.gen_range(1usize..256);
         let v = parallel_map_collect(n, grain, |i| i * 3 + 1);
-        prop_assert_eq!(v.len(), n);
+        assert_eq!(v.len(), n);
         for (i, &x) in v.iter().enumerate() {
-            prop_assert_eq!(x, i * 3 + 1);
+            assert_eq!(x, i * 3 + 1);
         }
     }
+}
 
-    #[test]
-    fn reduce_is_grain_invariant(n in 0usize..4_000, g1 in 1usize..300, g2 in 1usize..300) {
+#[test]
+fn reduce_is_grain_invariant() {
+    let mut rng = StdRng::seed_from_u64(0x5C04);
+    for _ in 0..CASES {
+        let n = rng.gen_range(0usize..4_000);
+        let g1 = rng.gen_range(1usize..300);
+        let g2 = rng.gen_range(1usize..300);
         let run = |g: usize| {
-            parallel_reduce(n, g, 0u64, |s, e| (s..e).map(|i| i as u64).sum(), |a, b| a + b)
+            parallel_reduce(
+                n,
+                g,
+                0u64,
+                |s, e| (s..e).map(|i| i as u64).sum(),
+                |a, b| a + b,
+            )
         };
-        prop_assert_eq!(run(g1), run(g2));
-        prop_assert_eq!(run(g1), (0..n as u64).sum::<u64>());
+        assert_eq!(run(g1), run(g2));
+        assert_eq!(run(g1), (0..n as u64).sum::<u64>());
     }
 }

@@ -102,7 +102,12 @@ impl<T: Scalar> CooMatrix<T> {
         for i in 0..self.n_rows {
             let (s, e) = (counts[i], counts[i + 1]);
             scratch.clear();
-            scratch.extend(col_idx[s..e].iter().copied().zip(values[s..e].iter().copied()));
+            scratch.extend(
+                col_idx[s..e]
+                    .iter()
+                    .copied()
+                    .zip(values[s..e].iter().copied()),
+            );
             scratch.sort_by_key(|&(c, _)| c);
             let mut k = 0;
             while k < scratch.len() {

@@ -99,7 +99,9 @@ impl CorpusEntry {
 pub fn corpus(cfg: &CorpusConfig) -> Vec<CorpusEntry> {
     (0..cfg.count)
         .map(|index| {
-            let mut rng = StdRng::seed_from_u64(cfg.seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let mut rng = StdRng::seed_from_u64(
+                cfg.seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            );
             let family = pick_family(&mut rng);
             let rows = rng.gen_range(cfg.min_rows..=cfg.max_rows);
             CorpusEntry {
@@ -132,13 +134,13 @@ fn build_matrix<T: Scalar>(family: Family, rows: usize, seed: u64) -> CsrMatrix<
             gen::random_uniform(rows, rows, 1, hi, seed)
         }
         Family::RandomMedium => {
-            let lo = rng.gen_range(8..=32);
-            let hi = lo + rng.gen_range(8..=64);
+            let lo = rng.gen_range(8usize..=32);
+            let hi = lo + rng.gen_range(8usize..=64);
             gen::random_uniform(rows, rows.max(hi * 4), lo, hi, seed)
         }
         Family::PowerLaw => {
             let alpha = rng.gen_range(1.8..=3.0);
-            let max_deg = rng.gen_range(50..=400).min(rows);
+            let max_deg = rng.gen_range(50usize..=400).min(rows);
             gen::powerlaw(rows, 1, max_deg, alpha, seed)
         }
         Family::Banded => {
@@ -146,14 +148,14 @@ fn build_matrix<T: Scalar>(family: Family, rows: usize, seed: u64) -> CsrMatrix<
             gen::banded(rows, hb, seed)
         }
         Family::Block => {
-            let bs = rng.gen_range(3..=8);
-            let coupling = rng.gen_range(4..=30);
+            let bs = rng.gen_range(3usize..=8);
+            let coupling = rng.gen_range(4usize..=30);
             let n_blocks = (rows / bs).max(coupling + 1);
             gen::block_structured(n_blocks, bs, coupling, seed)
         }
         Family::Incidence => {
-            let k = rng.gen_range(1..=5);
-            let cols = (rows / rng.gen_range(2..=8)).max(k + 1);
+            let k = rng.gen_range(1usize..=5);
+            let cols = (rows / rng.gen_range(2usize..=8)).max(k + 1);
             gen::incidence(rows, cols, k, seed)
         }
         Family::Mixture => {

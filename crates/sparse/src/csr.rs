@@ -228,13 +228,13 @@ impl<T: Scalar> CsrMatrix<T> {
                 got: u.len(),
             });
         }
-        for i in 0..self.n_rows {
+        for (i, out) in u.iter_mut().enumerate() {
             let (cols, vals) = self.row(i);
             let mut sum = T::ZERO;
             for (&c, &a) in cols.iter().zip(vals) {
                 sum = a.mul_add_(v[c as usize], sum);
             }
-            u[i] = sum;
+            *out = sum;
         }
         Ok(())
     }
@@ -407,7 +407,7 @@ mod tests {
         let a = figure1_example::<f64>();
         let mut u = vec![0.0; 4];
         assert!(a.spmv_seq(&[1.0; 3], &mut u).is_err());
-        assert!(a.spmv_seq(&[1.0; 4], &mut vec![0.0; 3]).is_err());
+        assert!(a.spmv_seq(&[1.0; 4], &mut [0.0; 3]).is_err());
     }
 
     #[test]
@@ -454,14 +454,8 @@ mod tests {
 
     #[test]
     fn sort_rows_sorts() {
-        let mut a = CsrMatrix::from_parts(
-            1,
-            4,
-            vec![0, 3],
-            vec![3, 0, 2],
-            vec![30.0, 0.5, 20.0],
-        )
-        .unwrap();
+        let mut a =
+            CsrMatrix::from_parts(1, 4, vec![0, 3], vec![3, 0, 2], vec![30.0, 0.5, 20.0]).unwrap();
         assert!(!a.rows_sorted());
         a.sort_rows();
         assert!(a.rows_sorted());

@@ -49,8 +49,8 @@ impl<T: Scalar> DenseMatrix<T> {
         (0..self.n_rows)
             .map(|i| {
                 let mut s = T::ZERO;
-                for j in 0..self.n_cols {
-                    s = self.get(i, j).mul_add_(v[j], s);
+                for (j, &vj) in v.iter().enumerate() {
+                    s = self.get(i, j).mul_add_(vj, s);
                 }
                 s
             })

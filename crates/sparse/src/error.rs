@@ -38,7 +38,10 @@ impl fmt::Display for SparseError {
                 context,
                 expected,
                 got,
-            } => write!(f, "dimension mismatch in {context}: expected {expected}, got {got}"),
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, got {got}"
+            ),
             SparseError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }
@@ -87,7 +90,7 @@ mod tests {
     #[test]
     fn io_error_source() {
         use std::error::Error;
-        let e = SparseError::from(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        let e = SparseError::from(std::io::Error::other("x"));
         assert!(e.source().is_some());
     }
 }

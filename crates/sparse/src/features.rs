@@ -5,10 +5,9 @@
 use crate::csr::CsrMatrix;
 use crate::histogram::RowHistogram;
 use crate::scalar::Scalar;
-use serde::{Deserialize, Serialize};
 
 /// Which feature vector to extract.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FeatureSet {
     /// Exactly Table I: `{M, N, NNZ, Var_NNZ, Avg_NNZ, Min_NNZ, Max_NNZ}`.
     TableI,
@@ -23,7 +22,7 @@ pub enum FeatureSet {
 /// * Basic matrix info: `m` (rows), `n` (columns), `nnz`.
 /// * Non-zero distribution info: variance, average, minimum and maximum of
 ///   non-zeros per row.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MatrixFeatures {
     /// `M` — the number of rows.
     pub m: usize,
@@ -105,9 +104,7 @@ impl MatrixFeatures {
     /// Names for each position of [`to_vec`](Self::to_vec), used when
     /// printing learned rule-sets.
     pub fn attr_names(set: FeatureSet) -> Vec<&'static str> {
-        let mut names = vec![
-            "M", "N", "NNZ", "Var_NNZ", "Avg_NNZ", "Min_NNZ", "Max_NNZ",
-        ];
+        let mut names = vec!["M", "N", "NNZ", "Var_NNZ", "Avg_NNZ", "Min_NNZ", "Max_NNZ"];
         if set == FeatureSet::Extended {
             names.extend_from_slice(&[
                 "Share_empty",
@@ -166,7 +163,10 @@ mod tests {
         let a = figure1_example::<f64>();
         let f = MatrixFeatures::extract(&a, FeatureSet::TableI);
         let v = f.to_vec();
-        assert_eq!(v.len(), MatrixFeatures::attr_names(FeatureSet::TableI).len());
+        assert_eq!(
+            v.len(),
+            MatrixFeatures::attr_names(FeatureSet::TableI).len()
+        );
         assert_eq!(v[0], 4.0); // M
         assert_eq!(v[2], 8.0); // NNZ
         assert_eq!(v[6], 3.0); // Max_NNZ

@@ -19,13 +19,15 @@ pub fn incidence<T: Scalar>(m: usize, n: usize, k: usize, seed: u64) -> CsrMatri
         sample_distinct_columns(&mut rng, n, k, &mut cols);
         vals.clear();
         let flip: bool = rng.gen();
-        vals.extend(cols.iter().enumerate().map(|(idx, _)| {
-            if (idx % 2 == 0) ^ flip {
-                T::ONE
-            } else {
-                neg
-            }
-        }));
+        vals.extend(cols.iter().enumerate().map(
+            |(idx, _)| {
+                if (idx % 2 == 0) ^ flip {
+                    T::ONE
+                } else {
+                    neg
+                }
+            },
+        ));
         b.push_row_sorted(&cols, &vals);
     }
     b.finish()

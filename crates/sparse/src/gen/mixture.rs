@@ -66,7 +66,7 @@ pub fn mixture<T: Scalar>(
         let mut v = Vec::with_capacity(m);
         for (k, r) in regimes.iter().enumerate() {
             let count = ((r.weight / total_w) * m as f64).round() as usize;
-            v.extend(std::iter::repeat(k).take(count));
+            v.extend(std::iter::repeat_n(k, count));
         }
         v.truncate(m);
         while v.len() < m {

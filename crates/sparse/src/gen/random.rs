@@ -67,6 +67,6 @@ mod tests {
     #[test]
     fn values_are_nonzero() {
         let a = random_uniform::<f64>(20, 20, 1, 5, 4);
-        assert!(a.values().iter().all(|&v| v >= 0.1 && v <= 1.0));
+        assert!(a.values().iter().all(|&v| (0.1..=1.0).contains(&v)));
     }
 }

@@ -8,13 +8,12 @@
 
 use crate::csr::CsrMatrix;
 use crate::scalar::Scalar;
-use serde::{Deserialize, Serialize};
 
 /// A histogram over the number of non-zeros per row.
 ///
 /// Buckets are `[lo, hi)` ranges; an implicit overflow bucket catches
 /// everything at or above the last edge.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RowHistogram {
     /// Bucket lower edges; bucket `i` covers `[edges[i], edges[i+1])` and
     /// the last bucket covers `[edges.last(), ∞)`.

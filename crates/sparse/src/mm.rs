@@ -73,12 +73,10 @@ fn parse_header(line: &str) -> Result<(MmField, MmSymmetry), SparseError> {
 /// canonical [`CsrMatrix`].
 pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<CsrMatrix<T>, SparseError> {
     let mut lines = BufReader::new(reader).lines();
-    let header = lines
-        .next()
-        .ok_or(SparseError::Parse {
-            line: 1,
-            message: "empty file".into(),
-        })??;
+    let header = lines.next().ok_or(SparseError::Parse {
+        line: 1,
+        message: "empty file".into(),
+    })??;
     let (field, sym) = parse_header(&header)?;
 
     let mut lineno = 1usize;
@@ -234,8 +232,7 @@ mod tests {
 
     #[test]
     fn skew_symmetric_negates_mirror() {
-        let text =
-            "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 3\n";
+        let text = "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 3\n";
         let a: CsrMatrix<f64> = read_matrix_market(text.as_bytes()).unwrap();
         let d = a.to_dense();
         assert_eq!(d.get(1, 0), 3.0);

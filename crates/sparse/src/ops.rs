@@ -108,7 +108,10 @@ fn merge<T: Scalar>(
             got: b.n_rows(),
         });
     }
-    debug_assert!(a.rows_sorted() && b.rows_sorted(), "{context} needs sorted rows");
+    debug_assert!(
+        a.rows_sorted() && b.rows_sorted(),
+        "{context} needs sorted rows"
+    );
     let mut row_ptr = Vec::with_capacity(a.n_rows() + 1);
     row_ptr.push(0usize);
     let mut col_idx = Vec::new();

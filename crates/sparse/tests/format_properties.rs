@@ -1,88 +1,132 @@
 //! Property tests of the storage formats and I/O: conversions are
-//! lossless, structural invariants always hold.
+//! lossless, structural invariants always hold. Randomised inputs are
+//! drawn from a seeded generator so every run exercises the same cases.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use spmv_sparse::mm::{read_matrix_market, write_matrix_market};
 use spmv_sparse::ops::{sparse_add, sparse_elementwise_mul, spgemm};
 use spmv_sparse::{CooMatrix, CsrMatrix, FeatureSet, MatrixFeatures};
 
-fn arb_csr() -> impl Strategy<Value = CsrMatrix<f64>> {
-    (1usize..30, 1usize..30).prop_flat_map(|(m, n)| {
-        proptest::collection::vec((0..m, 0..n, 1.0f64..10.0), 0..150).prop_map(
-            move |triplets| {
-                let mut coo = CooMatrix::new(m, n);
-                for (r, c, v) in triplets {
-                    coo.push(r, c, v);
-                }
-                coo.to_csr()
-            },
-        )
-    })
+const CASES: usize = 128;
+
+fn random_csr(rng: &mut StdRng) -> CsrMatrix<f64> {
+    let m = rng.gen_range(1usize..30);
+    let n = rng.gen_range(1usize..30);
+    let triplets = rng.gen_range(0usize..150);
+    let mut coo = CooMatrix::new(m, n);
+    for _ in 0..triplets {
+        let r = rng.gen_range(0..m);
+        let c = rng.gen_range(0..n);
+        let v = rng.gen_range(1.0f64..10.0);
+        coo.push(r, c, v);
+    }
+    coo.to_csr()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn coo_to_csr_is_canonical(a in arb_csr()) {
-        prop_assert!(a.rows_sorted());
-        prop_assert!(a.row_ptr().windows(2).all(|w| w[0] <= w[1]));
-        prop_assert_eq!(*a.row_ptr().last().unwrap(), a.nnz());
+#[test]
+fn coo_to_csr_is_canonical() {
+    let mut rng = StdRng::seed_from_u64(0xF0A1);
+    for _ in 0..CASES {
+        let a = random_csr(&mut rng);
+        assert!(a.rows_sorted());
+        assert!(a.row_ptr().windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*a.row_ptr().last().unwrap(), a.nnz());
     }
+}
 
-    #[test]
-    fn matrix_market_roundtrip(a in arb_csr()) {
+#[test]
+fn matrix_market_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xF0A2);
+    for _ in 0..CASES {
+        let a = random_csr(&mut rng);
         let mut buf = Vec::new();
         write_matrix_market(&a, &mut buf).unwrap();
         let b: CsrMatrix<f64> = read_matrix_market(&buf[..]).unwrap();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    #[test]
-    fn transpose_preserves_spmv_adjoint(a in arb_csr()) {
-        // <A v, w> == <v, Aᵀ w> for all v, w — checked with fixed probes.
-        let v: Vec<f64> = (0..a.n_cols()).map(|i| ((i * 7 % 5) as f64) - 2.0).collect();
-        let w: Vec<f64> = (0..a.n_rows()).map(|i| ((i * 3 % 7) as f64) - 3.0).collect();
+#[test]
+fn transpose_preserves_spmv_adjoint() {
+    // <A v, w> == <v, Aᵀ w> for all v, w — checked with fixed probes.
+    let mut rng = StdRng::seed_from_u64(0xF0A3);
+    for _ in 0..CASES {
+        let a = random_csr(&mut rng);
+        let v: Vec<f64> = (0..a.n_cols())
+            .map(|i| ((i * 7 % 5) as f64) - 2.0)
+            .collect();
+        let w: Vec<f64> = (0..a.n_rows())
+            .map(|i| ((i * 3 % 7) as f64) - 3.0)
+            .collect();
         let av = a.spmv_seq_alloc(&v).unwrap();
         let atw = a.transpose().spmv_seq_alloc(&w).unwrap();
         let lhs: f64 = av.iter().zip(&w).map(|(x, y)| x * y).sum();
         let rhs: f64 = v.iter().zip(&atw).map(|(x, y)| x * y).sum();
-        prop_assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + lhs.abs().max(rhs.abs())));
+        assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + lhs.abs().max(rhs.abs())));
     }
+}
 
-    #[test]
-    fn features_are_internally_consistent(a in arb_csr()) {
+#[test]
+fn features_are_internally_consistent() {
+    let mut rng = StdRng::seed_from_u64(0xF0A4);
+    for _ in 0..CASES {
+        let a = random_csr(&mut rng);
         let f = MatrixFeatures::extract(&a, FeatureSet::TableI);
-        prop_assert_eq!(f.m, a.n_rows());
-        prop_assert_eq!(f.nnz, a.nnz());
-        prop_assert!(f.min_nnz <= f.max_nnz || a.n_rows() == 0);
+        assert_eq!(f.m, a.n_rows());
+        assert_eq!(f.nnz, a.nnz());
+        assert!(f.min_nnz <= f.max_nnz || a.n_rows() == 0);
         if a.n_rows() > 0 {
-            prop_assert!(f.min_nnz as f64 <= f.avg_nnz + 1e-12);
-            prop_assert!(f.avg_nnz <= f.max_nnz as f64 + 1e-12);
-            prop_assert!(f.var_nnz >= 0.0);
+            assert!(f.min_nnz as f64 <= f.avg_nnz + 1e-12);
+            assert!(f.avg_nnz <= f.max_nnz as f64 + 1e-12);
+            assert!(f.var_nnz >= 0.0);
         }
     }
+}
 
-    #[test]
-    fn spgemm_with_identity_is_neutral(a in arb_csr()) {
+#[test]
+fn spgemm_with_identity_is_neutral() {
+    let mut rng = StdRng::seed_from_u64(0xF0A5);
+    for _ in 0..CASES {
+        let a = random_csr(&mut rng);
         let i = CsrMatrix::<f64>::identity(a.n_cols());
-        prop_assert_eq!(spgemm(&a, &i).unwrap(), a);
+        assert_eq!(spgemm(&a, &i).unwrap(), a);
     }
+}
 
-    #[test]
-    fn add_is_commutative(a in arb_csr(), b_seed in 0u64..50) {
+#[test]
+fn add_is_commutative() {
+    let mut rng = StdRng::seed_from_u64(0xF0A6);
+    for _ in 0..CASES {
+        let a = random_csr(&mut rng);
+        let b_seed = rng.gen_range(0u64..50);
         let b = spmv_sparse::gen::random_uniform::<f64>(
-            a.n_rows(), a.n_cols(), 0, 4.min(a.n_cols()), b_seed);
+            a.n_rows(),
+            a.n_cols(),
+            0,
+            4.min(a.n_cols()),
+            b_seed,
+        );
         let ab = sparse_add(&a, &b).unwrap();
         let ba = sparse_add(&b, &a).unwrap();
-        prop_assert_eq!(ab, ba);
+        assert_eq!(ab, ba);
     }
+}
 
-    #[test]
-    fn hadamard_nnz_bounded_by_min(a in arb_csr(), b_seed in 0u64..50) {
+#[test]
+fn hadamard_nnz_bounded_by_min() {
+    let mut rng = StdRng::seed_from_u64(0xF0A7);
+    for _ in 0..CASES {
+        let a = random_csr(&mut rng);
+        let b_seed = rng.gen_range(0u64..50);
         let b = spmv_sparse::gen::random_uniform::<f64>(
-            a.n_rows(), a.n_cols(), 0, 6.min(a.n_cols()), b_seed);
+            a.n_rows(),
+            a.n_cols(),
+            0,
+            6.min(a.n_cols()),
+            b_seed,
+        );
         let h = sparse_elementwise_mul(&a, &b).unwrap();
-        prop_assert!(h.nnz() <= a.nnz().min(b.nnz()));
+        assert!(h.nnz() <= a.nnz().min(b.nnz()));
     }
 }

@@ -1,17 +1,20 @@
 //! Conjugate-gradient solver on the auto-tuned SpMV (CPU backend).
 //!
-//! SpMV dominates CG iterations; this example solves a 2-D Poisson
-//! problem with the NNZ-balanced native kernel and verifies the residual
+//! SpMV dominates CG iterations, so this example shows the intended
+//! plan/execute usage: compile one [`SpmvPlan`] on the native CPU
+//! backend up front, then execute it allocation-free inside the solver
+//! loop. It solves a 2-D Poisson problem and verifies the residual
 //! actually converges. Run with `cargo run --release --example cg_solver`.
 
-use spmv_repro::autotune::kernels::cpu::spmv_nnz_balanced;
+use spmv_repro::autotune::prelude::*;
 use spmv_repro::sparse::gen::laplacian_2d;
 use spmv_repro::sparse::CsrMatrix;
 
-/// Solve `A x = b` by conjugate gradients; returns (solution, residual
-/// history).
+/// Solve `A x = b` by conjugate gradients over a compiled plan; returns
+/// (solution, residual history).
 fn conjugate_gradient(
     a: &CsrMatrix<f64>,
+    plan: &SpmvPlan<f64>,
     b: &[f64],
     max_iters: usize,
     tol: f64,
@@ -25,7 +28,7 @@ fn conjugate_gradient(
     let mut rs_old = dot(&r, &r);
     let mut history = vec![rs_old.sqrt()];
     for _ in 0..max_iters {
-        spmv_nnz_balanced(a, &p, &mut ap).expect("dims");
+        plan.execute(a, &p, &mut ap).expect("pattern unchanged");
         let alpha = rs_old / dot(&p, &ap);
         for i in 0..n {
             x[i] += alpha * p[i];
@@ -54,12 +57,35 @@ fn main() {
         a.nnz()
     );
 
+    // Plan once: select a strategy with a reduced oracle search, freeze
+    // the binning, and target the native CPU thread pool. Every CG
+    // iteration below reuses this plan with zero re-tuning.
+    let device = GpuDevice::kaveri();
+    let tuner = Tuner::with_config(
+        device,
+        TunerConfig {
+            granularities: vec![100, 1_000],
+            kernels: ALL_KERNELS.to_vec(),
+            include_single_bin: true,
+        },
+    );
+    let auto = AutoSpmv::with_tuner(tuner);
+    let t_plan = std::time::Instant::now();
+    let plan = auto.plan_native(&a);
+    println!(
+        "plan: {} on {} ({} launches/apply), compiled in {:.1?}",
+        plan.strategy().describe(),
+        plan.backend_name(),
+        plan.launches(),
+        t_plan.elapsed()
+    );
+
     // Manufactured solution: x* = 1 everywhere → b = A·1.
     let x_star = vec![1.0f64; a.n_rows()];
     let b = a.spmv_seq_alloc(&x_star).unwrap();
 
     let t0 = std::time::Instant::now();
-    let (x, history) = conjugate_gradient(&a, &b, 2_000, 1e-10);
+    let (x, history) = conjugate_gradient(&a, &plan, &b, 2_000, 1e-10);
     let elapsed = t0.elapsed();
 
     let err = x
@@ -78,5 +104,5 @@ fn main() {
         println!("  iter {i:>5}: residual {r:.3e}");
     }
     assert!(err < 1e-6, "CG failed to converge");
-    println!("\nCG solved the system through the auto-tuned SpMV stack.");
+    println!("\nCG solved the system through one compiled SpMV plan.");
 }

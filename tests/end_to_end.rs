@@ -36,7 +36,10 @@ fn every_kernel_on_every_binning_scheme_is_correct() {
         BinningScheme::Coarse { u: 10 },
         BinningScheme::Coarse { u: 1000 },
         BinningScheme::Fine,
-        BinningScheme::Hybrid { threshold: 16, u: 100 },
+        BinningScheme::Hybrid {
+            threshold: 16,
+            u: 100,
+        },
         BinningScheme::Single,
     ] {
         for kernel in ALL_KERNELS {
@@ -80,8 +83,16 @@ fn trained_model_drives_a_correct_and_competitive_run() {
     };
     let (model, report) = Trainer::with_config(device.clone(), config).train();
     // The model must do meaningfully better than chance on both stages.
-    assert!(report.stage1_error() < 0.6, "stage1 {}", report.stage1_error());
-    assert!(report.stage2_error() < 0.6, "stage2 {}", report.stage2_error());
+    assert!(
+        report.stage1_error() < 0.6,
+        "stage1 {}",
+        report.stage1_error()
+    );
+    assert!(
+        report.stage2_error() < 0.6,
+        "stage2 {}",
+        report.stage2_error()
+    );
 
     let a = irregular(7);
     let v = vec![1.0f32; a.n_cols()];
@@ -152,14 +163,10 @@ fn matrix_market_roundtrip_preserves_tuning_inputs() {
     spmv_repro::sparse::mm::write_matrix_market(&a, &mut buf).unwrap();
     let b: CsrMatrix<f32> = spmv_repro::sparse::mm::read_matrix_market(&buf[..]).unwrap();
     assert_eq!(a, b);
-    let fa = spmv_repro::sparse::MatrixFeatures::extract(
-        &a,
-        spmv_repro::sparse::FeatureSet::TableI,
-    );
-    let fb = spmv_repro::sparse::MatrixFeatures::extract(
-        &b,
-        spmv_repro::sparse::FeatureSet::TableI,
-    );
+    let fa =
+        spmv_repro::sparse::MatrixFeatures::extract(&a, spmv_repro::sparse::FeatureSet::TableI);
+    let fb =
+        spmv_repro::sparse::MatrixFeatures::extract(&b, spmv_repro::sparse::FeatureSet::TableI);
     assert_eq!(fa, fb);
 }
 

@@ -1,57 +1,63 @@
-//! Property-based tests of cross-crate invariants: kernel correctness on
+//! Randomised tests of cross-crate invariants: kernel correctness on
 //! arbitrary matrices, binning partition properties, cost-model axioms.
+//! Inputs are drawn from a seeded generator so runs are reproducible.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use spmv_repro::autotune::binning::{bin_matrix, BinningScheme};
 use spmv_repro::autotune::kernels::{run_kernel, KernelId, ALL_KERNELS};
 use spmv_repro::gpusim::GpuDevice;
 use spmv_repro::sparse::scalar::approx_eq;
 use spmv_repro::sparse::{CooMatrix, CsrMatrix};
 
-/// Strategy: an arbitrary small sparse matrix as COO triplets.
-fn arb_matrix() -> impl Strategy<Value = CsrMatrix<f64>> {
-    (1usize..40, 1usize..40).prop_flat_map(|(m, n)| {
-        proptest::collection::vec((0..m, 0..n, -5.0f64..5.0), 0..200).prop_map(
-            move |triplets| {
-                let mut coo = CooMatrix::new(m, n);
-                for (r, c, v) in triplets {
-                    coo.push(r, c, v);
-                }
-                coo.to_csr()
-            },
-        )
-    })
+const CASES: usize = 64;
+
+/// An arbitrary small sparse matrix from COO triplets.
+fn random_matrix(rng: &mut StdRng) -> CsrMatrix<f64> {
+    let m = rng.gen_range(1usize..40);
+    let n = rng.gen_range(1usize..40);
+    let triplets = rng.gen_range(0usize..200);
+    let mut coo = CooMatrix::new(m, n);
+    for _ in 0..triplets {
+        let r = rng.gen_range(0..m);
+        let c = rng.gen_range(0..n);
+        let v = rng.gen_range(-5.0f64..5.0);
+        coo.push(r, c, v);
+    }
+    coo.to_csr()
 }
 
-fn arb_kernel() -> impl Strategy<Value = KernelId> {
-    (0usize..ALL_KERNELS.len()).prop_map(KernelId::from_index)
+fn random_kernel(rng: &mut StdRng) -> KernelId {
+    KernelId::from_index(rng.gen_range(0..ALL_KERNELS.len()))
 }
 
-fn arb_scheme() -> impl Strategy<Value = BinningScheme> {
-    prop_oneof![
-        (1usize..2000).prop_map(|u| BinningScheme::Coarse { u }),
-        Just(BinningScheme::Fine),
-        Just(BinningScheme::Single),
-        ((1usize..100), (1usize..500))
-            .prop_map(|(threshold, u)| BinningScheme::Hybrid { threshold, u }),
-    ]
+fn random_scheme(rng: &mut StdRng) -> BinningScheme {
+    match rng.gen_range(0u32..4) {
+        0 => BinningScheme::Coarse {
+            u: rng.gen_range(1usize..2000),
+        },
+        1 => BinningScheme::Fine,
+        2 => BinningScheme::Single,
+        _ => BinningScheme::Hybrid {
+            threshold: rng.gen_range(1usize..100),
+            u: rng.gen_range(1usize..500),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Any kernel over any binning of any matrix computes A·v.
-    #[test]
-    fn kernels_are_correct_on_arbitrary_matrices(
-        a in arb_matrix(),
-        kernel in arb_kernel(),
-        scheme in arb_scheme(),
-    ) {
+/// Any kernel over any binning of any matrix computes A·v.
+#[test]
+fn kernels_are_correct_on_arbitrary_matrices() {
+    let mut rng = StdRng::seed_from_u64(0xA501);
+    for _ in 0..CASES {
+        let a = random_matrix(&mut rng);
+        let kernel = random_kernel(&mut rng);
+        let scheme = random_scheme(&mut rng);
         let v: Vec<f64> = (0..a.n_cols()).map(|i| (i as f64 * 0.37).sin()).collect();
         let reference = a.spmv_seq_alloc(&v).unwrap();
         let device = GpuDevice::kaveri();
         let bins = bin_matrix(&a, scheme);
-        prop_assert!(bins.validate().is_ok());
+        assert!(bins.validate().is_ok());
         let mut u = vec![0.0f64; a.n_rows()];
         for b in 0..bins.bins.len() {
             if bins.bins[b].is_empty() {
@@ -61,55 +67,81 @@ proptest! {
             run_kernel(&device, &a, &rows, kernel, &v, &mut u);
         }
         for i in 0..a.n_rows() {
-            prop_assert!(
+            assert!(
                 approx_eq(u[i], reference[i], a.row_nnz(i).max(1)),
-                "row {}: {} vs {}", i, u[i], reference[i]
+                "row {}: {} vs {}",
+                i,
+                u[i],
+                reference[i]
             );
         }
     }
+}
 
-    /// Binning always partitions the row space, for any granularity.
-    #[test]
-    fn binning_partitions_rows(a in arb_matrix(), u in 1usize..5000) {
+/// Binning always partitions the row space, for any granularity.
+#[test]
+fn binning_partitions_rows() {
+    let mut rng = StdRng::seed_from_u64(0xA502);
+    for _ in 0..CASES {
+        let a = random_matrix(&mut rng);
+        let u = rng.gen_range(1usize..5000);
         let bins = bin_matrix(&a, BinningScheme::Coarse { u });
-        prop_assert!(bins.validate().is_ok());
+        assert!(bins.validate().is_ok());
         let total: usize = (0..bins.bins.len()).map(|b| bins.expand(b).len()).sum();
-        prop_assert_eq!(total, a.n_rows());
+        assert_eq!(total, a.n_rows());
     }
+}
 
-    /// Launch cost is monotone in the row set: running more rows never
-    /// costs less (same kernel, disjoint union).
-    #[test]
-    fn cost_is_monotone_in_rows(a in arb_matrix(), kernel in arb_kernel()) {
-        prop_assume!(a.n_rows() >= 2);
-        let device = GpuDevice::kaveri();
+/// Launch cost is monotone in the row set: running more rows never
+/// costs less (same kernel, disjoint union).
+#[test]
+fn cost_is_monotone_in_rows() {
+    let mut rng = StdRng::seed_from_u64(0xA503);
+    let device = GpuDevice::kaveri();
+    let mut done = 0usize;
+    while done < CASES {
+        let a = random_matrix(&mut rng);
+        let kernel = random_kernel(&mut rng);
+        if a.n_rows() < 2 {
+            continue;
+        }
+        done += 1;
         let v = vec![1.0f64; a.n_cols()];
         let mut u = vec![0.0f64; a.n_rows()];
         let half: Vec<u32> = (0..(a.n_rows() / 2) as u32).collect();
         let all: Vec<u32> = (0..a.n_rows() as u32).collect();
         let c_half = run_kernel(&device, &a, &half, kernel, &v, &mut u).cycles;
         let c_all = run_kernel(&device, &a, &all, kernel, &v, &mut u).cycles;
-        prop_assert!(c_all + 1e-9 >= c_half, "all {} < half {}", c_all, c_half);
+        assert!(c_all + 1e-9 >= c_half, "all {c_all} < half {c_half}");
     }
+}
 
-    /// The simulator is deterministic.
-    #[test]
-    fn pricing_is_deterministic(a in arb_matrix(), kernel in arb_kernel()) {
-        let device = GpuDevice::kaveri();
+/// The simulator is deterministic.
+#[test]
+fn pricing_is_deterministic() {
+    let mut rng = StdRng::seed_from_u64(0xA504);
+    let device = GpuDevice::kaveri();
+    for _ in 0..CASES {
+        let a = random_matrix(&mut rng);
+        let kernel = random_kernel(&mut rng);
         let v = vec![1.0f64; a.n_cols()];
         let rows: Vec<u32> = (0..a.n_rows() as u32).collect();
         let mut u = vec![0.0f64; a.n_rows()];
         let s1 = run_kernel(&device, &a, &rows, kernel, &v, &mut u);
         let s2 = run_kernel(&device, &a, &rows, kernel, &v, &mut u);
-        prop_assert_eq!(s1, s2);
+        assert_eq!(s1, s2);
     }
+}
 
-    /// Transpose is an involution and preserves NNZ — the suite and
-    /// PageRank example rely on it.
-    #[test]
-    fn transpose_involution(a in arb_matrix()) {
+/// Transpose is an involution and preserves NNZ — the suite and
+/// PageRank example rely on it.
+#[test]
+fn transpose_involution() {
+    let mut rng = StdRng::seed_from_u64(0xA505);
+    for _ in 0..CASES {
+        let a = random_matrix(&mut rng);
         let t = a.transpose();
-        prop_assert_eq!(t.nnz(), a.nnz());
-        prop_assert_eq!(t.transpose(), a);
+        assert_eq!(t.nnz(), a.nnz());
+        assert_eq!(t.transpose(), a);
     }
 }
