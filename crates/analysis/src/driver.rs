@@ -1,0 +1,152 @@
+//! Sweep driver for the write-set disjointness analyzer: compile and
+//! verify a plan for every (binning strategy × kernel map × backend)
+//! combination over a set of structurally diverse matrices.
+//!
+//! The core checker ([`spmv_autotune::verify::check_dispatch`]) proves
+//! one dispatch table; this module enumerates the cross product the
+//! runtime can actually produce, so `spmv-lint` exercises every code
+//! path that expands bins into row lists.
+
+use spmv_autotune::binning::BinningScheme;
+use spmv_autotune::exec::{ExecBackend, NativeCpuBackend, SimGpuBackend};
+use spmv_autotune::kernels::KernelId;
+use spmv_autotune::plan::SpmvPlan;
+use spmv_autotune::strategy::Strategy;
+use spmv_autotune::verify::VerifyError;
+use spmv_gpusim::GpuDevice;
+use spmv_sparse::gen::{self, mixture::RowRegime};
+use spmv_sparse::{CsrMatrix, Scalar};
+
+/// Outcome of verifying one (strategy, backend, matrix) combination.
+#[derive(Debug)]
+pub struct PlanCheck {
+    /// Human-readable strategy summary.
+    pub strategy: String,
+    /// Backend name the plan was compiled for.
+    pub backend: &'static str,
+    /// Label of the matrix the plan was proven against.
+    pub matrix: String,
+    /// `Ok` when the proof succeeded, the typed failure otherwise.
+    pub result: Result<(), VerifyError>,
+}
+
+/// The strategy grid `spmv-lint` sweeps: every binning scheme the
+/// runtime implements, each with kernel maps that hit the serial,
+/// subvector, and vector launch paths (the latter two engage the
+/// NNZ-balanced split checks).
+pub fn strategy_grid() -> Vec<Strategy> {
+    let uniform = |k: KernelId| vec![k; 8];
+    let mixed: Vec<KernelId> = (0..8)
+        .map(|b| match b {
+            0 | 1 => KernelId::Serial,
+            2..=5 => KernelId::Subvector(1 << (b as u32)),
+            _ => KernelId::Vector,
+        })
+        .collect();
+    let mut out = Vec::new();
+    for binning in [
+        BinningScheme::Coarse { u: 10 },
+        BinningScheme::Coarse { u: 100 },
+        BinningScheme::Fine,
+        BinningScheme::Hybrid {
+            threshold: 16,
+            u: 10,
+        },
+        BinningScheme::Single,
+    ] {
+        for kernels in [
+            uniform(KernelId::Serial),
+            uniform(KernelId::Subvector(16)),
+            uniform(KernelId::Vector),
+            mixed.clone(),
+        ] {
+            out.push(Strategy { binning, kernels });
+        }
+    }
+    out
+}
+
+/// Structurally diverse test matrices: uniform short rows, a power-law
+/// tail, and a bimodal mixture (the shape binning exists for). Labels
+/// are stable so failures name the matrix.
+pub fn matrix_suite() -> Vec<(String, CsrMatrix<f64>)> {
+    vec![
+        (
+            "uniform-400".into(),
+            gen::random_uniform::<f64>(400, 400, 1, 8, 11),
+        ),
+        (
+            "powerlaw-600".into(),
+            gen::powerlaw::<f64>(600, 1, 120, 2.1, 12),
+        ),
+        (
+            "mixture-500".into(),
+            gen::mixture::<f64>(
+                500,
+                500,
+                &[RowRegime::new(1, 4, 0.8), RowRegime::new(60, 200, 0.2)],
+                true,
+                13,
+            ),
+        ),
+    ]
+}
+
+/// Compile and verify every (strategy × backend) plan for `a`,
+/// returning one [`PlanCheck`] per combination.
+pub fn verify_all_plans<T: Scalar + 'static>(label: &str, a: &CsrMatrix<T>) -> Vec<PlanCheck> {
+    let mut out = Vec::new();
+    for strategy in strategy_grid() {
+        for backend in backend_pair::<T>() {
+            let name = backend.name();
+            let plan = SpmvPlan::compile(a, strategy.clone(), backend);
+            let result = plan.verify(a).map(|_| ());
+            out.push(PlanCheck {
+                strategy: strategy.describe(),
+                backend: name,
+                matrix: label.to_string(),
+                result,
+            });
+        }
+    }
+    out
+}
+
+fn backend_pair<T: Scalar + 'static>() -> Vec<Box<dyn ExecBackend<T>>> {
+    vec![
+        Box::new(SimGpuBackend::new(GpuDevice::kaveri())),
+        Box::new(NativeCpuBackend::new()),
+    ]
+}
+
+/// Run the full sweep over [`matrix_suite`]; the `spmv-lint` entry
+/// point. Returns every check so the caller can print and count
+/// failures.
+pub fn full_sweep() -> Vec<PlanCheck> {
+    let mut out = Vec::new();
+    for (label, a) in matrix_suite() {
+        out.extend(verify_all_plans(&label, &a));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_strategy_backend_combination_verifies() {
+        let checks = full_sweep();
+        assert_eq!(checks.len(), 5 * 4 * 2 * 3, "grid size changed?");
+        for c in &checks {
+            assert!(
+                c.result.is_ok(),
+                "{} on {} over {} failed: {:?}",
+                c.strategy,
+                c.backend,
+                c.matrix,
+                c.result
+            );
+        }
+    }
+}

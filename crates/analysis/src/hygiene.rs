@@ -1,0 +1,197 @@
+//! Source-level unsafe-hygiene check: every `unsafe` occurrence in the
+//! workspace's own crates must be justified by a nearby `// SAFETY:`
+//! comment (or a `# Safety` doc section for `unsafe fn` declarations).
+//!
+//! This is a lint over text, not an AST pass — deliberately simple and
+//! dependency-free. It scans `crates/*/src` and the workspace `src/`,
+//! skipping `vendor/` (third-party stand-ins) and `target/`. A finding
+//! names the file and line so CI output is directly actionable.
+
+use std::path::{Path, PathBuf};
+
+/// One uncommented `unsafe` site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HygieneFinding {
+    /// File containing the naked `unsafe`.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl std::fmt::Display for HygieneFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: `{}` without a SAFETY comment",
+            self.file.display(),
+            self.line,
+            self.snippet
+        )
+    }
+}
+
+/// How many lines above an `unsafe` site a justifying comment may sit.
+/// Generous enough for a multi-line SAFETY paragraph, small enough that
+/// a comment cannot accidentally cover an unrelated block.
+const LOOKBACK: usize = 12;
+
+/// Scan one file's source text. Returns a finding for every line using
+/// the `unsafe` keyword with no `SAFETY`/`# Safety` comment within
+/// [`LOOKBACK`] preceding lines (or on the line itself).
+pub fn scan_source(file: &Path, text: &str) -> Vec<HygieneFinding> {
+    // Built by concatenation so this file does not flag itself.
+    let needle: String = ["un", "safe"].concat();
+    let lines: Vec<&str> = text.lines().collect();
+    let mut out = Vec::new();
+    for (i, raw) in lines.iter().enumerate() {
+        let trimmed = raw.trim_start();
+        // Comments, doc comments and attributes (e.g. the
+        // `deny(..._op_in_..._fn)` lint gate) never *use* the keyword.
+        if trimmed.starts_with("//") || trimmed.starts_with("#[") || trimmed.starts_with("#!") {
+            continue;
+        }
+        if !uses_keyword(trimmed, &needle) {
+            continue;
+        }
+        let justified = (i.saturating_sub(LOOKBACK)..=i).any(|j| {
+            let l = lines[j];
+            l.contains("SAFETY") || l.contains("# Safety")
+        });
+        if !justified {
+            out.push(HygieneFinding {
+                file: file.to_path_buf(),
+                line: i + 1,
+                snippet: trimmed.trim_end().to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Does `line` use `needle` as a standalone keyword (not as part of a
+/// longer identifier like a lint name)?
+fn uses_keyword(line: &str, needle: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        let before_ok = start == 0 || !is_ident(bytes[start - 1]);
+        let after_ok = end == bytes.len() || !is_ident(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+fn is_ident(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+/// Recursively scan every `.rs` file under `root`, skipping `vendor`,
+/// `target`, and hidden directories.
+pub fn scan_tree(root: &Path) -> std::io::Result<Vec<HygieneFinding>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "vendor" || name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let text = std::fs::read_to_string(&path)?;
+                out.extend(scan_source(&path, &text));
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kw(suffix: &str) -> String {
+        [["un", "safe"].concat().as_str(), suffix].concat()
+    }
+
+    #[test]
+    fn commented_block_passes() {
+        let src = format!(
+            "fn f() {{\n    // SAFETY: justified here.\n    {} {{ }}\n}}\n",
+            kw("")
+        );
+        assert!(scan_source(Path::new("x.rs"), &src).is_empty());
+    }
+
+    #[test]
+    fn naked_block_is_flagged() {
+        let src = format!("fn f() {{\n    {} {{ }}\n}}\n", kw(""));
+        let f = scan_source(Path::new("x.rs"), &src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn doc_safety_section_covers_decl() {
+        let src = format!(
+            "/// # Safety\n///\n/// Caller checks i.\n{} fn g(i: usize) {{}}\n",
+            kw("")
+        );
+        assert!(scan_source(Path::new("x.rs"), &src).is_empty());
+    }
+
+    #[test]
+    fn lint_attribute_is_not_a_use() {
+        let src = format!("#![deny({})]\n", kw("_op_in_") + &kw("_fn"));
+        assert!(scan_source(Path::new("x.rs"), &src).is_empty());
+    }
+
+    #[test]
+    fn identifier_containing_keyword_is_not_a_use() {
+        let src = format!("let {}_count = 3;\n", kw(""));
+        assert!(scan_source(Path::new("x.rs"), &src).is_empty());
+    }
+
+    #[test]
+    fn lookback_window_is_bounded() {
+        let mut src = String::from("// SAFETY: far away.\n");
+        for _ in 0..LOOKBACK + 2 {
+            src.push_str("let x = 1;\n");
+        }
+        src.push_str(&format!("{} {{ }}\n", kw("")));
+        assert_eq!(scan_source(Path::new("x.rs"), &src).len(), 1);
+    }
+
+    #[test]
+    fn the_workspace_itself_is_clean() {
+        // crates/analysis/src/hygiene.rs -> repo root is three levels up.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap();
+        let findings = scan_tree(root).unwrap();
+        assert!(
+            findings.is_empty(),
+            "uncommented {} sites:\n{}",
+            ["un", "safe"].concat(),
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

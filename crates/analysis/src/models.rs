@@ -1,0 +1,437 @@
+//! Small-N state-machine encodings of the `spmv-parallel` concurrency
+//! protocols, explorable by [`crate::interleave::explore`].
+//!
+//! Each model carries a *bug toggle* that re-introduces a classic
+//! protocol defect, so the adversarial tests can prove the checker
+//! actually detects what it claims to:
+//!
+//! * [`BatchModel`] — the `ThreadPool::run_batch` completion protocol
+//!   (`BatchState` in `crates/parallel/src/pool.rs`): workers decrement
+//!   an atomic `pending` and the last one signals a condition variable
+//!   the caller waits on. The buggy variant notifies *without* taking
+//!   the lock first — the notify can then land in the waiter's
+//!   check-to-sleep window and be lost, leaving the waiter asleep
+//!   forever (detected as a deadlock).
+//! * [`CursorModel`] — the dynamic-chunk claim in `parallel_for`
+//!   (`crates/parallel/src/scope.rs`): workers claim chunks with one
+//!   atomic `fetch_add`. The buggy variant splits the claim into a read
+//!   and a write, letting two workers claim — and write — the same
+//!   chunk (detected as a double-write violation).
+//! * [`TwoLockModel`] — two threads taking two locks; with a consistent
+//!   acquisition order the protocol passes, with opposite orders the
+//!   explorer finds the deadlock cycle.
+
+use crate::interleave::Model;
+
+/// `run_batch` completion protocol: `workers` worker threads each
+/// complete one job (decrementing `pending`), the last one signals; one
+/// waiter blocks until `pending == 0`. Thread ids `0..workers` are
+/// workers, `workers` is the waiter.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct BatchModel {
+    /// Jobs not yet completed.
+    pending: u8,
+    /// Current mutex holder (thread id), if any.
+    lock: Option<u8>,
+    /// Is the waiter asleep on the condition variable?
+    sleeping: bool,
+    /// Per-worker program counter.
+    worker_pc: Vec<u8>,
+    /// Waiter program counter.
+    waiter_pc: u8,
+    /// Re-introduce the notify-without-lock bug.
+    buggy: bool,
+}
+
+impl BatchModel {
+    /// A model with `workers` workers using the correct
+    /// (notify-under-lock) protocol.
+    pub fn correct(workers: u8) -> Self {
+        Self::new(workers, false)
+    }
+
+    /// A model with `workers` workers whose last completer notifies
+    /// without acquiring the lock — the lost-wakeup bug.
+    pub fn notify_without_lock(workers: u8) -> Self {
+        Self::new(workers, true)
+    }
+
+    fn new(workers: u8, buggy: bool) -> Self {
+        Self {
+            pending: workers,
+            lock: None,
+            sleeping: false,
+            worker_pc: vec![0; workers as usize],
+            waiter_pc: 0,
+            buggy,
+        }
+    }
+
+    fn waiter_id(&self) -> usize {
+        self.worker_pc.len()
+    }
+
+    /// Wake the waiter if (and only if) it is currently asleep; a notify
+    /// with nobody sleeping is lost, exactly like a real condvar.
+    fn notify(&mut self) {
+        if self.sleeping {
+            self.sleeping = false;
+        }
+    }
+}
+
+// Worker pcs: 0 = fetch_sub pending; 1 = acquire lock (correct) or
+// notify unlocked (buggy); 2 = notify + unlock (correct only); 3 = done.
+// Waiter pcs: 0 = acquire lock; 1 = check pending under lock;
+// 2 = cv-wait (atomic unlock + sleep); 3 = woken, reacquire lock;
+// 4 = done.
+impl Model for BatchModel {
+    fn n_threads(&self) -> usize {
+        self.worker_pc.len() + 1
+    }
+
+    fn runnable(&self, t: usize) -> bool {
+        if t < self.worker_pc.len() {
+            match self.worker_pc[t] {
+                0 => true,
+                1 => self.buggy || self.lock.is_none(),
+                2 => true,
+                _ => false,
+            }
+        } else {
+            match self.waiter_pc {
+                0 => self.lock.is_none(),
+                1 | 2 => true,
+                // Asleep on the condvar: only a notify makes the waiter
+                // runnable again (then it must reacquire the lock).
+                3 => !self.sleeping && self.lock.is_none(),
+                _ => false,
+            }
+        }
+    }
+
+    fn step(&mut self, t: usize) {
+        if t < self.worker_pc.len() {
+            match self.worker_pc[t] {
+                0 => {
+                    // pending.fetch_sub(1): last completer goes on to
+                    // signal, everyone else is done.
+                    let was = self.pending;
+                    self.pending -= 1;
+                    self.worker_pc[t] = if was == 1 { 1 } else { 3 };
+                }
+                1 => {
+                    if self.buggy {
+                        // BUG: notify without holding the lock — can
+                        // land between the waiter's check and sleep.
+                        self.notify();
+                        self.worker_pc[t] = 3;
+                    } else {
+                        self.lock = Some(t as u8);
+                        self.worker_pc[t] = 2;
+                    }
+                }
+                2 => {
+                    self.notify();
+                    self.lock = None;
+                    self.worker_pc[t] = 3;
+                }
+                _ => unreachable!(),
+            }
+        } else {
+            let w = self.waiter_id() as u8;
+            match self.waiter_pc {
+                0 | 3 => {
+                    self.lock = Some(w);
+                    self.waiter_pc = 1;
+                }
+                1 => {
+                    if self.pending == 0 {
+                        self.lock = None;
+                        self.waiter_pc = 4;
+                    } else {
+                        self.waiter_pc = 2;
+                    }
+                }
+                2 => {
+                    // cv.wait(): atomically release the lock and sleep.
+                    self.lock = None;
+                    self.sleeping = true;
+                    self.waiter_pc = 3;
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.waiter_pc == 4 && self.worker_pc.iter().all(|&pc| pc == 3)
+    }
+
+    fn violation(&self) -> Option<String> {
+        if self.waiter_pc == 4 && self.pending != 0 {
+            return Some(format!(
+                "waiter returned with {} jobs still pending",
+                self.pending
+            ));
+        }
+        None
+    }
+}
+
+// A waiter at pc 3 is runnable only once awake: `runnable` requires the
+// lock free AND — enforced here — not sleeping.
+impl BatchModel {
+    /// Is the waiter blocked on the condition variable right now?
+    pub fn waiter_asleep(&self) -> bool {
+        self.sleeping
+    }
+}
+
+/// Dynamic-chunk claim protocol of `parallel_for`: `threads` workers
+/// repeatedly claim the next item from a shared cursor and write it.
+/// Correct claims are one atomic `fetch_add`; the buggy variant splits
+/// read and increment, so two workers can claim the same item.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CursorModel {
+    cursor: u8,
+    items: u8,
+    writes: Vec<u8>,
+    pc: Vec<u8>,
+    local: Vec<u8>,
+    buggy: bool,
+}
+
+impl CursorModel {
+    /// Correct protocol: atomic claim.
+    pub fn atomic_claim(threads: u8, items: u8) -> Self {
+        Self::new(threads, items, false)
+    }
+
+    /// Buggy protocol: the claim is a separate read and write.
+    pub fn racy_claim(threads: u8, items: u8) -> Self {
+        Self::new(threads, items, true)
+    }
+
+    fn new(threads: u8, items: u8, buggy: bool) -> Self {
+        Self {
+            cursor: 0,
+            items,
+            writes: vec![0; items as usize],
+            pc: vec![0; threads as usize],
+            local: vec![0; threads as usize],
+            buggy,
+        }
+    }
+}
+
+// Correct pcs: 0 = fetch_add claim (and exit check); 1 = write; done = 9.
+// Buggy pcs: 0 = read cursor; 1 = write cursor+1 (and exit check);
+// 2 = write item; done = 9.
+impl Model for CursorModel {
+    fn n_threads(&self) -> usize {
+        self.pc.len()
+    }
+
+    fn runnable(&self, t: usize) -> bool {
+        self.pc[t] != 9
+    }
+
+    fn step(&mut self, t: usize) {
+        if self.buggy {
+            match self.pc[t] {
+                0 => {
+                    // BUG (part 1): read the cursor…
+                    self.local[t] = self.cursor;
+                    self.pc[t] = 1;
+                }
+                1 => {
+                    // BUG (part 2): …then bump it in a separate step —
+                    // another thread may have claimed the same value in
+                    // between.
+                    self.cursor = self.local[t] + 1;
+                    self.pc[t] = if self.local[t] >= self.items { 9 } else { 2 };
+                }
+                2 => {
+                    self.writes[self.local[t] as usize] += 1;
+                    self.pc[t] = 0;
+                }
+                _ => unreachable!(),
+            }
+        } else {
+            match self.pc[t] {
+                0 => {
+                    // cursor.fetch_add(1): claim and bump atomically.
+                    self.local[t] = self.cursor;
+                    self.cursor += 1;
+                    self.pc[t] = if self.local[t] >= self.items { 9 } else { 1 };
+                }
+                1 => {
+                    self.writes[self.local[t] as usize] += 1;
+                    self.pc[t] = 0;
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pc.iter().all(|&pc| pc == 9)
+    }
+
+    fn violation(&self) -> Option<String> {
+        if let Some(i) = self.writes.iter().position(|&w| w > 1) {
+            return Some(format!("item {i} written {} times", self.writes[i]));
+        }
+        if self.done() {
+            if let Some(i) = self.writes.iter().position(|&w| w == 0) {
+                return Some(format!("item {i} never written"));
+            }
+        }
+        None
+    }
+}
+
+/// Two threads, two locks. With `consistent_order` both take lock A
+/// before lock B; otherwise thread 1 takes them in the opposite order,
+/// and the explorer finds the hold-and-wait cycle.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TwoLockModel {
+    lock_a: Option<u8>,
+    lock_b: Option<u8>,
+    pc: [u8; 2],
+    consistent: bool,
+}
+
+impl TwoLockModel {
+    /// Both threads acquire A then B — deadlock-free.
+    pub fn consistent_order() -> Self {
+        Self {
+            lock_a: None,
+            lock_b: None,
+            pc: [0, 0],
+            consistent: true,
+        }
+    }
+
+    /// Thread 0 takes A→B, thread 1 takes B→A — the classic cycle.
+    pub fn opposite_order() -> Self {
+        Self {
+            lock_a: None,
+            lock_b: None,
+            pc: [0, 0],
+            consistent: false,
+        }
+    }
+
+    /// Which lock thread `t` acquires at program counter `pc` (0 = first
+    /// acquisition, 1 = second).
+    fn wants_a(&self, t: usize, pc: u8) -> bool {
+        let first_is_a = t == 0 || self.consistent;
+        (pc == 0) == first_is_a
+    }
+}
+
+// pcs: 0 = acquire first lock; 1 = acquire second; 2 = release both;
+// 3 = done.
+impl Model for TwoLockModel {
+    fn n_threads(&self) -> usize {
+        2
+    }
+
+    fn runnable(&self, t: usize) -> bool {
+        match self.pc[t] {
+            0 | 1 => {
+                if self.wants_a(t, self.pc[t]) {
+                    self.lock_a.is_none()
+                } else {
+                    self.lock_b.is_none()
+                }
+            }
+            2 => true,
+            _ => false,
+        }
+    }
+
+    fn step(&mut self, t: usize) {
+        match self.pc[t] {
+            0 | 1 => {
+                if self.wants_a(t, self.pc[t]) {
+                    self.lock_a = Some(t as u8);
+                } else {
+                    self.lock_b = Some(t as u8);
+                }
+                self.pc[t] += 1;
+            }
+            2 => {
+                if self.lock_a == Some(t as u8) {
+                    self.lock_a = None;
+                }
+                if self.lock_b == Some(t as u8) {
+                    self.lock_b = None;
+                }
+                self.pc[t] = 3;
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pc == [3, 3]
+    }
+
+    fn violation(&self) -> Option<String> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interleave::{explore, Verdict};
+
+    const BUDGET: usize = 200_000;
+
+    #[test]
+    fn batch_protocol_is_sound() {
+        for workers in 1..=3 {
+            let v = explore(BatchModel::correct(workers), BUDGET);
+            assert!(v.passed(), "workers={workers}: {v}");
+        }
+    }
+
+    #[test]
+    fn notify_without_lock_loses_the_wakeup() {
+        let v = explore(BatchModel::notify_without_lock(2), BUDGET);
+        assert!(matches!(v, Verdict::Deadlock { .. }), "got {v}");
+    }
+
+    #[test]
+    fn atomic_cursor_claim_is_sound() {
+        let v = explore(CursorModel::atomic_claim(2, 3), BUDGET);
+        assert!(v.passed(), "got {v}");
+    }
+
+    #[test]
+    fn racy_cursor_claim_double_writes() {
+        let v = explore(CursorModel::racy_claim(2, 2), BUDGET);
+        match v {
+            Verdict::Violation { message, .. } => {
+                assert!(message.contains("written"), "unexpected message {message}");
+            }
+            other => panic!("expected Violation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn consistent_lock_order_passes() {
+        let v = explore(TwoLockModel::consistent_order(), BUDGET);
+        assert!(v.passed(), "got {v}");
+    }
+
+    #[test]
+    fn opposite_lock_order_deadlocks() {
+        let v = explore(TwoLockModel::opposite_order(), BUDGET);
+        assert!(matches!(v, Verdict::Deadlock { .. }), "got {v}");
+    }
+}

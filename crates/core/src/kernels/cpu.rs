@@ -17,7 +17,7 @@ pub fn spmv_row_parallel<T: Scalar>(
     u: &mut [T],
 ) -> Result<(), SparseError> {
     check_dims(a, v, u)?;
-    let out = SliceWriter(u.as_mut_ptr());
+    let out = SliceWriter::new(u);
     parallel_for(a.n_rows(), 256, |start, end| {
         for i in start..end {
             let (cols, vals) = a.row(i);
@@ -44,7 +44,7 @@ pub fn spmv_nnz_balanced<T: Scalar>(
     check_dims(a, v, u)?;
     let parts = spmv_parallel::num_threads() * 4;
     let cuts = nnz_balanced_cuts(a, parts);
-    let out = SliceWriter(u.as_mut_ptr());
+    let out = SliceWriter::new(u);
     parallel_for(cuts.len() - 1, 1, |p0, p1| {
         for p in p0..p1 {
             for i in cuts[p]..cuts[p + 1] {
@@ -75,7 +75,7 @@ pub fn spmv_rows_chunked<T: Scalar>(
     u: &mut [T],
 ) -> Result<(), SparseError> {
     check_dims(a, v, u)?;
-    let out = SliceWriter(u.as_mut_ptr());
+    let out = SliceWriter::new(u);
     parallel_for(rows.len(), grain.max(1), |start, end| {
         for &r in &rows[start..end] {
             let (cols, vals) = a.row(r as usize);
@@ -104,7 +104,7 @@ pub fn spmv_rows_nnz_balanced<T: Scalar>(
 ) -> Result<(), SparseError> {
     check_dims(a, v, u)?;
     let cuts = rows_nnz_cuts(a, rows, parts);
-    let out = SliceWriter(u.as_mut_ptr());
+    let out = SliceWriter::new(u);
     parallel_for(cuts.len() - 1, 1, |p0, p1| {
         for p in p0..p1 {
             for &r in &rows[cuts[p]..cuts[p + 1]] {
@@ -183,19 +183,45 @@ fn check_dims<T: Scalar>(a: &CsrMatrix<T>, v: &[T], u: &[T]) -> Result<(), Spars
     Ok(())
 }
 
+/// Raw shared-write window over an output slice. Debug builds assert
+/// every write is in bounds; release builds compile the check out — the
+/// static proof in `spmv_autotune::verify` (write-set disjointness +
+/// in-bounds over a plan's whole dispatch table) is what justifies
+/// removing it from the hot path.
 #[derive(Clone, Copy)]
-struct SliceWriter<T>(*mut T);
+struct SliceWriter<T> {
+    ptr: *mut T,
+    #[cfg(debug_assertions)]
+    len: usize,
+}
 // SAFETY: used only for disjoint-index writes inside a joined scope.
 unsafe impl<T: Send> Send for SliceWriter<T> {}
+// SAFETY: same restriction — disjoint indices, scope joins before use.
 unsafe impl<T: Send> Sync for SliceWriter<T> {}
 
 impl<T> SliceWriter<T> {
+    fn new(u: &mut [T]) -> Self {
+        Self {
+            ptr: u.as_mut_ptr(),
+            #[cfg(debug_assertions)]
+            len: u.len(),
+        }
+    }
+
     /// # Safety
     ///
     /// `i` must be in bounds of the wrapped slice and no other thread may
     /// write index `i` concurrently.
     unsafe fn write(&self, i: usize, val: T) {
-        unsafe { *self.0.add(i) = val };
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            i < self.len,
+            "SliceWriter: index {i} out of bounds ({})",
+            self.len
+        );
+        // SAFETY: caller guarantees `i < len` and exclusive ownership of
+        // index `i` for the duration of the enclosing parallel scope.
+        unsafe { *self.ptr.add(i) = val };
     }
 }
 

@@ -28,7 +28,11 @@
 //!   the simulated GPU and the native multithreaded CPU pool;
 //! * [`plan`] — the plan/execute split: [`SpmvPlan`] freezes features,
 //!   strategy and expanded bin row lists once per sparsity pattern so
-//!   iterative solvers pay no per-call tuning or allocation.
+//!   iterative solvers pay no per-call tuning or allocation;
+//! * [`verify`] — the write-set disjointness checker: proves a plan's
+//!   dispatch table writes every output row exactly once, producing a
+//!   [`VerifiedPlan`] whose `execute_unchecked` drops the per-call
+//!   O(m) fingerprint scan.
 //!
 //! ## Quick start
 //!
@@ -52,6 +56,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod baseline;
 pub mod binning;
@@ -63,6 +68,7 @@ pub mod plan;
 pub mod strategy;
 pub mod training;
 pub mod tuner;
+pub mod verify;
 
 /// Convenience re-exports for downstream code and examples.
 pub mod prelude {
@@ -72,10 +78,11 @@ pub mod prelude {
     pub use crate::framework::{run_hetero, run_single_kernel, run_strategy, AutoSpmv};
     pub use crate::kernels::{KernelId, ALL_KERNELS};
     pub use crate::model_io::{load_model_file, save_model_file};
-    pub use crate::plan::{BinDispatch, PatternFingerprint, PlanError, SpmvPlan};
+    pub use crate::plan::{BinDispatch, PatternFingerprint, PlanError, SpmvPlan, VerifiedPlan};
     pub use crate::strategy::Strategy;
     pub use crate::training::{TrainedModel, Trainer, TrainingReport};
     pub use crate::tuner::{TunedStrategy, Tuner, TunerConfig};
+    pub use crate::verify::{check_dispatch, VerifyError};
     pub use spmv_gpusim::{GpuDevice, LaunchStats};
 }
 

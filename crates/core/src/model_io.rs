@@ -6,11 +6,37 @@
 //! granularity class table), so `mlerr`-style training runs can be
 //! reused by later processes without retraining.
 
+use crate::kernels::ALL_KERNELS;
 use crate::training::TrainedModel;
 use spmv_ml::io::{read_ruleset, write_ruleset, RulesIoError};
+use spmv_ml::lint::{errors, lint_ruleset, Finding, LintOptions};
+use spmv_ml::RuleSet;
 use spmv_sparse::FeatureSet;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
+
+/// Lint both stages of a model against the class universes the runtime
+/// will actually index: stage 1 must stay inside the granularity grid,
+/// stage 2 inside the nine-kernel pool (`KernelId::from_index` would
+/// panic past it). Returns every finding; `Error`-severity ones make
+/// [`load_model`] fail.
+pub fn lint_model_rulesets(stage1: &RuleSet, stage2: &RuleSet, n_u_classes: usize) -> Vec<Finding> {
+    let mut findings = lint_ruleset(
+        stage1,
+        &LintOptions {
+            class_limit: Some(n_u_classes),
+            ..Default::default()
+        },
+    );
+    findings.extend(lint_ruleset(
+        stage2,
+        &LintOptions {
+            class_limit: Some(ALL_KERNELS.len()),
+            ..Default::default()
+        },
+    ));
+    findings
+}
 
 /// Save a trained model to a writer.
 ///
@@ -105,6 +131,13 @@ pub fn load_model<R: Read>(r: R) -> Result<TrainedModel, RulesIoError> {
             ),
         ));
     }
+    // Static lint: a corrupt or stale model must fail here, at load
+    // time, not mispredict (or panic in `KernelId::from_index`) at
+    // dispatch time.
+    let fatal = errors(&lint_model_rulesets(&stage1, &stage2, u_classes.len()));
+    if !fatal.is_empty() {
+        return Err(RulesIoError::Lint(fatal));
+    }
     Ok(TrainedModel {
         stage1,
         stage2,
@@ -161,6 +194,48 @@ mod tests {
                 model.predict_strategy(&a),
                 "seed {seed}"
             );
+        }
+    }
+
+    #[test]
+    fn out_of_range_kernel_class_fails_lint_at_load() {
+        // Stage 2 declares 12 classes and predicts class 10 — parses
+        // fine, but the kernel pool only has 9 entries, so dispatch
+        // would panic. Lint must refuse the load.
+        let text = "spmv-model v1\nfeatures TableI\nu-classes 10 100\n\
+                    ruleset v1\nclasses 2\nattrs m n nnz\ndefault 0\nrule 1 0.9 gt:0:5\nend\n\
+                    ruleset v1\nclasses 12\nattrs m n nnz u bin\ndefault 0\n\
+                    rule 10 0.9 gt:0:5\nend\n";
+        match load_model(text.as_bytes()) {
+            Err(RulesIoError::Lint(findings)) => {
+                assert!(findings.iter().any(|f| matches!(
+                    f,
+                    Finding::ClassOutOfRange {
+                        class: 10,
+                        limit: 9,
+                        ..
+                    }
+                )));
+            }
+            Err(other) => panic!("expected Lint error, got {other:?}"),
+            Ok(_) => panic!("corrupt model loaded"),
+        }
+    }
+
+    #[test]
+    fn nan_threshold_fails_lint_at_load() {
+        let text = "spmv-model v1\nfeatures TableI\nu-classes 10 100\n\
+                    ruleset v1\nclasses 2\nattrs m n nnz\ndefault 0\n\
+                    rule 1 0.9 le:0:NaN\nend\n\
+                    ruleset v1\nclasses 9\nattrs m n nnz u bin\ndefault 0\nend\n";
+        match load_model(text.as_bytes()) {
+            Err(RulesIoError::Lint(findings)) => {
+                assert!(findings
+                    .iter()
+                    .any(|f| matches!(f, Finding::NonFiniteThreshold { .. })));
+            }
+            Err(other) => panic!("expected Lint error, got {other:?}"),
+            Ok(_) => panic!("corrupt model loaded"),
         }
     }
 

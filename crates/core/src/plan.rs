@@ -19,6 +19,7 @@ use crate::binning::{bin_matrix, Bins};
 use crate::exec::{ExecBackend, LaunchCost};
 use crate::kernels::KernelId;
 use crate::strategy::Strategy;
+use crate::verify::{check_dispatch, VerifyError};
 use spmv_sparse::{CsrMatrix, FeatureSet, MatrixFeatures, Scalar};
 
 /// Structural identity of a CSR matrix: dimensions, NNZ, and an FNV-1a
@@ -203,12 +204,39 @@ impl<T: Scalar> SpmvPlan<T> {
                 got,
             });
         }
+        Ok(self.launch_all(a, v, u))
+    }
+
+    /// One backend launch per dispatch entry, costs accumulated. All
+    /// validation happens in the callers.
+    fn launch_all(&self, a: &CsrMatrix<T>, v: &[T], u: &mut [T]) -> LaunchCost {
         let mut total = LaunchCost::default();
         for d in &self.dispatch {
             let cost = self.backend.launch(a, &d.rows, d.kernel, v, u);
             total.accumulate(&cost);
         }
-        Ok(total)
+        total
+    }
+
+    /// Prove this plan's write sets against `a` and, on success, wrap it
+    /// in a [`VerifiedPlan`] that unlocks the unchecked execute path.
+    ///
+    /// Runs [`check_dispatch`]: every output row in bounds, written by
+    /// exactly one launch across all bins, cached bin NNZ consistent,
+    /// and the Subvector/Vector NNZ-balanced splits exact partitions.
+    /// Failures are a typed [`VerifyError`] naming the bin, kernel id,
+    /// and offending row range. The one O(m + Σ|rows|) proof replaces
+    /// the per-execute O(m) fingerprint scan.
+    pub fn verify(self, a: &CsrMatrix<T>) -> Result<VerifiedPlan<T>, VerifyError> {
+        let got = PatternFingerprint::of(a);
+        if got != self.fingerprint {
+            return Err(VerifyError::PatternMismatch {
+                expected: self.fingerprint,
+                got,
+            });
+        }
+        check_dispatch(a, &self.dispatch)?;
+        Ok(VerifiedPlan { plan: self })
     }
 
     /// The frozen strategy.
@@ -239,6 +267,83 @@ impl<T: Scalar> SpmvPlan<T> {
     /// Number of kernel launches per execution.
     pub fn launches(&self) -> usize {
         self.dispatch.len()
+    }
+}
+
+/// A plan whose write sets have been *proven* disjoint, in-bounds, and
+/// covering by [`SpmvPlan::verify`] — the token that unlocks
+/// [`execute_unchecked`](VerifiedPlan::execute_unchecked).
+///
+/// The only way to obtain one is through `verify`; the wrapped plan is
+/// immutable from outside, so the proof cannot go stale for the pattern
+/// it was established against.
+pub struct VerifiedPlan<T: Scalar> {
+    plan: SpmvPlan<T>,
+}
+
+impl<T: Scalar> VerifiedPlan<T> {
+    /// Execute without the per-call O(m) fingerprint scan.
+    ///
+    /// Validation is O(1): vector lengths plus the matrix's dimensions
+    /// and NNZ against the compiled fingerprint. The row-pointer hash is
+    /// *not* rechecked — that is exactly the cost the verification proof
+    /// paid for once. Handing this a different matrix that happens to
+    /// share dimensions and NNZ therefore produces wrong *values* (never
+    /// undefined behaviour: row reads still go through bounds-checked
+    /// slices, and output writes were proven in-bounds for this shape).
+    /// Value-only updates — the intended use — are always fine.
+    pub fn execute_unchecked(
+        &self,
+        a: &CsrMatrix<T>,
+        v: &[T],
+        u: &mut [T],
+    ) -> Result<LaunchCost, PlanError> {
+        let fp = &self.plan.fingerprint;
+        if v.len() != fp.n {
+            return Err(PlanError::DimensionMismatch {
+                what: "input vector",
+                expected: fp.n,
+                got: v.len(),
+            });
+        }
+        if u.len() != fp.m {
+            return Err(PlanError::DimensionMismatch {
+                what: "output vector",
+                expected: fp.m,
+                got: u.len(),
+            });
+        }
+        if a.n_rows() != fp.m || a.n_cols() != fp.n || a.nnz() != fp.nnz {
+            return Err(PlanError::PatternMismatch {
+                expected: *fp,
+                got: PatternFingerprint::of(a),
+            });
+        }
+        Ok(self.plan.launch_all(a, v, u))
+    }
+
+    /// The checked execute path (full fingerprint validation), for
+    /// callers that want the proof *and* the per-call pattern guard.
+    pub fn execute(&self, a: &CsrMatrix<T>, v: &[T], u: &mut [T]) -> Result<LaunchCost, PlanError> {
+        self.plan.execute(a, v, u)
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &SpmvPlan<T> {
+        &self.plan
+    }
+
+    /// Unwrap, dropping the proof token.
+    pub fn into_inner(self) -> SpmvPlan<T> {
+        self.plan
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for VerifiedPlan<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VerifiedPlan")
+            .field("plan", &self.plan)
+            .finish()
     }
 }
 
@@ -348,6 +453,68 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn verified_plan_unchecked_matches_checked_bit_for_bit() {
+        let a = gen::powerlaw::<f64>(600, 1, 110, 2.0, 11);
+        let strategy = Strategy {
+            binning: BinningScheme::Coarse { u: 10 },
+            kernels: (0..8)
+                .map(|b| {
+                    if b < 2 {
+                        KernelId::Serial
+                    } else {
+                        KernelId::Subvector(16)
+                    }
+                })
+                .collect(),
+        };
+        let checked = SpmvPlan::compile(&a, strategy.clone(), Box::new(NativeCpuBackend::new()));
+        let verified = SpmvPlan::compile(&a, strategy, Box::new(NativeCpuBackend::new()))
+            .verify(&a)
+            .unwrap();
+        let v: Vec<f64> = (0..a.n_cols())
+            .map(|i| ((i * 7) % 13) as f64 - 6.0)
+            .collect();
+        let mut u1 = vec![0.0f64; a.n_rows()];
+        let mut u2 = vec![0.0f64; a.n_rows()];
+        checked.execute(&a, &v, &mut u1).unwrap();
+        verified.execute_unchecked(&a, &v, &mut u2).unwrap();
+        assert_eq!(u1, u2, "unchecked path must be bit-identical");
+    }
+
+    #[test]
+    fn verify_rejects_the_wrong_matrix() {
+        let a = gen::random_uniform::<f64>(200, 200, 1, 5, 1);
+        let b = gen::random_uniform::<f64>(200, 200, 1, 5, 2);
+        let plan = plan_for(&a);
+        match plan.verify(&b) {
+            Err(crate::verify::VerifyError::PatternMismatch { .. }) => {}
+            other => panic!("expected PatternMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unchecked_still_catches_dimension_and_shape_errors() {
+        let a = gen::random_uniform::<f64>(150, 170, 1, 4, 9);
+        let verified = plan_for(&a).verify(&a).unwrap();
+        let mut u = vec![0.0f64; 150];
+        assert!(matches!(
+            verified.execute_unchecked(&a, &[0.0; 3], &mut u),
+            Err(PlanError::DimensionMismatch {
+                what: "input vector",
+                ..
+            })
+        ));
+        // A structurally different matrix with a different nnz count is
+        // still rejected in O(1).
+        let b = gen::random_uniform::<f64>(150, 170, 2, 6, 10);
+        let v = vec![0.0f64; 170];
+        assert!(matches!(
+            verified.execute_unchecked(&b, &v, &mut u),
+            Err(PlanError::PatternMismatch { .. })
+        ));
     }
 
     #[test]

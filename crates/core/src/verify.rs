@@ -1,0 +1,373 @@
+//! Write-set disjointness checker: statically prove that a plan's
+//! dispatch table writes every output index exactly once.
+//!
+//! [`SpmvPlan::execute`] launches one kernel per populated bin, and the
+//! kernels write `u[r]` through raw pointers (`SliceWriter`) from many
+//! threads. That is only sound when, across *all* bins, every row index
+//! is (a) in bounds and (b) owned by exactly one launch — and, for the
+//! NNZ-balanced Subvector/Vector launches on the native CPU backend,
+//! when the per-launch cut positions partition the bin's row list.
+//!
+//! [`check_dispatch`] proves all of that from the [`BinDispatch`] table
+//! and the CSR row pointer in one O(m + nnz-scan) pass. Plans that pass
+//! become a [`VerifiedPlan`] (see [`SpmvPlan::verify`]) which unlocks
+//! [`VerifiedPlan::execute_unchecked`] — the fast path that drops the
+//! per-execute O(m) fingerprint scan from the hot loop. Failures are a
+//! typed [`VerifyError`] naming the bin, kernel id, and offending row
+//! range.
+//!
+//! [`SpmvPlan::execute`]: crate::plan::SpmvPlan::execute
+//! [`SpmvPlan::verify`]: crate::plan::SpmvPlan::verify
+//! [`VerifiedPlan`]: crate::plan::VerifiedPlan
+//! [`VerifiedPlan::execute_unchecked`]: crate::plan::VerifiedPlan::execute_unchecked
+
+use crate::kernels::cpu::rows_nnz_cuts;
+use crate::kernels::KernelId;
+use crate::plan::BinDispatch;
+use spmv_sparse::{CsrMatrix, Scalar};
+
+/// Why a dispatch table failed write-set verification.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VerifyError {
+    /// The matrix handed to [`SpmvPlan::verify`] is not the pattern the
+    /// plan was compiled for — the proof would be about the wrong
+    /// matrix.
+    ///
+    /// [`SpmvPlan::verify`]: crate::plan::SpmvPlan::verify
+    PatternMismatch {
+        /// Fingerprint the plan was compiled against.
+        expected: crate::plan::PatternFingerprint,
+        /// Fingerprint of the matrix handed to `verify`.
+        got: crate::plan::PatternFingerprint,
+    },
+    /// A row id in a bin's row list is outside `[0, m)`.
+    RowOutOfBounds {
+        /// Bin whose row list contains the bad id.
+        bin_id: usize,
+        /// Kernel assigned to that bin.
+        kernel: KernelId,
+        /// The offending row id.
+        row: u32,
+        /// Number of matrix rows.
+        m: usize,
+    },
+    /// Two launches would both write some rows: either two bins share
+    /// rows, or one bin lists a row twice (then the two bins coincide).
+    OverlappingRows {
+        /// First bin writing the range.
+        bin_a: usize,
+        /// Its kernel.
+        kernel_a: KernelId,
+        /// Second bin writing the range.
+        bin_b: usize,
+        /// Its kernel.
+        kernel_b: KernelId,
+        /// Inclusive row range `[first, last]` written by both.
+        rows: (u32, u32),
+    },
+    /// Rows no launch writes — `execute` would leave stale values there.
+    UncoveredRows {
+        /// Inclusive row range `[first, last]` of the first uncovered run.
+        rows: (u32, u32),
+    },
+    /// A bin's cached NNZ count disagrees with the row pointer, so the
+    /// NNZ-balanced split would be computed from wrong totals.
+    BinNnzMismatch {
+        /// The inconsistent bin.
+        bin_id: usize,
+        /// Its kernel.
+        kernel: KernelId,
+        /// NNZ stored in the dispatch entry.
+        stored: usize,
+        /// NNZ the row pointer actually gives.
+        actual: usize,
+    },
+    /// The NNZ-balanced cut positions for a Subvector/Vector launch do
+    /// not partition the bin's row list.
+    SplitNotPartition {
+        /// The bin whose split is broken.
+        bin_id: usize,
+        /// Its kernel.
+        kernel: KernelId,
+        /// Partition count that produced the broken cuts.
+        parts: usize,
+        /// What property failed.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::PatternMismatch { expected, got } => write!(
+                f,
+                "verify called with the wrong matrix: plan is for {}x{}/{} nnz \
+                 (hash {:#x}), got {}x{}/{} nnz (hash {:#x})",
+                expected.m,
+                expected.n,
+                expected.nnz,
+                expected.row_ptr_hash,
+                got.m,
+                got.n,
+                got.nnz,
+                got.row_ptr_hash,
+            ),
+            VerifyError::RowOutOfBounds {
+                bin_id,
+                kernel,
+                row,
+                m,
+            } => write!(
+                f,
+                "bin {bin_id} ({kernel}): row {row} out of bounds (m = {m})"
+            ),
+            VerifyError::OverlappingRows {
+                bin_a,
+                kernel_a,
+                bin_b,
+                kernel_b,
+                rows,
+            } => write!(
+                f,
+                "bins {bin_a} ({kernel_a}) and {bin_b} ({kernel_b}) both write rows {}..={}",
+                rows.0, rows.1
+            ),
+            VerifyError::UncoveredRows { rows } => {
+                write!(f, "rows {}..={} are written by no launch", rows.0, rows.1)
+            }
+            VerifyError::BinNnzMismatch {
+                bin_id,
+                kernel,
+                stored,
+                actual,
+            } => write!(
+                f,
+                "bin {bin_id} ({kernel}): cached nnz {stored} != row-pointer nnz {actual}"
+            ),
+            VerifyError::SplitNotPartition {
+                bin_id,
+                kernel,
+                parts,
+                detail,
+            } => write!(
+                f,
+                "bin {bin_id} ({kernel}): nnz-balanced split with {parts} parts is not a \
+                 partition: {detail}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Prove the write-set invariants of `dispatch` against `a`'s row
+/// pointer:
+///
+/// 1. every listed row id is in `[0, m)`;
+/// 2. across all bins, every row of the matrix is listed exactly once
+///    (disjointness + coverage);
+/// 3. each bin's cached NNZ matches the row pointer;
+/// 4. for Subvector/Vector bins, the NNZ-balanced cut positions used by
+///    the native CPU backend partition the bin's row list for every
+///    plausible partition count (the split is deterministic, so checking
+///    the cut properties *is* checking the runtime's write sets).
+///
+/// O(m) space, O(m + Σ|rows|) time plus O(|rows|) per balanced bin.
+pub fn check_dispatch<T: Scalar>(
+    a: &CsrMatrix<T>,
+    dispatch: &[BinDispatch],
+) -> Result<(), VerifyError> {
+    let m = a.n_rows();
+    const UNOWNED: u32 = u32::MAX;
+    let mut owner: Vec<u32> = vec![UNOWNED; m];
+    for (e, d) in dispatch.iter().enumerate() {
+        let mut nnz = 0usize;
+        for &r in &d.rows {
+            let ri = r as usize;
+            if ri >= m {
+                return Err(VerifyError::RowOutOfBounds {
+                    bin_id: d.bin_id,
+                    kernel: d.kernel,
+                    row: r,
+                    m,
+                });
+            }
+            if owner[ri] != UNOWNED {
+                let prev = &dispatch[owner[ri] as usize];
+                return Err(VerifyError::OverlappingRows {
+                    bin_a: prev.bin_id,
+                    kernel_a: prev.kernel,
+                    bin_b: d.bin_id,
+                    kernel_b: d.kernel,
+                    rows: overlap_range(&prev.rows, &d.rows, e == owner[ri] as usize, r),
+                });
+            }
+            owner[ri] = e as u32;
+            nnz += a.row_nnz(ri);
+        }
+        if nnz != d.nnz {
+            return Err(VerifyError::BinNnzMismatch {
+                bin_id: d.bin_id,
+                kernel: d.kernel,
+                stored: d.nnz,
+                actual: nnz,
+            });
+        }
+    }
+    if let Some(first) = owner.iter().position(|&o| o == UNOWNED) {
+        let mut last = first;
+        while last + 1 < m && owner[last + 1] == UNOWNED {
+            last += 1;
+        }
+        return Err(VerifyError::UncoveredRows {
+            rows: (first as u32, last as u32),
+        });
+    }
+    for d in dispatch {
+        if matches!(d.kernel, KernelId::Subvector(_) | KernelId::Vector) {
+            check_balanced_split(a, d)?;
+        }
+    }
+    Ok(())
+}
+
+/// The inclusive row range two launches both claim. When the duplicate
+/// comes from a single bin listing a row twice (`same_entry`), the range
+/// is that one row.
+fn overlap_range(rows_a: &[u32], rows_b: &[u32], same_entry: bool, hit: u32) -> (u32, u32) {
+    if same_entry {
+        return (hit, hit);
+    }
+    let set: std::collections::HashSet<u32> = rows_a.iter().copied().collect();
+    let mut lo = hit;
+    let mut hi = hit;
+    for &r in rows_b {
+        if set.contains(&r) {
+            lo = lo.min(r);
+            hi = hi.max(r);
+        }
+    }
+    (lo, hi)
+}
+
+/// Prove the NNZ-balanced cut positions partition `d.rows` for every
+/// partition count the native CPU backend could plausibly use: the cut
+/// list must start at 0, end at `|rows|`, and be monotone — exactly the
+/// properties that make the per-part spans `rows[cuts[p]..cuts[p+1]]`
+/// disjoint and complete.
+fn check_balanced_split<T: Scalar>(a: &CsrMatrix<T>, d: &BinDispatch) -> Result<(), VerifyError> {
+    let n = d.rows.len();
+    let candidates = [1, 2, 3, spmv_parallel::num_threads() * 4, n.max(1), n + 7];
+    for &parts in &candidates {
+        let cuts = rows_nnz_cuts(a, &d.rows, parts);
+        let fail = |detail: String| VerifyError::SplitNotPartition {
+            bin_id: d.bin_id,
+            kernel: d.kernel,
+            parts,
+            detail,
+        };
+        if cuts.first() != Some(&0) {
+            return Err(fail(format!("first cut {:?} != 0", cuts.first())));
+        }
+        if cuts.last() != Some(&n) {
+            return Err(fail(format!("last cut {:?} != |rows| = {n}", cuts.last())));
+        }
+        if let Some(w) = cuts.windows(2).find(|w| w[0] > w[1]) {
+            return Err(fail(format!("cuts not monotone at {} > {}", w[0], w[1])));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binning::BinningScheme;
+    use crate::exec::SimGpuBackend;
+    use crate::plan::SpmvPlan;
+    use crate::strategy::Strategy;
+    use spmv_gpusim::GpuDevice;
+    use spmv_sparse::gen;
+
+    fn dispatch_of(a: &CsrMatrix<f64>, u: usize) -> Vec<BinDispatch> {
+        let strategy = Strategy {
+            binning: BinningScheme::Coarse { u },
+            kernels: vec![KernelId::Subvector(8); 8],
+        };
+        let plan = SpmvPlan::compile(
+            a,
+            strategy,
+            Box::new(SimGpuBackend::new(GpuDevice::kaveri())),
+        );
+        plan.dispatch().to_vec()
+    }
+
+    #[test]
+    fn compiled_plans_pass() {
+        let a = gen::powerlaw::<f64>(800, 1, 150, 2.1, 3);
+        for u in [10, 100] {
+            check_dispatch(&a, &dispatch_of(&a, u)).unwrap();
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_row_is_named() {
+        let a = gen::random_uniform::<f64>(50, 50, 1, 4, 1);
+        let mut d = dispatch_of(&a, 10);
+        d[0].rows.push(50);
+        match check_dispatch(&a, &d) {
+            Err(VerifyError::RowOutOfBounds { row: 50, m: 50, .. }) => {}
+            other => panic!("expected RowOutOfBounds, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_row_across_bins_reports_both_bins() {
+        let a = gen::random_uniform::<f64>(60, 60, 1, 4, 2);
+        let mut d = dispatch_of(&a, 10);
+        assert!(d.len() >= 2, "need two bins for this test");
+        let stolen = d[0].rows[0];
+        let extra_nnz = a.row_nnz(stolen as usize);
+        let last = d.len() - 1;
+        d[last].rows.push(stolen);
+        d[last].nnz += extra_nnz;
+        match check_dispatch(&a, &d) {
+            Err(VerifyError::OverlappingRows {
+                bin_a, bin_b, rows, ..
+            }) => {
+                assert_ne!(bin_a, bin_b);
+                assert!(rows.0 <= stolen && stolen <= rows.1);
+            }
+            other => panic!("expected OverlappingRows, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_rows_report_the_uncovered_range() {
+        let a = gen::random_uniform::<f64>(40, 40, 1, 3, 3);
+        let mut d = dispatch_of(&a, 10);
+        // Drop rows 5..=7 from whichever entry owns them.
+        for e in &mut d {
+            let before: Vec<u32> = e.rows.clone();
+            e.rows.retain(|&r| !(5..=7).contains(&r));
+            for &r in before.iter().filter(|&&r| (5..=7).contains(&r)) {
+                e.nnz -= a.row_nnz(r as usize);
+            }
+        }
+        match check_dispatch(&a, &d) {
+            Err(VerifyError::UncoveredRows { rows: (5, 7) }) => {}
+            other => panic!("expected UncoveredRows(5..=7), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_nnz_is_caught() {
+        let a = gen::random_uniform::<f64>(30, 30, 1, 3, 4);
+        let mut d = dispatch_of(&a, 10);
+        d[0].nnz += 1;
+        match check_dispatch(&a, &d) {
+            Err(VerifyError::BinNnzMismatch { .. }) => {}
+            other => panic!("expected BinNnzMismatch, got {other:?}"),
+        }
+    }
+}

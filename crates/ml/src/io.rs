@@ -25,6 +25,10 @@ use std::io::{BufRead, BufReader, Read, Write};
 pub enum RulesIoError {
     /// Malformed input at the given 1-based line.
     Parse(usize, String),
+    /// The content parsed but failed static lint checks (see
+    /// [`crate::lint`]): the model would panic or silently mispredict at
+    /// dispatch time, so loading refuses it.
+    Lint(Vec<crate::lint::Finding>),
     /// Underlying I/O failure.
     Io(std::io::Error),
 }
@@ -33,6 +37,13 @@ impl std::fmt::Display for RulesIoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RulesIoError::Parse(line, msg) => write!(f, "line {line}: {msg}"),
+            RulesIoError::Lint(findings) => {
+                write!(f, "model failed lint:")?;
+                for finding in findings {
+                    write!(f, "\n  {finding}")?;
+                }
+                Ok(())
+            }
             RulesIoError::Io(e) => write!(f, "i/o: {e}"),
         }
     }

@@ -28,6 +28,7 @@ pub mod cv;
 pub mod dataset;
 pub mod entropy;
 pub mod io;
+pub mod lint;
 pub mod metrics;
 pub mod prune;
 pub mod rules;
@@ -35,6 +36,7 @@ pub mod tree;
 
 pub use boost::BoostedTrees;
 pub use dataset::{AttrKind, AttrSpec, Dataset};
+pub use lint::{lint_ruleset, lint_tree, Finding, LintOptions, Severity};
 pub use metrics::ConfusionMatrix;
 pub use rules::{Rule, RuleSet};
 pub use tree::{DecisionTree, TreeConfig};

@@ -1,0 +1,738 @@
+//! Static linter for rule-sets (and the trees they come from).
+//!
+//! A checked-in classifier drives kernel dispatch at run time, so a
+//! corrupt or stale model must fail at *load* time, not mispredict at
+//! *dispatch* time. The linter proves, per rule-set:
+//!
+//! * every rule class and the default class fit the declared class
+//!   universe (e.g. the nine-kernel pool or the granularity grid);
+//! * every condition references a real attribute with a finite
+//!   threshold (`x ≤ NaN` and `x > NaN` are both always false, so a
+//!   NaN threshold silently deletes a split);
+//! * no rule's conjunction is self-contradictory (empty interval, or
+//!   clashing equality codes on one attribute);
+//! * no rule is shadowed by an earlier rule (first-match semantics make
+//!   it unreachable);
+//! * whether any region of feature space falls through to the default
+//!   class, via an exact grid decomposition over the thresholds that
+//!   actually appear in the rules.
+//!
+//! Findings carry a [`Severity`]: `Error` findings make
+//! [`crate::io::read_ruleset`]-level consumers (see
+//! `spmv-autotune::model_io`) refuse the model; `Warning` findings are
+//! reported by `spmv-lint` but tolerated, because legitimately trained
+//! rule-sets can contain shadowed rules (accuracy ordering) and default
+//! fallthrough (the default *is* the majority-class fallback).
+
+use crate::rules::{Cond, RuleSet};
+use crate::tree::{DecisionTree, Node};
+use std::collections::BTreeSet;
+
+/// How bad a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but tolerable; reported, never fatal.
+    Warning,
+    /// The model would panic or silently mispredict at dispatch time;
+    /// loading must fail.
+    Error,
+}
+
+/// One linter diagnostic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Finding {
+    /// A rule predicts a class outside the valid class universe.
+    ClassOutOfRange {
+        /// Rule index (match order).
+        rule: usize,
+        /// The offending class id.
+        class: usize,
+        /// Exclusive upper bound on valid classes.
+        limit: usize,
+    },
+    /// The default class is outside the valid class universe — every
+    /// fallthrough row would dispatch a kernel that does not exist.
+    DefaultOutOfRange {
+        /// The offending default class.
+        class: usize,
+        /// Exclusive upper bound on valid classes.
+        limit: usize,
+    },
+    /// A condition references an attribute index past the attribute
+    /// table.
+    AttrOutOfRange {
+        /// Rule index.
+        rule: usize,
+        /// The offending attribute index.
+        attr: usize,
+        /// Number of attributes the rule-set declares.
+        n_attrs: usize,
+    },
+    /// A numeric threshold is NaN or infinite, making the comparison
+    /// constant-false (NaN) or vacuous (±∞).
+    NonFiniteThreshold {
+        /// Rule index.
+        rule: usize,
+        /// Attribute the condition tests.
+        attr: usize,
+        /// The non-finite threshold value.
+        value: f64,
+    },
+    /// A rule's conjunction is unsatisfiable on the named attribute
+    /// (e.g. `x ≤ 1 and x > 2`, or `c = 0 and c = 1`).
+    ContradictoryConds {
+        /// Rule index.
+        rule: usize,
+        /// Attribute with the empty feasible set.
+        attr: usize,
+    },
+    /// Every row matching this rule already matches an earlier rule, so
+    /// under first-match semantics it can never fire.
+    UnreachableRule {
+        /// The shadowed rule.
+        rule: usize,
+        /// The earlier rule that captures its whole feasible region.
+        shadowed_by: usize,
+    },
+    /// The rule list does not cover the feature space: the witness row
+    /// matches no rule and falls through to the default class.
+    DefaultFallthrough {
+        /// A concrete feature row reaching the default.
+        witness: Vec<f64>,
+    },
+    /// Coverage analysis was skipped because the threshold grid was too
+    /// large to enumerate.
+    CoverageUnknown {
+        /// Number of grid cells that enumeration would have required.
+        cells: usize,
+    },
+    /// A tree leaf predicts a class outside the valid class universe.
+    TreeLeafClassOutOfRange {
+        /// Node index in the tree arena.
+        node: usize,
+        /// The offending class id.
+        class: usize,
+        /// Exclusive upper bound on valid classes.
+        limit: usize,
+    },
+    /// A tree split threshold is NaN or infinite.
+    TreeNonFiniteThreshold {
+        /// Node index in the tree arena.
+        node: usize,
+        /// Attribute the split tests.
+        attr: usize,
+        /// The non-finite threshold value.
+        value: f64,
+    },
+}
+
+impl Finding {
+    /// The severity class of this finding.
+    pub fn severity(&self) -> Severity {
+        match self {
+            Finding::ClassOutOfRange { .. }
+            | Finding::DefaultOutOfRange { .. }
+            | Finding::AttrOutOfRange { .. }
+            | Finding::NonFiniteThreshold { .. }
+            | Finding::TreeLeafClassOutOfRange { .. }
+            | Finding::TreeNonFiniteThreshold { .. } => Severity::Error,
+            Finding::ContradictoryConds { .. }
+            | Finding::UnreachableRule { .. }
+            | Finding::DefaultFallthrough { .. }
+            | Finding::CoverageUnknown { .. } => Severity::Warning,
+        }
+    }
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Finding::ClassOutOfRange { rule, class, limit } => {
+                write!(f, "rule {rule}: class {class} out of range (limit {limit})")
+            }
+            Finding::DefaultOutOfRange { class, limit } => {
+                write!(f, "default class {class} out of range (limit {limit})")
+            }
+            Finding::AttrOutOfRange {
+                rule,
+                attr,
+                n_attrs,
+            } => {
+                write!(
+                    f,
+                    "rule {rule}: attribute {attr} out of range ({n_attrs} attrs)"
+                )
+            }
+            Finding::NonFiniteThreshold { rule, attr, value } => {
+                write!(
+                    f,
+                    "rule {rule}: non-finite threshold {value} on attribute {attr}"
+                )
+            }
+            Finding::ContradictoryConds { rule, attr } => {
+                write!(
+                    f,
+                    "rule {rule}: contradictory conditions on attribute {attr}"
+                )
+            }
+            Finding::UnreachableRule { rule, shadowed_by } => {
+                write!(
+                    f,
+                    "rule {rule}: unreachable (shadowed by rule {shadowed_by})"
+                )
+            }
+            Finding::DefaultFallthrough { witness } => {
+                write!(
+                    f,
+                    "feature space not covered: {witness:?} falls through to the default"
+                )
+            }
+            Finding::CoverageUnknown { cells } => {
+                write!(f, "coverage analysis skipped ({cells} grid cells)")
+            }
+            Finding::TreeLeafClassOutOfRange { node, class, limit } => {
+                write!(
+                    f,
+                    "tree node {node}: leaf class {class} out of range (limit {limit})"
+                )
+            }
+            Finding::TreeNonFiniteThreshold { node, attr, value } => {
+                write!(
+                    f,
+                    "tree node {node}: non-finite threshold {value} on attribute {attr}"
+                )
+            }
+        }
+    }
+}
+
+/// Knobs for [`lint_ruleset`].
+#[derive(Clone, Debug)]
+pub struct LintOptions {
+    /// Exclusive upper bound on valid class ids. A rule-set's own
+    /// `n_classes` can lie (a stale file); pass the *consumer's* bound —
+    /// the kernel-pool size or the granularity-grid length. `None`
+    /// trusts the rule-set's declared count.
+    pub class_limit: Option<usize>,
+    /// Cap on grid cells enumerated by the coverage analysis; beyond it
+    /// a [`Finding::CoverageUnknown`] is emitted instead.
+    pub max_coverage_cells: usize,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        Self {
+            class_limit: None,
+            max_coverage_cells: 100_000,
+        }
+    }
+}
+
+/// The feasible region of one rule on one attribute: an open-below /
+/// closed-above interval intersected with an optional equality pin.
+#[derive(Clone, Copy, Debug)]
+struct AttrBox {
+    /// Strict lower bound (from `Gt`).
+    lo: f64,
+    /// Inclusive upper bound (from `Le`).
+    hi: f64,
+    /// Equality pin (from `Eq`), if any.
+    eq: Option<usize>,
+    /// Set when two `Eq` codes clash.
+    empty: bool,
+}
+
+impl AttrBox {
+    fn unconstrained() -> Self {
+        Self {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+            eq: None,
+            empty: false,
+        }
+    }
+
+    fn add(&mut self, cond: &Cond) {
+        match *cond {
+            Cond::Le(_, v) => self.hi = self.hi.min(v),
+            Cond::Gt(_, v) => self.lo = self.lo.max(v),
+            Cond::Eq(_, c) => match self.eq {
+                Some(prev) if prev != c => self.empty = true,
+                _ => self.eq = Some(c),
+            },
+        }
+    }
+
+    /// Whether any value satisfies the box.
+    fn feasible(&self) -> bool {
+        if self.empty || self.lo >= self.hi {
+            return false;
+        }
+        match self.eq {
+            // `row[a] as usize == c` truncates, so any value in
+            // [c, c+1) matches; feasible iff that unit interval meets
+            // (lo, hi].
+            Some(c) => {
+                let c = c as f64;
+                c + 1.0 > self.lo && c <= self.hi
+            }
+            None => true,
+        }
+    }
+
+    /// Whether every point of `self` satisfies `cond` (used for
+    /// shadowing: does an earlier rule's condition already hold on this
+    /// rule's whole feasible region?).
+    fn implies(&self, cond: &Cond) -> bool {
+        match *cond {
+            Cond::Le(_, v) => self.hi <= v || self.eq.is_some_and(|c| (c as f64) <= v),
+            Cond::Gt(_, v) => self.lo >= v || self.eq.is_some_and(|c| (c as f64) > v),
+            Cond::Eq(_, c) => self.eq == Some(c),
+        }
+    }
+}
+
+/// Per-attribute feasible boxes of one rule.
+fn rule_boxes(conds: &[Cond], n_attrs: usize) -> Vec<AttrBox> {
+    let mut boxes = vec![AttrBox::unconstrained(); n_attrs];
+    for cond in conds {
+        let a = match *cond {
+            Cond::Le(a, _) | Cond::Gt(a, _) | Cond::Eq(a, _) => a,
+        };
+        if a < n_attrs {
+            boxes[a].add(cond);
+        }
+    }
+    boxes
+}
+
+/// Run every check over `rs` and return the findings, errors first.
+pub fn lint_ruleset(rs: &RuleSet, opts: &LintOptions) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let limit = opts.class_limit.unwrap_or_else(|| rs.n_classes());
+    let n_attrs = rs.attr_names().len();
+
+    if rs.default_class() >= limit {
+        out.push(Finding::DefaultOutOfRange {
+            class: rs.default_class(),
+            limit,
+        });
+    }
+
+    let mut feasible: Vec<bool> = Vec::with_capacity(rs.rules().len());
+    for (i, rule) in rs.rules().iter().enumerate() {
+        if rule.class >= limit {
+            out.push(Finding::ClassOutOfRange {
+                rule: i,
+                class: rule.class,
+                limit,
+            });
+        }
+        for cond in &rule.conds {
+            match *cond {
+                Cond::Le(a, v) | Cond::Gt(a, v) => {
+                    if a >= n_attrs {
+                        out.push(Finding::AttrOutOfRange {
+                            rule: i,
+                            attr: a,
+                            n_attrs,
+                        });
+                    }
+                    if !v.is_finite() {
+                        out.push(Finding::NonFiniteThreshold {
+                            rule: i,
+                            attr: a,
+                            value: v,
+                        });
+                    }
+                }
+                Cond::Eq(a, _) => {
+                    if a >= n_attrs {
+                        out.push(Finding::AttrOutOfRange {
+                            rule: i,
+                            attr: a,
+                            n_attrs,
+                        });
+                    }
+                }
+            }
+        }
+        let boxes = rule_boxes(&rule.conds, n_attrs);
+        let mut rule_feasible = true;
+        for (a, b) in boxes.iter().enumerate() {
+            if !b.feasible() {
+                out.push(Finding::ContradictoryConds { rule: i, attr: a });
+                rule_feasible = false;
+            }
+        }
+        feasible.push(rule_feasible);
+    }
+
+    // Shadowing: rule i is unreachable when some earlier feasible rule j
+    // holds on i's entire feasible region (every cond of j implied by
+    // i's boxes). Contradictory rules are already reported above.
+    for i in 1..rs.rules().len() {
+        if !feasible[i] {
+            continue;
+        }
+        let boxes_i = rule_boxes(&rs.rules()[i].conds, n_attrs);
+        for (j, &j_feasible) in feasible.iter().enumerate().take(i) {
+            if !j_feasible {
+                continue;
+            }
+            let shadows = rs.rules()[j].conds.iter().all(|cond| {
+                let a = match *cond {
+                    Cond::Le(a, _) | Cond::Gt(a, _) | Cond::Eq(a, _) => a,
+                };
+                a < n_attrs && boxes_i[a].implies(cond)
+            });
+            if shadows {
+                out.push(Finding::UnreachableRule {
+                    rule: i,
+                    shadowed_by: j,
+                });
+                break;
+            }
+        }
+    }
+
+    // Coverage evaluates `Rule::matches` on synthetic rows of length
+    // `n_attrs`; a rule that indexes past that would panic, so skip the
+    // pass when any AttrOutOfRange error is already on record.
+    if !out
+        .iter()
+        .any(|f| matches!(f, Finding::AttrOutOfRange { .. }))
+    {
+        coverage(rs, n_attrs, opts, &mut out);
+    }
+    out.sort_by_key(|f| std::cmp::Reverse(f.severity()));
+    out
+}
+
+/// Exact coverage analysis: rule predicates are constant inside every
+/// cell of the grid induced by the thresholds appearing in the rules, so
+/// testing one representative point per cell decides coverage exactly.
+fn coverage(rs: &RuleSet, n_attrs: usize, opts: &LintOptions, out: &mut Vec<Finding>) {
+    if n_attrs == 0 {
+        return;
+    }
+    let mut samples: Vec<Vec<f64>> = vec![Vec::new(); n_attrs];
+    for rule in rs.rules() {
+        for cond in &rule.conds {
+            match *cond {
+                Cond::Le(a, v) | Cond::Gt(a, v) => {
+                    if a < n_attrs && v.is_finite() {
+                        samples[a].push(v);
+                    }
+                }
+                Cond::Eq(a, c) => {
+                    if a < n_attrs {
+                        samples[a].push(c as f64);
+                    }
+                }
+            }
+        }
+    }
+    let mut cells: usize = 1;
+    for s in &mut samples {
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s.dedup();
+        // Representative points: each threshold itself (hits the ≤ /
+        // equality boundary), midpoints between neighbours, and a point
+        // below the first and above the last.
+        let pts: BTreeSet<u64> = {
+            let mut pts = Vec::new();
+            if s.is_empty() {
+                pts.push(0.0);
+            } else {
+                pts.push(s[0] - 1.0);
+                for w in s.windows(2) {
+                    pts.push((w[0] + w[1]) / 2.0);
+                }
+                pts.extend(s.iter().copied());
+                pts.push(s[s.len() - 1] + 1.0);
+            }
+            pts.into_iter().map(f64::to_bits).collect()
+        };
+        *s = pts.into_iter().map(f64::from_bits).collect();
+        cells = cells.saturating_mul(s.len().max(1));
+    }
+    if cells > opts.max_coverage_cells {
+        out.push(Finding::CoverageUnknown { cells });
+        return;
+    }
+    // Odometer over the cartesian product of per-attribute samples.
+    let mut idx = vec![0usize; n_attrs];
+    let mut row = vec![0.0f64; n_attrs];
+    loop {
+        for (a, &k) in idx.iter().enumerate() {
+            row[a] = samples[a][k];
+        }
+        if !rs.rules().iter().any(|r| r.matches(&row)) {
+            out.push(Finding::DefaultFallthrough {
+                witness: row.clone(),
+            });
+            return;
+        }
+        let mut a = 0;
+        loop {
+            if a == n_attrs {
+                return;
+            }
+            idx[a] += 1;
+            if idx[a] < samples[a].len() {
+                break;
+            }
+            idx[a] = 0;
+            a += 1;
+        }
+    }
+}
+
+/// Lint a trained tree directly: leaf classes in range, split thresholds
+/// finite. Rule-sets extracted from a clean tree inherit these
+/// properties, so this catches corruption before extraction.
+pub fn lint_tree(tree: &DecisionTree, class_limit: Option<usize>) -> Vec<Finding> {
+    let limit = class_limit.unwrap_or_else(|| tree.n_classes());
+    let mut out = Vec::new();
+    let mut stack = vec![tree.root()];
+    let mut seen = vec![false; tree.n_nodes()];
+    while let Some(n) = stack.pop() {
+        if seen[n] {
+            continue;
+        }
+        seen[n] = true;
+        match tree.node(n) {
+            Node::Leaf { class, .. } => {
+                if *class >= limit {
+                    out.push(Finding::TreeLeafClassOutOfRange {
+                        node: n,
+                        class: *class,
+                        limit,
+                    });
+                }
+            }
+            Node::Numeric {
+                attr,
+                threshold,
+                left,
+                right,
+                ..
+            } => {
+                if !threshold.is_finite() {
+                    out.push(Finding::TreeNonFiniteThreshold {
+                        node: n,
+                        attr: *attr,
+                        value: *threshold,
+                    });
+                }
+                stack.push(*left);
+                stack.push(*right);
+            }
+            Node::Categorical { children, .. } => stack.extend(children.iter().copied()),
+        }
+    }
+    out
+}
+
+/// Convenience: the `Error`-severity subset of a finding list.
+pub fn errors(findings: &[Finding]) -> Vec<Finding> {
+    findings
+        .iter()
+        .filter(|f| f.severity() == Severity::Error)
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{AttrSpec, Dataset};
+    use crate::rules::Rule;
+    use crate::tree::TreeConfig;
+
+    fn rs(rules: Vec<Rule>, default: usize, n_classes: usize, n_attrs: usize) -> RuleSet {
+        let names = (0..n_attrs).map(|i| format!("a{i}")).collect();
+        RuleSet::from_parts(rules, default, names, n_classes)
+    }
+
+    fn rule(conds: Vec<Cond>, class: usize) -> Rule {
+        Rule {
+            conds,
+            class,
+            accuracy: 0.9,
+        }
+    }
+
+    #[test]
+    fn clean_exhaustive_ruleset_has_no_findings() {
+        let r = rs(
+            vec![
+                rule(vec![Cond::Le(0, 5.0)], 0),
+                rule(vec![Cond::Gt(0, 5.0)], 1),
+            ],
+            0,
+            2,
+            1,
+        );
+        let f = lint_ruleset(&r, &LintOptions::default());
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn class_out_of_range_is_an_error() {
+        let r = rs(vec![rule(vec![Cond::Le(0, 1.0)], 7)], 0, 9, 1);
+        // The file claims nine classes, but the consumer only has 4.
+        let f = lint_ruleset(
+            &r,
+            &LintOptions {
+                class_limit: Some(4),
+                ..Default::default()
+            },
+        );
+        assert!(f.iter().any(|x| matches!(
+            x,
+            Finding::ClassOutOfRange {
+                rule: 0,
+                class: 7,
+                limit: 4
+            }
+        )));
+        assert_eq!(f[0].severity(), Severity::Error);
+    }
+
+    #[test]
+    fn contradictory_conjunction_is_found() {
+        let r = rs(
+            vec![rule(vec![Cond::Le(0, 1.0), Cond::Gt(0, 2.0)], 0)],
+            0,
+            2,
+            1,
+        );
+        let f = lint_ruleset(&r, &LintOptions::default());
+        assert!(f
+            .iter()
+            .any(|x| matches!(x, Finding::ContradictoryConds { rule: 0, attr: 0 })));
+    }
+
+    #[test]
+    fn clashing_eq_codes_are_contradictory() {
+        let r = rs(vec![rule(vec![Cond::Eq(0, 1), Cond::Eq(0, 2)], 0)], 0, 2, 1);
+        let f = lint_ruleset(&r, &LintOptions::default());
+        assert!(f
+            .iter()
+            .any(|x| matches!(x, Finding::ContradictoryConds { rule: 0, attr: 0 })));
+    }
+
+    #[test]
+    fn shadowed_rule_is_unreachable() {
+        let r = rs(
+            vec![
+                rule(vec![Cond::Le(0, 10.0)], 0),
+                rule(vec![Cond::Le(0, 5.0)], 1), // subset of rule 0
+            ],
+            0,
+            2,
+            1,
+        );
+        let f = lint_ruleset(&r, &LintOptions::default());
+        assert!(f.iter().any(|x| matches!(
+            x,
+            Finding::UnreachableRule {
+                rule: 1,
+                shadowed_by: 0
+            }
+        )));
+    }
+
+    #[test]
+    fn empty_cond_rule_shadows_everything_after_it() {
+        let r = rs(
+            vec![rule(vec![], 0), rule(vec![Cond::Gt(0, 3.0)], 1)],
+            0,
+            2,
+            1,
+        );
+        let f = lint_ruleset(&r, &LintOptions::default());
+        assert!(f.iter().any(|x| matches!(
+            x,
+            Finding::UnreachableRule {
+                rule: 1,
+                shadowed_by: 0
+            }
+        )));
+    }
+
+    #[test]
+    fn nan_threshold_is_an_error() {
+        let r = rs(vec![rule(vec![Cond::Le(0, f64::NAN)], 0)], 0, 2, 1);
+        let f = lint_ruleset(&r, &LintOptions::default());
+        assert!(f.iter().any(|x| matches!(
+            x,
+            Finding::NonFiniteThreshold {
+                rule: 0,
+                attr: 0,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn fallthrough_witness_reaches_default() {
+        // Rules only cover x ≤ 5; everything above falls through.
+        let r = rs(vec![rule(vec![Cond::Le(0, 5.0)], 1)], 0, 2, 1);
+        let f = lint_ruleset(&r, &LintOptions::default());
+        let w = f.iter().find_map(|x| match x {
+            Finding::DefaultFallthrough { witness } => Some(witness.clone()),
+            _ => None,
+        });
+        let w = w.expect("fallthrough expected");
+        assert!(!r.rules()[0].matches(&w));
+    }
+
+    #[test]
+    fn attr_out_of_range_is_an_error() {
+        let r = rs(vec![rule(vec![Cond::Gt(3, 0.0)], 0)], 0, 2, 1);
+        let f = lint_ruleset(&r, &LintOptions::default());
+        assert!(f.iter().any(|x| matches!(
+            x,
+            Finding::AttrOutOfRange {
+                rule: 0,
+                attr: 3,
+                n_attrs: 1
+            }
+        )));
+    }
+
+    #[test]
+    fn trained_ruleset_has_no_errors() {
+        let mut d = Dataset::new(
+            vec![AttrSpec::numeric("x"), AttrSpec::numeric("y")],
+            vec!["lo".into(), "hi".into()],
+        );
+        for i in 0..200 {
+            d.push(&[i as f64, (i * 3 % 17) as f64], usize::from(i >= 100));
+        }
+        let t = DecisionTree::fit(&d, &TreeConfig::default());
+        let r = RuleSet::from_tree(&t, &d, 0.25);
+        assert!(errors(&lint_ruleset(&r, &LintOptions::default())).is_empty());
+        assert!(lint_tree(&t, None).is_empty());
+    }
+
+    #[test]
+    fn tree_with_out_of_universe_leaves_is_flagged() {
+        let mut d = Dataset::new(
+            vec![AttrSpec::numeric("x")],
+            vec!["a".into(), "b".into(), "c".into()],
+        );
+        for i in 0..60 {
+            d.push(&[i as f64], (i / 20).min(2));
+        }
+        let t = DecisionTree::fit(&d, &TreeConfig::default());
+        // Consumer universe smaller than the trained class count.
+        let f = lint_tree(&t, Some(1));
+        assert!(f
+            .iter()
+            .any(|x| matches!(x, Finding::TreeLeafClassOutOfRange { .. })));
+    }
+}

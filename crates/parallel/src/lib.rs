@@ -16,6 +16,7 @@
 //!   thread spawn/join each time.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod partition;
 pub mod pool;

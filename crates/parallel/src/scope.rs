@@ -91,6 +91,8 @@ impl<T> Copy for SendPtr<T> {}
 // SAFETY: the pointer is only used to write disjoint indices inside the
 // scope of `parallel_for`, which joins all workers before returning.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: same restriction — shared only between workers writing disjoint
+// indices, all joined before the buffer is read.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 /// Parallel reduction: fold `[0, n)` with `map`, combining per-worker

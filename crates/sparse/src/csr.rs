@@ -3,7 +3,7 @@
 
 use crate::coo::CooMatrix;
 use crate::dense::DenseMatrix;
-use crate::error::SparseError;
+use crate::error::{CsrBuildError, SparseError};
 use crate::scalar::Scalar;
 
 /// A sparse matrix in compressed sparse row format.
@@ -45,42 +45,55 @@ impl<T: Scalar> CsrMatrix<T> {
         col_idx: Vec<u32>,
         values: Vec<T>,
     ) -> Result<Self, SparseError> {
+        Self::try_new(n_rows, n_cols, row_ptr, col_idx, values).map_err(SparseError::from)
+    }
+
+    /// Build a CSR matrix from its three raw arrays, validating every
+    /// structural invariant and reporting the first violation as a typed
+    /// [`CsrBuildError`] naming the exact defect (offending row, column
+    /// index, position, or length pair).
+    ///
+    /// This is the error-typed twin of [`from_parts`]; the checks are
+    /// identical.
+    ///
+    /// [`from_parts`]: CsrMatrix::from_parts
+    pub fn try_new(
+        n_rows: usize,
+        n_cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<T>,
+    ) -> Result<Self, CsrBuildError> {
         if row_ptr.len() != n_rows + 1 {
-            return Err(SparseError::InvalidStructure(format!(
-                "row_ptr length {} != n_rows + 1 = {}",
-                row_ptr.len(),
-                n_rows + 1
-            )));
+            return Err(CsrBuildError::RowPtrLen {
+                len: row_ptr.len(),
+                n_rows,
+            });
         }
         if row_ptr[0] != 0 {
-            return Err(SparseError::InvalidStructure(format!(
-                "row_ptr[0] = {} (must be 0)",
-                row_ptr[0]
-            )));
+            return Err(CsrBuildError::RowPtrStart { first: row_ptr[0] });
         }
         if *row_ptr.last().unwrap() != col_idx.len() {
-            return Err(SparseError::InvalidStructure(format!(
-                "row_ptr[last] = {} != nnz = {}",
-                row_ptr.last().unwrap(),
-                col_idx.len()
-            )));
+            return Err(CsrBuildError::NnzMismatch {
+                last: *row_ptr.last().unwrap(),
+                nnz: col_idx.len(),
+            });
         }
         if col_idx.len() != values.len() {
-            return Err(SparseError::InvalidStructure(format!(
-                "col_idx length {} != values length {}",
-                col_idx.len(),
-                values.len()
-            )));
+            return Err(CsrBuildError::LengthMismatch {
+                col_idx: col_idx.len(),
+                values: values.len(),
+            });
         }
-        if row_ptr.windows(2).any(|w| w[0] > w[1]) {
-            return Err(SparseError::InvalidStructure(
-                "row_ptr is not monotone non-decreasing".into(),
-            ));
+        if let Some(row) = row_ptr.windows(2).position(|w| w[0] > w[1]) {
+            return Err(CsrBuildError::NonMonotone { row });
         }
-        if let Some(&bad) = col_idx.iter().find(|&&c| c as usize >= n_cols) {
-            return Err(SparseError::InvalidStructure(format!(
-                "column index {bad} out of range (n_cols = {n_cols})"
-            )));
+        if let Some((pos, &col)) = col_idx
+            .iter()
+            .enumerate()
+            .find(|&(_, &c)| c as usize >= n_cols)
+        {
+            return Err(CsrBuildError::ColOutOfBounds { pos, col, n_cols });
         }
         Ok(Self {
             n_rows,

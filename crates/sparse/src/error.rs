@@ -65,6 +65,93 @@ impl From<std::io::Error> for SparseError {
     }
 }
 
+/// Typed CSR construction failure, produced by [`CsrMatrix::try_new`].
+/// Each variant names the violated invariant and the offending values, so
+/// callers (and the `spmv-lint` analyzer) can match on the exact defect
+/// instead of parsing a message string.
+///
+/// [`CsrMatrix::try_new`]: crate::csr::CsrMatrix::try_new
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsrBuildError {
+    /// `row_ptr.len()` must be `n_rows + 1`.
+    RowPtrLen {
+        /// Actual `row_ptr` length.
+        len: usize,
+        /// Declared row count.
+        n_rows: usize,
+    },
+    /// `row_ptr[0]` must be 0.
+    RowPtrStart {
+        /// Actual first entry.
+        first: usize,
+    },
+    /// `row_ptr[n_rows]` must equal `col_idx.len()`.
+    NnzMismatch {
+        /// Final `row_ptr` entry.
+        last: usize,
+        /// `col_idx.len()`.
+        nnz: usize,
+    },
+    /// `col_idx` and `values` must have the same length.
+    LengthMismatch {
+        /// `col_idx.len()`.
+        col_idx: usize,
+        /// `values.len()`.
+        values: usize,
+    },
+    /// `row_ptr` must be monotone non-decreasing; `row` is the first row
+    /// whose pointer exceeds its successor.
+    NonMonotone {
+        /// First offending row index.
+        row: usize,
+    },
+    /// Every column index must be below `n_cols`.
+    ColOutOfBounds {
+        /// Position in `col_idx` of the offending entry.
+        pos: usize,
+        /// The out-of-range column index.
+        col: u32,
+        /// Declared column count.
+        n_cols: usize,
+    },
+}
+
+impl fmt::Display for CsrBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CsrBuildError::RowPtrLen { len, n_rows } => {
+                write!(f, "row_ptr length {len} != n_rows + 1 = {}", n_rows + 1)
+            }
+            CsrBuildError::RowPtrStart { first } => {
+                write!(f, "row_ptr[0] = {first} (must be 0)")
+            }
+            CsrBuildError::NnzMismatch { last, nnz } => {
+                write!(f, "row_ptr[last] = {last} != nnz = {nnz}")
+            }
+            CsrBuildError::LengthMismatch { col_idx, values } => {
+                write!(f, "col_idx length {col_idx} != values length {values}")
+            }
+            CsrBuildError::NonMonotone { row } => {
+                write!(f, "row_ptr decreases at row {row}")
+            }
+            CsrBuildError::ColOutOfBounds { pos, col, n_cols } => {
+                write!(
+                    f,
+                    "column index {col} at position {pos} out of range (n_cols = {n_cols})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsrBuildError {}
+
+impl From<CsrBuildError> for SparseError {
+    fn from(e: CsrBuildError) -> Self {
+        SparseError::InvalidStructure(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -42,7 +42,7 @@ pub mod suite;
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
-pub use error::SparseError;
+pub use error::{CsrBuildError, SparseError};
 pub use features::{FeatureSet, MatrixFeatures};
 pub use histogram::RowHistogram;
 pub use scalar::Scalar;
