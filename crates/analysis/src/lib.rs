@@ -35,6 +35,6 @@ pub mod hygiene;
 pub mod interleave;
 pub mod models;
 
-pub use spmv_autotune::plan::{BinDispatch, SpmvPlan, VerifiedPlan};
-pub use spmv_autotune::verify::{check_dispatch, VerifyError};
+pub use spmv_autotune::plan::{BinDispatch, BinFormat, BinPayload, SpmvPlan, Tile, VerifiedPlan};
+pub use spmv_autotune::verify::{check_dispatch, check_payloads, VerifyError};
 pub use spmv_ml::lint::{lint_ruleset, lint_tree, Finding, LintOptions, Severity};

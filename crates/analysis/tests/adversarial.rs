@@ -8,7 +8,7 @@ use spmv_autotune::binning::BinningScheme;
 use spmv_autotune::exec::{NativeCpuBackend, SimGpuBackend};
 use spmv_autotune::kernels::KernelId;
 use spmv_autotune::model_io::load_model;
-use spmv_autotune::plan::{BinDispatch, SpmvPlan};
+use spmv_autotune::plan::{BinDispatch, BinFormat, SpmvPlan};
 use spmv_autotune::strategy::Strategy;
 use spmv_gpusim::GpuDevice;
 use spmv_ml::io::RulesIoError;
@@ -50,12 +50,14 @@ fn overlapping_bin_dispatch_names_both_bins() {
             kernel: KernelId::Serial,
             nnz: nnz_of(&rows_a),
             rows: rows_a,
+            format: BinFormat::Csr,
         },
         BinDispatch {
             bin_id: 3,
             kernel: KernelId::Vector,
             nnz: nnz_of(&rows_b),
             rows: rows_b,
+            format: BinFormat::Csr,
         },
     ];
     match check_dispatch(&a, &dispatch) {

@@ -8,8 +8,9 @@
 //! for the rows they are handed, so they are interchangeable under one
 //! [`crate::plan::SpmvPlan`].
 
-use crate::kernels::cpu::{spmv_rows_chunked, spmv_rows_nnz_balanced};
+use crate::kernels::cpu::{run_plan_fused, spmv_rows_chunked, spmv_rows_nnz_balanced};
 use crate::kernels::{run_kernel, KernelId};
+use crate::plan::{BinDispatch, BinPayload, Tile};
 use spmv_gpusim::{GpuDevice, LaunchStats};
 use spmv_sparse::{CsrMatrix, Scalar};
 use std::time::{Duration, Instant};
@@ -70,6 +71,32 @@ pub trait ExecBackend<T: Scalar>: Send + Sync {
         v: &[T],
         u: &mut [T],
     ) -> LaunchCost;
+
+    /// Execute a whole compiled plan: dispatch table, per-bin payloads,
+    /// and the fused tile queue.
+    ///
+    /// The default implementation ignores payloads and tiles and issues
+    /// one [`launch`](Self::launch) per bin — semantically the reference
+    /// path, and what the simulated GPU keeps (its per-bin pricing *is*
+    /// the point). Backends that can exploit the packed payloads and the
+    /// single-scope tile queue (the native CPU) override this.
+    fn launch_plan(
+        &self,
+        a: &CsrMatrix<T>,
+        dispatch: &[BinDispatch],
+        payloads: &[BinPayload<T>],
+        tiles: &[Tile],
+        v: &[T],
+        u: &mut [T],
+    ) -> LaunchCost {
+        let _ = (payloads, tiles);
+        let mut total = LaunchCost::default();
+        for d in dispatch {
+            let cost = self.launch(a, &d.rows, d.kernel, v, u);
+            total.accumulate(&cost);
+        }
+        total
+    }
 }
 
 /// The trace-driven simulated-GPU backend: kernels execute functionally
@@ -181,6 +208,35 @@ impl<T: Scalar> ExecBackend<T> for NativeCpuBackend {
             }
         };
         result.expect("plan validated dimensions");
+        LaunchCost {
+            stats: None,
+            wall: t0.elapsed(),
+        }
+    }
+
+    /// The fused path: one scoped parallel region over the precompiled
+    /// tile queue, workers stealing across bins, packed bins executing
+    /// from their SELL slabs. Falls back to per-bin launches when the
+    /// plan was compiled without a tile queue (`fused: false`).
+    fn launch_plan(
+        &self,
+        a: &CsrMatrix<T>,
+        dispatch: &[BinDispatch],
+        payloads: &[BinPayload<T>],
+        tiles: &[Tile],
+        v: &[T],
+        u: &mut [T],
+    ) -> LaunchCost {
+        if tiles.is_empty() {
+            let mut total = LaunchCost::default();
+            for d in dispatch {
+                let cost = self.launch(a, &d.rows, d.kernel, v, u);
+                total.accumulate(&cost);
+            }
+            return total;
+        }
+        let t0 = Instant::now();
+        run_plan_fused(a, dispatch, payloads, tiles, v, u).expect("plan validated dimensions");
         LaunchCost {
             stats: None,
             wall: t0.elapsed(),

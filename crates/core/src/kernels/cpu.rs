@@ -6,7 +6,8 @@
 //! mirror the load-balancing split the paper's binning addresses:
 //! row-parallel (cheap, imbalanced) versus NNZ-balanced partitioning.
 
-use spmv_parallel::parallel_for;
+use crate::plan::{BinDispatch, BinPayload, Tile};
+use spmv_parallel::{fused_for_each, parallel_for};
 use spmv_sparse::{CsrMatrix, Scalar, SparseError};
 
 /// Row-parallel SpMV: rows are distributed in fixed-size chunks. The CPU
@@ -36,14 +37,37 @@ pub fn spmv_row_parallel<T: Scalar>(
 /// NNZ-balanced SpMV: the row space is cut at (roughly) equal non-zero
 /// counts via binary search on `rowPtr`, so one dense row cannot
 /// serialise the loop. The CPU analogue of what binning buys the GPU.
+///
+/// Recomputes the cut positions every call. Repeated callers (iterative
+/// solvers, benches) should compute [`nnz_balanced_cuts`] once per
+/// pattern and call [`spmv_nnz_balanced_with_cuts`] — the compiled-plan
+/// path does exactly that by freezing its cuts into the tile queue at
+/// compile time.
 pub fn spmv_nnz_balanced<T: Scalar>(
     a: &CsrMatrix<T>,
     v: &[T],
     u: &mut [T],
 ) -> Result<(), SparseError> {
-    check_dims(a, v, u)?;
     let parts = spmv_parallel::num_threads() * 4;
     let cuts = nnz_balanced_cuts(a, parts);
+    spmv_nnz_balanced_with_cuts(a, &cuts, v, u)
+}
+
+/// [`spmv_nnz_balanced`] with the cut positions hoisted out: `cuts` must
+/// come from [`nnz_balanced_cuts`] on the same pattern (monotone, first
+/// 0, last `n_rows`), computed once and reused across value-only
+/// updates.
+pub fn spmv_nnz_balanced_with_cuts<T: Scalar>(
+    a: &CsrMatrix<T>,
+    cuts: &[usize],
+    v: &[T],
+    u: &mut [T],
+) -> Result<(), SparseError> {
+    check_dims(a, v, u)?;
+    assert!(
+        cuts.first() == Some(&0) && cuts.last() == Some(&a.n_rows()),
+        "cuts must span [0, n_rows]"
+    );
     let out = SliceWriter::new(u);
     parallel_for(cuts.len() - 1, 1, |p0, p1| {
         for p in p0..p1 {
@@ -115,6 +139,74 @@ pub fn spmv_rows_nnz_balanced<T: Scalar>(
                 }
                 // SAFETY: cut spans are disjoint; see above.
                 unsafe { out.write(r as usize, sum) };
+            }
+        }
+    });
+    Ok(())
+}
+
+/// Execute a compiled plan's whole dispatch in **one** scoped parallel
+/// region over its precompiled tile queue — the fused path behind
+/// [`NativeCpuBackend::launch_plan`].
+///
+/// Per-bin launches pay one pool/scope barrier per bin; here workers
+/// claim `(bin, range)` tiles from a single shared queue, so a thread
+/// finishing one bin's tiles immediately steals the next bin's. CSR
+/// tiles walk their span of the dispatch row list exactly like the
+/// per-bin kernels (bit-identical per-row sums); packed tiles stream
+/// their SELL chunk range. Packed value slabs are refreshed from `a`
+/// up front, single-threaded, so the parallel region only ever takes
+/// read locks.
+///
+/// Write soundness: each row of the matrix appears in exactly one bin
+/// (binning invariant, proven by `check_dispatch`), each bin's tiles
+/// partition its work (proven by `check_payloads`), and a packed bin's
+/// rows are the bin's rows (ditto) — so across the whole queue every
+/// output index is written by exactly one tile.
+///
+/// [`NativeCpuBackend::launch_plan`]: crate::exec::NativeCpuBackend
+pub fn run_plan_fused<T: Scalar>(
+    a: &CsrMatrix<T>,
+    dispatch: &[BinDispatch],
+    payloads: &[BinPayload<T>],
+    tiles: &[Tile],
+    v: &[T],
+    u: &mut [T],
+) -> Result<(), SparseError> {
+    check_dims(a, v, u)?;
+    assert_eq!(dispatch.len(), payloads.len(), "payload table misaligned");
+    for p in payloads {
+        if let BinPayload::Packed(packed) = p {
+            packed.ensure_values(a);
+        }
+    }
+    let out = SliceWriter::new(u);
+    fused_for_each(tiles.len(), |t| {
+        let tile = &tiles[t];
+        let d = &dispatch[tile.bin];
+        match &payloads[tile.bin] {
+            BinPayload::Csr => {
+                for &r in &d.rows[tile.start..tile.end] {
+                    let (cols, vals) = a.row(r as usize);
+                    let mut sum = T::ZERO;
+                    for (&c, &x) in cols.iter().zip(vals) {
+                        sum = x.mul_add_(v[c as usize], sum);
+                    }
+                    // SAFETY: tiles of one bin cover disjoint spans of its
+                    // row list, bins own disjoint rows, and the fused
+                    // scope joins before `u` is observable again.
+                    unsafe { out.write(r as usize, sum) };
+                }
+            }
+            BinPayload::Packed(packed) => {
+                packed.with_values(|vals| {
+                    packed.spmv_chunks(vals, tile.start, tile.end, v, |r, sum| {
+                        // SAFETY: chunk ranges of one bin are disjoint and
+                        // each packed row belongs to exactly one chunk;
+                        // same join argument as above.
+                        unsafe { out.write(r, sum) };
+                    });
+                });
             }
         }
     });

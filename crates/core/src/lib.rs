@@ -78,11 +78,14 @@ pub mod prelude {
     pub use crate::framework::{run_hetero, run_single_kernel, run_strategy, AutoSpmv};
     pub use crate::kernels::{KernelId, ALL_KERNELS};
     pub use crate::model_io::{load_model_file, save_model_file};
-    pub use crate::plan::{BinDispatch, PatternFingerprint, PlanError, SpmvPlan, VerifiedPlan};
+    pub use crate::plan::{
+        BinDispatch, BinFormat, BinPayload, PatternFingerprint, PlanConfig, PlanError, SpmvPlan,
+        Tile, VerifiedPlan,
+    };
     pub use crate::strategy::Strategy;
     pub use crate::training::{TrainedModel, Trainer, TrainingReport};
     pub use crate::tuner::{TunedStrategy, Tuner, TunerConfig};
-    pub use crate::verify::{check_dispatch, VerifyError};
+    pub use crate::verify::{check_dispatch, check_payloads, VerifyError};
     pub use spmv_gpusim::{GpuDevice, LaunchStats};
 }
 

@@ -17,10 +17,11 @@
 
 use crate::binning::{bin_matrix, Bins};
 use crate::exec::{ExecBackend, LaunchCost};
+use crate::kernels::cpu::rows_nnz_cuts;
 use crate::kernels::KernelId;
 use crate::strategy::Strategy;
-use crate::verify::{check_dispatch, VerifyError};
-use spmv_sparse::{CsrMatrix, FeatureSet, MatrixFeatures, Scalar};
+use crate::verify::{check_dispatch, check_payloads, VerifyError};
+use spmv_sparse::{CsrMatrix, FeatureSet, MatrixFeatures, PackedSell, Scalar};
 
 /// Structural identity of a CSR matrix: dimensions, NNZ, and an FNV-1a
 /// checksum of the row-pointer array. Two matrices with equal
@@ -107,6 +108,97 @@ impl std::fmt::Display for PlanError {
 
 impl std::error::Error for PlanError {}
 
+/// Storage format compilation chose for one bin — the per-bin decision
+/// the plan records (and [`check_payloads`] proves consistent with the
+/// materialised payload).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinFormat {
+    /// Generic CSR traversal over the bin's row list — the fallback for
+    /// dense/tail bins and for bins whose SELL padding would blow the
+    /// [`PlanConfig::max_padding`] bound.
+    Csr,
+    /// SELL-style packed slabs ([`PackedSell`]) with the given lane
+    /// count, for low/mid-NNZ bins where per-row loop overhead dominates.
+    PackedSell {
+        /// Lanes per chunk (`C`).
+        chunk: usize,
+    },
+}
+
+impl std::fmt::Display for BinFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinFormat::Csr => write!(f, "csr"),
+            BinFormat::PackedSell { chunk } => write!(f, "sell-{chunk}"),
+        }
+    }
+}
+
+/// The execution payload materialised for one bin, aligned index-for-index
+/// with the plan's dispatch table.
+#[derive(Debug)]
+pub enum BinPayload<T: Scalar> {
+    /// No extra payload — execute walks the dispatch entry's row list
+    /// through the CSR arrays.
+    Csr,
+    /// A packed SELL slab built from the bin's rows at compile time.
+    Packed(PackedSell<T>),
+}
+
+/// One unit of the fused dispatch queue: a contiguous slice of one bin's
+/// work. For a [`BinFormat::PackedSell`] bin, `start..end` is a chunk
+/// range of its slab; for a [`BinFormat::Csr`] bin it is a span of the
+/// dispatch entry's row list (cut NNZ-balanced at compile time — the
+/// hoisted form of the cuts the per-launch path recomputes). Tiles of one
+/// bin partition that bin's work, so any queue execution order writes
+/// disjoint rows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tile {
+    /// Index into the plan's dispatch/payload tables.
+    pub bin: usize,
+    /// First chunk (packed) or first row-list position (CSR), inclusive.
+    pub start: usize,
+    /// Last chunk / row-list position, exclusive.
+    pub end: usize,
+}
+
+/// Knobs for plan compilation's format and dispatch decisions. The
+/// defaults are what [`SpmvPlan::compile`] uses; benches and tests use
+/// [`SpmvPlan::compile_with`] to pin specific corners (packing off,
+/// fusion off, adversarial padding bounds).
+#[derive(Clone, Copy, Debug)]
+pub struct PlanConfig {
+    /// Consider SELL packing at all (`false` forces CSR everywhere).
+    pub pack: bool,
+    /// Lanes per chunk; `0` picks 8, or 4 for bins under 8 rows.
+    pub chunk: usize,
+    /// Maximum `slots / nnz` storage blow-up a packed bin may have;
+    /// above it the bin falls back to CSR (the padding-overflow gate).
+    pub max_padding: f64,
+    /// Bins containing a row longer than this stay CSR — long rows
+    /// neither suffer per-row overhead nor pack well.
+    pub max_row_nnz: usize,
+    /// Execute through the single-scope fused tile queue (`false` keeps
+    /// one backend launch per bin).
+    pub fused: bool,
+    /// Target non-zeros per tile; `0` sizes tiles so each worker sees
+    /// several per launch (min 4096 so tiny matrices stay one tile).
+    pub tile_nnz: usize,
+}
+
+impl Default for PlanConfig {
+    fn default() -> Self {
+        Self {
+            pack: true,
+            chunk: 0,
+            max_padding: 1.25,
+            max_row_nnz: 512,
+            fused: true,
+            tile_nnz: 0,
+        }
+    }
+}
+
 /// One entry of a plan's dispatch table: a populated bin with its row
 /// list pre-expanded and its kernel already chosen.
 #[derive(Clone, Debug)]
@@ -119,6 +211,8 @@ pub struct BinDispatch {
     pub rows: Vec<u32>,
     /// Non-zeros covered by the bin.
     pub nnz: usize,
+    /// Storage format compilation chose for the bin.
+    pub format: BinFormat,
 }
 
 /// Expand every populated bin of `bins` into `(bin_id, rows, nnz)`
@@ -147,31 +241,58 @@ pub struct SpmvPlan<T: Scalar> {
     features: MatrixFeatures,
     fingerprint: PatternFingerprint,
     dispatch: Vec<BinDispatch>,
+    payloads: Vec<BinPayload<T>>,
+    tiles: Vec<Tile>,
+    config: PlanConfig,
     backend: Box<dyn ExecBackend<T>>,
 }
 
 impl<T: Scalar> SpmvPlan<T> {
-    /// Compile `strategy` for `a` on `backend`: extract features, bin,
-    /// expand every populated bin's row list, and freeze the kernel
-    /// choice per bin.
+    /// Compile `strategy` for `a` on `backend` with the default
+    /// [`PlanConfig`]: extract features, bin, expand every populated
+    /// bin's row list, freeze the kernel choice per bin, materialise a
+    /// packed payload where the format gate allows, and precompute the
+    /// fused tile queue.
     pub fn compile(a: &CsrMatrix<T>, strategy: Strategy, backend: Box<dyn ExecBackend<T>>) -> Self {
+        Self::compile_with(a, strategy, backend, PlanConfig::default())
+    }
+
+    /// [`compile`](Self::compile) with explicit format/dispatch knobs.
+    pub fn compile_with(
+        a: &CsrMatrix<T>,
+        strategy: Strategy,
+        backend: Box<dyn ExecBackend<T>>,
+        config: PlanConfig,
+    ) -> Self {
         let features = MatrixFeatures::extract(a, FeatureSet::TableI);
         let fingerprint = PatternFingerprint::of(a);
         let bins = bin_matrix(a, strategy.binning);
-        let dispatch = expand_populated(a, &bins)
-            .into_iter()
-            .map(|(bin_id, rows, nnz)| BinDispatch {
+        let mut dispatch = Vec::new();
+        let mut payloads = Vec::new();
+        for (bin_id, rows, nnz) in expand_populated(a, &bins) {
+            let (format, payload) = choose_format(a, &rows, &config);
+            dispatch.push(BinDispatch {
                 bin_id,
                 kernel: strategy.kernel_for(bin_id),
                 rows,
                 nnz,
-            })
-            .collect();
+                format,
+            });
+            payloads.push(payload);
+        }
+        let tiles = if config.fused {
+            build_tiles(a, &dispatch, &payloads, &config)
+        } else {
+            Vec::new()
+        };
         Self {
             strategy,
             features,
             fingerprint,
             dispatch,
+            payloads,
+            tiles,
+            config,
             backend,
         }
     }
@@ -207,15 +328,11 @@ impl<T: Scalar> SpmvPlan<T> {
         Ok(self.launch_all(a, v, u))
     }
 
-    /// One backend launch per dispatch entry, costs accumulated. All
-    /// validation happens in the callers.
+    /// Hand the whole compiled dispatch — table, payloads, tile queue —
+    /// to the backend. All validation happens in the callers.
     fn launch_all(&self, a: &CsrMatrix<T>, v: &[T], u: &mut [T]) -> LaunchCost {
-        let mut total = LaunchCost::default();
-        for d in &self.dispatch {
-            let cost = self.backend.launch(a, &d.rows, d.kernel, v, u);
-            total.accumulate(&cost);
-        }
-        total
+        self.backend
+            .launch_plan(a, &self.dispatch, &self.payloads, &self.tiles, v, u)
     }
 
     /// Prove this plan's write sets against `a` and, on success, wrap it
@@ -224,9 +341,13 @@ impl<T: Scalar> SpmvPlan<T> {
     /// Runs [`check_dispatch`]: every output row in bounds, written by
     /// exactly one launch across all bins, cached bin NNZ consistent,
     /// and the Subvector/Vector NNZ-balanced splits exact partitions.
-    /// Failures are a typed [`VerifyError`] naming the bin, kernel id,
-    /// and offending row range. The one O(m + Σ|rows|) proof replaces
-    /// the per-execute O(m) fingerprint scan.
+    /// Then [`check_payloads`]: every packed payload mirrors its bin's
+    /// CSR entries slot-for-slot, and the fused tile queue partitions
+    /// each bin's work — so the packed/fused path provably writes the
+    /// same set of rows the dispatch proof covered. Failures are a typed
+    /// [`VerifyError`] naming the bin, kernel id, and offending row
+    /// range. The one O(m + Σ|rows| + slots) proof replaces the
+    /// per-execute O(m) fingerprint scan.
     pub fn verify(self, a: &CsrMatrix<T>) -> Result<VerifiedPlan<T>, VerifyError> {
         let got = PatternFingerprint::of(a);
         if got != self.fingerprint {
@@ -236,6 +357,7 @@ impl<T: Scalar> SpmvPlan<T> {
             });
         }
         check_dispatch(a, &self.dispatch)?;
+        check_payloads(a, &self.dispatch, &self.payloads, &self.tiles)?;
         Ok(VerifiedPlan { plan: self })
     }
 
@@ -259,6 +381,29 @@ impl<T: Scalar> SpmvPlan<T> {
         &self.dispatch
     }
 
+    /// Per-bin payloads, aligned with [`dispatch`](Self::dispatch).
+    pub fn payloads(&self) -> &[BinPayload<T>] {
+        &self.payloads
+    }
+
+    /// The fused tile queue (empty when compiled with `fused: false`).
+    pub fn tiles(&self) -> &[Tile] {
+        &self.tiles
+    }
+
+    /// The configuration the plan was compiled with.
+    pub fn config(&self) -> &PlanConfig {
+        &self.config
+    }
+
+    /// How many bins were materialised as packed SELL slabs.
+    pub fn packed_bins(&self) -> usize {
+        self.dispatch
+            .iter()
+            .filter(|d| matches!(d.format, BinFormat::PackedSell { .. }))
+            .count()
+    }
+
     /// Name of the backend launches run on.
     pub fn backend_name(&self) -> &'static str {
         self.backend.name()
@@ -268,6 +413,118 @@ impl<T: Scalar> SpmvPlan<T> {
     pub fn launches(&self) -> usize {
         self.dispatch.len()
     }
+}
+
+/// Decide a bin's storage format and materialise its payload. The SELL
+/// gate: packing must be enabled, the bin must have enough rows to fill
+/// lanes, no row may exceed the dense-row bound, the `u32` source map
+/// must suffice, and the realised padding must stay under
+/// [`PlanConfig::max_padding`] — otherwise the bin executes from CSR
+/// (the padding-overflow fallback).
+fn choose_format<T: Scalar>(
+    a: &CsrMatrix<T>,
+    rows: &[u32],
+    config: &PlanConfig,
+) -> (BinFormat, BinPayload<T>) {
+    if !config.pack || rows.len() < 4 || a.nnz() >= u32::MAX as usize {
+        return (BinFormat::Csr, BinPayload::Csr);
+    }
+    let max_nnz = rows
+        .iter()
+        .map(|&r| a.row_nnz(r as usize))
+        .max()
+        .unwrap_or(0);
+    if max_nnz > config.max_row_nnz {
+        return (BinFormat::Csr, BinPayload::Csr);
+    }
+    let chunk = match config.chunk {
+        0 if rows.len() < 8 => 4,
+        0 => 8,
+        c => c,
+    };
+    let packed = PackedSell::from_rows(a, rows, chunk);
+    if packed.padding_ratio() > config.max_padding {
+        return (BinFormat::Csr, BinPayload::Csr);
+    }
+    (BinFormat::PackedSell { chunk }, BinPayload::Packed(packed))
+}
+
+/// Precompute the fused dispatch queue: cut every bin's work into tiles
+/// of roughly `tile_nnz` non-zeros (chunk ranges for packed bins,
+/// NNZ-balanced row spans for CSR bins — the hoisted form of the cuts the
+/// per-launch path recomputes every call), then order the queue heaviest
+/// first so the longest tiles start earliest (LPT-style balance under
+/// work stealing).
+fn build_tiles<T: Scalar>(
+    a: &CsrMatrix<T>,
+    dispatch: &[BinDispatch],
+    payloads: &[BinPayload<T>],
+    config: &PlanConfig,
+) -> Vec<Tile> {
+    let total_nnz: usize = dispatch.iter().map(|d| d.nnz).sum();
+    let tile_nnz = if config.tile_nnz == 0 {
+        let workers = spmv_parallel::num_threads();
+        (total_nnz / (workers * 8).max(1)).max(4096)
+    } else {
+        config.tile_nnz.max(1)
+    };
+    let mut weighted: Vec<(Tile, usize)> = Vec::new();
+    for (bin, (d, p)) in dispatch.iter().zip(payloads).enumerate() {
+        match p {
+            BinPayload::Packed(packed) => {
+                let n_chunks = packed.n_chunks();
+                let mut start = 0usize;
+                let mut acc = 0usize;
+                for c in 0..n_chunks {
+                    acc += packed.chunk_nnz(c);
+                    if acc >= tile_nnz {
+                        weighted.push((
+                            Tile {
+                                bin,
+                                start,
+                                end: c + 1,
+                            },
+                            acc,
+                        ));
+                        start = c + 1;
+                        acc = 0;
+                    }
+                }
+                if start < n_chunks {
+                    weighted.push((
+                        Tile {
+                            bin,
+                            start,
+                            end: n_chunks,
+                        },
+                        acc,
+                    ));
+                }
+            }
+            BinPayload::Csr => {
+                let parts = d.nnz.div_ceil(tile_nnz).max(1);
+                let cuts = rows_nnz_cuts(a, &d.rows, parts);
+                for w in cuts.windows(2) {
+                    if w[0] < w[1] {
+                        let nnz: usize = d.rows[w[0]..w[1]]
+                            .iter()
+                            .map(|&r| a.row_nnz(r as usize))
+                            .sum();
+                        weighted.push((
+                            Tile {
+                                bin,
+                                start: w[0],
+                                end: w[1],
+                            },
+                            nnz,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    weighted.sort_by_key(|&(_, w)| std::cmp::Reverse(w));
+    weighted.into_iter().map(|(t, _)| t).collect()
 }
 
 /// A plan whose write sets have been *proven* disjoint, in-bounds, and

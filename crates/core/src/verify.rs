@@ -23,7 +23,7 @@
 
 use crate::kernels::cpu::rows_nnz_cuts;
 use crate::kernels::KernelId;
-use crate::plan::BinDispatch;
+use crate::plan::{BinDispatch, BinFormat, BinPayload, Tile};
 use spmv_sparse::{CsrMatrix, Scalar};
 
 /// Why a dispatch table failed write-set verification.
@@ -94,6 +94,26 @@ pub enum VerifyError {
         /// What property failed.
         detail: String,
     },
+    /// A bin's packed payload disagrees with its dispatch entry: wrong
+    /// format recorded, wrong row set, or slab contents that do not
+    /// mirror the CSR entries slot-for-slot.
+    PackedPayloadInvalid {
+        /// The bin whose payload is broken.
+        bin_id: usize,
+        /// Its kernel.
+        kernel: KernelId,
+        /// What property failed.
+        detail: String,
+    },
+    /// The fused tile queue does not partition some bin's work — a tile
+    /// range overlaps, gaps, or runs past the end, so the fused execute
+    /// would double-write or skip rows.
+    TilesNotPartition {
+        /// The bin whose tiles are broken.
+        bin_id: usize,
+        /// What property failed.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for VerifyError {
@@ -154,6 +174,17 @@ impl std::fmt::Display for VerifyError {
                 "bin {bin_id} ({kernel}): nnz-balanced split with {parts} parts is not a \
                  partition: {detail}"
             ),
+            VerifyError::PackedPayloadInvalid {
+                bin_id,
+                kernel,
+                detail,
+            } => write!(
+                f,
+                "bin {bin_id} ({kernel}): packed payload invalid: {detail}"
+            ),
+            VerifyError::TilesNotPartition { bin_id, detail } => {
+                write!(f, "bin {bin_id}: fused tiles are not a partition: {detail}")
+            }
         }
     }
 }
@@ -226,6 +257,117 @@ pub fn check_dispatch<T: Scalar>(
     for d in dispatch {
         if matches!(d.kernel, KernelId::Subvector(_) | KernelId::Vector) {
             check_balanced_split(a, d)?;
+        }
+    }
+    Ok(())
+}
+
+/// Prove the packed/fused side of a plan against `a`:
+///
+/// 1. the payload table is aligned with the dispatch table, and each
+///    entry's materialised payload matches the recorded [`BinFormat`]
+///    (a `PackedSell` format with a CSR payload — or vice versa — means
+///    the plan would execute a different format than it reports);
+/// 2. every packed payload mirrors its bin exactly: same row multiset,
+///    chunks length-sorted with consistent offsets, every non-padding
+///    slot pointing at the CSR entry it claims, every padding slot
+///    marked ([`spmv_sparse::packed::PackedSell::check_against`]);
+/// 3. the fused tile queue (when present) partitions each bin's work —
+///    chunk ranges for packed bins, row-list spans for CSR bins — with
+///    no overlap, no gap, and no overrun.
+///
+/// Together with [`check_dispatch`] (rows owned exactly once across
+/// bins) this proves the fused executor's write set: every output index
+/// written by exactly one tile. O(slots + Σ|rows| + |tiles| log |tiles|).
+pub fn check_payloads<T: Scalar>(
+    a: &CsrMatrix<T>,
+    dispatch: &[BinDispatch],
+    payloads: &[BinPayload<T>],
+    tiles: &[Tile],
+) -> Result<(), VerifyError> {
+    if dispatch.len() != payloads.len() {
+        return Err(VerifyError::PackedPayloadInvalid {
+            bin_id: 0,
+            kernel: KernelId::Serial,
+            detail: format!(
+                "payload table has {} entries for {} dispatch entries",
+                payloads.len(),
+                dispatch.len()
+            ),
+        });
+    }
+    for (d, p) in dispatch.iter().zip(payloads) {
+        match (d.format, p) {
+            (BinFormat::Csr, BinPayload::Csr) => {}
+            (BinFormat::PackedSell { chunk }, BinPayload::Packed(packed)) => {
+                if packed.chunk() != chunk {
+                    return Err(VerifyError::PackedPayloadInvalid {
+                        bin_id: d.bin_id,
+                        kernel: d.kernel,
+                        detail: format!(
+                            "recorded chunk {chunk} != payload chunk {}",
+                            packed.chunk()
+                        ),
+                    });
+                }
+                packed.check_against(a, &d.rows).map_err(|detail| {
+                    VerifyError::PackedPayloadInvalid {
+                        bin_id: d.bin_id,
+                        kernel: d.kernel,
+                        detail,
+                    }
+                })?;
+            }
+            (format, payload) => {
+                let have = match payload {
+                    BinPayload::Csr => "csr",
+                    BinPayload::Packed(_) => "packed",
+                };
+                return Err(VerifyError::PackedPayloadInvalid {
+                    bin_id: d.bin_id,
+                    kernel: d.kernel,
+                    detail: format!("recorded format {format} but payload is {have}"),
+                });
+            }
+        }
+    }
+    if tiles.is_empty() {
+        return Ok(()); // per-bin launch path: nothing fused to prove
+    }
+    // Per-bin tile-partition proof: collect each bin's ranges, sort, and
+    // require exact coverage of that bin's work span.
+    let mut per_bin: Vec<Vec<(usize, usize)>> = vec![Vec::new(); dispatch.len()];
+    for t in tiles {
+        if t.bin >= dispatch.len() {
+            return Err(VerifyError::TilesNotPartition {
+                bin_id: t.bin,
+                detail: format!("tile bin index {} out of range", t.bin),
+            });
+        }
+        per_bin[t.bin].push((t.start, t.end));
+    }
+    for (bi, (d, p)) in dispatch.iter().zip(payloads).enumerate() {
+        let span = match p {
+            BinPayload::Packed(packed) => packed.n_chunks(),
+            BinPayload::Csr => d.rows.len(),
+        };
+        let ranges = &mut per_bin[bi];
+        ranges.sort_unstable();
+        let mut pos = 0usize;
+        for &(s, e) in ranges.iter() {
+            if s != pos || e <= s {
+                return Err(VerifyError::TilesNotPartition {
+                    bin_id: d.bin_id,
+                    detail: format!("range {s}..{e} does not continue coverage at {pos}"),
+                });
+            }
+            pos = e;
+        }
+        if pos != span {
+            return Err(VerifyError::TilesNotPartition {
+                bin_id: d.bin_id,
+                detail: format!("tiles cover 0..{pos} of work span 0..{span}"),
+            });
         }
     }
     Ok(())

@@ -1,0 +1,306 @@
+//! Packed-format execution suite: the SELL-packed, fused-dispatch path
+//! must be **bit-for-bit** identical to the sequential CSR reference for
+//! every kernel class, every binning, and adversarial shapes (empty
+//! rows, one dense row among empties, everything in one bin) — and the
+//! padding-overflow fallback to CSR must actually fire.
+
+use spmv_autotune::prelude::*;
+use spmv_sparse::gen;
+use spmv_sparse::gen::mixture::RowRegime;
+use spmv_sparse::{CooMatrix, CsrMatrix};
+
+fn native_plan(a: &CsrMatrix<f64>, strategy: Strategy, config: PlanConfig) -> SpmvPlan<f64> {
+    SpmvPlan::compile_with(a, strategy, Box::new(NativeCpuBackend::new()), config)
+}
+
+fn strategies() -> Vec<Strategy> {
+    vec![
+        Strategy {
+            binning: BinningScheme::Coarse { u: 10 },
+            kernels: vec![KernelId::Serial; 8],
+        },
+        Strategy {
+            binning: BinningScheme::Fine,
+            kernels: vec![KernelId::Subvector(16); 8],
+        },
+        Strategy {
+            binning: BinningScheme::Hybrid {
+                threshold: 16,
+                u: 10,
+            },
+            kernels: vec![KernelId::Vector; 8],
+        },
+        Strategy::single_kernel(KernelId::Subvector(32)),
+    ]
+}
+
+/// Seeded fuzz (the PR 2 pattern): packed + fused plans are bit-for-bit
+/// identical to the sequential reference across seeds, strategies, and
+/// kernel classes. Exact `assert_eq!` — any reordering of a row's
+/// accumulation, or any padding slot leaking into a sum, fails here.
+#[test]
+fn fuzz_packed_plans_bit_identical_to_reference() {
+    for seed in 0..12u64 {
+        let m = 120 + (seed as usize * 41) % 500;
+        let a = gen::mixture::<f64>(
+            m,
+            m + 60,
+            &[
+                RowRegime::new(1, 3, 0.4),
+                RowRegime::new(6, 24, 0.4),
+                RowRegime::new(40, 90, 0.2),
+            ],
+            true,
+            seed,
+        );
+        let v: Vec<f64> = (0..a.n_cols())
+            .map(|i| (((i as u64).wrapping_mul(seed + 5) % 19) as f64) - 9.0)
+            .collect();
+        let reference = a.spmv_seq_alloc(&v).unwrap();
+        for (si, strategy) in strategies().into_iter().enumerate() {
+            let plan = native_plan(&a, strategy, PlanConfig::default());
+            let mut u = vec![f64::NAN; a.n_rows()];
+            plan.execute(&a, &v, &mut u).unwrap();
+            assert_eq!(u, reference, "seed {seed} strategy {si} diverges");
+        }
+    }
+}
+
+/// The format decision must not change results: packing on vs off, and
+/// fused vs per-bin dispatch, are all bitwise the same.
+#[test]
+fn packed_and_unpacked_configs_are_bitwise_equal() {
+    let a = gen::powerlaw::<f64>(900, 1, 70, 2.1, 17);
+    let v: Vec<f64> = (0..a.n_cols())
+        .map(|i| ((i * 7) % 23) as f64 - 11.0)
+        .collect();
+    let configs = [
+        PlanConfig::default(),
+        PlanConfig {
+            pack: false,
+            ..PlanConfig::default()
+        },
+        PlanConfig {
+            fused: false,
+            ..PlanConfig::default()
+        },
+        PlanConfig {
+            pack: false,
+            fused: false,
+            ..PlanConfig::default()
+        },
+        PlanConfig {
+            chunk: 4,
+            tile_nnz: 64,
+            ..PlanConfig::default()
+        },
+    ];
+    let strategy = Strategy {
+        binning: BinningScheme::Coarse { u: 10 },
+        kernels: vec![KernelId::Subvector(8); 8],
+    };
+    let mut outputs = Vec::new();
+    for config in configs {
+        let plan = native_plan(&a, strategy.clone(), config);
+        let mut u = vec![0.0f64; a.n_rows()];
+        plan.execute(&a, &v, &mut u).unwrap();
+        outputs.push((config, u));
+    }
+    for (config, u) in &outputs[1..] {
+        assert_eq!(
+            *u, outputs[0].1,
+            "config {config:?} diverges from the default"
+        );
+    }
+}
+
+/// Low-variance bins get packed; the recorded per-bin format says so,
+/// and verification proves the payloads.
+#[test]
+fn uniform_bins_actually_pack_and_verify() {
+    // Exactly 4 NNZ per row: one bin, zero padding — prime SELL shape.
+    let a = gen::random_uniform::<f64>(600, 600, 4, 4, 3);
+    let plan = native_plan(
+        &a,
+        Strategy::single_kernel(KernelId::Serial),
+        PlanConfig::default(),
+    );
+    assert!(plan.packed_bins() >= 1, "uniform matrix failed to pack");
+    assert!(!plan.tiles().is_empty(), "fused queue missing");
+    for d in plan.dispatch() {
+        assert!(
+            matches!(d.format, BinFormat::PackedSell { .. }),
+            "bin {} stayed CSR on a uniform matrix",
+            d.bin_id
+        );
+    }
+    let verified = plan.verify(&a).expect("packed plan must verify");
+    let v = vec![1.5f64; a.n_cols()];
+    let reference = a.spmv_seq_alloc(&v).unwrap();
+    let mut u = vec![0.0f64; a.n_rows()];
+    verified.execute_unchecked(&a, &v, &mut u).unwrap();
+    assert_eq!(u, reference);
+}
+
+/// One dense row among empty rows in a `Single` binning: packing it
+/// would pad the slab ~chunk-fold, so the padding gate must fall back to
+/// CSR — the padding-overflow fallback the acceptance criteria require.
+#[test]
+fn padding_overflow_falls_back_to_csr() {
+    let mut coo = CooMatrix::<f64>::new(64, 256);
+    for j in 0..256 {
+        coo.push(0, j, 1.0 + j as f64);
+    }
+    coo.push(1, 0, 2.0);
+    let a = coo.to_csr();
+    let plan = native_plan(
+        &a,
+        Strategy {
+            binning: BinningScheme::Single,
+            kernels: vec![KernelId::Vector],
+        },
+        PlanConfig::default(),
+    );
+    assert_eq!(plan.dispatch().len(), 1, "Single binning should be one bin");
+    assert_eq!(
+        plan.dispatch()[0].format,
+        BinFormat::Csr,
+        "skewed bin must fall back to CSR, not pack with ~64x padding"
+    );
+    // And the fallback still computes correctly, fused.
+    let v: Vec<f64> = (0..a.n_cols()).map(|i| (i % 5) as f64 - 2.0).collect();
+    let reference = a.spmv_seq_alloc(&v).unwrap();
+    let mut u = vec![f64::NAN; a.n_rows()];
+    plan.execute(&a, &v, &mut u).unwrap();
+    assert_eq!(u, reference, "fallback path wrong");
+    assert!(u[2..].iter().all(|&x| x == 0.0), "empty rows not zeroed");
+}
+
+/// Adversarial shapes, all strategies: empty rows everywhere, a dense
+/// spike, and everything crammed into the overflow bin.
+#[test]
+fn adversarial_shapes_stay_bit_identical() {
+    let mut shapes: Vec<(&str, CsrMatrix<f64>)> = Vec::new();
+    shapes.push(("all-empty", CsrMatrix::zeros(300, 300)));
+    {
+        let mut coo = CooMatrix::<f64>::new(200, 300);
+        for j in 0..300 {
+            coo.push(77, j, 0.5 + j as f64);
+        }
+        shapes.push(("one-dense-row", coo.to_csr()));
+    }
+    // Every row lands in the top (overflow) bin of a Coarse{u:10}
+    // binning: rows of ~200 NNZ with MAX_BINS-sized granularity.
+    shapes.push((
+        "all-rows-overflow-bin",
+        gen::random_uniform::<f64>(150, 400, 190, 210, 9),
+    ));
+    for (name, a) in &shapes {
+        let v: Vec<f64> = (0..a.n_cols()).map(|i| ((i % 11) as f64) - 5.0).collect();
+        let reference = a.spmv_seq_alloc(&v).unwrap();
+        for (si, strategy) in strategies().into_iter().enumerate() {
+            let plan = native_plan(a, strategy, PlanConfig::default());
+            let mut u = vec![f64::NAN; a.n_rows()];
+            plan.execute(a, &v, &mut u).unwrap();
+            assert_eq!(&u, &reference, "{name} strategy {si} diverges");
+        }
+    }
+}
+
+/// Value-only updates through a verified plan refresh the packed slabs:
+/// the `values_id` generation must invalidate cached values, on both the
+/// checked and unchecked paths.
+#[test]
+fn packed_slabs_track_value_updates() {
+    let mut a = gen::random_uniform::<f64>(500, 500, 3, 9, 21);
+    let verified = native_plan(
+        &a,
+        Strategy::single_kernel(KernelId::Serial),
+        PlanConfig::default(),
+    )
+    .verify(&a)
+    .unwrap();
+    assert!(verified.plan().packed_bins() >= 1);
+    let v: Vec<f64> = (0..500).map(|i| (i % 7) as f64).collect();
+    for round in 0..4u64 {
+        a.fill_values_with(|k| ((k as u64).wrapping_mul(round + 2) % 13) as f64 - 6.0);
+        let reference = a.spmv_seq_alloc(&v).unwrap();
+        let mut u = vec![0.0f64; 500];
+        verified.execute_unchecked(&a, &v, &mut u).unwrap();
+        assert_eq!(u, reference, "round {round}: stale packed values");
+    }
+}
+
+/// `check_payloads` rejects tampered plans: a recorded format that does
+/// not match the materialised payload, and tile queues that overlap or
+/// leave gaps.
+#[test]
+fn check_payloads_rejects_mismatch_and_bad_tiles() {
+    let a = gen::random_uniform::<f64>(80, 80, 2, 5, 8);
+    let rows: Vec<u32> = (0..80).collect();
+    let nnz = a.nnz();
+    let packed = spmv_sparse::PackedSell::from_rows(&a, &rows, 8);
+    let n_chunks = packed.n_chunks();
+    let dispatch = vec![BinDispatch {
+        bin_id: 0,
+        kernel: KernelId::Serial,
+        rows,
+        nnz,
+        format: BinFormat::PackedSell { chunk: 8 },
+    }];
+    let good_tiles = vec![Tile {
+        bin: 0,
+        start: 0,
+        end: n_chunks,
+    }];
+
+    // Format recorded as packed, payload is CSR.
+    let wrong_payload: Vec<BinPayload<f64>> = vec![BinPayload::Csr];
+    assert!(matches!(
+        check_payloads(&a, &dispatch, &wrong_payload, &good_tiles),
+        Err(VerifyError::PackedPayloadInvalid { .. })
+    ));
+
+    // Healthy payload + healthy tiles pass.
+    let payloads = vec![BinPayload::Packed(packed)];
+    check_payloads(&a, &dispatch, &payloads, &good_tiles).unwrap();
+
+    // A gap in the tile queue is caught.
+    let gappy = vec![Tile {
+        bin: 0,
+        start: 1,
+        end: n_chunks,
+    }];
+    assert!(matches!(
+        check_payloads(&a, &dispatch, &payloads, &gappy),
+        Err(VerifyError::TilesNotPartition { .. })
+    ));
+
+    // Overlapping tiles are caught.
+    let overlapping = vec![
+        Tile {
+            bin: 0,
+            start: 0,
+            end: n_chunks,
+        },
+        Tile {
+            bin: 0,
+            start: n_chunks - 1,
+            end: n_chunks,
+        },
+    ];
+    assert!(matches!(
+        check_payloads(&a, &dispatch, &payloads, &overlapping),
+        Err(VerifyError::TilesNotPartition { .. })
+    ));
+
+    // A payload packed from the wrong row set is caught.
+    let half_rows: Vec<u32> = (0..40).collect();
+    let wrong_rows = vec![BinPayload::Packed(spmv_sparse::PackedSell::from_rows(
+        &a, &half_rows, 8,
+    ))];
+    assert!(matches!(
+        check_payloads(&a, &dispatch, &wrong_rows, &good_tiles),
+        Err(VerifyError::PackedPayloadInvalid { .. })
+    ));
+}

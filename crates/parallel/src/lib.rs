@@ -13,15 +13,20 @@
 //!   schedule(dynamic)`;
 //! * a persistent [`pool::ThreadPool`] for `'static` jobs, so repeated
 //!   small launches (one per bin, as the framework issues) don't pay
-//!   thread spawn/join each time.
+//!   thread spawn/join each time;
+//! * a fused single-scope dispatcher ([`fused_for_each`]) that runs a
+//!   whole precompiled tile queue in one parallel region, so multi-bin
+//!   plans pay one join instead of one barrier per bin.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod fused;
 pub mod partition;
 pub mod pool;
 pub mod scope;
 
+pub use fused::fused_for_each;
 pub use partition::{chunk_ranges, Chunk};
 pub use pool::ThreadPool;
 pub use scope::{num_threads, parallel_for, parallel_map_collect, parallel_reduce};

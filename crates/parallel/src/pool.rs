@@ -14,6 +14,21 @@ use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Completion latch for one submitted batch.
+///
+/// Batch-wakeup protocol invariant (model-checked by `spmv-verify`'s
+/// `BatchModel`): the completer that takes `pending` to zero MUST acquire
+/// `lock` before calling `notify_all`. The waiter's re-check of `pending`
+/// and its descent into `cv.wait` are atomic only while it holds `lock`;
+/// a notify issued between those two steps without holding the lock can
+/// land before the waiter blocks and is lost — the waiter then sleeps
+/// forever on a batch that already finished. `BatchModel::
+/// notify_without_lock` is exactly that broken variant, and the
+/// interleaving explorer proves it deadlocks while `BatchModel::correct`
+/// (this protocol) does not. Keep the lock acquisition in
+/// [`complete_one`](Self::complete_one) and the decrement ordering
+/// (`AcqRel` release-paired with the waiter's `Acquire` load) in sync
+/// with that model.
 struct BatchState {
     pending: AtomicUsize,
     lock: Mutex<()>,
@@ -31,6 +46,9 @@ impl BatchState {
 
     fn complete_one(&self) {
         if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Invariant: lock-then-notify. See the struct docs; dropping
+            // this lock acquisition reintroduces the lost wakeup that
+            // `BatchModel::notify_without_lock` exhibits.
             let _g = self.lock.lock().unwrap();
             self.cv.notify_all();
         }
@@ -118,7 +136,98 @@ impl ThreadPool {
         }
         state.wait();
     }
+
+    /// Run every closure of `jobs` on the pool and block until all have
+    /// finished, without boxing each job: only `min(size, jobs.len())`
+    /// runner closures are submitted, each draining job indices from a
+    /// shared atomic cursor. This is the cheap path for launches made of
+    /// many tiny bins, where [`run_batch`](Self::run_batch)'s one heap
+    /// allocation per job dominates the work itself.
+    ///
+    /// The jobs are borrowed, not `'static`: the call blocks until every
+    /// runner has finished touching the slice, so the borrow is safe to
+    /// erase internally. Jobs must not panic (a panicking job kills its
+    /// pool worker before the completion latch is counted down — the
+    /// same restriction [`run_batch`](Self::run_batch) has).
+    pub fn run_batch_ref<J>(&self, jobs: &[J])
+    where
+        J: Fn() + Sync,
+    {
+        if jobs.is_empty() {
+            return;
+        }
+        let runners = self.size.min(jobs.len());
+        // One latch count per runner (each completes exactly once after
+        // the cursor is exhausted), not per job.
+        let state = BatchState::new(runners);
+        let cursor = Arc::new(AtomicUsize::new(0));
+        let slice = ErasedSlice::new(jobs);
+        for _ in 0..runners {
+            let st = Arc::clone(&state);
+            let cur = Arc::clone(&cursor);
+            self.submit(move || {
+                loop {
+                    let i = cur.fetch_add(1, Ordering::Relaxed);
+                    if i >= slice.len {
+                        break;
+                    }
+                    // SAFETY: `i < slice.len`, and the slice outlives this
+                    // call — `run_batch_ref` holds the borrow and does not
+                    // return until `state.wait()` observes every runner's
+                    // `complete_one`, which each runner issues only after
+                    // its last access to the slice (the AcqRel decrement
+                    // paired with the waiter's Acquire load gives the
+                    // happens-before edge).
+                    unsafe { slice.call(i) };
+                }
+                st.complete_one();
+            });
+        }
+        state.wait();
+    }
 }
+
+/// A type- and lifetime-erased `&[J]` that can ride into `'static` pool
+/// jobs. Erasure is sound only under `run_batch_ref`'s blocking
+/// discipline (see the SAFETY comment at the call site).
+#[derive(Clone, Copy)]
+struct ErasedSlice {
+    base: *const u8,
+    len: usize,
+    call_one: unsafe fn(*const u8, usize),
+}
+
+impl ErasedSlice {
+    fn new<J: Fn() + Sync>(jobs: &[J]) -> Self {
+        unsafe fn call_one<J: Fn() + Sync>(base: *const u8, i: usize) {
+            // SAFETY: the caller guarantees `base` came from a live
+            // `&[J]` with `i` in bounds (ErasedSlice::call's contract).
+            unsafe { (*(base as *const J).add(i))() }
+        }
+        Self {
+            base: jobs.as_ptr() as *const u8,
+            len: jobs.len(),
+            call_one: call_one::<J>,
+        }
+    }
+
+    /// Call job `i`.
+    ///
+    /// # Safety
+    ///
+    /// The slice this was built from must still be live and `i < len`.
+    unsafe fn call(&self, i: usize) {
+        debug_assert!(i < self.len);
+        // SAFETY: forwarded contract — `base`/`len` describe a live slice
+        // of the erased element type and `i` is in bounds.
+        unsafe { (self.call_one)(self.base, i) }
+    }
+}
+
+// SAFETY: the pointer refers to a slice of `J: Sync` elements, so `&J`
+// access from other threads is allowed; lifetime validity is enforced by
+// `run_batch_ref` blocking until all runners finish.
+unsafe impl Send for ErasedSlice {}
 
 fn next_job(rx: &Mutex<Receiver<Job>>) -> Option<Job> {
     rx.lock().unwrap().recv().ok()
@@ -180,6 +289,52 @@ mod tests {
             assert!(w[0] <= w[1], "out of order at {i}: {:?}", &log[..]);
         }
         assert_eq!(log.len(), 50);
+    }
+
+    #[test]
+    fn batch_ref_completes_all_jobs_without_boxing_each() {
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicU64> = (0..257).map(|_| AtomicU64::new(0)).collect();
+        let jobs: Vec<_> = (0..hits.len())
+            .map(|i| {
+                let h = &hits[i];
+                move || {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+            .collect();
+        pool.run_batch_ref(&jobs);
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn batch_ref_empty_and_single() {
+        let pool = ThreadPool::new(3);
+        pool.run_batch_ref::<fn()>(&[]);
+        let hit = AtomicU64::new(0);
+        let one = [|| {
+            hit.fetch_add(5, Ordering::Relaxed);
+        }];
+        pool.run_batch_ref(&one);
+        assert_eq!(hit.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn batch_ref_more_jobs_than_workers_and_vice_versa() {
+        for (workers, jobs) in [(2usize, 50usize), (8, 3)] {
+            let pool = ThreadPool::new(workers);
+            let sum = AtomicU64::new(0);
+            let batch: Vec<_> = (0..jobs as u64)
+                .map(|i| {
+                    let s = &sum;
+                    move || {
+                        s.fetch_add(i, Ordering::Relaxed);
+                    }
+                })
+                .collect();
+            pool.run_batch_ref(&batch);
+            assert_eq!(sum.load(Ordering::Relaxed), (0..jobs as u64).sum::<u64>());
+        }
     }
 
     #[test]

@@ -9,19 +9,29 @@
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Number of worker threads used by the free functions: the
 /// `SPMV_NUM_THREADS` environment variable if set, otherwise the machine's
 /// available parallelism (minimum 1).
+///
+/// The value is computed once per process and cached — kernel launches
+/// call this on their hot path (per bin, per execute), and re-parsing an
+/// environment variable there costs a syscall plus a UTF-8 validation per
+/// call. Consequence: changing `SPMV_NUM_THREADS` after the first launch
+/// has no effect for the rest of the process.
 pub fn num_threads() -> usize {
-    if let Ok(s) = std::env::var("SPMV_NUM_THREADS") {
-        if let Ok(n) = s.parse::<usize>() {
-            return n.max(1);
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        if let Ok(s) = std::env::var("SPMV_NUM_THREADS") {
+            if let Ok(n) = s.parse::<usize>() {
+                return n.max(1);
+            }
         }
-    }
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
 }
 
 /// Run `body(start, end)` over `[0, n)` in dynamically scheduled chunks of

@@ -5,6 +5,15 @@ use crate::coo::CooMatrix;
 use crate::dense::DenseMatrix;
 use crate::error::{CsrBuildError, SparseError};
 use crate::scalar::Scalar;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-unique generation id handed to each freshly built (or value-
+/// mutated) matrix. Monotone and never reused, so two matrices — or two
+/// mutation epochs of one matrix — can never collide.
+fn next_values_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A sparse matrix in compressed sparse row format.
 ///
@@ -19,13 +28,35 @@ use crate::scalar::Scalar;
 /// Column indices are stored as `u32` (the UF collection fits comfortably;
 /// this matches the 4-byte `int` the paper's OpenCL kernels load and is what
 /// the simulated GPU charges for).
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct CsrMatrix<T> {
     n_rows: usize,
     n_cols: usize,
     row_ptr: Vec<usize>,
     col_idx: Vec<u32>,
     values: Vec<T>,
+    /// Generation id of the current value array: assigned fresh at
+    /// construction and on every mutable access to `values`. Derived
+    /// formats that cache a copy of the values (e.g.
+    /// [`crate::packed::PackedSell`]) compare this id to detect value-only
+    /// updates without rescanning O(nnz) data. Clones keep the id — their
+    /// values are bit-identical until either side mutates (which bumps).
+    values_id: u64,
+}
+
+impl<T: PartialEq> PartialEq for CsrMatrix<T> {
+    /// Structural + numeric equality. The [`values_id`] generation tag is
+    /// deliberately ignored: two matrices built independently with the
+    /// same arrays are equal.
+    ///
+    /// [`values_id`]: CsrMatrix::values_id
+    fn eq(&self, other: &Self) -> bool {
+        self.n_rows == other.n_rows
+            && self.n_cols == other.n_cols
+            && self.row_ptr == other.row_ptr
+            && self.col_idx == other.col_idx
+            && self.values == other.values
+    }
 }
 
 impl<T: Scalar> CsrMatrix<T> {
@@ -101,6 +132,7 @@ impl<T: Scalar> CsrMatrix<T> {
             row_ptr,
             col_idx,
             values,
+            values_id: next_values_id(),
         })
     }
 
@@ -123,6 +155,7 @@ impl<T: Scalar> CsrMatrix<T> {
             row_ptr,
             col_idx,
             values,
+            values_id: next_values_id(),
         }
     }
 
@@ -134,6 +167,7 @@ impl<T: Scalar> CsrMatrix<T> {
             row_ptr: vec![0; n_rows + 1],
             col_idx: Vec::new(),
             values: Vec::new(),
+            values_id: next_values_id(),
         }
     }
 
@@ -145,6 +179,7 @@ impl<T: Scalar> CsrMatrix<T> {
             row_ptr: (0..=n).collect(),
             col_idx: (0..n as u32).collect(),
             values: vec![T::ONE; n],
+            values_id: next_values_id(),
         }
     }
 
@@ -184,10 +219,27 @@ impl<T: Scalar> CsrMatrix<T> {
         &self.values
     }
 
-    /// Mutable access to the values (structure stays fixed).
+    /// Mutable access to the values (structure stays fixed). Bumps the
+    /// [`values_id`](Self::values_id) generation: the exclusive borrow
+    /// ends before any execution path can read the matrix again, so
+    /// tagging at hand-out time is exact.
     #[inline]
     pub fn values_mut(&mut self) -> &mut [T] {
+        self.values_id = next_values_id();
         &mut self.values
+    }
+
+    /// Generation id of the current value array. Changes on every
+    /// [`values_mut`], [`fill_values_with`] or [`sort_rows`] call and is
+    /// process-unique, so caching layers can detect "same pattern, new
+    /// numbers" in O(1).
+    ///
+    /// [`values_mut`]: Self::values_mut
+    /// [`fill_values_with`]: Self::fill_values_with
+    /// [`sort_rows`]: Self::sort_rows
+    #[inline]
+    pub fn values_id(&self) -> u64 {
+        self.values_id
     }
 
     /// Number of stored entries in row `i`.
@@ -270,6 +322,7 @@ impl<T: Scalar> CsrMatrix<T> {
     /// Sort the entries of every row by column index (stable with respect
     /// to values, which travel with their column).
     pub fn sort_rows(&mut self) {
+        self.values_id = next_values_id();
         for i in 0..self.n_rows {
             let (s, e) = (self.row_ptr[i], self.row_ptr[i + 1]);
             let mut pairs: Vec<(u32, T)> = self.col_idx[s..e]
@@ -313,6 +366,7 @@ impl<T: Scalar> CsrMatrix<T> {
             row_ptr,
             col_idx,
             values,
+            values_id: next_values_id(),
         }
     }
 
@@ -337,6 +391,7 @@ impl<T: Scalar> CsrMatrix<T> {
     /// Deterministically randomise the values (structure preserved),
     /// useful for turning a pattern matrix into a numeric one.
     pub fn fill_values_with(&mut self, mut f: impl FnMut(usize) -> T) {
+        self.values_id = next_values_id();
         for (k, v) in self.values.iter_mut().enumerate() {
             *v = f(k);
         }

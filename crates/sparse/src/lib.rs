@@ -35,6 +35,7 @@ pub mod gen;
 pub mod histogram;
 pub mod mm;
 pub mod ops;
+pub mod packed;
 pub mod reorder;
 pub mod scalar;
 pub mod suite;
@@ -45,4 +46,5 @@ pub use dense::DenseMatrix;
 pub use error::{CsrBuildError, SparseError};
 pub use features::{FeatureSet, MatrixFeatures};
 pub use histogram::RowHistogram;
+pub use packed::PackedSell;
 pub use scalar::Scalar;

@@ -1,0 +1,665 @@
+//! SELL-C-σ-style packed storage for a row *subset*.
+//!
+//! The auto-tuner's binning groups rows of similar NNZ precisely so each
+//! bin can run a kernel shaped for its workload — but a bin stored as a
+//! CSR row list still pays one `row_ptr` lookup, one loop setup, and an
+//! irregular short inner loop per row. [`PackedSell`] removes that
+//! overhead for the low/mid-NNZ bins where it dominates:
+//!
+//! * the bin's rows are sorted by NNZ descending (the "σ" sort, with σ =
+//!   the whole bin — bins are already workload-homogeneous);
+//! * consecutive groups of `C` rows form a *chunk* whose columns are laid
+//!   out column-major (`lane` fastest), so one pass over a chunk streams
+//!   `C` rows in lock-step with unit-stride loads — the shape a compiler
+//!   auto-vectorises and the paper's SELL/ELL-family references exploit;
+//! * within a chunk, lanes longer than the shortest row form a *ragged
+//!   tail*: because lanes are length-sorted, the active lanes at column
+//!   `j` are always a prefix, so the kernel never multiplies padding.
+//!   Padding exists only as unread storage slots, which keeps results
+//!   **bit-for-bit identical** to the sequential CSR reference (same
+//!   per-row `mul_add_` order, no `0 · v[0]` terms that would break
+//!   `-0.0` sums or NaN-propagate from an infinite `v` entry).
+//!
+//! Values are cached in a slab keyed by [`CsrMatrix::values_id`], so a
+//! compiled plan executes with zero indirection in the steady state and
+//! transparently re-gathers the slab after a value-only update.
+//!
+//! Storage padding is bounded: [`PackedSell::padding_ratio`] reports
+//! `slots / nnz`, and plan compilation falls back to the CSR row list
+//! when the ratio exceeds its bound (one dense row among empties would
+//! otherwise inflate the slab `C`-fold).
+
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+use std::sync::RwLock;
+
+/// Sentinel in the `src` map marking a padding slot (never read by the
+/// kernels; kept so [`refresh`](PackedSell::ensure_values) is branch-light
+/// and [`check_against`](PackedSell::check_against) can prove slab shape).
+pub const SRC_PAD: u32 = u32::MAX;
+
+/// The cached value slab and the value generation it was gathered from.
+struct ValueSlab<T> {
+    /// `CsrMatrix::values_id` of the matrix state the slab mirrors.
+    source: u64,
+    /// One entry per storage slot; padding slots hold `T::ZERO`.
+    vals: Vec<T>,
+}
+
+/// A row subset packed into length-sorted, column-major chunks of `C`
+/// lanes (SELL-C-σ with σ = the whole subset). Built once per sparsity
+/// pattern by plan compilation; executes many times.
+pub struct PackedSell<T: Scalar> {
+    /// Lanes per chunk (`C`).
+    chunk: usize,
+    /// Column count of the source matrix. Every non-padding slot's
+    /// column index was validated against this bound at pack time,
+    /// which is what licenses the unchecked gathers in the kernels.
+    n_cols: usize,
+    /// Row ids in packed (length-sorted) order.
+    rows: Vec<u32>,
+    /// NNZ of each packed row (same order as `rows`).
+    lens: Vec<u32>,
+    /// Slot offset of each chunk's slab; length `n_chunks + 1`.
+    chunk_off: Vec<usize>,
+    /// Column indices, column-major per chunk, padded to the chunk width.
+    cols: Vec<u32>,
+    /// CSR value positions per slot ([`SRC_PAD`] for padding slots).
+    src: Vec<u32>,
+    /// Non-zeros actually stored (excluding padding slots).
+    nnz: usize,
+    /// Cached values, refreshed when the source matrix's values change.
+    vals: RwLock<ValueSlab<T>>,
+}
+
+impl<T: Scalar> PackedSell<T> {
+    /// Pack `rows` of `a` into chunks of `chunk` lanes. Rows are sorted
+    /// by NNZ descending (stable, so equal-length rows keep their input
+    /// order); the caller's list is not modified. The value slab is
+    /// gathered immediately from `a`'s current values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0`, a row id is out of bounds, or `a.nnz()`
+    /// overflows the `u32` source map.
+    pub fn from_rows(a: &CsrMatrix<T>, rows: &[u32], chunk: usize) -> Self {
+        assert!(chunk > 0, "chunk size must be positive");
+        assert!(
+            a.nnz() < SRC_PAD as usize,
+            "matrix too large for the u32 source map"
+        );
+        let row_ptr = a.row_ptr();
+        let mut order: Vec<u32> = rows.to_vec();
+        order.sort_by_key(|&r| std::cmp::Reverse(a.row_nnz(r as usize)));
+        let lens: Vec<u32> = order
+            .iter()
+            .map(|&r| a.row_nnz(r as usize) as u32)
+            .collect();
+
+        let n_chunks = order.len().div_ceil(chunk);
+        let mut chunk_off = Vec::with_capacity(n_chunks + 1);
+        chunk_off.push(0usize);
+        let mut slots = 0usize;
+        for c in 0..n_chunks {
+            let lane0 = c * chunk;
+            let lanes = (order.len() - lane0).min(chunk);
+            // Widest lane first within each chunk (global desc sort).
+            let width = lens[lane0] as usize;
+            slots += width * lanes;
+            chunk_off.push(slots);
+        }
+
+        let mut cols = vec![0u32; slots];
+        let mut src = vec![SRC_PAD; slots];
+        let a_cols = a.col_idx();
+        for (c, &off) in chunk_off.iter().take(n_chunks).enumerate() {
+            let lane0 = c * chunk;
+            let lanes = (order.len() - lane0).min(chunk);
+            let width = lens[lane0] as usize;
+            for (lane, (&r, &len)) in order[lane0..lane0 + lanes]
+                .iter()
+                .zip(&lens[lane0..lane0 + lanes])
+                .enumerate()
+            {
+                let base = row_ptr[r as usize];
+                for j in 0..len as usize {
+                    let slot = off + j * lanes + lane;
+                    let col = a_cols[base + j];
+                    // Pack-time bound proof: the kernels gather
+                    // `v[col]` without a per-element check.
+                    assert!(
+                        (col as usize) < a.n_cols(),
+                        "CSR column {col} out of bounds"
+                    );
+                    cols[slot] = col;
+                    src[slot] = (base + j) as u32;
+                }
+                debug_assert!(len as usize <= width);
+            }
+        }
+
+        let nnz: usize = lens.iter().map(|&l| l as usize).sum();
+        let packed = Self {
+            chunk,
+            n_cols: a.n_cols(),
+            rows: order,
+            lens,
+            chunk_off,
+            cols,
+            src,
+            nnz,
+            vals: RwLock::new(ValueSlab {
+                source: 0,
+                vals: vec![T::ZERO; slots],
+            }),
+        };
+        packed.ensure_values(a);
+        packed
+    }
+
+    /// Lanes per chunk (`C`).
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+
+    /// Rows covered, in packed (length-sorted) order.
+    pub fn rows(&self) -> &[u32] {
+        &self.rows
+    }
+
+    /// Number of chunks.
+    pub fn n_chunks(&self) -> usize {
+        self.chunk_off.len() - 1
+    }
+
+    /// Stored non-zeros (excluding padding).
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Total storage slots including padding.
+    pub fn slots(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Storage blow-up of the packed layout: `slots / nnz` (`1.0` when
+    /// the subset is all padding-free or empty). Plan compilation gates
+    /// SELL selection on this bound.
+    pub fn padding_ratio(&self) -> f64 {
+        if self.nnz == 0 {
+            1.0
+        } else {
+            self.slots() as f64 / self.nnz as f64
+        }
+    }
+
+    /// Non-zeros stored in chunk `c` (excluding padding) — the work
+    /// estimate tile generation balances on.
+    pub fn chunk_nnz(&self, c: usize) -> usize {
+        let lane0 = c * self.chunk;
+        let lanes = (self.rows.len() - lane0).min(self.chunk);
+        self.lens[lane0..lane0 + lanes]
+            .iter()
+            .map(|&l| l as usize)
+            .sum()
+    }
+
+    /// Heap bytes of the packed arrays (cols + src + value slab + index
+    /// vectors).
+    pub fn storage_bytes(&self) -> usize {
+        self.cols.len() * std::mem::size_of::<u32>()
+            + self.src.len() * std::mem::size_of::<u32>()
+            + self.slots() * T::BYTES
+            + self.rows.len() * std::mem::size_of::<u32>()
+            + self.lens.len() * std::mem::size_of::<u32>()
+            + self.chunk_off.len() * std::mem::size_of::<usize>()
+    }
+
+    /// Bring the cached value slab up to date with `a`'s values. O(1)
+    /// when [`CsrMatrix::values_id`] matches the slab's source (the
+    /// steady state of an iterative solver); one O(slots) gather after a
+    /// value-only update. Callers must hand the same pattern the payload
+    /// was packed from — plan validation guarantees that.
+    pub fn ensure_values(&self, a: &CsrMatrix<T>) {
+        let want = a.values_id();
+        if self.vals.read().unwrap().source == want {
+            return;
+        }
+        let mut slab = self.vals.write().unwrap();
+        if slab.source == want {
+            return; // another thread refreshed while we waited
+        }
+        let av = a.values();
+        for (slot, &s) in self.src.iter().enumerate() {
+            slab.vals[slot] = if s == SRC_PAD {
+                T::ZERO
+            } else {
+                av[s as usize]
+            };
+        }
+        slab.source = want;
+    }
+
+    /// Run `f` against the current value slab under the read lock. The
+    /// lock is uncontended in the steady state (refreshes happen before
+    /// workers launch), so this costs one atomic acquire per call — take
+    /// it once per tile, not per chunk.
+    pub fn with_values<R>(&self, f: impl FnOnce(&[T]) -> R) -> R {
+        f(&self.vals.read().unwrap().vals)
+    }
+
+    /// SpMV over chunks `[c0, c1)`: for every row `r` of those chunks,
+    /// computes `Σ_j A[r,·]·v` in ascending-`j` order (bit-identical to
+    /// the CSR reference) and hands `(row, sum)` to `sink`. Rows with no
+    /// entries still reach the sink with `T::ZERO`, matching CSR
+    /// semantics. `vals` must be the slab from [`with_values`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is shorter than the source matrix's column count —
+    /// the single bound check that covers every gather below.
+    ///
+    /// [`with_values`]: Self::with_values
+    pub fn spmv_chunks<S: FnMut(usize, T)>(
+        &self,
+        vals: &[T],
+        c0: usize,
+        c1: usize,
+        v: &[T],
+        mut sink: S,
+    ) {
+        assert!(
+            v.len() >= self.n_cols,
+            "input vector shorter than the matrix column count"
+        );
+        for c in c0..c1 {
+            let lane0 = c * self.chunk;
+            let lanes = (self.rows.len() - lane0).min(self.chunk);
+            match lanes {
+                16 => self.chunk_fixed::<16, S>(vals, c, lane0, v, &mut sink),
+                8 => self.chunk_fixed::<8, S>(vals, c, lane0, v, &mut sink),
+                4 => self.chunk_fixed::<4, S>(vals, c, lane0, v, &mut sink),
+                2 => self.chunk_fixed::<2, S>(vals, c, lane0, v, &mut sink),
+                _ => self.chunk_dyn(vals, c, lane0, lanes, v, &mut sink),
+            }
+        }
+    }
+
+    /// One full chunk of exactly `L` lanes, with the dense phase (all
+    /// lanes active) unrolled `L`-wide. `L` is a compile-time constant so
+    /// the accumulator array lives in registers and the inner lane loop
+    /// disappears.
+    #[inline]
+    fn chunk_fixed<const L: usize, S: FnMut(usize, T)>(
+        &self,
+        vals: &[T],
+        c: usize,
+        lane0: usize,
+        v: &[T],
+        sink: &mut S,
+    ) {
+        let lens = &self.lens[lane0..lane0 + L];
+        let width = lens[0] as usize;
+        let min_len = lens[L - 1] as usize;
+        let off = self.chunk_off[c];
+        let mut sums = [T::ZERO; L];
+        // Dense phase: every lane active, unit-stride slab columns. The
+        // `chunks_exact(L)` windows (L const) drop the per-slot slab
+        // bounds checks; the gather is unchecked because every
+        // non-padding column was proven `< n_cols` at pack time and
+        // `spmv_chunks` checked `v.len() >= n_cols` once up front.
+        let dense = self.cols[off..off + min_len * L].chunks_exact(L);
+        let dense_vals = vals[off..off + min_len * L].chunks_exact(L);
+        for (cw, vw) in dense.zip(dense_vals) {
+            // Gather first, FMA second: the gather loop is scalar loads,
+            // but the FMA loop is contiguous-on-contiguous and the
+            // compiler can turn it into one packed `vfmadd`.
+            let mut xs = [T::ZERO; L];
+            for l in 0..L {
+                // SAFETY: `cw[l]` is a non-padding slot of this chunk's
+                // dense phase; `from_rows` asserted it `< n_cols` and
+                // `spmv_chunks` asserted `v.len() >= n_cols`.
+                xs[l] = unsafe { *v.get_unchecked(cw[l] as usize) };
+            }
+            for l in 0..L {
+                sums[l] = vw[l].mul_add_(xs[l], sums[l]);
+            }
+        }
+        // Ragged tail: lanes are length-sorted descending, so the active
+        // lanes at column j are the prefix with len > j.
+        let mut active = L;
+        for j in min_len..width {
+            while active > 0 && (lens[active - 1] as usize) <= j {
+                active -= 1;
+            }
+            let o = off + j * L;
+            for l in 0..active {
+                // SAFETY: `l < active` means lane `l` has `len > j`, so
+                // this slot is non-padding; same pack-time bound proof.
+                let x = unsafe { *v.get_unchecked(self.cols[o + l] as usize) };
+                sums[l] = vals[o + l].mul_add_(x, sums[l]);
+            }
+        }
+        for (l, &s) in sums.iter().enumerate() {
+            sink(self.rows[lane0 + l] as usize, s);
+        }
+    }
+
+    /// A partial (or oddly sized) chunk of `lanes` lanes — the same
+    /// phase structure without the compile-time unroll. Accumulators
+    /// live in a fixed stack buffer unless the chunk size is enormous.
+    fn chunk_dyn<S: FnMut(usize, T)>(
+        &self,
+        vals: &[T],
+        c: usize,
+        lane0: usize,
+        lanes: usize,
+        v: &[T],
+        sink: &mut S,
+    ) {
+        let lens = &self.lens[lane0..lane0 + lanes];
+        let width = lens[0] as usize;
+        let off = self.chunk_off[c];
+        let mut stack = [T::ZERO; 32];
+        let mut heap;
+        let sums: &mut [T] = if lanes <= stack.len() {
+            &mut stack[..lanes]
+        } else {
+            heap = vec![T::ZERO; lanes];
+            &mut heap
+        };
+        let mut active = lanes;
+        for j in 0..width {
+            while active > 0 && (lens[active - 1] as usize) <= j {
+                active -= 1;
+            }
+            let o = off + j * lanes;
+            for l in 0..active {
+                // SAFETY: `l < active` means this slot is non-padding;
+                // same pack-time bound proof as `chunk_fixed`.
+                let x = unsafe { *v.get_unchecked(self.cols[o + l] as usize) };
+                sums[l] = vals[o + l].mul_add_(x, sums[l]);
+            }
+        }
+        for (l, &s) in sums.iter().enumerate() {
+            sink(self.rows[lane0 + l] as usize, s);
+        }
+    }
+
+    /// Sequential SpMV over the whole packed subset into `u` (only the
+    /// packed rows are written). Refreshes the value slab from `a` first.
+    /// Reference/diagnostic path; the parallel tiled path lives in the
+    /// execution layer.
+    pub fn spmv_into(&self, a: &CsrMatrix<T>, v: &[T], u: &mut [T]) {
+        self.ensure_values(a);
+        self.with_values(|vals| {
+            self.spmv_chunks(vals, 0, self.n_chunks(), v, |r, s| u[r] = s);
+        });
+    }
+
+    /// Re-derive the packed layout from `a` and `expected_rows` and prove
+    /// this payload matches it exactly: same row multiset, lengths equal
+    /// to the CSR row lengths, chunks length-sorted with correct offsets,
+    /// every non-padding slot's `(col, src)` equal to the CSR entry it
+    /// claims to mirror, every padding slot marked. Returns a description
+    /// of the first defect. O(slots + |rows| log |rows|).
+    pub fn check_against(&self, a: &CsrMatrix<T>, expected_rows: &[u32]) -> Result<(), String> {
+        if self.n_cols != a.n_cols() {
+            return Err(format!(
+                "packed n_cols {} != matrix n_cols {} (gather bound proof void)",
+                self.n_cols,
+                a.n_cols()
+            ));
+        }
+        if self.rows.len() != expected_rows.len() {
+            return Err(format!(
+                "packed row count {} != bin row count {}",
+                self.rows.len(),
+                expected_rows.len()
+            ));
+        }
+        let mut mine = self.rows.clone();
+        let mut theirs = expected_rows.to_vec();
+        mine.sort_unstable();
+        theirs.sort_unstable();
+        if mine != theirs {
+            return Err("packed rows are not the bin's row set".into());
+        }
+        let m = a.n_rows();
+        let row_ptr = a.row_ptr();
+        let a_cols = a.col_idx();
+        for (i, (&r, &len)) in self.rows.iter().zip(&self.lens).enumerate() {
+            if (r as usize) >= m {
+                return Err(format!("packed row {r} out of bounds (m = {m})"));
+            }
+            if a.row_nnz(r as usize) != len as usize {
+                return Err(format!(
+                    "packed row {r}: cached len {len} != CSR len {}",
+                    a.row_nnz(r as usize)
+                ));
+            }
+            if i + 1 < self.lens.len() && self.lens[i + 1] > len {
+                return Err(format!("packed rows not length-sorted at index {i}"));
+            }
+        }
+        if self.chunk_off.first() != Some(&0) || self.chunk_off.last() != Some(&self.cols.len()) {
+            return Err("chunk offsets do not span the slab".into());
+        }
+        if self.cols.len() != self.src.len() {
+            return Err("cols/src slab length mismatch".into());
+        }
+        if self.vals.read().unwrap().vals.len() != self.cols.len() {
+            return Err("value slab length mismatch".into());
+        }
+        let mut seen_nnz = 0usize;
+        for c in 0..self.n_chunks() {
+            let lane0 = c * self.chunk;
+            let lanes = (self.rows.len() - lane0).min(self.chunk);
+            let width = self.lens[lane0] as usize;
+            if self.chunk_off[c + 1] - self.chunk_off[c] != width * lanes {
+                return Err(format!("chunk {c}: slab size != width × lanes"));
+            }
+            let off = self.chunk_off[c];
+            for lane in 0..lanes {
+                let r = self.rows[lane0 + lane] as usize;
+                let len = self.lens[lane0 + lane] as usize;
+                let base = row_ptr[r];
+                for j in 0..width {
+                    let slot = off + j * lanes + lane;
+                    if j < len {
+                        if self.src[slot] as usize != base + j {
+                            return Err(format!(
+                                "chunk {c} lane {lane} col {j}: src {} != CSR position {}",
+                                self.src[slot],
+                                base + j
+                            ));
+                        }
+                        if self.cols[slot] != a_cols[base + j] {
+                            return Err(format!(
+                                "chunk {c} lane {lane} col {j}: col {} != CSR col {}",
+                                self.cols[slot],
+                                a_cols[base + j]
+                            ));
+                        }
+                        seen_nnz += 1;
+                    } else if self.src[slot] != SRC_PAD {
+                        return Err(format!(
+                            "chunk {c} lane {lane} col {j}: padding slot has src {}",
+                            self.src[slot]
+                        ));
+                    }
+                }
+            }
+        }
+        if seen_nnz != self.nnz {
+            return Err(format!("cached nnz {} != slab nnz {seen_nnz}", self.nnz));
+        }
+        Ok(())
+    }
+}
+
+impl<T: Scalar> Clone for PackedSell<T> {
+    fn clone(&self) -> Self {
+        let slab = self.vals.read().unwrap();
+        Self {
+            chunk: self.chunk,
+            n_cols: self.n_cols,
+            rows: self.rows.clone(),
+            lens: self.lens.clone(),
+            chunk_off: self.chunk_off.clone(),
+            cols: self.cols.clone(),
+            src: self.src.clone(),
+            nnz: self.nnz,
+            vals: RwLock::new(ValueSlab {
+                source: slab.source,
+                vals: slab.vals.clone(),
+            }),
+        }
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for PackedSell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PackedSell")
+            .field("chunk", &self.chunk)
+            .field("rows", &self.rows.len())
+            .field("chunks", &self.n_chunks())
+            .field("nnz", &self.nnz)
+            .field("slots", &self.slots())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::gen::mixture::RowRegime;
+
+    fn all_rows<T: Scalar>(a: &CsrMatrix<T>) -> Vec<u32> {
+        (0..a.n_rows() as u32).collect()
+    }
+
+    #[test]
+    fn packed_matches_reference_bit_for_bit() {
+        let a = gen::mixture::<f64>(
+            500,
+            700,
+            &[
+                RowRegime::new(1, 3, 0.4),
+                RowRegime::new(8, 30, 0.4),
+                RowRegime::new(60, 120, 0.2),
+            ],
+            true,
+            7,
+        );
+        let v: Vec<f64> = (0..a.n_cols())
+            .map(|i| ((i * 5) % 13) as f64 - 6.0)
+            .collect();
+        let reference = a.spmv_seq_alloc(&v).unwrap();
+        for chunk in [1, 3, 4, 8, 16] {
+            let p = PackedSell::from_rows(&a, &all_rows(&a), chunk);
+            p.check_against(&a, &all_rows(&a)).unwrap();
+            let mut u = vec![0.0f64; a.n_rows()];
+            p.spmv_into(&a, &v, &mut u);
+            assert_eq!(u, reference, "chunk {chunk} diverges from CSR reference");
+        }
+    }
+
+    #[test]
+    fn subset_only_touches_its_rows() {
+        let a = gen::random_uniform::<f32>(100, 100, 1, 6, 3);
+        let subset: Vec<u32> = (0..100).step_by(3).collect();
+        let p = PackedSell::from_rows(&a, &subset, 8);
+        p.check_against(&a, &subset).unwrap();
+        let v = vec![1.0f32; 100];
+        let mut u = vec![f32::NAN; 100];
+        p.spmv_into(&a, &v, &mut u);
+        for (i, &x) in u.iter().enumerate() {
+            if subset.contains(&(i as u32)) {
+                assert!(!x.is_nan(), "row {i} skipped");
+            } else {
+                assert!(x.is_nan(), "row {i} touched");
+            }
+        }
+    }
+
+    #[test]
+    fn value_updates_are_picked_up_via_values_id() {
+        let mut a = gen::random_uniform::<f64>(200, 200, 2, 9, 5);
+        let rows = all_rows(&a);
+        let p = PackedSell::from_rows(&a, &rows, 8);
+        let v: Vec<f64> = (0..200).map(|i| (i % 5) as f64).collect();
+        for round in 0..3u64 {
+            a.fill_values_with(|k| ((k as u64).wrapping_mul(round + 1) % 11) as f64 - 5.0);
+            let reference = a.spmv_seq_alloc(&v).unwrap();
+            let mut u = vec![0.0f64; 200];
+            p.spmv_into(&a, &v, &mut u);
+            assert_eq!(u, reference, "round {round}: stale value slab");
+        }
+    }
+
+    #[test]
+    fn padding_ratio_reflects_skew() {
+        // 7 empty rows and one 64-NNZ row in one chunk: slots = 8·64.
+        let mut coo = crate::CooMatrix::<f64>::new(8, 64);
+        for j in 0..64 {
+            coo.push(0, j, 1.0 + j as f64);
+        }
+        let a = coo.to_csr();
+        let p = PackedSell::from_rows(&a, &all_rows(&a), 8);
+        assert_eq!(p.slots(), 8 * 64);
+        assert!((p.padding_ratio() - 8.0).abs() < 1e-12);
+        // Uniform rows pack with no padding at all.
+        let b = gen::random_uniform::<f64>(64, 64, 4, 4, 1);
+        let q = PackedSell::from_rows(&b, &all_rows(&b), 8);
+        assert_eq!(q.padding_ratio(), 1.0);
+    }
+
+    #[test]
+    fn empty_rows_and_empty_subsets_are_fine() {
+        let a = CsrMatrix::<f64>::zeros(10, 10);
+        let p = PackedSell::from_rows(&a, &all_rows(&a), 8);
+        assert_eq!(p.nnz(), 0);
+        assert_eq!(p.padding_ratio(), 1.0);
+        let v = vec![1.0f64; 10];
+        let mut u = vec![9.0f64; 10];
+        p.spmv_into(&a, &v, &mut u);
+        assert_eq!(u, vec![0.0f64; 10], "empty rows must write zeros");
+        let q = PackedSell::from_rows(&a, &[], 4);
+        assert_eq!(q.n_chunks(), 0);
+        q.spmv_into(&a, &v, &mut [0.0f64; 10]);
+    }
+
+    #[test]
+    fn check_against_catches_tampering() {
+        let a = gen::random_uniform::<f64>(40, 40, 1, 5, 9);
+        let rows = all_rows(&a);
+        let mut p = PackedSell::from_rows(&a, &rows, 8);
+        p.check_against(&a, &rows).unwrap();
+        // A wrong source index must be named.
+        let slot = p.src.iter().position(|&s| s != SRC_PAD).unwrap();
+        p.src[slot] = p.src[slot].wrapping_add(1);
+        assert!(p.check_against(&a, &rows).is_err());
+    }
+
+    #[test]
+    fn nan_and_inf_inputs_do_not_leak_through_padding() {
+        // A skewed chunk with heavy padding; v[0] = inf would poison any
+        // kernel that multiplies padding slots.
+        let mut coo = crate::CooMatrix::<f64>::new(8, 16);
+        for j in 1..16 {
+            coo.push(0, j, 2.0);
+        }
+        coo.push(1, 1, 3.0);
+        let a = coo.to_csr();
+        let mut v = vec![1.0f64; 16];
+        v[0] = f64::INFINITY;
+        let p = PackedSell::from_rows(&a, &(0..8).collect::<Vec<u32>>(), 8);
+        let reference = a.spmv_seq_alloc(&v).unwrap();
+        let mut u = vec![0.0f64; 8];
+        p.spmv_into(&a, &v, &mut u);
+        assert_eq!(u, reference, "padding participated in the sum");
+        assert!(u[2..].iter().all(|&x| x == 0.0));
+    }
+}

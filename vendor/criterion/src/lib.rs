@@ -21,6 +21,16 @@ pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
+/// Throughput hint for a benchmark group: reported as elements (or
+/// bytes) per second next to the wall time, like upstream criterion.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per call.
+    Elements(u64),
+    /// The routine processes this many bytes per call.
+    Bytes(u64),
+}
+
 /// Top-level bench context; one per `criterion_group!` function.
 pub struct Criterion {
     default_sample_size: usize,
@@ -40,6 +50,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             sample_size: self.default_sample_size,
+            throughput: None,
             _parent: self,
         }
     }
@@ -49,7 +60,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_benchmark(name, self.default_sample_size, f);
+        run_benchmark(name, self.default_sample_size, None, f);
         self
     }
 }
@@ -58,6 +69,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    throughput: Option<Throughput>,
     _parent: &'a mut Criterion,
 }
 
@@ -68,13 +80,20 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Report per-second throughput alongside wall time for every
+    /// benchmark in this group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
     /// Benchmark a closure under `id` within this group.
     pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let label = format!("{}/{}", self.name, id.into_benchmark_id().0);
-        run_benchmark(&label, self.sample_size, &mut f);
+        run_benchmark(&label, self.sample_size, self.throughput, &mut f);
         self
     }
 
@@ -89,7 +108,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let label = format!("{}/{}", self.name, id.into_benchmark_id().0);
-        run_benchmark(&label, self.sample_size, |b| f(b, input));
+        run_benchmark(&label, self.sample_size, self.throughput, |b| f(b, input));
         self
     }
 
@@ -189,7 +208,12 @@ impl Bencher {
     }
 }
 
-fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
     let mut b = Bencher::new(sample_size);
     f(&mut b);
     if b.samples.is_empty() {
@@ -199,14 +223,38 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f:
     let min = b.samples.iter().min().unwrap();
     let max = b.samples.iter().max().unwrap();
     let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    let thrpt = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  thrpt: {}", fmt_rate(n, mean, "elem/s"))
+        }
+        Some(Throughput::Bytes(n)) => format!("  thrpt: {}", fmt_rate(n, mean, "B/s")),
+        None => String::new(),
+    };
     println!(
-        "{label:<44} time: [{} {} {}]  ({} samples × {} iters)",
+        "{label:<44} time: [{} {} {}]{thrpt}  ({} samples × {} iters)",
         fmt_duration(*min),
         fmt_duration(mean),
         fmt_duration(*max),
         b.samples.len(),
         b.iters_per_sample,
     );
+}
+
+fn fmt_rate(per_call: u64, mean: Duration, unit: &str) -> String {
+    let secs = mean.as_secs_f64();
+    if secs <= 0.0 {
+        return format!("∞ {unit}");
+    }
+    let rate = per_call as f64 / secs;
+    if rate >= 1e9 {
+        format!("{:.3} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.3} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.3} K{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.1} {unit}")
+    }
 }
 
 fn fmt_duration(d: Duration) -> String {
