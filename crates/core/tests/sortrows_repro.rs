@@ -1,0 +1,34 @@
+use spmv_autotune::prelude::*;
+use spmv_sparse::{CsrMatrix, Scalar as _};
+
+#[test]
+fn sort_rows_after_compile_keeps_packed_correct() {
+    // 8 rows, 2 entries each, columns deliberately unsorted within rows.
+    let m = 8usize;
+    let n = 8usize;
+    let mut row_ptr = vec![0usize];
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    for r in 0..m {
+        // unsorted: larger column first
+        cols.push(((r + 3) % n) as u32);
+        cols.push((r % n) as u32);
+        vals.push(10.0 + r as f64);
+        vals.push(1.0 + r as f64);
+        row_ptr.push(cols.len());
+    }
+    let mut a = CsrMatrix::<f64>::from_parts(m, n, row_ptr, cols, vals).unwrap();
+    assert!(!a.rows_sorted());
+
+    let strategy = Strategy::default_for(&MatrixFeatures::extract(&a, FeatureSet::TableI));
+    let plan = SpmvPlan::compile(&a, strategy, Box::new(NativeCpuBackend::default()));
+    assert!(plan.packed_bins() > 0, "need a packed bin for the repro");
+    let plan = plan.verify(&a).unwrap();
+
+    a.sort_rows();
+    let v: Vec<f64> = (0..n).map(|i| (i + 1) as f64).collect();
+    let reference = a.spmv_seq_alloc(&v).unwrap();
+    let mut u = vec![0.0f64; m];
+    plan.execute(&a, &v, &mut u).unwrap();
+    assert_eq!(u, reference, "packed payload went stale after sort_rows");
+}
