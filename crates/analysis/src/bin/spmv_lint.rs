@@ -11,7 +11,11 @@
 //! 3. **Write-set disjointness** — every (binning strategy × kernel map
 //!    × backend) plan over the driver's matrix suite proves coverage,
 //!    disjointness, and in-bounds writes.
-//! 4. **Concurrency protocols** — the scope/pool state machines pass
+//! 4. **Batched dispatch** — every verified plan's `execute_batch` is
+//!    bit-for-bit identical, per output column, to single-vector
+//!    executes at RHS widths covering lone-column, remainder, and full
+//!    register-block decompositions.
+//! 5. **Concurrency protocols** — the scope/pool state machines pass
 //!    exhaustive interleaving; the deliberately buggy variants are
 //!    *detected* (a checker that flags nothing proves nothing).
 //!
@@ -49,6 +53,7 @@ fn main() {
     failures += check_hygiene(&root);
     failures += check_models(&root);
     failures += check_plans();
+    failures += check_batched();
     failures += check_concurrency();
 
     if failures > 0 {
@@ -153,6 +158,30 @@ fn check_plans() -> usize {
     if bad == 0 {
         println!(
             "ok: {} plans proven (coverage + disjointness + bounds)",
+            checks.len()
+        );
+        0
+    } else {
+        1
+    }
+}
+
+fn check_batched() -> usize {
+    println!("\n== batched dispatch (execute_batch vs single-vector) ==");
+    let checks = driver::batched_sweep();
+    let mut bad = 0;
+    for c in &checks {
+        if let Err(e) = &c.result {
+            eprintln!(
+                "FAIL: {} on {} over {} (K = {}): {e}",
+                c.strategy, c.backend, c.matrix, c.k
+            );
+            bad += 1;
+        }
+    }
+    if bad == 0 {
+        println!(
+            "ok: {} batched plans bit-identical to their single-vector columns",
             checks.len()
         );
         0

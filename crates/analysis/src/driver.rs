@@ -130,9 +130,105 @@ pub fn full_sweep() -> Vec<PlanCheck> {
     out
 }
 
+/// Outcome of one batched-dispatch equivalence check: a verified plan's
+/// `execute_batch` must be bit-for-bit identical, per output column, to
+/// `K` single-vector `execute` calls.
+#[derive(Debug)]
+pub struct BatchCheck {
+    /// Human-readable strategy summary.
+    pub strategy: String,
+    /// Backend name the plan was compiled for.
+    pub backend: &'static str,
+    /// Label of the matrix checked.
+    pub matrix: String,
+    /// RHS width exercised.
+    pub k: usize,
+    /// `Ok` on bitwise equality, a description of the first divergence
+    /// (or verify failure) otherwise.
+    pub result: Result<(), String>,
+}
+
+/// Batched-dispatch sweep: every (strategy × backend) plan over the
+/// matrix suite, verified, then executed batched at widths that cover
+/// a lone column, a greedy remainder (4+1), and a full register block —
+/// each column compared exactly against the single-vector path. This is
+/// the `spmv-lint` proof that the (tile × RHS-block) work queue writes
+/// every output element once with the right value.
+pub fn batched_sweep() -> Vec<BatchCheck> {
+    let mut out = Vec::new();
+    for (label, a) in matrix_suite() {
+        for strategy in strategy_grid() {
+            for which in 0..2usize {
+                for k in [1usize, 5, 8] {
+                    let backend = backend_pair::<f64>().swap_remove(which);
+                    let name = backend.name();
+                    let plan = SpmvPlan::compile(&a, strategy.clone(), backend);
+                    out.push(BatchCheck {
+                        strategy: strategy.describe(),
+                        backend: name,
+                        matrix: label.clone(),
+                        k,
+                        result: check_batch_equivalence(&a, plan, k),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+fn check_batch_equivalence(
+    a: &CsrMatrix<f64>,
+    plan: SpmvPlan<f64>,
+    k: usize,
+) -> Result<(), String> {
+    let verified = plan.verify(a).map_err(|e| format!("verify: {e}"))?;
+    let mut x = spmv_sparse::DenseBlock::<f64>::zeros(a.n_cols(), k);
+    x.fill_with(|i, j| (((i * 31 + j * 7) % 23) as f64) - 11.0);
+    let mut y = spmv_sparse::DenseBlock::<f64>::zeros(a.n_rows(), k);
+    verified
+        .execute_batch(a, &x, &mut y)
+        .map_err(|e| format!("execute_batch: {e}"))?;
+    for j in 0..k {
+        let v = x.column(j);
+        let mut u = vec![f64::NAN; a.n_rows()];
+        verified
+            .execute(a, &v, &mut u)
+            .map_err(|e| format!("execute (column {j}): {e}"))?;
+        if y.column(j) != u {
+            let row = (0..a.n_rows())
+                .find(|&r| y.column(j)[r].to_bits() != u[r].to_bits())
+                .unwrap_or(0);
+            return Err(format!(
+                "column {j} of {k} diverges first at row {row}: batched {} vs single {}",
+                y.column(j)[row],
+                u[row]
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn batched_sweep_is_bit_identical_everywhere() {
+        let checks = batched_sweep();
+        assert_eq!(checks.len(), 5 * 4 * 2 * 3 * 3, "batched grid changed?");
+        for c in &checks {
+            assert!(
+                c.result.is_ok(),
+                "{} on {} over {} (K = {}) failed: {:?}",
+                c.strategy,
+                c.backend,
+                c.matrix,
+                c.k,
+                c.result
+            );
+        }
+    }
 
     #[test]
     fn every_strategy_backend_combination_verifies() {

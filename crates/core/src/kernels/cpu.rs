@@ -6,9 +6,9 @@
 //! mirror the load-balancing split the paper's binning addresses:
 //! row-parallel (cheap, imbalanced) versus NNZ-balanced partitioning.
 
-use crate::plan::{BinDispatch, BinPayload, Tile};
-use spmv_parallel::{fused_for_each, parallel_for};
-use spmv_sparse::{CsrMatrix, Scalar, SparseError};
+use crate::plan::{rhs_blocks, BinDispatch, BinPayload, Tile};
+use spmv_parallel::{fused_for_each_with, parallel_for};
+use spmv_sparse::{CsrMatrix, DenseBlock, Scalar, SparseError};
 
 /// Row-parallel SpMV: rows are distributed in fixed-size chunks. The CPU
 /// analogue of `Kernel-Serial`.
@@ -164,12 +164,15 @@ pub fn spmv_rows_nnz_balanced<T: Scalar>(
 /// rows are the bin's rows (ditto) — so across the whole queue every
 /// output index is written by exactly one tile.
 ///
+/// `workers` caps the parallel region (`0` = pool default).
+///
 /// [`NativeCpuBackend::launch_plan`]: crate::exec::NativeCpuBackend
 pub fn run_plan_fused<T: Scalar>(
     a: &CsrMatrix<T>,
     dispatch: &[BinDispatch],
     payloads: &[BinPayload<T>],
     tiles: &[Tile],
+    workers: usize,
     v: &[T],
     u: &mut [T],
 ) -> Result<(), SparseError> {
@@ -181,7 +184,7 @@ pub fn run_plan_fused<T: Scalar>(
         }
     }
     let out = SliceWriter::new(u);
-    fused_for_each(tiles.len(), |t| {
+    fused_for_each_with(workers, tiles.len(), |t| {
         let tile = &tiles[t];
         let d = &dispatch[tile.bin];
         match &payloads[tile.bin] {
@@ -199,8 +202,8 @@ pub fn run_plan_fused<T: Scalar>(
                 }
             }
             BinPayload::Packed(packed) => {
-                packed.with_values(|vals| {
-                    packed.spmv_chunks(vals, tile.start, tile.end, v, |r, sum| {
+                packed.with_slab(|slab| {
+                    packed.spmv_chunks(slab, tile.start, tile.end, v, |r, sum| {
                         // SAFETY: chunk ranges of one bin are disjoint and
                         // each packed row belongs to exactly one chunk;
                         // same join argument as above.
@@ -211,6 +214,210 @@ pub fn run_plan_fused<T: Scalar>(
         }
     });
     Ok(())
+}
+
+/// Batched (multi-RHS) plan execution: the SpMM analogue of
+/// [`run_plan_fused`], behind `NativeCpuBackend::launch_plan_batch`.
+///
+/// The RHS width `K` is decomposed into register-blocked widths by
+/// [`rhs_blocks`] (greedy 8/4/2/1), and the work queue becomes the cross
+/// product *(tile, RHS block)*: each item runs one tile's rows against
+/// one contiguous column block of `x`/`y`, gathering every matrix element
+/// once and broadcasting it against the block's contiguous x-lanes. Items
+/// are ordered heaviest first with weight `tile_nnz × block_width`, so
+/// the LPT discipline of the single-vector queue extends to `K`.
+///
+/// Write soundness extends the single-vector argument by one axis: tiles
+/// write disjoint **row** sets (proven by `check_dispatch` +
+/// `check_payloads`), RHS blocks write disjoint **column** ranges
+/// (`rhs_blocks` partitions `[0, K)`, proven by `check_payloads`), so
+/// every `(row, column)` output element is written by exactly one item.
+///
+/// Plans compiled with `fused: false` have no tile queue; whole-bin
+/// tiles are synthesized on the fly so both configurations run the same
+/// kernels (bit-identical results either way). `workers` caps the
+/// parallel region (`0` = pool default).
+#[allow(clippy::too_many_arguments)]
+pub fn run_plan_fused_batch<T: Scalar>(
+    a: &CsrMatrix<T>,
+    dispatch: &[BinDispatch],
+    payloads: &[BinPayload<T>],
+    tiles: &[Tile],
+    tile_weights: &[usize],
+    workers: usize,
+    x: &DenseBlock<T>,
+    y: &mut DenseBlock<T>,
+) -> Result<(), SparseError> {
+    check_block_dims(a, x, y)?;
+    assert_eq!(dispatch.len(), payloads.len(), "payload table misaligned");
+    let k = x.k();
+    if k == 0 {
+        return Ok(());
+    }
+    for p in payloads {
+        if let BinPayload::Packed(packed) = p {
+            packed.ensure_values(a);
+        }
+    }
+    // Unfused plans carry no tile queue: synthesize one whole-span tile
+    // per bin so both configurations execute the same kernels.
+    if tiles.is_empty() {
+        let mut synth_tiles = Vec::with_capacity(dispatch.len());
+        let mut synth_weights = Vec::with_capacity(dispatch.len());
+        for (bin, (d, p)) in dispatch.iter().zip(payloads).enumerate() {
+            let span = match p {
+                BinPayload::Packed(packed) => packed.n_chunks(),
+                BinPayload::Csr => d.rows.len(),
+            };
+            synth_tiles.push(Tile {
+                bin,
+                start: 0,
+                end: span,
+            });
+            synth_weights.push(d.nnz);
+        }
+        return run_batch_queue(
+            a,
+            dispatch,
+            payloads,
+            &synth_tiles,
+            &synth_weights,
+            workers,
+            x,
+            y,
+        );
+    }
+    run_batch_queue(a, dispatch, payloads, tiles, tile_weights, workers, x, y)
+}
+
+/// The shared (tile × RHS-block) queue executor behind
+/// [`run_plan_fused_batch`]. Dimensions are already validated and packed
+/// value slabs refreshed.
+#[allow(clippy::too_many_arguments)]
+fn run_batch_queue<T: Scalar>(
+    a: &CsrMatrix<T>,
+    dispatch: &[BinDispatch],
+    payloads: &[BinPayload<T>],
+    tiles: &[Tile],
+    tile_weights: &[usize],
+    workers: usize,
+    x: &DenseBlock<T>,
+    y: &mut DenseBlock<T>,
+) -> Result<(), SparseError> {
+    debug_assert_eq!(tiles.len(), tile_weights.len(), "tile weights misaligned");
+    let blocks = rhs_blocks(x.k());
+    let mut items: Vec<(u32, u32)> = Vec::with_capacity(tiles.len() * blocks.len());
+    for bi in 0..blocks.len() {
+        for ti in 0..tiles.len() {
+            items.push((ti as u32, bi as u32));
+        }
+    }
+    // LPT accounting for K: heaviest (tile, block) first. The sort is
+    // stable, so equal weights keep the tile queue's own LPT order.
+    items.sort_by_key(|&(ti, bi)| {
+        let w = tile_weights.get(ti as usize).copied().unwrap_or(0);
+        std::cmp::Reverse(w * blocks[bi as usize].1)
+    });
+    let xs = x.as_slice();
+    let x_stride = x.stride();
+    let out = BlockWriter::new(y);
+    fused_for_each_with(workers, items.len(), |it| {
+        let (ti, bi) = items[it];
+        let tile = &tiles[ti as usize];
+        let (c0, width) = blocks[bi as usize];
+        let d = &dispatch[tile.bin];
+        match &payloads[tile.bin] {
+            BinPayload::Csr => {
+                let rows = &d.rows[tile.start..tile.end];
+                match width {
+                    8 => csr_rows_block::<T, 8>(a, rows, xs, x_stride, c0, &out),
+                    4 => csr_rows_block::<T, 4>(a, rows, xs, x_stride, c0, &out),
+                    2 => csr_rows_block::<T, 2>(a, rows, xs, x_stride, c0, &out),
+                    _ => csr_rows_block::<T, 1>(a, rows, xs, x_stride, c0, &out),
+                }
+            }
+            BinPayload::Packed(packed) => {
+                packed.with_slab(|slab| match width {
+                    8 => packed.spmm_chunks::<8, _>(
+                        slab,
+                        tile.start,
+                        tile.end,
+                        xs,
+                        x_stride,
+                        c0,
+                        |r, sums| {
+                            // SAFETY: see the write-soundness argument on
+                            // `run_plan_fused_batch`: tiles own disjoint
+                            // rows, blocks own disjoint column ranges,
+                            // and the fused scope joins before `y` is
+                            // observable again.
+                            unsafe { out.write_block(r, c0, sums) }
+                        },
+                    ),
+                    4 => packed.spmm_chunks::<4, _>(
+                        slab,
+                        tile.start,
+                        tile.end,
+                        xs,
+                        x_stride,
+                        c0,
+                        // SAFETY: same (tile × block) disjointness.
+                        |r, sums| unsafe { out.write_block(r, c0, sums) },
+                    ),
+                    2 => packed.spmm_chunks::<2, _>(
+                        slab,
+                        tile.start,
+                        tile.end,
+                        xs,
+                        x_stride,
+                        c0,
+                        // SAFETY: same (tile × block) disjointness.
+                        |r, sums| unsafe { out.write_block(r, c0, sums) },
+                    ),
+                    _ => packed.spmm_chunks::<1, _>(
+                        slab,
+                        tile.start,
+                        tile.end,
+                        xs,
+                        x_stride,
+                        c0,
+                        // SAFETY: same (tile × block) disjointness.
+                        |r, sums| unsafe { out.write_block(r, c0, sums) },
+                    ),
+                });
+            }
+        }
+    });
+    Ok(())
+}
+
+/// CSR span of a batched launch: each row's entries are walked once in
+/// ascending-`j` order (bit-identical per column to the single-vector
+/// kernels) and every gathered element is broadcast against the `KB`
+/// contiguous x-lanes of its column block.
+fn csr_rows_block<T: Scalar, const KB: usize>(
+    a: &CsrMatrix<T>,
+    rows: &[u32],
+    x: &[T],
+    x_stride: usize,
+    c0: usize,
+    out: &BlockWriter<T>,
+) {
+    for &r in rows {
+        let (cols, vals) = a.row(r as usize);
+        let mut sums = [T::ZERO; KB];
+        for (&c, &av) in cols.iter().zip(vals) {
+            let base = c as usize * x_stride + c0;
+            let xr = &x[base..base + KB];
+            for kk in 0..KB {
+                sums[kk] = av.mul_add_(xr[kk], sums[kk]);
+            }
+        }
+        // SAFETY: each row id appears in exactly one tile of one bin and
+        // this item owns columns `c0..c0 + KB`; the fused scope joins
+        // before the output block is observable again.
+        unsafe { out.write_block(r as usize, c0, sums) };
+    }
 }
 
 /// Positions into `rows` that split it into `parts` spans of roughly
@@ -255,6 +462,38 @@ pub fn nnz_balanced_cuts<T: Scalar>(a: &CsrMatrix<T>, parts: usize) -> Vec<usize
     }
     cuts.push(a.n_rows());
     cuts
+}
+
+/// Dimension checks for the batched path: input rows match the column
+/// count, output rows match the row count, and both blocks carry the
+/// same number of vectors.
+fn check_block_dims<T: Scalar>(
+    a: &CsrMatrix<T>,
+    x: &DenseBlock<T>,
+    y: &DenseBlock<T>,
+) -> Result<(), SparseError> {
+    if x.n_rows() != a.n_cols() {
+        return Err(SparseError::DimensionMismatch {
+            context: "cpu spmm input block".into(),
+            expected: a.n_cols(),
+            got: x.n_rows(),
+        });
+    }
+    if y.n_rows() != a.n_rows() {
+        return Err(SparseError::DimensionMismatch {
+            context: "cpu spmm output block".into(),
+            expected: a.n_rows(),
+            got: y.n_rows(),
+        });
+    }
+    if y.k() != x.k() {
+        return Err(SparseError::DimensionMismatch {
+            context: "cpu spmm block width".into(),
+            expected: x.k(),
+            got: y.k(),
+        });
+    }
+    Ok(())
 }
 
 fn check_dims<T: Scalar>(a: &CsrMatrix<T>, v: &[T], u: &[T]) -> Result<(), SparseError> {
@@ -314,6 +553,56 @@ impl<T> SliceWriter<T> {
         // SAFETY: caller guarantees `i < len` and exclusive ownership of
         // index `i` for the duration of the enclosing parallel scope.
         unsafe { *self.ptr.add(i) = val };
+    }
+}
+
+/// Raw shared-write window over a row-major output block: the batched
+/// counterpart of [`SliceWriter`]. Writes land at `row * stride + col`;
+/// soundness comes from the (tile × RHS-block) disjointness proof — each
+/// work item owns a disjoint (row set × column range) rectangle.
+#[derive(Clone, Copy)]
+struct BlockWriter<T> {
+    ptr: *mut T,
+    stride: usize,
+    #[cfg(debug_assertions)]
+    len: usize,
+}
+// SAFETY: used only for disjoint (row, column) writes inside a joined
+// fused scope.
+unsafe impl<T: Send> Send for BlockWriter<T> {}
+// SAFETY: same restriction — disjoint output rectangles, scope joins
+// before the block is read.
+unsafe impl<T: Send> Sync for BlockWriter<T> {}
+
+impl<T: Scalar> BlockWriter<T> {
+    fn new(y: &mut DenseBlock<T>) -> Self {
+        Self {
+            ptr: y.as_mut_slice().as_mut_ptr(),
+            stride: y.stride(),
+            #[cfg(debug_assertions)]
+            len: y.as_slice().len(),
+        }
+    }
+
+    /// Store `sums` at `(row, c0..c0 + KB)`.
+    ///
+    /// # Safety
+    ///
+    /// Every target index must be in bounds of the wrapped block and no
+    /// other thread may write the same `(row, column)` concurrently.
+    unsafe fn write_block<const KB: usize>(&self, row: usize, c0: usize, sums: [T; KB]) {
+        let base = row * self.stride + c0;
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            base + KB <= self.len,
+            "BlockWriter: rectangle ({row}, {c0}..{}) out of bounds",
+            c0 + KB
+        );
+        for (kk, &s) in sums.iter().enumerate() {
+            // SAFETY: caller guarantees the rectangle is in bounds and
+            // exclusively owned for the duration of the fused scope.
+            unsafe { *self.ptr.add(base + kk) = s };
+        }
     }
 }
 

@@ -79,14 +79,15 @@ pub mod prelude {
     pub use crate::kernels::{KernelId, ALL_KERNELS};
     pub use crate::model_io::{load_model_file, save_model_file};
     pub use crate::plan::{
-        BinDispatch, BinFormat, BinPayload, PatternFingerprint, PlanConfig, PlanError, SpmvPlan,
-        Tile, VerifiedPlan,
+        rhs_blocks, BinDispatch, BinFormat, BinPayload, PatternFingerprint, PlanConfig, PlanError,
+        SpmvPlan, Tile, VerifiedPlan,
     };
     pub use crate::strategy::Strategy;
     pub use crate::training::{TrainedModel, Trainer, TrainingReport};
     pub use crate::tuner::{TunedStrategy, Tuner, TunerConfig};
-    pub use crate::verify::{check_dispatch, check_payloads, VerifyError};
+    pub use crate::verify::{check_dispatch, check_payloads, check_rhs_blocks, VerifyError};
     pub use spmv_gpusim::{GpuDevice, LaunchStats};
+    pub use spmv_sparse::DenseBlock;
 }
 
 pub use prelude::*;

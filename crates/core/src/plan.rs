@@ -21,7 +21,7 @@ use crate::kernels::cpu::rows_nnz_cuts;
 use crate::kernels::KernelId;
 use crate::strategy::Strategy;
 use crate::verify::{check_dispatch, check_payloads, VerifyError};
-use spmv_sparse::{CsrMatrix, FeatureSet, MatrixFeatures, PackedSell, Scalar};
+use spmv_sparse::{CsrMatrix, DenseBlock, FeatureSet, MatrixFeatures, PackedSell, Scalar};
 
 /// Structural identity of a CSR matrix: dimensions, NNZ, and an FNV-1a
 /// checksum of the row-pointer array. Two matrices with equal
@@ -162,6 +162,33 @@ pub struct Tile {
     pub end: usize,
 }
 
+/// Decompose a batch width `K` into the register-blocked RHS widths the
+/// batched kernels are compiled for: greedy `(start, width)` blocks of
+/// width 8, then one of 4, 2, 1 for the remainder (e.g. `K = 7` →
+/// `[(0, 4), (4, 2), (6, 1)]`). The blocks partition `[0, K)` in order —
+/// [`crate::verify::check_payloads`] proves that invariant for a sweep
+/// of widths, because the batched executor's write-set argument tiles
+/// the output as (row range × RHS block). Width 8 is the cap: the
+/// per-lane kernels keep exactly `width` accumulators plus the broadcast
+/// element live, and wider blocks spill out of registers (see DESIGN.md
+/// §8).
+pub fn rhs_blocks(k: usize) -> Vec<(usize, usize)> {
+    let mut blocks = Vec::new();
+    let mut start = 0usize;
+    while k - start >= 8 {
+        blocks.push((start, 8));
+        start += 8;
+    }
+    for width in [4usize, 2, 1] {
+        if k - start >= width {
+            blocks.push((start, width));
+            start += width;
+        }
+    }
+    debug_assert_eq!(start, k);
+    blocks
+}
+
 /// Knobs for plan compilation's format and dispatch decisions. The
 /// defaults are what [`SpmvPlan::compile`] uses; benches and tests use
 /// [`SpmvPlan::compile_with`] to pin specific corners (packing off,
@@ -170,7 +197,9 @@ pub struct Tile {
 pub struct PlanConfig {
     /// Consider SELL packing at all (`false` forces CSR everywhere).
     pub pack: bool,
-    /// Lanes per chunk; `0` picks 8, or 4 for bins under 8 rows.
+    /// Lanes per chunk; `0` picks per bin from the row-length spread:
+    /// the widest of {8, 4, 2} (max 4 for bins under 8 rows) whose
+    /// realised padding is tight, else the least-padded candidate.
     pub chunk: usize,
     /// Maximum `slots / nnz` storage blow-up a packed bin may have;
     /// above it the bin falls back to CSR (the padding-overflow gate).
@@ -243,6 +272,7 @@ pub struct SpmvPlan<T: Scalar> {
     dispatch: Vec<BinDispatch>,
     payloads: Vec<BinPayload<T>>,
     tiles: Vec<Tile>,
+    tile_weights: Vec<usize>,
     config: PlanConfig,
     backend: Box<dyn ExecBackend<T>>,
 }
@@ -280,10 +310,10 @@ impl<T: Scalar> SpmvPlan<T> {
             });
             payloads.push(payload);
         }
-        let tiles = if config.fused {
+        let (tiles, tile_weights) = if config.fused {
             build_tiles(a, &dispatch, &payloads, &config)
         } else {
-            Vec::new()
+            (Vec::new(), Vec::new())
         };
         Self {
             strategy,
@@ -292,6 +322,7 @@ impl<T: Scalar> SpmvPlan<T> {
             dispatch,
             payloads,
             tiles,
+            tile_weights,
             config,
             backend,
         }
@@ -333,6 +364,74 @@ impl<T: Scalar> SpmvPlan<T> {
     fn launch_all(&self, a: &CsrMatrix<T>, v: &[T], u: &mut [T]) -> LaunchCost {
         self.backend
             .launch_plan(a, &self.dispatch, &self.payloads, &self.tiles, v, u)
+    }
+
+    /// Batched execute: `y = A · x` for every column of `x` in one
+    /// matrix traversal per RHS block (SpMM). `x` is `n × K`, `y` is
+    /// `m × K`; each output column is bit-for-bit identical to a
+    /// single-vector [`execute`](Self::execute) against that input
+    /// column. `K = 0` is a no-op. Validation mirrors `execute`:
+    /// dimensions, block widths, then the O(m) fingerprint scan.
+    pub fn execute_batch(
+        &self,
+        a: &CsrMatrix<T>,
+        x: &DenseBlock<T>,
+        y: &mut DenseBlock<T>,
+    ) -> Result<LaunchCost, PlanError> {
+        self.check_batch_dims(x, y)?;
+        let got = PatternFingerprint::of(a);
+        if got != self.fingerprint {
+            return Err(PlanError::PatternMismatch {
+                expected: self.fingerprint,
+                got,
+            });
+        }
+        Ok(self.launch_all_batch(a, x, y))
+    }
+
+    /// Block-shape validation shared by the checked and verified batched
+    /// paths: O(1), no allocation.
+    fn check_batch_dims(&self, x: &DenseBlock<T>, y: &DenseBlock<T>) -> Result<(), PlanError> {
+        if x.n_rows() != self.fingerprint.n {
+            return Err(PlanError::DimensionMismatch {
+                what: "input block rows",
+                expected: self.fingerprint.n,
+                got: x.n_rows(),
+            });
+        }
+        if y.n_rows() != self.fingerprint.m {
+            return Err(PlanError::DimensionMismatch {
+                what: "output block rows",
+                expected: self.fingerprint.m,
+                got: y.n_rows(),
+            });
+        }
+        if y.k() != x.k() {
+            return Err(PlanError::DimensionMismatch {
+                what: "output block width",
+                expected: x.k(),
+                got: y.k(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Hand the compiled dispatch to the backend's batched entry.
+    fn launch_all_batch(
+        &self,
+        a: &CsrMatrix<T>,
+        x: &DenseBlock<T>,
+        y: &mut DenseBlock<T>,
+    ) -> LaunchCost {
+        self.backend.launch_plan_batch(
+            a,
+            &self.dispatch,
+            &self.payloads,
+            &self.tiles,
+            &self.tile_weights,
+            x,
+            y,
+        )
     }
 
     /// Prove this plan's write sets against `a` and, on success, wrap it
@@ -391,6 +490,12 @@ impl<T: Scalar> SpmvPlan<T> {
         &self.tiles
     }
 
+    /// Per-tile NNZ weights, aligned with [`tiles`](Self::tiles) — the
+    /// LPT cost the batched executor scales by RHS-block width.
+    pub fn tile_weights(&self) -> &[usize] {
+        &self.tile_weights
+    }
+
     /// The configuration the plan was compiled with.
     pub fn config(&self) -> &PlanConfig {
         &self.config
@@ -438,8 +543,14 @@ fn choose_format<T: Scalar>(
         return (BinFormat::Csr, BinPayload::Csr);
     }
     let chunk = match config.chunk {
-        0 if rows.len() < 8 => 4,
-        0 => 8,
+        0 => {
+            let mut lens: Vec<usize> = rows.iter().map(|&r| a.row_nnz(r as usize)).collect();
+            lens.sort_unstable_by(|x, y| y.cmp(x));
+            match pick_auto_chunk(&lens, config.max_padding) {
+                Some(c) => c,
+                None => return (BinFormat::Csr, BinPayload::Csr),
+            }
+        }
         c => c,
     };
     let packed = PackedSell::from_rows(a, rows, chunk);
@@ -449,18 +560,65 @@ fn choose_format<T: Scalar>(
     (BinFormat::PackedSell { chunk }, BinPayload::Packed(packed))
 }
 
+/// Pick the chunk height for an auto (`config.chunk == 0`) bin from its
+/// row-length spread. For each candidate height the padding the slab
+/// *would* realise is computed analytically from the length-sorted row
+/// lengths (exactly [`PackedSell`]'s slot count — widest lane of each
+/// group of `C` times its lane count — with no slab materialised). The
+/// widest candidate that packs tightly wins; when none does, the
+/// least-padded candidate still under `max_padding`. High-variance bins
+/// thus slide to narrower chunks — trading SIMD width for dead slots —
+/// instead of losing to CSR outright. Returns `None` when every
+/// candidate blows the padding gate.
+fn pick_auto_chunk(lens_desc: &[usize], max_padding: f64) -> Option<usize> {
+    /// Padding this tight is treated as free: take the widest such chunk.
+    const TIGHT: f64 = 1.05;
+    let candidates: &[usize] = if lens_desc.len() < 8 {
+        &[4, 2]
+    } else {
+        &[8, 4, 2]
+    };
+    let nnz: usize = lens_desc.iter().sum();
+    if nnz == 0 {
+        return Some(candidates[0]);
+    }
+    let padding = |c: usize| {
+        let mut slots = 0usize;
+        let mut lane0 = 0usize;
+        while lane0 < lens_desc.len() {
+            let lanes = (lens_desc.len() - lane0).min(c);
+            slots += lens_desc[lane0] * lanes;
+            lane0 += c;
+        }
+        slots as f64 / nnz as f64
+    };
+    let mut best: Option<(usize, f64)> = None;
+    for &c in candidates {
+        let p = padding(c);
+        if p <= TIGHT {
+            return Some(c);
+        }
+        if best.is_none_or(|(_, bp)| p < bp) {
+            best = Some((c, p));
+        }
+    }
+    best.and_then(|(c, p)| (p <= max_padding).then_some(c))
+}
+
 /// Precompute the fused dispatch queue: cut every bin's work into tiles
 /// of roughly `tile_nnz` non-zeros (chunk ranges for packed bins,
 /// NNZ-balanced row spans for CSR bins — the hoisted form of the cuts the
 /// per-launch path recomputes every call), then order the queue heaviest
 /// first so the longest tiles start earliest (LPT-style balance under
-/// work stealing).
+/// work stealing). The per-tile NNZ weights are returned alongside the
+/// queue — the batched executor scales them by the RHS-block width to
+/// keep the LPT order correct under `K` vectors.
 fn build_tiles<T: Scalar>(
     a: &CsrMatrix<T>,
     dispatch: &[BinDispatch],
     payloads: &[BinPayload<T>],
     config: &PlanConfig,
-) -> Vec<Tile> {
+) -> (Vec<Tile>, Vec<usize>) {
     let total_nnz: usize = dispatch.iter().map(|d| d.nnz).sum();
     let tile_nnz = if config.tile_nnz == 0 {
         let workers = spmv_parallel::num_threads();
@@ -524,7 +682,7 @@ fn build_tiles<T: Scalar>(
         }
     }
     weighted.sort_by_key(|&(_, w)| std::cmp::Reverse(w));
-    weighted.into_iter().map(|(t, _)| t).collect()
+    weighted.into_iter().unzip()
 }
 
 /// A plan whose write sets have been *proven* disjoint, in-bounds, and
@@ -583,6 +741,40 @@ impl<T: Scalar> VerifiedPlan<T> {
     /// callers that want the proof *and* the per-call pattern guard.
     pub fn execute(&self, a: &CsrMatrix<T>, v: &[T], u: &mut [T]) -> Result<LaunchCost, PlanError> {
         self.plan.execute(a, v, u)
+    }
+
+    /// Batched execute without the per-call O(m) fingerprint scan: the
+    /// SpMM counterpart of [`execute_unchecked`](Self::execute_unchecked),
+    /// with the same O(1) validation contract. The verification proof
+    /// already covered the batched write set — `check_payloads` proves
+    /// the RHS-block decomposition partitions `[0, K)` for a sweep of
+    /// widths, so the (tile × block) queue writes each output element
+    /// exactly once.
+    pub fn execute_batch_unchecked(
+        &self,
+        a: &CsrMatrix<T>,
+        x: &DenseBlock<T>,
+        y: &mut DenseBlock<T>,
+    ) -> Result<LaunchCost, PlanError> {
+        let fp = &self.plan.fingerprint;
+        self.plan.check_batch_dims(x, y)?;
+        if a.n_rows() != fp.m || a.n_cols() != fp.n || a.nnz() != fp.nnz {
+            return Err(PlanError::PatternMismatch {
+                expected: *fp,
+                got: PatternFingerprint::of(a),
+            });
+        }
+        Ok(self.plan.launch_all_batch(a, x, y))
+    }
+
+    /// Batched execute with the full per-call fingerprint guard.
+    pub fn execute_batch(
+        &self,
+        a: &CsrMatrix<T>,
+        x: &DenseBlock<T>,
+        y: &mut DenseBlock<T>,
+    ) -> Result<LaunchCost, PlanError> {
+        self.plan.execute_batch(a, x, y)
     }
 
     /// The underlying plan.

@@ -114,6 +114,16 @@ pub enum VerifyError {
         /// What property failed.
         detail: String,
     },
+    /// The RHS-block decomposition the batched executor would use for
+    /// some batch width `K` fails to partition the column range `[0, K)`
+    /// into kernel-supported widths — batched execution would
+    /// double-write or skip output columns.
+    BatchBlocksNotPartition {
+        /// The batch width whose decomposition is broken.
+        k: usize,
+        /// What property failed.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for VerifyError {
@@ -185,6 +195,10 @@ impl std::fmt::Display for VerifyError {
             VerifyError::TilesNotPartition { bin_id, detail } => {
                 write!(f, "bin {bin_id}: fused tiles are not a partition: {detail}")
             }
+            VerifyError::BatchBlocksNotPartition { k, detail } => write!(
+                f,
+                "RHS blocks for batch width {k} are not a partition: {detail}"
+            ),
         }
     }
 }
@@ -331,6 +345,12 @@ pub fn check_payloads<T: Scalar>(
             }
         }
     }
+    // The batched executor tiles the output as (row range × RHS block).
+    // The row axis is covered by the dispatch/tile proofs; the column
+    // axis is the deterministic RHS-block decomposition, proven here for
+    // a sweep of batch widths. This runs for unfused plans too — the
+    // batched path executes those through synthesized whole-bin tiles.
+    check_rhs_blocks()?;
     if tiles.is_empty() {
         return Ok(()); // per-bin launch path: nothing fused to prove
     }
@@ -368,6 +388,37 @@ pub fn check_payloads<T: Scalar>(
                 bin_id: d.bin_id,
                 detail: format!("tiles cover 0..{pos} of work span 0..{span}"),
             });
+        }
+    }
+    Ok(())
+}
+
+/// Prove [`rhs_blocks`] partitions `[0, K)` for a sweep of batch widths
+/// covering the degenerate (0, 1), exact-multiple (8, 16), and
+/// every-remainder (2, 3, 5, 7, 9, 15, 33) cases: blocks must be
+/// contiguous in order, each width must have a compiled kernel
+/// (∈ {1, 2, 4, 8}), and the last block must end at `K`. The
+/// decomposition is deterministic in `K` alone, so checking these widths
+/// *is* checking the batched executor's column write sets.
+///
+/// [`rhs_blocks`]: crate::plan::rhs_blocks
+pub fn check_rhs_blocks() -> Result<(), VerifyError> {
+    for k in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 33, 64] {
+        let fail = |detail: String| VerifyError::BatchBlocksNotPartition { k, detail };
+        let mut pos = 0usize;
+        for (start, width) in crate::plan::rhs_blocks(k) {
+            if start != pos {
+                return Err(fail(format!(
+                    "block at {start} does not continue coverage at {pos}"
+                )));
+            }
+            if !matches!(width, 1 | 2 | 4 | 8) {
+                return Err(fail(format!("block width {width} has no compiled kernel")));
+            }
+            pos = start + width;
+        }
+        if pos != k {
+            return Err(fail(format!("blocks cover 0..{pos} of 0..{k}")));
         }
     }
     Ok(())

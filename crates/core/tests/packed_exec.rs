@@ -231,6 +231,104 @@ fn packed_slabs_track_value_updates() {
     }
 }
 
+/// Aggregate storage blow-up of a plan's packed payloads.
+fn packed_padding(plan: &SpmvPlan<f64>) -> f64 {
+    let (mut slots, mut nnz) = (0usize, 0usize);
+    for p in plan.payloads() {
+        if let BinPayload::Packed(packed) = p {
+            slots += packed.slots();
+            nnz += packed.nnz();
+        }
+    }
+    if nnz == 0 {
+        1.0
+    } else {
+        slots as f64 / nnz as f64
+    }
+}
+
+/// Regression for the Ga3As3H12 slowdown: long irregular rows (spread
+/// 30–1400 NNZ) packed at a fixed C = 8 cost 1.156x padding and pushed
+/// the packed path below CSR. The adaptive chunk pick (`chunk: 0`) must
+/// choose C per bin from the row-length spread: on every bin it packs,
+/// its padding is no worse than a forced C = 8 layout of the same rows,
+/// on at least one bin strictly better, the aggregate stays under 1.10,
+/// and results remain bit-identical.
+#[test]
+fn adaptive_chunk_tames_long_irregular_rows() {
+    // Ga3As3H12's regime mix (suite entry), scaled down for test time.
+    // Few rows per bin relative to the length spread is exactly the
+    // shape where a wide fixed C pads heavily.
+    let a = gen::mixture::<f64>(
+        260,
+        1_500,
+        &[
+            RowRegime::new(30, 100, 0.60),
+            RowRegime::new(100, 300, 0.32),
+            RowRegime::new(300, 1_400, 0.08),
+        ],
+        true,
+        41,
+    );
+    let adaptive = native_plan(
+        &a,
+        Strategy {
+            binning: BinningScheme::Coarse { u: 10 },
+            kernels: vec![KernelId::Subvector(16); 8],
+        },
+        PlanConfig::default(),
+    );
+    assert!(adaptive.packed_bins() >= 1, "adaptive pick dropped packing");
+    let mut strictly_better = 0usize;
+    let (mut slots_a, mut slots_f, mut nnz_packed) = (0usize, 0usize, 0usize);
+    for (d, p) in adaptive.dispatch().iter().zip(adaptive.payloads()) {
+        let BinPayload::Packed(packed) = p else {
+            continue;
+        };
+        let fixed8 = spmv_sparse::PackedSell::from_rows(&a, &d.rows, 8);
+        assert!(
+            packed.padding_ratio() <= fixed8.padding_ratio() + 1e-12,
+            "bin {}: adaptive C={} pads {:.3}, fixed-8 pads {:.3}",
+            d.bin_id,
+            packed.chunk(),
+            packed.padding_ratio(),
+            fixed8.padding_ratio()
+        );
+        if packed.padding_ratio() < fixed8.padding_ratio() - 1e-12 {
+            strictly_better += 1;
+        }
+        slots_a += packed.slots();
+        slots_f += fixed8.slots();
+        nnz_packed += packed.nnz();
+    }
+    assert!(
+        strictly_better >= 1,
+        "adaptive pick never beat fixed-8 — regression case lost its bite"
+    );
+    // Aggregate over the packed bins: strictly below the fixed-8 layout
+    // of the same rows, and under the 1.15 bound the Ga3As3H12 case
+    // (1.156 at fixed C = 8) violated.
+    let (pa, pf) = (
+        slots_a as f64 / nnz_packed as f64,
+        slots_f as f64 / nnz_packed as f64,
+    );
+    assert!(
+        pa < pf,
+        "adaptive aggregate {pa:.3} not below fixed-8 {pf:.3}"
+    );
+    assert!(pa <= 1.15, "adaptive padding {pa:.3} above the 1.15 bound");
+    assert!(packed_padding(&adaptive) <= 1.15);
+    let v: Vec<f64> = (0..a.n_cols()).map(|i| ((i % 13) as f64) - 6.0).collect();
+    let reference = a.spmv_seq_alloc(&v).unwrap();
+    let mut u = vec![f64::NAN; a.n_rows()];
+    adaptive
+        .verify(&a)
+        .unwrap()
+        .execute(&a, &v, &mut u)
+        .unwrap();
+    assert_eq!(u, reference, "adaptive-chunk plan diverges");
+}
+
 /// `check_payloads` rejects tampered plans: a recorded format that does
 /// not match the materialised payload, and tile queues that overlap or
 /// leave gaps.

@@ -1,5 +1,5 @@
 use spmv_autotune::prelude::*;
-use spmv_sparse::{CsrMatrix, Scalar as _};
+use spmv_sparse::CsrMatrix;
 
 #[test]
 fn sort_rows_after_compile_keeps_packed_correct() {
@@ -20,7 +20,7 @@ fn sort_rows_after_compile_keeps_packed_correct() {
     let mut a = CsrMatrix::<f64>::from_parts(m, n, row_ptr, cols, vals).unwrap();
     assert!(!a.rows_sorted());
 
-    let strategy = Strategy::default_for(&MatrixFeatures::extract(&a, FeatureSet::TableI));
+    let strategy = Strategy::single_kernel(KernelId::Serial);
     let plan = SpmvPlan::compile(&a, strategy, Box::new(NativeCpuBackend::default()));
     assert!(plan.packed_bins() > 0, "need a packed bin for the repro");
     let plan = plan.verify(&a).unwrap();

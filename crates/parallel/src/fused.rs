@@ -30,7 +30,23 @@ pub fn fused_for_each<F>(n: usize, body: F)
 where
     F: Fn(usize) + Sync,
 {
-    let workers = num_threads().min(n);
+    fused_for_each_with(0, n, body);
+}
+
+/// [`fused_for_each`] with an explicit worker cap: at most `workers`
+/// threads participate (`0` means the pool default, [`num_threads`]).
+/// The process-wide thread count is frozen at first use, so benches that
+/// sweep thread counts within one process go through this entry.
+pub fn fused_for_each_with<F>(workers: usize, n: usize, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let workers = if workers == 0 {
+        num_threads()
+    } else {
+        workers.min(num_threads())
+    }
+    .min(n);
     if workers <= 1 {
         for t in 0..n {
             body(t);
@@ -75,6 +91,21 @@ mod tests {
             hit.fetch_add(t + 7, Ordering::Relaxed);
         });
         assert_eq!(hit.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn explicit_worker_cap_still_covers_every_tile() {
+        let n = 2_000;
+        for workers in [1, 2, 7] {
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            fused_for_each_with(workers, n, |t| {
+                hits[t].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "workers = {workers} missed or repeated a tile"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! Row-major multi-vector blocks for batched SpMV (SpMM).
+//!
+//! Single-vector SpMV is memory-bandwidth-bound: every apply re-streams
+//! the whole matrix for one dot product per row. A [`DenseBlock`] holds
+//! `K` right-hand sides side by side in **row-major** layout — element
+//! `(i, k)` at `data[i * stride + k]` — so a kernel that has gathered one
+//! matrix entry `A[r, c]` can broadcast it against the `K` contiguous
+//! values of input row `c`, amortising the matrix traversal over `K`
+//! outputs. Column-major (one `Vec` per vector) would make those `K`
+//! loads `rows`-strided gathers; row-major makes them one cache line.
+//!
+//! `stride >= k` is explicit so callers can operate on a sub-block of a
+//! wider allocation (e.g. the first 8 columns of a 32-wide buffer)
+//! without copying — the batched kernels only ever index
+//! `i * stride + k` with `k < k()`, never the slack.
+
+use crate::scalar::Scalar;
+
+/// `rows × k` dense block of `K` column vectors, stored row-major with an
+/// explicit row stride (`stride >= k`; slack beyond `k` is never read or
+/// written by the kernels).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseBlock<T> {
+    rows: usize,
+    k: usize,
+    stride: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> DenseBlock<T> {
+    /// A zero-filled `rows × k` block with the tight stride `k`.
+    pub fn zeros(rows: usize, k: usize) -> Self {
+        Self::zeros_strided(rows, k, k)
+    }
+
+    /// A zero-filled `rows × k` block with an explicit row stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride < k` (unless both are zero) or the total size
+    /// overflows.
+    pub fn zeros_strided(rows: usize, k: usize, stride: usize) -> Self {
+        assert!(stride >= k, "row stride {stride} shorter than width {k}");
+        let len = rows.checked_mul(stride).expect("dense block too large");
+        Self {
+            rows,
+            k,
+            stride,
+            data: vec![T::ZERO; len],
+        }
+    }
+
+    /// Build a block from `k` equal-length column vectors (the layout
+    /// transpose: `out[i][j] = columns[j][i]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the columns have unequal lengths.
+    pub fn from_columns(columns: &[Vec<T>]) -> Self {
+        let rows = columns.first().map_or(0, |c| c.len());
+        assert!(
+            columns.iter().all(|c| c.len() == rows),
+            "columns of unequal length"
+        );
+        let mut block = Self::zeros(rows, columns.len());
+        for (j, col) in columns.iter().enumerate() {
+            for (i, &x) in col.iter().enumerate() {
+                block.data[i * block.stride + j] = x;
+            }
+        }
+        block
+    }
+
+    /// Fill every addressable element `(i, k)` with values from `f(i, k)`.
+    /// Stride slack is left untouched.
+    pub fn fill_with(&mut self, mut f: impl FnMut(usize, usize) -> T) {
+        for i in 0..self.rows {
+            for j in 0..self.k {
+                self.data[i * self.stride + j] = f(i, j);
+            }
+        }
+    }
+
+    /// Number of rows (the vector length).
+    pub fn n_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of vectors held side by side (`K`).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Row stride in elements (`>= k`).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Row `i`: the `k` values `(i, 0..k)`, contiguous.
+    pub fn row(&self, i: usize) -> &[T] {
+        &self.data[i * self.stride..i * self.stride + self.k]
+    }
+
+    /// Mutable row `i`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        &mut self.data[i * self.stride..i * self.stride + self.k]
+    }
+
+    /// Copy column `j` out into a contiguous vector.
+    pub fn column(&self, j: usize) -> Vec<T> {
+        assert!(j < self.k, "column {j} out of bounds (k = {})", self.k);
+        (0..self.rows)
+            .map(|i| self.data[i * self.stride + j])
+            .collect()
+    }
+
+    /// Overwrite column `j` from a contiguous vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= k` or `col.len() != n_rows`.
+    pub fn set_column(&mut self, j: usize, col: &[T]) {
+        assert!(j < self.k, "column {j} out of bounds (k = {})", self.k);
+        assert_eq!(col.len(), self.rows, "column length != rows");
+        for (i, &x) in col.iter().enumerate() {
+            self.data[i * self.stride + j] = x;
+        }
+    }
+
+    /// The backing storage (row-major, including stride slack).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable backing storage.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_columns_through_rows() {
+        let cols = vec![
+            vec![1.0f64, 2.0, 3.0],
+            vec![10.0, 20.0, 30.0],
+            vec![-1.0, -2.0, -3.0],
+        ];
+        let b = DenseBlock::from_columns(&cols);
+        assert_eq!((b.n_rows(), b.k(), b.stride()), (3, 3, 3));
+        assert_eq!(b.row(1), &[2.0, 20.0, -2.0]);
+        for (j, col) in cols.iter().enumerate() {
+            assert_eq!(&b.column(j), col);
+        }
+    }
+
+    #[test]
+    fn strided_blocks_keep_slack_untouched() {
+        let mut b = DenseBlock::<f32>::zeros_strided(4, 2, 5);
+        b.fill_with(|i, j| (i * 10 + j) as f32);
+        assert_eq!(b.row(2), &[20.0, 21.0]);
+        // Slack positions stay at their initial zero.
+        assert_eq!(b.as_slice()[2 * 5 + 2], 0.0);
+        let mut c = b.clone();
+        c.set_column(1, &[9.0, 9.0, 9.0, 9.0]);
+        assert_eq!(c.column(1), vec![9.0; 4]);
+        assert_eq!(c.column(0), b.column(0));
+    }
+
+    #[test]
+    fn zero_width_and_zero_rows_are_fine() {
+        let b = DenseBlock::<f64>::zeros(5, 0);
+        assert_eq!(b.k(), 0);
+        assert_eq!(b.row(4), &[] as &[f64]);
+        let c = DenseBlock::<f64>::zeros(0, 3);
+        assert_eq!(c.n_rows(), 0);
+        assert_eq!(c.as_slice().len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than width")]
+    fn stride_below_width_panics() {
+        let _ = DenseBlock::<f64>::zeros_strided(2, 4, 3);
+    }
+}

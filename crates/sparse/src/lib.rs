@@ -29,6 +29,7 @@ pub mod coo;
 pub mod corpus;
 pub mod csr;
 pub mod dense;
+pub mod dense_block;
 pub mod error;
 pub mod features;
 pub mod gen;
@@ -43,8 +44,9 @@ pub mod suite;
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
+pub use dense_block::DenseBlock;
 pub use error::{CsrBuildError, SparseError};
 pub use features::{FeatureSet, MatrixFeatures};
 pub use histogram::RowHistogram;
-pub use packed::PackedSell;
+pub use packed::{PackedSell, SlabView};
 pub use scalar::Scalar;

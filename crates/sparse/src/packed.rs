@@ -20,9 +20,14 @@
 //!   per-row `mul_add_` order, no `0 · v[0]` terms that would break
 //!   `-0.0` sums or NaN-propagate from an infinite `v` entry).
 //!
-//! Values are cached in a slab keyed by [`CsrMatrix::values_id`], so a
-//! compiled plan executes with zero indirection in the steady state and
-//! transparently re-gathers the slab after a value-only update.
+//! Columns and values are cached in a slab keyed by
+//! [`CsrMatrix::values_id`], so a compiled plan executes with zero
+//! indirection in the steady state and transparently re-gathers the slab
+//! after a value update. Columns travel with the values because an
+//! in-place mutation such as [`CsrMatrix::sort_rows`] permutes the
+//! `(col, val)` pairs *within* each row without touching `row_ptr`: the
+//! positional `src` map stays valid, but both halves of each slot must
+//! be re-read or the slab would pair stale columns with fresh values.
 //!
 //! Storage padding is bounded: [`PackedSell::padding_ratio`] reports
 //! `slots / nnz`, and plan compilation falls back to the CSR row list
@@ -38,12 +43,29 @@ use std::sync::RwLock;
 /// and [`check_against`](PackedSell::check_against) can prove slab shape).
 pub const SRC_PAD: u32 = u32::MAX;
 
-/// The cached value slab and the value generation it was gathered from.
+/// The cached (columns, values) slab and the generation it mirrors.
+/// Both halves live under one lock so readers always observe a coherent
+/// pairing, even if a refresh races a concurrent execute.
 struct ValueSlab<T> {
     /// `CsrMatrix::values_id` of the matrix state the slab mirrors.
     source: u64,
+    /// Column indices, column-major per chunk; padding slots hold `0`.
+    /// Every non-padding entry was asserted `< n_cols` when gathered,
+    /// which is what licenses the unchecked `v[col]` gathers.
+    cols: Vec<u32>,
     /// One entry per storage slot; padding slots hold `T::ZERO`.
     vals: Vec<T>,
+}
+
+/// A borrowed, coherent view of a [`PackedSell`] slab — obtained only
+/// through [`PackedSell::with_slab`], never constructed by callers. The
+/// kernels gather `v[col]` without per-element bound checks, so the
+/// column slice must be the validated slab contents; keeping the fields
+/// private makes that unforgeable from safe code.
+#[derive(Clone, Copy)]
+pub struct SlabView<'a, T> {
+    cols: &'a [u32],
+    vals: &'a [T],
 }
 
 /// A row subset packed into length-sorted, column-major chunks of `C`
@@ -53,8 +75,9 @@ pub struct PackedSell<T: Scalar> {
     /// Lanes per chunk (`C`).
     chunk: usize,
     /// Column count of the source matrix. Every non-padding slot's
-    /// column index was validated against this bound at pack time,
-    /// which is what licenses the unchecked gathers in the kernels.
+    /// column index is validated against this bound each time the slab
+    /// is gathered, which is what licenses the unchecked gathers in the
+    /// kernels.
     n_cols: usize,
     /// Row ids in packed (length-sorted) order.
     rows: Vec<u32>,
@@ -62,13 +85,12 @@ pub struct PackedSell<T: Scalar> {
     lens: Vec<u32>,
     /// Slot offset of each chunk's slab; length `n_chunks + 1`.
     chunk_off: Vec<usize>,
-    /// Column indices, column-major per chunk, padded to the chunk width.
-    cols: Vec<u32>,
     /// CSR value positions per slot ([`SRC_PAD`] for padding slots).
     src: Vec<u32>,
     /// Non-zeros actually stored (excluding padding slots).
     nnz: usize,
-    /// Cached values, refreshed when the source matrix's values change.
+    /// Cached columns + values, refreshed together when the source
+    /// matrix's value generation changes.
     vals: RwLock<ValueSlab<T>>,
 }
 
@@ -109,9 +131,7 @@ impl<T: Scalar> PackedSell<T> {
             chunk_off.push(slots);
         }
 
-        let mut cols = vec![0u32; slots];
         let mut src = vec![SRC_PAD; slots];
-        let a_cols = a.col_idx();
         for (c, &off) in chunk_off.iter().take(n_chunks).enumerate() {
             let lane0 = c * chunk;
             let lanes = (order.len() - lane0).min(chunk);
@@ -123,16 +143,7 @@ impl<T: Scalar> PackedSell<T> {
             {
                 let base = row_ptr[r as usize];
                 for j in 0..len as usize {
-                    let slot = off + j * lanes + lane;
-                    let col = a_cols[base + j];
-                    // Pack-time bound proof: the kernels gather
-                    // `v[col]` without a per-element check.
-                    assert!(
-                        (col as usize) < a.n_cols(),
-                        "CSR column {col} out of bounds"
-                    );
-                    cols[slot] = col;
-                    src[slot] = (base + j) as u32;
+                    src[off + j * lanes + lane] = (base + j) as u32;
                 }
                 debug_assert!(len as usize <= width);
             }
@@ -145,11 +156,13 @@ impl<T: Scalar> PackedSell<T> {
             rows: order,
             lens,
             chunk_off,
-            cols,
             src,
             nnz,
             vals: RwLock::new(ValueSlab {
+                // `values_id` generations start at 1, so 0 always forces
+                // the gather below to populate cols + vals.
                 source: 0,
+                cols: vec![0u32; slots],
                 vals: vec![T::ZERO; slots],
             }),
         };
@@ -179,7 +192,7 @@ impl<T: Scalar> PackedSell<T> {
 
     /// Total storage slots including padding.
     pub fn slots(&self) -> usize {
-        self.cols.len()
+        self.src.len()
     }
 
     /// Storage blow-up of the packed layout: `slots / nnz` (`1.0` when
@@ -204,22 +217,33 @@ impl<T: Scalar> PackedSell<T> {
             .sum()
     }
 
-    /// Heap bytes of the packed arrays (cols + src + value slab + index
-    /// vectors).
+    /// Heap bytes of the packed arrays (src + slab cols + slab values +
+    /// index vectors).
     pub fn storage_bytes(&self) -> usize {
-        self.cols.len() * std::mem::size_of::<u32>()
-            + self.src.len() * std::mem::size_of::<u32>()
+        self.src.len() * std::mem::size_of::<u32>()
+            + self.slots() * std::mem::size_of::<u32>()
             + self.slots() * T::BYTES
             + self.rows.len() * std::mem::size_of::<u32>()
             + self.lens.len() * std::mem::size_of::<u32>()
             + self.chunk_off.len() * std::mem::size_of::<usize>()
     }
 
-    /// Bring the cached value slab up to date with `a`'s values. O(1)
-    /// when [`CsrMatrix::values_id`] matches the slab's source (the
-    /// steady state of an iterative solver); one O(slots) gather after a
-    /// value-only update. Callers must hand the same pattern the payload
-    /// was packed from — plan validation guarantees that.
+    /// Bring the cached slab up to date with `a`. O(1) when
+    /// [`CsrMatrix::values_id`] matches the slab's source (the steady
+    /// state of an iterative solver); one O(slots) gather of columns and
+    /// values after a value update. Gathering both halves is what keeps
+    /// the slab correct across in-place mutations like
+    /// [`CsrMatrix::sort_rows`] that permute `(col, val)` pairs within a
+    /// row: the positional `src` map still points at the row's entries,
+    /// just in their new order. Callers must hand the same pattern
+    /// (`row_ptr`) the payload was packed from — plan validation
+    /// guarantees that.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a refreshed column index is out of bounds — the
+    /// per-refresh proof that licenses the unchecked `v[col]` gathers in
+    /// the kernels.
     pub fn ensure_values(&self, a: &CsrMatrix<T>) {
         let want = a.values_id();
         if self.vals.read().unwrap().source == want {
@@ -230,39 +254,53 @@ impl<T: Scalar> PackedSell<T> {
             return; // another thread refreshed while we waited
         }
         let av = a.values();
+        let a_cols = a.col_idx();
         for (slot, &s) in self.src.iter().enumerate() {
-            slab.vals[slot] = if s == SRC_PAD {
-                T::ZERO
+            if s == SRC_PAD {
+                slab.cols[slot] = 0;
+                slab.vals[slot] = T::ZERO;
             } else {
-                av[s as usize]
-            };
+                let col = a_cols[s as usize];
+                // Refresh-time bound proof: the kernels gather `v[col]`
+                // without a per-element check.
+                assert!(
+                    (col as usize) < self.n_cols,
+                    "CSR column {col} out of bounds"
+                );
+                slab.cols[slot] = col;
+                slab.vals[slot] = av[s as usize];
+            }
         }
         slab.source = want;
     }
 
-    /// Run `f` against the current value slab under the read lock. The
-    /// lock is uncontended in the steady state (refreshes happen before
-    /// workers launch), so this costs one atomic acquire per call — take
-    /// it once per tile, not per chunk.
-    pub fn with_values<R>(&self, f: impl FnOnce(&[T]) -> R) -> R {
-        f(&self.vals.read().unwrap().vals)
+    /// Run `f` against the current slab under the read lock. The lock is
+    /// uncontended in the steady state (refreshes happen before workers
+    /// launch), so this costs one atomic acquire per call — take it once
+    /// per tile, not per chunk.
+    pub fn with_slab<R>(&self, f: impl FnOnce(SlabView<'_, T>) -> R) -> R {
+        let guard = self.vals.read().unwrap();
+        f(SlabView {
+            cols: &guard.cols,
+            vals: &guard.vals,
+        })
     }
 
     /// SpMV over chunks `[c0, c1)`: for every row `r` of those chunks,
     /// computes `Σ_j A[r,·]·v` in ascending-`j` order (bit-identical to
     /// the CSR reference) and hands `(row, sum)` to `sink`. Rows with no
     /// entries still reach the sink with `T::ZERO`, matching CSR
-    /// semantics. `vals` must be the slab from [`with_values`].
+    /// semantics. `slab` must come from [`with_slab`].
     ///
     /// # Panics
     ///
     /// Panics if `v` is shorter than the source matrix's column count —
     /// the single bound check that covers every gather below.
     ///
-    /// [`with_values`]: Self::with_values
+    /// [`with_slab`]: Self::with_slab
     pub fn spmv_chunks<S: FnMut(usize, T)>(
         &self,
-        vals: &[T],
+        slab: SlabView<'_, T>,
         c0: usize,
         c1: usize,
         v: &[T],
@@ -276,11 +314,11 @@ impl<T: Scalar> PackedSell<T> {
             let lane0 = c * self.chunk;
             let lanes = (self.rows.len() - lane0).min(self.chunk);
             match lanes {
-                16 => self.chunk_fixed::<16, S>(vals, c, lane0, v, &mut sink),
-                8 => self.chunk_fixed::<8, S>(vals, c, lane0, v, &mut sink),
-                4 => self.chunk_fixed::<4, S>(vals, c, lane0, v, &mut sink),
-                2 => self.chunk_fixed::<2, S>(vals, c, lane0, v, &mut sink),
-                _ => self.chunk_dyn(vals, c, lane0, lanes, v, &mut sink),
+                16 => self.chunk_fixed::<16, S>(slab, c, lane0, v, &mut sink),
+                8 => self.chunk_fixed::<8, S>(slab, c, lane0, v, &mut sink),
+                4 => self.chunk_fixed::<4, S>(slab, c, lane0, v, &mut sink),
+                2 => self.chunk_fixed::<2, S>(slab, c, lane0, v, &mut sink),
+                _ => self.chunk_dyn(slab, c, lane0, lanes, v, &mut sink),
             }
         }
     }
@@ -292,7 +330,7 @@ impl<T: Scalar> PackedSell<T> {
     #[inline]
     fn chunk_fixed<const L: usize, S: FnMut(usize, T)>(
         &self,
-        vals: &[T],
+        slab: SlabView<'_, T>,
         c: usize,
         lane0: usize,
         v: &[T],
@@ -306,10 +344,11 @@ impl<T: Scalar> PackedSell<T> {
         // Dense phase: every lane active, unit-stride slab columns. The
         // `chunks_exact(L)` windows (L const) drop the per-slot slab
         // bounds checks; the gather is unchecked because every
-        // non-padding column was proven `< n_cols` at pack time and
-        // `spmv_chunks` checked `v.len() >= n_cols` once up front.
-        let dense = self.cols[off..off + min_len * L].chunks_exact(L);
-        let dense_vals = vals[off..off + min_len * L].chunks_exact(L);
+        // non-padding column was proven `< n_cols` when the slab was
+        // gathered and `spmv_chunks` checked `v.len() >= n_cols` once
+        // up front.
+        let dense = slab.cols[off..off + min_len * L].chunks_exact(L);
+        let dense_vals = slab.vals[off..off + min_len * L].chunks_exact(L);
         for (cw, vw) in dense.zip(dense_vals) {
             // Gather first, FMA second: the gather loop is scalar loads,
             // but the FMA loop is contiguous-on-contiguous and the
@@ -317,8 +356,8 @@ impl<T: Scalar> PackedSell<T> {
             let mut xs = [T::ZERO; L];
             for l in 0..L {
                 // SAFETY: `cw[l]` is a non-padding slot of this chunk's
-                // dense phase; `from_rows` asserted it `< n_cols` and
-                // `spmv_chunks` asserted `v.len() >= n_cols`.
+                // dense phase; `ensure_values` asserted it `< n_cols`
+                // and `spmv_chunks` asserted `v.len() >= n_cols`.
                 xs[l] = unsafe { *v.get_unchecked(cw[l] as usize) };
             }
             for l in 0..L {
@@ -333,11 +372,12 @@ impl<T: Scalar> PackedSell<T> {
                 active -= 1;
             }
             let o = off + j * L;
-            for l in 0..active {
+            for (l, s) in sums.iter_mut().enumerate().take(active) {
                 // SAFETY: `l < active` means lane `l` has `len > j`, so
-                // this slot is non-padding; same pack-time bound proof.
-                let x = unsafe { *v.get_unchecked(self.cols[o + l] as usize) };
-                sums[l] = vals[o + l].mul_add_(x, sums[l]);
+                // this slot is non-padding; same refresh-time bound
+                // proof.
+                let x = unsafe { *v.get_unchecked(slab.cols[o + l] as usize) };
+                *s = slab.vals[o + l].mul_add_(x, *s);
             }
         }
         for (l, &s) in sums.iter().enumerate() {
@@ -350,7 +390,7 @@ impl<T: Scalar> PackedSell<T> {
     /// live in a fixed stack buffer unless the chunk size is enormous.
     fn chunk_dyn<S: FnMut(usize, T)>(
         &self,
-        vals: &[T],
+        slab: SlabView<'_, T>,
         c: usize,
         lane0: usize,
         lanes: usize,
@@ -374,15 +414,96 @@ impl<T: Scalar> PackedSell<T> {
                 active -= 1;
             }
             let o = off + j * lanes;
-            for l in 0..active {
+            for (l, s) in sums.iter_mut().enumerate().take(active) {
                 // SAFETY: `l < active` means this slot is non-padding;
-                // same pack-time bound proof as `chunk_fixed`.
-                let x = unsafe { *v.get_unchecked(self.cols[o + l] as usize) };
-                sums[l] = vals[o + l].mul_add_(x, sums[l]);
+                // same refresh-time bound proof as `chunk_fixed`.
+                let x = unsafe { *v.get_unchecked(slab.cols[o + l] as usize) };
+                *s = slab.vals[o + l].mul_add_(x, *s);
             }
         }
         for (l, &s) in sums.iter().enumerate() {
             sink(self.rows[lane0 + l] as usize, s);
+        }
+    }
+
+    /// Batched SpMV (SpMM) over chunks `[c0, c1)` against `KB`
+    /// right-hand sides read from a row-major block: input row `c` is
+    /// `x[c * x_stride + x_col0 ..][..KB]`. For every packed row `r` the
+    /// kernel walks the row's slots in ascending-`j` order — the **same**
+    /// per-row accumulation order as [`spmv_chunks`](Self::spmv_chunks)
+    /// and the CSR reference, so each of the `KB` output columns is
+    /// bit-for-bit identical to an independent single-vector SpMV — and
+    /// broadcasts each gathered matrix element against the `KB`
+    /// contiguous x-lanes, accumulating into `KB` register-resident
+    /// sums. Matrix bytes are streamed once and pay for `KB` outputs.
+    ///
+    /// Iteration is per-lane (slot stride = the chunk's lane count)
+    /// rather than lane-lockstep: lockstep would need `lanes × KB`
+    /// accumulators, which spills at any useful width, while per-lane
+    /// keeps exactly `KB` sums live — the register-pressure cap that
+    /// bounds the supported RHS widths (see the dispatch in the core
+    /// executor). Padding slots are never read: each lane stops at its
+    /// own length.
+    ///
+    /// `sink` receives `(row, sums)` for every row of the chunk range,
+    /// including empty rows (all-zero sums), matching CSR semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `KB == 0`, the block geometry is inconsistent
+    /// (`x_col0 + KB > x_stride` while columns exist), or `x` is too
+    /// short to hold row `n_cols - 1` — the single up-front bound check
+    /// that, together with the pack-time column bound, licenses the
+    /// unchecked x-gathers below.
+    #[allow(clippy::too_many_arguments)] // block geometry is three scalars, not a struct
+    pub fn spmm_chunks<const KB: usize, S: FnMut(usize, [T; KB])>(
+        &self,
+        slab: SlabView<'_, T>,
+        c0: usize,
+        c1: usize,
+        x: &[T],
+        x_stride: usize,
+        x_col0: usize,
+        mut sink: S,
+    ) {
+        assert!(KB > 0, "RHS block width must be positive");
+        if self.n_cols > 0 {
+            assert!(
+                x_col0 + KB <= x_stride,
+                "RHS block {x_col0}..{} overruns the row stride {x_stride}",
+                x_col0 + KB
+            );
+            assert!(
+                (self.n_cols - 1) * x_stride + x_col0 + KB <= x.len(),
+                "input block shorter than the matrix column count"
+            );
+        }
+        for c in c0..c1 {
+            let lane0 = c * self.chunk;
+            let lanes = (self.rows.len() - lane0).min(self.chunk);
+            let off = self.chunk_off[c];
+            for l in 0..lanes {
+                let len = self.lens[lane0 + l] as usize;
+                let mut sums = [T::ZERO; KB];
+                let mut slot = off + l;
+                for _ in 0..len {
+                    let col = slab.cols[slot] as usize;
+                    let av = slab.vals[slot];
+                    let base = col * x_stride + x_col0;
+                    for (kk, s) in sums.iter_mut().enumerate() {
+                        // SAFETY: `col < n_cols` was asserted when the
+                        // slab was gathered, for every non-padding slot
+                        // (lane `l` stops at its own length, so `slot`
+                        // is never padding), and the up-front assert
+                        // above proved `(n_cols - 1) * x_stride + x_col0
+                        // + KB <= x.len()`, so `base + kk` is in bounds.
+                        let xv = unsafe { *x.get_unchecked(base + kk) };
+                        *s = av.mul_add_(xv, *s);
+                    }
+                    slot += lanes;
+                }
+                sink(self.rows[lane0 + l] as usize, sums);
+            }
         }
     }
 
@@ -392,8 +513,8 @@ impl<T: Scalar> PackedSell<T> {
     /// execution layer.
     pub fn spmv_into(&self, a: &CsrMatrix<T>, v: &[T], u: &mut [T]) {
         self.ensure_values(a);
-        self.with_values(|vals| {
-            self.spmv_chunks(vals, 0, self.n_chunks(), v, |r, s| u[r] = s);
+        self.with_slab(|slab| {
+            self.spmv_chunks(slab, 0, self.n_chunks(), v, |r, s| u[r] = s);
         });
     }
 
@@ -401,9 +522,12 @@ impl<T: Scalar> PackedSell<T> {
     /// this payload matches it exactly: same row multiset, lengths equal
     /// to the CSR row lengths, chunks length-sorted with correct offsets,
     /// every non-padding slot's `(col, src)` equal to the CSR entry it
-    /// claims to mirror, every padding slot marked. Returns a description
-    /// of the first defect. O(slots + |rows| log |rows|).
+    /// claims to mirror, every padding slot marked. The slab is refreshed
+    /// from `a` first, so the proof covers the state execution will read.
+    /// Returns a description of the first defect.
+    /// O(slots + |rows| log |rows|).
     pub fn check_against(&self, a: &CsrMatrix<T>, expected_rows: &[u32]) -> Result<(), String> {
+        self.ensure_values(a);
         if self.n_cols != a.n_cols() {
             return Err(format!(
                 "packed n_cols {} != matrix n_cols {} (gather bound proof void)",
@@ -442,13 +566,14 @@ impl<T: Scalar> PackedSell<T> {
                 return Err(format!("packed rows not length-sorted at index {i}"));
             }
         }
-        if self.chunk_off.first() != Some(&0) || self.chunk_off.last() != Some(&self.cols.len()) {
+        if self.chunk_off.first() != Some(&0) || self.chunk_off.last() != Some(&self.src.len()) {
             return Err("chunk offsets do not span the slab".into());
         }
-        if self.cols.len() != self.src.len() {
+        let slab = self.vals.read().unwrap();
+        if slab.cols.len() != self.src.len() {
             return Err("cols/src slab length mismatch".into());
         }
-        if self.vals.read().unwrap().vals.len() != self.cols.len() {
+        if slab.vals.len() != self.src.len() {
             return Err("value slab length mismatch".into());
         }
         let mut seen_nnz = 0usize;
@@ -474,10 +599,10 @@ impl<T: Scalar> PackedSell<T> {
                                 base + j
                             ));
                         }
-                        if self.cols[slot] != a_cols[base + j] {
+                        if slab.cols[slot] != a_cols[base + j] {
                             return Err(format!(
                                 "chunk {c} lane {lane} col {j}: col {} != CSR col {}",
-                                self.cols[slot],
+                                slab.cols[slot],
                                 a_cols[base + j]
                             ));
                         }
@@ -507,11 +632,11 @@ impl<T: Scalar> Clone for PackedSell<T> {
             rows: self.rows.clone(),
             lens: self.lens.clone(),
             chunk_off: self.chunk_off.clone(),
-            cols: self.cols.clone(),
             src: self.src.clone(),
             nnz: self.nnz,
             vals: RwLock::new(ValueSlab {
                 source: slab.source,
+                cols: slab.cols.clone(),
                 vals: slab.vals.clone(),
             }),
         }
@@ -641,6 +766,83 @@ mod tests {
         let slot = p.src.iter().position(|&s| s != SRC_PAD).unwrap();
         p.src[slot] = p.src[slot].wrapping_add(1);
         assert!(p.check_against(&a, &rows).is_err());
+    }
+
+    #[test]
+    fn spmm_chunks_matches_per_column_spmv_bit_for_bit() {
+        let a = gen::mixture::<f64>(
+            300,
+            420,
+            &[
+                RowRegime::new(1, 4, 0.5),
+                RowRegime::new(10, 40, 0.4),
+                RowRegime::new(80, 150, 0.1),
+            ],
+            true,
+            13,
+        );
+        let rows = all_rows(&a);
+        for chunk in [3, 8] {
+            let p = PackedSell::from_rows(&a, &rows, chunk);
+            // A strided row-major block: 4 live columns inside stride 6,
+            // starting at column offset 1.
+            const KB: usize = 4;
+            let (stride, col0) = (6usize, 1usize);
+            let x: Vec<f64> = (0..a.n_cols() * stride)
+                .map(|i| ((i * 7) % 23) as f64 - 11.0)
+                .collect();
+            let mut batched = vec![f64::NAN; a.n_rows() * KB];
+            p.with_slab(|slab| {
+                p.spmm_chunks::<KB, _>(slab, 0, p.n_chunks(), &x, stride, col0, |r, sums| {
+                    batched[r * KB..(r + 1) * KB].copy_from_slice(&sums);
+                });
+            });
+            for kk in 0..KB {
+                let v: Vec<f64> = (0..a.n_cols()).map(|c| x[c * stride + col0 + kk]).collect();
+                let mut single = vec![f64::NAN; a.n_rows()];
+                p.with_slab(|slab| {
+                    p.spmv_chunks(slab, 0, p.n_chunks(), &v, |r, s| single[r] = s);
+                });
+                for r in 0..a.n_rows() {
+                    assert_eq!(
+                        batched[r * KB + kk],
+                        single[r],
+                        "chunk {chunk} row {r} col {kk} diverges"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sort_rows_refreshes_columns_with_values() {
+        // Unsorted rows: packing captures the pre-sort (col, val) order.
+        // `sort_rows` permutes pairs within each row and bumps the value
+        // generation; the slab refresh must re-gather *columns* too, or
+        // stale columns pair with fresh values.
+        let mut row_ptr = vec![0usize];
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        for r in 0..6usize {
+            cols.push(((r + 3) % 6) as u32);
+            cols.push((r % 6) as u32);
+            vals.push(10.0 + r as f64);
+            vals.push(1.0 + r as f64);
+            row_ptr.push(cols.len());
+        }
+        let mut a = CsrMatrix::<f64>::from_parts(6, 6, row_ptr, cols, vals).unwrap();
+        assert!(!a.rows_sorted());
+        let rows = all_rows(&a);
+        let p = PackedSell::from_rows(&a, &rows, 4);
+        p.check_against(&a, &rows).unwrap();
+
+        a.sort_rows();
+        let v: Vec<f64> = (0..6).map(|i| (i + 1) as f64).collect();
+        let reference = a.spmv_seq_alloc(&v).unwrap();
+        let mut u = vec![0.0f64; 6];
+        p.spmv_into(&a, &v, &mut u);
+        assert_eq!(u, reference, "slab went stale after sort_rows");
+        p.check_against(&a, &rows).unwrap();
     }
 
     #[test]
