@@ -18,6 +18,12 @@
 //! 5. **Concurrency protocols** — the scope/pool state machines pass
 //!    exhaustive interleaving; the deliberately buggy variants are
 //!    *detected* (a checker that flags nothing proves nothing).
+//! 6. **Bandwidth tiers** — every (strategy × backend × index/blocking
+//!    tier) plan verifies and executes bit-for-bit against the
+//!    sequential CSR reference, the sweep demonstrably reaches sub-u32
+//!    lanes and cache-blocked bins, and the `n_cols`-shrink guard
+//!    rejects a compressed plan whose delta proof a column-shrunk
+//!    matrix would invalidate.
 //!
 //! `spmv-lint --gen-model <path>` instead trains a small deterministic
 //! model and writes it to `<path>` (used to produce `models/tiny.txt`).
@@ -55,6 +61,7 @@ fn main() {
     failures += check_plans();
     failures += check_batched();
     failures += check_concurrency();
+    failures += check_bandwidth();
 
     if failures > 0 {
         eprintln!("\nspmv-lint: {failures} check(s) FAILED");
@@ -243,6 +250,35 @@ fn check_concurrency() -> usize {
             println!("ok: {name} ({v})");
         } else {
             eprintln!("FAIL: {name}: got {v}");
+            bad += 1;
+        }
+    }
+    usize::from(bad > 0)
+}
+
+fn check_bandwidth() -> usize {
+    println!("\n== bandwidth tiers (compressed / cache-blocked plans) ==");
+    let checks = driver::bandwidth_sweep();
+    let mut bad = 0;
+    for c in &checks {
+        if let Err(e) = &c.result {
+            eprintln!(
+                "FAIL: [{}] {} on {} over {}: {e}",
+                c.tier, c.strategy, c.backend, c.matrix
+            );
+            bad += 1;
+        }
+    }
+    if bad == 0 {
+        println!(
+            "ok: {} tiered plans verified and bit-identical to the CSR reference",
+            checks.len()
+        );
+    }
+    match driver::shrink_guard_lint() {
+        Ok(()) => println!("ok: n_cols-shrink guard rejects stale delta proofs"),
+        Err(e) => {
+            eprintln!("FAIL: shrink guard: {e}");
             bad += 1;
         }
     }

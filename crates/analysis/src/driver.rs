@@ -10,12 +10,12 @@
 use spmv_autotune::binning::BinningScheme;
 use spmv_autotune::exec::{ExecBackend, NativeCpuBackend, SimGpuBackend};
 use spmv_autotune::kernels::KernelId;
-use spmv_autotune::plan::SpmvPlan;
+use spmv_autotune::plan::{BinFormat, IndexPolicy, PlanConfig, SpmvPlan};
 use spmv_autotune::strategy::Strategy;
 use spmv_autotune::verify::VerifyError;
 use spmv_gpusim::GpuDevice;
 use spmv_sparse::gen::{self, mixture::RowRegime};
-use spmv_sparse::{CsrMatrix, Scalar};
+use spmv_sparse::{CsrMatrix, IndexKind, Scalar};
 
 /// Outcome of verifying one (strategy, backend, matrix) combination.
 #[derive(Debug)]
@@ -209,6 +209,197 @@ fn check_batch_equivalence(
     Ok(())
 }
 
+/// The bandwidth-tier plan configurations `spmv-lint` sweeps on top of
+/// the strategy grid: the PR 3 u32-lane baseline, the shipped default
+/// gate, the Auto policy's compress branch (an exhausted `llc_bytes`
+/// budget classifies every suite matrix as streaming), an explicit u8
+/// floor (which the pack-time span proof may widen), and a forced
+/// cache-blocked tier (tiny strip budget plus a permissive scatter
+/// threshold so the gate actually fires on the 400–600-column suite
+/// matrices).
+pub fn bandwidth_tiers() -> Vec<(&'static str, PlanConfig)> {
+    vec![
+        (
+            "u32",
+            PlanConfig {
+                index: IndexPolicy::Fixed(IndexKind::U32),
+                cache_block: false,
+                ..PlanConfig::default()
+            },
+        ),
+        ("auto", PlanConfig::default()),
+        (
+            "compressed",
+            PlanConfig {
+                llc_bytes: 0,
+                ..PlanConfig::default()
+            },
+        ),
+        (
+            "u8-floor",
+            PlanConfig {
+                index: IndexPolicy::Fixed(IndexKind::U8),
+                ..PlanConfig::default()
+            },
+        ),
+        (
+            "blocked",
+            PlanConfig {
+                pack: false,
+                l2_bytes: 64 * std::mem::size_of::<f64>(),
+                scatter_lines_per_row: 1.0,
+                ..PlanConfig::default()
+            },
+        ),
+    ]
+}
+
+/// Outcome of one bandwidth-tier check: a compressed or cache-blocked
+/// plan must verify (the payload proofs re-run) and execute bit-for-bit
+/// against the sequential CSR reference.
+#[derive(Debug)]
+pub struct BandwidthCheck {
+    /// Tier label from [`bandwidth_tiers`].
+    pub tier: &'static str,
+    /// Human-readable strategy summary.
+    pub strategy: String,
+    /// Backend name the plan was compiled for.
+    pub backend: &'static str,
+    /// Label of the matrix checked.
+    pub matrix: String,
+    /// `Ok` on bitwise equality, a description of the failure otherwise.
+    pub result: Result<(), String>,
+}
+
+/// Bandwidth-tier sweep: every (strategy × backend × tier) plan over the
+/// matrix suite, verified and executed against the sequential reference.
+///
+/// Beyond per-plan correctness, the sweep asserts it actually exercised
+/// the new payloads: at least one plan must realise a sub-u32 index
+/// width, and at least one must carry a cache-blocked bin — a sweep that
+/// silently gates everything back to plain CSR proves nothing. Those
+/// coverage failures are appended as synthetic checks.
+pub fn bandwidth_sweep() -> Vec<BandwidthCheck> {
+    let mut out = Vec::new();
+    let mut saw_narrow = false;
+    let mut saw_blocked = false;
+    for (label, a) in matrix_suite() {
+        let reference = a.spmv_seq_alloc(&probe(a.n_cols())).unwrap();
+        for strategy in strategy_grid() {
+            for (tier, config) in bandwidth_tiers() {
+                for which in 0..2usize {
+                    let backend = backend_pair::<f64>().swap_remove(which);
+                    let name = backend.name();
+                    let plan = SpmvPlan::compile_with(&a, strategy.clone(), backend, config);
+                    saw_narrow |= plan.dispatch().iter().any(|d| {
+                        matches!(d.format, BinFormat::PackedSell { index, .. } if index != IndexKind::U32)
+                    });
+                    saw_blocked |= plan.blocked_bins() > 0;
+                    out.push(BandwidthCheck {
+                        tier,
+                        strategy: strategy.describe(),
+                        backend: name,
+                        matrix: label.clone(),
+                        result: check_against_reference(&a, plan, &reference),
+                    });
+                }
+            }
+        }
+    }
+    for (flag, what) in [
+        (saw_narrow, "no plan realised a sub-u32 index width"),
+        (saw_blocked, "no plan produced a cache-blocked bin"),
+    ] {
+        out.push(BandwidthCheck {
+            tier: "coverage",
+            strategy: "sweep-wide".into(),
+            backend: "-",
+            matrix: "-".into(),
+            result: if flag {
+                Ok(())
+            } else {
+                Err(format!("{what}: the sweep never left the CSR fallback"))
+            },
+        });
+    }
+    out
+}
+
+fn probe(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i % 19) as f64) - 9.0).collect()
+}
+
+fn check_against_reference(
+    a: &CsrMatrix<f64>,
+    plan: SpmvPlan<f64>,
+    reference: &[f64],
+) -> Result<(), String> {
+    let verified = plan.verify(a).map_err(|e| format!("verify: {e}"))?;
+    let v = probe(a.n_cols());
+    let mut u = vec![f64::NAN; a.n_rows()];
+    verified
+        .execute_unchecked(a, &v, &mut u)
+        .map_err(|e| format!("execute: {e}"))?;
+    if u != reference {
+        let row = (0..a.n_rows())
+            .find(|&r| u[r].to_bits() != reference[r].to_bits())
+            .unwrap_or(0);
+        return Err(format!(
+            "diverges first at row {row}: plan {} vs reference {}",
+            u[row], reference[row]
+        ));
+    }
+    Ok(())
+}
+
+/// The `n_cols`-shrink guard: a compressed plan's delta proof is
+/// anchored to the compile-time column count, so handing the plan a
+/// column-shrunk matrix (same pattern otherwise) must be rejected on
+/// every entry point — checked execute, unchecked execute, and
+/// re-verification — never gathered out of bounds.
+pub fn shrink_guard_lint() -> Result<(), String> {
+    let a = gen::random_uniform::<f64>(200, 100, 2, 4, 17);
+    let (rp, ci, vals) = (
+        a.row_ptr().to_vec(),
+        a.col_idx().to_vec(),
+        a.values().to_vec(),
+    );
+    let wide = CsrMatrix::from_parts(200, 200, rp.clone(), ci.clone(), vals.clone())
+        .map_err(|e| format!("build wide: {e}"))?;
+    let narrow =
+        CsrMatrix::from_parts(200, 100, rp, ci, vals).map_err(|e| format!("build narrow: {e}"))?;
+    let compile = || {
+        SpmvPlan::compile_with(
+            &wide,
+            Strategy {
+                binning: BinningScheme::Coarse { u: 10 },
+                kernels: vec![KernelId::Serial; 8],
+            },
+            Box::new(NativeCpuBackend::new()),
+            PlanConfig::default(),
+        )
+    };
+    let plan = compile();
+    if plan.packed_bins() == 0 {
+        return Err("shrink guard never compiled a compressed bin".into());
+    }
+    let v = vec![1.0f64; narrow.n_cols()];
+    let mut u = vec![0.0f64; narrow.n_rows()];
+    if plan.execute(&narrow, &v, &mut u).is_ok() {
+        return Err("checked execute accepted a column-shrunk matrix".into());
+    }
+    if plan.verify(&narrow).is_ok() {
+        return Err("verify accepted a column-shrunk matrix".into());
+    }
+    let verified = compile()
+        .verify(&wide)
+        .map_err(|e| format!("verify against the compile matrix: {e}"))?;
+    if verified.execute_unchecked(&narrow, &v, &mut u).is_ok() {
+        return Err("unchecked execute accepted a column-shrunk matrix".into());
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +419,28 @@ mod tests {
                 c.result
             );
         }
+    }
+
+    #[test]
+    fn bandwidth_sweep_is_bit_identical_and_covers_new_payloads() {
+        let checks = bandwidth_sweep();
+        assert_eq!(checks.len(), 3 * 20 * 5 * 2 + 2, "bandwidth grid changed?");
+        for c in &checks {
+            assert!(
+                c.result.is_ok(),
+                "[{}] {} on {} over {} failed: {:?}",
+                c.tier,
+                c.strategy,
+                c.backend,
+                c.matrix,
+                c.result
+            );
+        }
+    }
+
+    #[test]
+    fn shrink_guard_rejects_column_shrunk_matrices() {
+        shrink_guard_lint().unwrap();
     }
 
     #[test]

@@ -26,6 +26,8 @@ struct Row {
     packed_bins: usize,
     csr_bins: usize,
     padding_ratio: f64,
+    index_bpn: f64,
+    total_bpn: f64,
 }
 
 fn time_loop(iters: usize, mut f: impl FnMut()) -> f64 {
@@ -90,6 +92,7 @@ fn measure(name: &str, a: &CsrMatrix<f32>, iters: usize) -> Row {
     } else {
         slots as f64 / packed_nnz as f64
     };
+    let traffic = plan.traffic();
     Row {
         name: name.to_string(),
         m: a.n_rows(),
@@ -100,6 +103,8 @@ fn measure(name: &str, a: &CsrMatrix<f32>, iters: usize) -> Row {
         packed_bins: plan.packed_bins(),
         csr_bins: plan.dispatch().len() - plan.packed_bins(),
         padding_ratio,
+        index_bpn: traffic.index_bytes_per_nnz(),
+        total_bpn: traffic.total_bytes_per_nnz(),
     }
 }
 
@@ -160,7 +165,8 @@ fn main() {
             json,
             "    {{\"name\": \"{}\", \"m\": {}, \"n\": {}, \"nnz\": {}, \
              \"csr_gflops\": {:.3}, \"packed_gflops\": {:.3}, \"speedup\": {:.3}, \
-             \"packed_bins\": {}, \"csr_bins\": {}, \"padding_ratio\": {:.4}}}",
+             \"packed_bins\": {}, \"csr_bins\": {}, \"padding_ratio\": {:.4}, \
+             \"index_bytes_per_nnz\": {:.4}, \"total_bytes_per_nnz\": {:.4}}}",
             json_escape(&r.name),
             r.m,
             r.n,
@@ -171,6 +177,8 @@ fn main() {
             r.packed_bins,
             r.csr_bins,
             r.padding_ratio,
+            r.index_bpn,
+            r.total_bpn,
         )
         .unwrap();
         writeln!(json, "{}", if i + 1 < rows.len() { "," } else { "" }).unwrap();

@@ -176,6 +176,39 @@ impl<T: Scalar> ExecBackend<T> for SimGpuBackend {
         }
     }
 
+    /// Per-bin launches priced with the compressed-index discount: a bin
+    /// whose payload is a delta-compressed SELL slab moves
+    /// `index_stream_bytes()` of column-index traffic instead of the
+    /// `nnz × 4` the functional CSR pricing charged, so the saved bytes
+    /// are subtracted from that bin's modelled traffic (bandwidth-bound
+    /// kernel times scale down with the bytes; compute-bound times are
+    /// left alone). Execution stays per-bin and functional — only the
+    /// price changes.
+    fn launch_plan(
+        &self,
+        a: &CsrMatrix<T>,
+        dispatch: &[BinDispatch],
+        payloads: &[BinPayload<T>],
+        tiles: &[Tile],
+        v: &[T],
+        u: &mut [T],
+    ) -> LaunchCost {
+        let _ = tiles;
+        let mut total = LaunchCost::default();
+        for (d, p) in dispatch.iter().zip(payloads) {
+            let mut cost = self.launch(a, &d.rows, d.kernel, v, u);
+            if let BinPayload::Packed(packed) = p {
+                let saved = (d.nnz * std::mem::size_of::<u32>())
+                    .saturating_sub(packed.index_stream_bytes());
+                if saved > 0 {
+                    discount_matrix_traffic(&mut cost, saved as f64);
+                }
+            }
+            total.accumulate(&cost);
+        }
+        total
+    }
+
     /// Batched launches priced with matrix-traffic amortization: the
     /// matrix stream (column indices + values + row pointer) is charged
     /// in full for the **first** column of each RHS block and subtracted
@@ -248,6 +281,14 @@ fn discount_matrix_traffic(cost: &mut LaunchCost, matrix_bytes: f64) {
 /// * `Subvector(_)` / `Vector` (cooperative rows) → NNZ-balanced
 ///   partitioning of the bin's row list — the CPU's answer to long-row
 ///   load imbalance.
+///
+/// The fused worker cap honours the `SPMV_THREADS` environment variable
+/// at construction ([`Default::default`] / [`new`](Self::new)): a
+/// positive integer caps the fused parallel regions at that many
+/// threads, clamped to the pool size; anything else (absent, empty,
+/// non-numeric, `0`) keeps the pool default. This makes bench runs
+/// reproducible on shared CI boxes without recompiling.
+/// [`with_workers`](Self::with_workers) still overrides it in code.
 #[derive(Clone, Debug)]
 pub struct NativeCpuBackend {
     /// Rows per scheduling chunk for the row-chunked path.
@@ -258,12 +299,27 @@ pub struct NativeCpuBackend {
     workers: usize,
 }
 
+/// Interpret an `SPMV_THREADS` value as a fused worker cap: a positive
+/// integer is clamped to `pool` (the process thread count); anything
+/// else means "no cap" (`0`, the pool default). Pure so it is unit
+/// testable without touching the process environment.
+fn parse_spmv_threads(raw: Option<&str>, pool: usize) -> usize {
+    raw.and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .map(|n| n.min(pool.max(1)))
+        .unwrap_or(0)
+}
+
 impl Default for NativeCpuBackend {
     fn default() -> Self {
+        let workers = parse_spmv_threads(
+            std::env::var("SPMV_THREADS").ok().as_deref(),
+            spmv_parallel::num_threads(),
+        );
         Self {
             grain: 256,
             parts: spmv_parallel::num_threads() * 4,
-            workers: 0,
+            workers,
         }
     }
 }
@@ -465,6 +521,19 @@ mod tests {
         let cpu_cost = NativeCpuBackend::new().launch(&a, &rows, KernelId::Serial, &v, &mut u);
         assert!(cpu_cost.stats.is_none());
         assert_eq!(cpu_cost.cycles(), 0.0);
+    }
+
+    #[test]
+    fn spmv_threads_parsing_clamps_and_rejects_garbage() {
+        assert_eq!(parse_spmv_threads(None, 8), 0);
+        assert_eq!(parse_spmv_threads(Some(""), 8), 0);
+        assert_eq!(parse_spmv_threads(Some("zero"), 8), 0);
+        assert_eq!(parse_spmv_threads(Some("0"), 8), 0);
+        assert_eq!(parse_spmv_threads(Some("-3"), 8), 0);
+        assert_eq!(parse_spmv_threads(Some("3"), 8), 3);
+        assert_eq!(parse_spmv_threads(Some(" 5 "), 8), 5);
+        assert_eq!(parse_spmv_threads(Some("64"), 8), 8, "clamped to pool");
+        assert_eq!(parse_spmv_threads(Some("4"), 0), 1, "degenerate pool");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! row-parallel (cheap, imbalanced) versus NNZ-balanced partitioning.
 
 use crate::plan::{rhs_blocks, BinDispatch, BinPayload, Tile};
-use spmv_parallel::{fused_for_each_with, parallel_for};
+use spmv_parallel::{fused_for_each_scratch, fused_for_each_with, parallel_for};
 use spmv_sparse::{CsrMatrix, DenseBlock, Scalar, SparseError};
 
 /// Row-parallel SpMV: rows are distributed in fixed-size chunks. The CPU
@@ -154,9 +154,12 @@ pub fn spmv_rows_nnz_balanced<T: Scalar>(
 /// finishing one bin's tiles immediately steals the next bin's. CSR
 /// tiles walk their span of the dispatch row list exactly like the
 /// per-bin kernels (bit-identical per-row sums); packed tiles stream
-/// their SELL chunk range. Packed value slabs are refreshed from `a`
-/// up front, single-threaded, so the parallel region only ever takes
-/// read locks.
+/// their SELL chunk range; cache-blocked tiles walk the same row span
+/// strip-by-strip with worker-private cursors and partial sums
+/// (`blocked_rows_spmv` — bit-identical too, the strips only reorder
+/// *when* entries are consumed across rows, never within one). Packed
+/// value slabs are refreshed from `a` up front, single-threaded, so the
+/// parallel region only ever takes read locks.
 ///
 /// Write soundness: each row of the matrix appears in exactly one bin
 /// (binning invariant, proven by `check_dispatch`), each bin's tiles
@@ -184,36 +187,127 @@ pub fn run_plan_fused<T: Scalar>(
         }
     }
     let out = SliceWriter::new(u);
-    fused_for_each_with(workers, tiles.len(), |t| {
-        let tile = &tiles[t];
-        let d = &dispatch[tile.bin];
-        match &payloads[tile.bin] {
-            BinPayload::Csr => {
-                for &r in &d.rows[tile.start..tile.end] {
-                    let (cols, vals) = a.row(r as usize);
-                    let mut sum = T::ZERO;
-                    for (&c, &x) in cols.iter().zip(vals) {
-                        sum = x.mul_add_(v[c as usize], sum);
+    fused_for_each_scratch(
+        workers,
+        tiles.len(),
+        BlockedScratch::<T>::default,
+        |scratch, t| {
+            let tile = &tiles[t];
+            let d = &dispatch[tile.bin];
+            match &payloads[tile.bin] {
+                BinPayload::Csr => {
+                    for &r in &d.rows[tile.start..tile.end] {
+                        let (cols, vals) = a.row(r as usize);
+                        let mut sum = T::ZERO;
+                        for (&c, &x) in cols.iter().zip(vals) {
+                            sum = x.mul_add_(v[c as usize], sum);
+                        }
+                        // SAFETY: tiles of one bin cover disjoint spans of its
+                        // row list, bins own disjoint rows, and the fused
+                        // scope joins before `u` is observable again.
+                        unsafe { out.write(r as usize, sum) };
                     }
-                    // SAFETY: tiles of one bin cover disjoint spans of its
-                    // row list, bins own disjoint rows, and the fused
-                    // scope joins before `u` is observable again.
-                    unsafe { out.write(r as usize, sum) };
+                }
+                BinPayload::Packed(packed) => {
+                    packed.with_slab(|slab| {
+                        packed.spmv_chunks(slab, tile.start, tile.end, v, |r, sum| {
+                            // SAFETY: chunk ranges of one bin are disjoint and
+                            // each packed row belongs to exactly one chunk;
+                            // same join argument as above.
+                            unsafe { out.write(r, sum) };
+                        });
+                    });
+                }
+                BinPayload::Blocked { strip_cols } => {
+                    blocked_rows_spmv(
+                        a,
+                        &d.rows[tile.start..tile.end],
+                        *strip_cols,
+                        v,
+                        &out,
+                        scratch,
+                    );
                 }
             }
-            BinPayload::Packed(packed) => {
-                packed.with_slab(|slab| {
-                    packed.spmv_chunks(slab, tile.start, tile.end, v, |r, sum| {
-                        // SAFETY: chunk ranges of one bin are disjoint and
-                        // each packed row belongs to exactly one chunk;
-                        // same join argument as above.
-                        unsafe { out.write(r, sum) };
-                    });
-                });
-            }
-        }
-    });
+        },
+    );
     Ok(())
+}
+
+/// Worker-private cursor/partial-sum buffers for the cache-blocked
+/// executor — reused across tiles so the hot path never allocates after
+/// the first tile a worker claims.
+struct BlockedScratch<T: Scalar> {
+    cursors: Vec<usize>,
+    sums: Vec<T>,
+}
+
+impl<T: Scalar> Default for BlockedScratch<T> {
+    fn default() -> Self {
+        Self {
+            cursors: Vec::new(),
+            sums: Vec::new(),
+        }
+    }
+}
+
+/// Cache-blocked SpMV over one tile's row span: the gather vector `v` is
+/// walked in vertical strips of `strip_cols` columns, and every row's
+/// cursor pauses at the strip boundary, carrying its partial sum to the
+/// next strip. Within one strip the working set of `v` is at most
+/// `strip_cols` elements, so scatter-heavy rows stop thrashing the cache
+/// across the full width of `v`.
+///
+/// **Deterministic reduction order.** Each row's entries are consumed in
+/// exact CSR storage position order: the strip loop only ever *pauses* a
+/// row's cursor (`cols[j] < strip_end` fails) and later resumes it, never
+/// reorders it, and the final strip ends at `n_cols`, so every cursor
+/// reaches its row's end. The per-row FMA chain is therefore identical —
+/// operation for operation — to the sequential CSR reference, making the
+/// blocked path bit-for-bit regardless of strip width or column
+/// sortedness (unsorted rows merely pause early and lose the locality
+/// win, they cannot lose entries: a column below an earlier strip's end
+/// still satisfies `cols[j] < strip_end` for every later strip).
+fn blocked_rows_spmv<T: Scalar>(
+    a: &CsrMatrix<T>,
+    rows: &[u32],
+    strip_cols: usize,
+    v: &[T],
+    out: &SliceWriter<T>,
+    scratch: &mut BlockedScratch<T>,
+) {
+    let strip_cols = strip_cols.max(1);
+    let n = rows.len();
+    scratch.cursors.clear();
+    scratch.cursors.resize(n, 0);
+    scratch.sums.clear();
+    scratch.sums.resize(n, T::ZERO);
+    let n_cols = a.n_cols();
+    let mut strip_end = strip_cols.min(n_cols);
+    loop {
+        for (i, &r) in rows.iter().enumerate() {
+            let (cols, vals) = a.row(r as usize);
+            let mut j = scratch.cursors[i];
+            let mut sum = scratch.sums[i];
+            while j < cols.len() && (cols[j] as usize) < strip_end {
+                sum = vals[j].mul_add_(v[cols[j] as usize], sum);
+                j += 1;
+            }
+            scratch.cursors[i] = j;
+            scratch.sums[i] = sum;
+        }
+        if strip_end >= n_cols {
+            break;
+        }
+        strip_end = (strip_end + strip_cols).min(n_cols);
+    }
+    for (i, &r) in rows.iter().enumerate() {
+        // SAFETY: the same tile-disjointness argument as the CSR arm —
+        // this tile owns `rows`, every strip of a row was accumulated
+        // into this tile's scratch, and the fused scope joins before `u`
+        // is observable again.
+        unsafe { out.write(r as usize, scratch.sums[i]) };
+    }
 }
 
 /// Batched (multi-RHS) plan execution: the SpMM analogue of
@@ -267,7 +361,7 @@ pub fn run_plan_fused_batch<T: Scalar>(
         for (bin, (d, p)) in dispatch.iter().zip(payloads).enumerate() {
             let span = match p {
                 BinPayload::Packed(packed) => packed.n_chunks(),
-                BinPayload::Csr => d.rows.len(),
+                BinPayload::Csr | BinPayload::Blocked { .. } => d.rows.len(),
             };
             synth_tiles.push(Tile {
                 bin,
@@ -327,7 +421,12 @@ fn run_batch_queue<T: Scalar>(
         let (c0, width) = blocks[bi as usize];
         let d = &dispatch[tile.bin];
         match &payloads[tile.bin] {
-            BinPayload::Csr => {
+            // Blocked bins run the plain CSR block kernel in the batched
+            // path: the strip schedule is a single-vector locality
+            // optimisation (the register-blocked walk already amortises
+            // gathers across RHS lanes), and both walks consume storage
+            // order, so the results are bit-identical either way.
+            BinPayload::Csr | BinPayload::Blocked { .. } => {
                 let rows = &d.rows[tile.start..tile.end];
                 match width {
                     8 => csr_rows_block::<T, 8>(a, rows, xs, x_stride, c0, &out),

@@ -79,8 +79,8 @@ pub mod prelude {
     pub use crate::kernels::{KernelId, ALL_KERNELS};
     pub use crate::model_io::{load_model_file, save_model_file};
     pub use crate::plan::{
-        rhs_blocks, BinDispatch, BinFormat, BinPayload, PatternFingerprint, PlanConfig, PlanError,
-        SpmvPlan, Tile, VerifiedPlan,
+        rhs_blocks, BinDispatch, BinFormat, BinPayload, IndexPolicy, PatternFingerprint,
+        PlanConfig, PlanError, SpmvPlan, Tile, TrafficStats, VerifiedPlan,
     };
     pub use crate::strategy::Strategy;
     pub use crate::training::{TrainedModel, Trainer, TrainingReport};

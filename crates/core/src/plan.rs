@@ -21,7 +21,10 @@ use crate::kernels::cpu::rows_nnz_cuts;
 use crate::kernels::KernelId;
 use crate::strategy::Strategy;
 use crate::verify::{check_dispatch, check_payloads, VerifyError};
-use spmv_sparse::{CsrMatrix, DenseBlock, FeatureSet, MatrixFeatures, PackedSell, Scalar};
+use spmv_sparse::{
+    ColumnLocality, CsrMatrix, DenseBlock, FeatureSet, IndexKind, MatrixFeatures, PackedSell,
+    Scalar,
+};
 
 /// Structural identity of a CSR matrix: dimensions, NNZ, and an FNV-1a
 /// checksum of the row-pointer array. Two matrices with equal
@@ -119,9 +122,25 @@ pub enum BinFormat {
     Csr,
     /// SELL-style packed slabs ([`PackedSell`]) with the given lane
     /// count, for low/mid-NNZ bins where per-row loop overhead dominates.
+    /// `index` is the *realised* column-index width: the narrowest delta
+    /// lane the pack-time span proof admitted (never narrower than the
+    /// [`PlanConfig::index`] policy floor).
     PackedSell {
         /// Lanes per chunk (`C`).
         chunk: usize,
+        /// Realised delta-compressed column-index width.
+        index: IndexKind,
+    },
+    /// CSR traversal with column-blocked (cache-blocked) execution on the
+    /// fused native path: the gather vector `x` is tiled into vertical
+    /// strips of `strip_cols` columns and each row's cursor pauses at
+    /// strip boundaries, carrying its partial sum across strips. Chosen
+    /// for scatter-heavy CSR-fallback bins whose working set of `x`
+    /// exceeds L2. Entries are still consumed in exact CSR storage order,
+    /// so results are bit-for-bit identical to [`BinFormat::Csr`].
+    CacheBlockedCsr {
+        /// Columns per vertical strip of `x`.
+        strip_cols: usize,
     },
 }
 
@@ -129,13 +148,18 @@ impl std::fmt::Display for BinFormat {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BinFormat::Csr => write!(f, "csr"),
-            BinFormat::PackedSell { chunk } => write!(f, "sell-{chunk}"),
+            BinFormat::PackedSell { chunk, index } => write!(f, "sell-{chunk}-{index}"),
+            BinFormat::CacheBlockedCsr { strip_cols } => write!(f, "blocked-csr-{strip_cols}"),
         }
     }
 }
 
 /// The execution payload materialised for one bin, aligned index-for-index
 /// with the plan's dispatch table.
+// Plans hold one payload per bin (single digits), so the size spread
+// against the unit variants is noise next to the slab heap a `Packed`
+// owns; boxing would only add a pointer chase on the execute path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum BinPayload<T: Scalar> {
     /// No extra payload — execute walks the dispatch entry's row list
@@ -143,6 +167,15 @@ pub enum BinPayload<T: Scalar> {
     Csr,
     /// A packed SELL slab built from the bin's rows at compile time.
     Packed(PackedSell<T>),
+    /// No extra storage, but the fused native executor walks the bin's
+    /// rows strip-by-strip with per-row partial sums (see
+    /// [`BinFormat::CacheBlockedCsr`]). Backends without a blocked
+    /// executor treat this exactly like [`BinPayload::Csr`] — the
+    /// blocking is a schedule, not a semantic change.
+    Blocked {
+        /// Columns per vertical strip of `x`.
+        strip_cols: usize,
+    },
 }
 
 /// One unit of the fused dispatch queue: a contiguous slice of one bin's
@@ -189,10 +222,45 @@ pub fn rhs_blocks(k: usize) -> Vec<(usize, usize)> {
     blocks
 }
 
+/// Column-index width policy for packed bins: how narrow the base+delta
+/// lanes may go. The realised width is always the *widest* of the policy
+/// floor and what the pack-time span proof requires.
+///
+/// `Auto` is the bottleneck-aware setting: it floors at `u8` (narrowest
+/// proven width per chunk) only when the matrix's streamed working set
+/// outgrows [`PlanConfig::llc_bytes`]. A cache-resident operand set
+/// re-reads its index stream from cache, so delta decode would add
+/// per-non-zero work without saving any memory traffic — the gate keeps
+/// full `u32` words there. `Fixed(IndexKind::U8)` forces compression
+/// unconditionally (bandwidth studies, machines whose cache budget the
+/// default misjudges); `Fixed(IndexKind::U32)` reproduces the
+/// uncompressed PR 3 layout exactly (every delta stored in a full word).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexPolicy {
+    /// Narrowest proven width when the working set streams from memory,
+    /// full words when it is cache-resident (the default).
+    Auto,
+    /// Floor the width at the given kind, bypassing the bottleneck gate
+    /// (benchmark baselines, A/B runs).
+    Fixed(IndexKind),
+}
+
+impl IndexPolicy {
+    /// The width floor this policy imposes before the bottleneck gate
+    /// (the narrowest width a bin may ever realise under it).
+    pub fn floor(self) -> IndexKind {
+        match self {
+            IndexPolicy::Auto => IndexKind::U8,
+            IndexPolicy::Fixed(k) => k,
+        }
+    }
+}
+
 /// Knobs for plan compilation's format and dispatch decisions. The
 /// defaults are what [`SpmvPlan::compile`] uses; benches and tests use
 /// [`SpmvPlan::compile_with`] to pin specific corners (packing off,
-/// fusion off, adversarial padding bounds).
+/// fusion off, adversarial padding bounds, forced index widths, tiny
+/// `l2_bytes` to trigger cache blocking on small matrices).
 #[derive(Clone, Copy, Debug)]
 pub struct PlanConfig {
     /// Consider SELL packing at all (`false` forces CSR everywhere).
@@ -213,6 +281,27 @@ pub struct PlanConfig {
     /// Target non-zeros per tile; `0` sizes tiles so each worker sees
     /// several per launch (min 4096 so tiny matrices stay one tile).
     pub tile_nnz: usize,
+    /// Column-index width floor for packed bins (default
+    /// [`IndexPolicy::Auto`]: narrowest proven width per bin).
+    pub index: IndexPolicy,
+    /// Consider column-blocked execution for scatter-heavy CSR-fallback
+    /// bins (`false` keeps plain CSR traversal).
+    pub cache_block: bool,
+    /// Cache-blocking working-set budget in bytes: blocking only fires
+    /// when `x` outgrows this, and the strip width is sized so one strip
+    /// of `x` fits within it (an L2-capacity stand-in).
+    pub l2_bytes: usize,
+    /// Bottleneck-classifier threshold: a CSR-fallback bin is treated as
+    /// scatter-heavy (latency-bound) when its rows touch at least this
+    /// many distinct cache lines of `x` on average.
+    pub scatter_lines_per_row: f64,
+    /// Width-gate working-set budget in bytes (a last-level-cache
+    /// stand-in): under [`IndexPolicy::Auto`], packed bins realise
+    /// compressed index lanes only when the matrix's streamed bytes
+    /// (values, `u32` indices, and the dense vectors) exceed this.
+    /// Smaller operand sets are cache-resident, where narrower lanes
+    /// save no DRAM traffic but still pay their decode cost.
+    pub llc_bytes: usize,
 }
 
 impl Default for PlanConfig {
@@ -224,7 +313,52 @@ impl Default for PlanConfig {
             max_row_nnz: 512,
             fused: true,
             tile_nnz: 0,
+            index: IndexPolicy::Auto,
+            cache_block: true,
+            l2_bytes: 256 * 1024,
+            scatter_lines_per_row: 4.0,
+            llc_bytes: 32 * 1024 * 1024,
         }
+    }
+}
+
+/// Bytes one execution of a plan must move from memory, broken down by
+/// payload stream — the observability counterpart of the format gate.
+/// Packed bins charge their realised slot count (padding included) at
+/// each chunk's compressed index width plus the `u32` anchor table (one
+/// base per chunk, or one per dense column position for column-anchored
+/// chunks); CSR and blocked bins charge `nnz × 4` index bytes. `x_gather_bytes` is the
+/// cache-line-granular estimate of gather traffic derived from the
+/// matrix's measured distinct-lines-per-row feature — an estimate of
+/// compulsory misses, not a bound (reuse across rows may reduce it,
+/// capacity misses may raise it).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Matrix value bytes (packed slabs charge padding slots too).
+    pub value_bytes: usize,
+    /// Column-index bytes (delta lanes + anchor tables for packed bins).
+    pub index_bytes: usize,
+    /// Estimated `x` gather traffic at cache-line granularity.
+    pub x_gather_bytes: usize,
+    /// Non-zeros covered (denominator for the per-NNZ views).
+    pub nnz: usize,
+}
+
+impl TrafficStats {
+    /// Index bytes moved per non-zero (the tentpole's headline metric).
+    pub fn index_bytes_per_nnz(&self) -> f64 {
+        self.index_bytes as f64 / (self.nnz as f64).max(1.0)
+    }
+
+    /// Value bytes moved per non-zero.
+    pub fn value_bytes_per_nnz(&self) -> f64 {
+        self.value_bytes as f64 / (self.nnz as f64).max(1.0)
+    }
+
+    /// Total matrix + estimated gather bytes per non-zero.
+    pub fn total_bytes_per_nnz(&self) -> f64 {
+        (self.value_bytes + self.index_bytes + self.x_gather_bytes) as f64
+            / (self.nnz as f64).max(1.0)
     }
 }
 
@@ -509,6 +643,36 @@ impl<T: Scalar> SpmvPlan<T> {
             .count()
     }
 
+    /// How many bins the gate routed to cache-blocked execution.
+    pub fn blocked_bins(&self) -> usize {
+        self.dispatch
+            .iter()
+            .filter(|d| matches!(d.format, BinFormat::CacheBlockedCsr { .. }))
+            .count()
+    }
+
+    /// Memory-traffic accounting for one execution of this plan, summed
+    /// over the materialised payloads (see [`TrafficStats`]).
+    pub fn traffic(&self) -> TrafficStats {
+        let mut t = TrafficStats::default();
+        for (d, p) in self.dispatch.iter().zip(&self.payloads) {
+            match p {
+                BinPayload::Packed(packed) => {
+                    t.value_bytes += packed.slots() * T::BYTES;
+                    t.index_bytes += packed.index_stream_bytes();
+                }
+                BinPayload::Csr | BinPayload::Blocked { .. } => {
+                    t.value_bytes += d.nnz * T::BYTES;
+                    t.index_bytes += d.nnz * 4;
+                }
+            }
+            t.nnz += d.nnz;
+        }
+        t.x_gather_bytes =
+            (self.features.avg_lines_per_row * 64.0 * self.fingerprint.m as f64).round() as usize;
+        t
+    }
+
     /// Name of the backend launches run on.
     pub fn backend_name(&self) -> &'static str {
         self.backend.name()
@@ -524,15 +688,22 @@ impl<T: Scalar> SpmvPlan<T> {
 /// gate: packing must be enabled, the bin must have enough rows to fill
 /// lanes, no row may exceed the dense-row bound, the `u32` source map
 /// must suffice, and the realised padding must stay under
-/// [`PlanConfig::max_padding`] — otherwise the bin executes from CSR
-/// (the padding-overflow fallback).
+/// [`PlanConfig::max_padding`] — otherwise the bin falls back to CSR.
+/// Packed bins pass through the bottleneck classifier's width axis
+/// ([`IndexPolicy`]): compressed index lanes only when the operand set
+/// outgrows [`PlanConfig::llc_bytes`], full `u32` words when it is
+/// cache-resident. CSR-fallback bins pass through its scatter axis: when
+/// cache blocking is enabled, the rows are column-sorted, `x` outgrows
+/// the [`PlanConfig::l2_bytes`] budget, and the bin's measured column
+/// locality marks it scatter-heavy, the fallback becomes
+/// [`BinFormat::CacheBlockedCsr`] (same semantics, strip schedule).
 fn choose_format<T: Scalar>(
     a: &CsrMatrix<T>,
     rows: &[u32],
     config: &PlanConfig,
 ) -> (BinFormat, BinPayload<T>) {
     if !config.pack || rows.len() < 4 || a.nnz() >= u32::MAX as usize {
-        return (BinFormat::Csr, BinPayload::Csr);
+        return csr_fallback(a, rows, config);
     }
     let max_nnz = rows
         .iter()
@@ -540,7 +711,7 @@ fn choose_format<T: Scalar>(
         .max()
         .unwrap_or(0);
     if max_nnz > config.max_row_nnz {
-        return (BinFormat::Csr, BinPayload::Csr);
+        return csr_fallback(a, rows, config);
     }
     let chunk = match config.chunk {
         0 => {
@@ -548,16 +719,90 @@ fn choose_format<T: Scalar>(
             lens.sort_unstable_by(|x, y| y.cmp(x));
             match pick_auto_chunk(&lens, config.max_padding) {
                 Some(c) => c,
-                None => return (BinFormat::Csr, BinPayload::Csr),
+                None => return csr_fallback(a, rows, config),
             }
         }
         c => c,
     };
-    let packed = PackedSell::from_rows(a, rows, chunk);
+    // The bottleneck classifier's width axis: under `Auto`, narrow
+    // lanes are only worth their decode cost when the whole operand set
+    // streams from memory every iteration — estimated as the matrix's
+    // values + u32 indices + both dense vectors against the LLC budget.
+    let floor = match config.index {
+        IndexPolicy::Fixed(k) => k,
+        IndexPolicy::Auto => {
+            let streamed = a.nnz() * (T::BYTES + 4) + (a.n_rows() + a.n_cols()) * T::BYTES;
+            if streamed > config.llc_bytes {
+                IndexKind::U8
+            } else {
+                IndexKind::U32
+            }
+        }
+    };
+    let mut chunk = chunk;
+    let mut packed = PackedSell::from_rows_with_index(a, rows, chunk, floor);
     if packed.padding_ratio() > config.max_padding {
+        return csr_fallback(a, rows, config);
+    }
+    // Block-structured bins: if runs of identical rows dominate, repack
+    // with the run length as the chunk height so every chunk holds
+    // copies of one row (zero lane spread → narrowest deltas). Only
+    // probed when the gate chose compression (at a u32 floor the run
+    // height could merely trim padding, and the baseline layout must
+    // stay exactly PR 3's), and kept only when it shrinks the stream.
+    if floor < IndexKind::U32 {
+        if let Some(c2) = packed.identical_run_chunk(a) {
+            let alt = PackedSell::from_rows_with_index(a, rows, c2, floor);
+            if alt.padding_ratio() <= config.max_padding
+                && alt.index_stream_bytes() < packed.index_stream_bytes()
+            {
+                chunk = c2;
+                packed = alt;
+            }
+        }
+    }
+    let index = packed.index_kind();
+    (
+        BinFormat::PackedSell { chunk, index },
+        BinPayload::Packed(packed),
+    )
+}
+
+/// The CSR side of the format gate: plain CSR, unless the bottleneck
+/// classifier marks the bin latency-bound (scatter-heavy gathers over an
+/// `x` larger than the cache budget), in which case the fused native
+/// executor runs it column-blocked. The measured features are the bin's
+/// average distinct-cache-lines-per-row (the classifier threshold) and
+/// average column span (blocking only pays when rows actually span more
+/// than one strip). Requires sorted rows — the strip walk only improves
+/// locality when each row's columns are ascending.
+fn csr_fallback<T: Scalar>(
+    a: &CsrMatrix<T>,
+    rows: &[u32],
+    config: &PlanConfig,
+) -> (BinFormat, BinPayload<T>) {
+    let strip_cols = (config.l2_bytes / T::BYTES).max(1);
+    if !config.cache_block || a.n_cols() <= strip_cols {
         return (BinFormat::Csr, BinPayload::Csr);
     }
-    (BinFormat::PackedSell { chunk }, BinPayload::Packed(packed))
+    let sorted = rows.iter().all(|&r| {
+        let (cols, _) = a.row(r as usize);
+        cols.windows(2).all(|w| w[0] < w[1])
+    });
+    if !sorted {
+        return (BinFormat::Csr, BinPayload::Csr);
+    }
+    let loc = ColumnLocality::of_rows::<T>(a, rows);
+    if loc.avg_lines_per_row >= config.scatter_lines_per_row
+        && loc.avg_col_span >= strip_cols as f64
+    {
+        (
+            BinFormat::CacheBlockedCsr { strip_cols },
+            BinPayload::Blocked { strip_cols },
+        )
+    } else {
+        (BinFormat::Csr, BinPayload::Csr)
+    }
 }
 
 /// Pick the chunk height for an auto (`config.chunk == 0`) bin from its
@@ -659,7 +904,11 @@ fn build_tiles<T: Scalar>(
                     ));
                 }
             }
-            BinPayload::Csr => {
+            // Blocked bins tile over row spans exactly like CSR bins —
+            // every strip of a row lives inside one tile, so tile
+            // disjointness implies the blocked partial sums never share
+            // an output row across tiles.
+            BinPayload::Csr | BinPayload::Blocked { .. } => {
                 let parts = d.nnz.div_ceil(tile_nnz).max(1);
                 let cuts = rows_nnz_cuts(a, &d.rows, parts);
                 for w in cuts.windows(2) {

@@ -204,6 +204,22 @@ impl Tuner {
         }
     }
 
+    /// Tune `a`, then compile the winning strategy into an executable
+    /// [`SpmvPlan`](crate::plan::SpmvPlan) on `backend` under an explicit
+    /// [`PlanConfig`](crate::plan::PlanConfig) — the entry the bandwidth
+    /// bench uses to compare format tiers (u32 floor, delta-compressed,
+    /// cache-blocked, …) under one identical tuned strategy.
+    pub fn plan_on<T: Scalar>(
+        &self,
+        a: &CsrMatrix<T>,
+        backend: Box<dyn crate::exec::ExecBackend<T>>,
+        config: crate::plan::PlanConfig,
+    ) -> (crate::plan::SpmvPlan<T>, TunedStrategy) {
+        let tuned = self.tune(a);
+        let plan = crate::plan::SpmvPlan::compile_with(a, tuned.strategy.clone(), backend, config);
+        (plan, tuned)
+    }
+
     /// Tune a matrix: evaluate every candidate scheme (in parallel) and
     /// return the best strategy plus the full candidate table.
     pub fn tune<T: Scalar>(&self, a: &CsrMatrix<T>) -> TunedStrategy {

@@ -105,6 +105,19 @@ pub enum VerifyError {
         /// What property failed.
         detail: String,
     },
+    /// A bin's cache-blocked execution premise is broken: the recorded
+    /// strip width disagrees with the payload, the strip width is zero
+    /// (the strip walk would not advance), or the bin's rows are not
+    /// column-sorted (blocking would still be correct but the plan's
+    /// locality claim would be false — compilation never emits this).
+    BlockedPayloadInvalid {
+        /// The bin whose blocked payload is broken.
+        bin_id: usize,
+        /// Its kernel.
+        kernel: KernelId,
+        /// What property failed.
+        detail: String,
+    },
     /// The fused tile queue does not partition some bin's work — a tile
     /// range overlaps, gaps, or runs past the end, so the fused execute
     /// would double-write or skip rows.
@@ -191,6 +204,14 @@ impl std::fmt::Display for VerifyError {
             } => write!(
                 f,
                 "bin {bin_id} ({kernel}): packed payload invalid: {detail}"
+            ),
+            VerifyError::BlockedPayloadInvalid {
+                bin_id,
+                kernel,
+                detail,
+            } => write!(
+                f,
+                "bin {bin_id} ({kernel}): blocked payload invalid: {detail}"
             ),
             VerifyError::TilesNotPartition { bin_id, detail } => {
                 write!(f, "bin {bin_id}: fused tiles are not a partition: {detail}")
@@ -313,7 +334,7 @@ pub fn check_payloads<T: Scalar>(
     for (d, p) in dispatch.iter().zip(payloads) {
         match (d.format, p) {
             (BinFormat::Csr, BinPayload::Csr) => {}
-            (BinFormat::PackedSell { chunk }, BinPayload::Packed(packed)) => {
+            (BinFormat::PackedSell { chunk, index }, BinPayload::Packed(packed)) => {
                 if packed.chunk() != chunk {
                     return Err(VerifyError::PackedPayloadInvalid {
                         bin_id: d.bin_id,
@@ -324,6 +345,20 @@ pub fn check_payloads<T: Scalar>(
                         ),
                     });
                 }
+                if packed.index_kind() != index {
+                    return Err(VerifyError::PackedPayloadInvalid {
+                        bin_id: d.bin_id,
+                        kernel: d.kernel,
+                        detail: format!(
+                            "recorded index width {index} != payload width {}",
+                            packed.index_kind()
+                        ),
+                    });
+                }
+                // check_against re-proves the compressed-index bounds:
+                // every decoded `base + delta` equals the CSR column,
+                // stays inside [0, n_cols), and each chunk base is the
+                // tight minimum (so the span proof is reproducible).
                 packed.check_against(a, &d.rows).map_err(|detail| {
                     VerifyError::PackedPayloadInvalid {
                         bin_id: d.bin_id,
@@ -332,10 +367,41 @@ pub fn check_payloads<T: Scalar>(
                     }
                 })?;
             }
+            (BinFormat::CacheBlockedCsr { strip_cols }, BinPayload::Blocked { strip_cols: ps }) => {
+                if strip_cols != *ps {
+                    return Err(VerifyError::BlockedPayloadInvalid {
+                        bin_id: d.bin_id,
+                        kernel: d.kernel,
+                        detail: format!("recorded strip width {strip_cols} != payload width {ps}"),
+                    });
+                }
+                if strip_cols == 0 {
+                    return Err(VerifyError::BlockedPayloadInvalid {
+                        bin_id: d.bin_id,
+                        kernel: d.kernel,
+                        detail: "strip width 0 would never advance".into(),
+                    });
+                }
+                // The plan only chooses blocking for column-sorted rows
+                // (the locality premise). Results do not depend on it —
+                // the cursor walk consumes storage order — but a violated
+                // premise means the plan was tampered with.
+                for &r in &d.rows {
+                    let (cols, _) = a.row(r as usize);
+                    if let Some(w) = cols.windows(2).find(|w| w[0] >= w[1]) {
+                        return Err(VerifyError::BlockedPayloadInvalid {
+                            bin_id: d.bin_id,
+                            kernel: d.kernel,
+                            detail: format!("row {r} not column-sorted at {} >= {}", w[0], w[1]),
+                        });
+                    }
+                }
+            }
             (format, payload) => {
                 let have = match payload {
                     BinPayload::Csr => "csr",
                     BinPayload::Packed(_) => "packed",
+                    BinPayload::Blocked { .. } => "blocked",
                 };
                 return Err(VerifyError::PackedPayloadInvalid {
                     bin_id: d.bin_id,
@@ -369,7 +435,10 @@ pub fn check_payloads<T: Scalar>(
     for (bi, (d, p)) in dispatch.iter().zip(payloads).enumerate() {
         let span = match p {
             BinPayload::Packed(packed) => packed.n_chunks(),
-            BinPayload::Csr => d.rows.len(),
+            // Blocked bins tile over row-list spans like CSR bins; all
+            // strips of a row live inside its tile, so tile disjointness
+            // covers the blocked partial-sum writes.
+            BinPayload::Csr | BinPayload::Blocked { .. } => d.rows.len(),
         };
         let ranges = &mut per_bin[bi];
         ranges.sort_unstable();

@@ -1,0 +1,470 @@
+//! Bandwidth-tier execution suite: delta-compressed column indices and
+//! cache-blocked scatter execution must be **bit-for-bit** identical to
+//! the sequential CSR reference across index widths, forced-fallback
+//! wide-span rows, value-only refreshes after `sort_rows`, and
+//! scatter-heavy generators — and the verifier must reject tampered
+//! compressed/blocked payloads.
+
+use spmv_autotune::prelude::*;
+use spmv_sparse::gen;
+use spmv_sparse::gen::mixture::RowRegime;
+use spmv_sparse::{CooMatrix, CsrMatrix, IndexKind};
+
+fn native_plan(a: &CsrMatrix<f64>, strategy: Strategy, config: PlanConfig) -> SpmvPlan<f64> {
+    SpmvPlan::compile_with(a, strategy, Box::new(NativeCpuBackend::new()), config)
+}
+
+fn coarse(kernel: KernelId) -> Strategy {
+    Strategy {
+        binning: BinningScheme::Coarse { u: 10 },
+        kernels: vec![kernel; 8],
+    }
+}
+
+fn probe_vector(n: usize, seed: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| (((i as u64).wrapping_mul(seed + 3) % 17) as f64) - 8.0)
+        .collect()
+}
+
+/// Every index-width policy produces bit-identical results, the realised
+/// width never drops below the policy floor, and every plan survives
+/// `VerifiedPlan` promotion (which re-proves the compressed-index
+/// bounds).
+#[test]
+fn fuzz_every_index_width_bit_identical_to_reference() {
+    let policies = [
+        IndexPolicy::Auto,
+        IndexPolicy::Fixed(IndexKind::U8),
+        IndexPolicy::Fixed(IndexKind::U16),
+        IndexPolicy::Fixed(IndexKind::U32),
+    ];
+    for seed in 0..8u64 {
+        let m = 150 + (seed as usize * 37) % 400;
+        let a = gen::mixture::<f64>(
+            m,
+            m + 40,
+            &[
+                RowRegime::new(1, 3, 0.4),
+                RowRegime::new(5, 20, 0.4),
+                RowRegime::new(30, 80, 0.2),
+            ],
+            true,
+            seed,
+        );
+        let v = probe_vector(a.n_cols(), seed);
+        let reference = a.spmv_seq_alloc(&v).unwrap();
+        for policy in policies {
+            let config = PlanConfig {
+                index: policy,
+                ..PlanConfig::default()
+            };
+            let plan = native_plan(&a, coarse(KernelId::Serial), config);
+            for d in plan.dispatch() {
+                if let BinFormat::PackedSell { index, .. } = d.format {
+                    assert!(
+                        index >= policy.floor(),
+                        "seed {seed} {policy:?}: bin {} realised {index} below floor",
+                        d.bin_id
+                    );
+                }
+            }
+            let verified = plan.verify(&a).expect("compressed plan must verify");
+            let mut u = vec![f64::NAN; a.n_rows()];
+            verified.execute_unchecked(&a, &v, &mut u).unwrap();
+            assert_eq!(u, reference, "seed {seed} {policy:?} diverges");
+        }
+    }
+}
+
+/// Lane spreads wider than a u8/u16 delta can express force the
+/// pack-time proof to widen the realised lanes — never to produce wrong
+/// results. Adjacent rows 66_000 columns apart defeat both anchor modes
+/// (chunk span and per-column lane spread both exceed 65_535 for any
+/// chunk height ≥ 2), so Auto must realise u32 on that bin.
+#[test]
+fn wide_span_rows_widen_lanes_not_results() {
+    let mut coo = CooMatrix::<f64>::new(8, 463_001);
+    for r in 0..8usize {
+        coo.push(r, r * 66_000, 1.0 + r as f64);
+        coo.push(r, r * 66_000 + 1, -1.0 - r as f64);
+    }
+    let a: CsrMatrix<f64> = coo.to_csr();
+    let config = PlanConfig {
+        // Force compression past the width gate and keep the scatter
+        // gate out of the way: this test is about the span proof.
+        index: IndexPolicy::Fixed(IndexKind::U8),
+        cache_block: false,
+        ..PlanConfig::default()
+    };
+    let plan = native_plan(&a, Strategy::single_kernel(KernelId::Serial), config);
+    let mut saw_u32 = false;
+    for d in plan.dispatch() {
+        if let BinFormat::PackedSell { index, .. } = d.format {
+            assert_eq!(
+                index,
+                IndexKind::U32,
+                "lane spread 66_000 cannot fit {index}"
+            );
+            saw_u32 = true;
+        }
+    }
+    assert!(saw_u32, "wide-span bin did not pack at all");
+    let v = probe_vector(a.n_cols(), 1);
+    let reference = a.spmv_seq_alloc(&v).unwrap();
+    let mut u = vec![f64::NAN; a.n_rows()];
+    plan.verify(&a).unwrap().execute(&a, &v, &mut u).unwrap();
+    assert_eq!(u, reference);
+}
+
+/// `sort_rows` permutes entries *within* rows (values travel with their
+/// columns), bumps the values id, and leaves the row pointer — hence the
+/// fingerprint and every chunk's column *set* — unchanged. The slab
+/// refresh must re-derive deltas against the unchanged chunk bases and
+/// keep matching the (now sorted) reference bit-for-bit.
+#[test]
+fn value_only_refresh_after_sort_rows_stays_bit_identical() {
+    // Deliberately unsorted rows: 40 rows of 4 entries in descending
+    // column order.
+    let m = 40usize;
+    let n = 200usize;
+    let mut row_ptr = vec![0usize];
+    let mut col_idx = Vec::new();
+    let mut values = Vec::new();
+    for r in 0..m {
+        for j in 0..4u32 {
+            col_idx.push(((r as u32 * 5) + 12 - 3 * j) % n as u32);
+            values.push((r * 4 + j as usize) as f64 * 0.25 - 3.0);
+        }
+        row_ptr.push(col_idx.len());
+    }
+    let mut a = CsrMatrix::from_parts(m, n, row_ptr, col_idx, values).unwrap();
+    assert!(!a.rows_sorted(), "test premise: rows start unsorted");
+    // Force narrow lanes so the refresh re-proves real delta windows.
+    let config = PlanConfig {
+        index: IndexPolicy::Fixed(IndexKind::U8),
+        ..PlanConfig::default()
+    };
+    let plan = native_plan(&a, coarse(KernelId::Serial), config);
+    assert!(plan.packed_bins() >= 1, "uniform 4-NNZ rows must pack");
+    let v = probe_vector(n, 7);
+    let fp_before = *plan.fingerprint();
+
+    let mut u = vec![f64::NAN; m];
+    plan.execute(&a, &v, &mut u).unwrap();
+    assert_eq!(u, a.spmv_seq_alloc(&v).unwrap(), "pre-sort execution");
+
+    a.sort_rows();
+    assert_eq!(
+        fp_before,
+        PatternFingerprint::of(&a),
+        "sort_rows must not change the pattern fingerprint"
+    );
+    let mut u2 = vec![f64::NAN; m];
+    plan.execute(&a, &v, &mut u2).unwrap();
+    assert_eq!(u2, a.spmv_seq_alloc(&v).unwrap(), "post-sort refresh");
+
+    // A further value-only update through the same plan.
+    a.fill_values_with(|k| ((k % 11) as f64) - 5.0);
+    let mut u3 = vec![f64::NAN; m];
+    plan.execute(&a, &v, &mut u3).unwrap();
+    assert_eq!(u3, a.spmv_seq_alloc(&v).unwrap(), "value refresh");
+}
+
+/// Cache-blocked execution is a schedule, not a semantic change: on
+/// scatter-heavy rmat/powerlaw matrices with the gate forced by a tiny
+/// `l2_bytes` budget, the blocked plan is bit-identical to the unblocked
+/// plan and to the sequential reference, and verification covers the
+/// blocked payloads.
+#[test]
+fn cache_blocked_equals_unblocked_on_scatter_heavy_matrices() {
+    let matrices: Vec<(&str, CsrMatrix<f64>)> = vec![
+        ("rmat", gen::rmat(10, 8, 0.57, 0.19, 0.19, 5)),
+        ("powerlaw", gen::powerlaw(800, 4, 120, 2.0, 9)),
+    ];
+    for (name, a) in &matrices {
+        assert!(a.rows_sorted(), "{name}: generators produce sorted rows");
+        // Tiny budget: strips of 32 f64 columns, so any matrix wider than
+        // 32 columns is eligible and scatter-heavy bins get blocked.
+        let blocked_cfg = PlanConfig {
+            pack: false,
+            l2_bytes: 32 * std::mem::size_of::<f64>(),
+            scatter_lines_per_row: 2.0,
+            ..PlanConfig::default()
+        };
+        let plain_cfg = PlanConfig {
+            pack: false,
+            cache_block: false,
+            ..PlanConfig::default()
+        };
+        let blocked = native_plan(a, coarse(KernelId::Subvector(8)), blocked_cfg);
+        let plain = native_plan(a, coarse(KernelId::Subvector(8)), plain_cfg);
+        assert!(
+            blocked.blocked_bins() >= 1,
+            "{name}: forced gate produced no blocked bins"
+        );
+        assert_eq!(plain.blocked_bins(), 0);
+        let v = probe_vector(a.n_cols(), 13);
+        let reference = a.spmv_seq_alloc(&v).unwrap();
+        let mut ub = vec![f64::NAN; a.n_rows()];
+        let mut up = vec![f64::NAN; a.n_rows()];
+        blocked
+            .verify(a)
+            .expect("blocked plan must verify")
+            .execute(a, &v, &mut ub)
+            .unwrap();
+        plain.execute(a, &v, &mut up).unwrap();
+        assert_eq!(ub, reference, "{name}: blocked diverges from reference");
+        assert_eq!(ub, up, "{name}: blocked diverges from unblocked");
+    }
+}
+
+/// The batched (SpMM) path over blocked and compressed payloads matches
+/// per-column single-vector execution bit-for-bit.
+#[test]
+fn batched_execution_matches_columns_for_bandwidth_payloads() {
+    let a = gen::rmat::<f64>(9, 6, 0.45, 0.25, 0.2, 3);
+    let config = PlanConfig {
+        l2_bytes: 64 * std::mem::size_of::<f64>(),
+        scatter_lines_per_row: 2.0,
+        ..PlanConfig::default()
+    };
+    let plan = native_plan(&a, coarse(KernelId::Serial), config);
+    let k = 5usize;
+    let mut x = DenseBlock::zeros(a.n_cols(), k);
+    x.fill_with(|i, j| ((i * 3 + j * 7) % 13) as f64 - 6.0);
+    let mut y = DenseBlock::zeros(a.n_rows(), k);
+    plan.execute_batch(&a, &x, &mut y).unwrap();
+    for j in 0..k {
+        let v = x.column(j);
+        let mut u = vec![f64::NAN; a.n_rows()];
+        plan.execute(&a, &v, &mut u).unwrap();
+        assert_eq!(y.column(j), u, "batched column {j} diverges");
+    }
+}
+
+/// `check_payloads` rejects tampered bandwidth-tier plans: a recorded
+/// index width that disagrees with the payload, a blocked strip width
+/// mismatch, and a zero strip width.
+#[test]
+fn verify_rejects_tampered_compressed_and_blocked_payloads() {
+    let a = gen::random_uniform::<f64>(80, 80, 3, 5, 8);
+    let rows: Vec<u32> = (0..80).collect();
+    let nnz = a.nnz();
+    let packed = spmv_sparse::PackedSell::from_rows(&a, &rows, 8);
+    assert_eq!(packed.index_kind(), IndexKind::U8, "80 columns fit u8");
+    let n_chunks = packed.n_chunks();
+
+    // Recorded index width disagrees with the realised payload width.
+    let lying = vec![BinDispatch {
+        bin_id: 0,
+        kernel: KernelId::Serial,
+        rows: rows.clone(),
+        nnz,
+        format: BinFormat::PackedSell {
+            chunk: 8,
+            index: IndexKind::U16,
+        },
+    }];
+    let payloads = vec![BinPayload::Packed(packed)];
+    let tiles = vec![Tile {
+        bin: 0,
+        start: 0,
+        end: n_chunks,
+    }];
+    match check_payloads(&a, &lying, &payloads, &tiles) {
+        Err(VerifyError::PackedPayloadInvalid { detail, .. }) => {
+            assert!(detail.contains("index width"), "got: {detail}")
+        }
+        other => panic!("expected PackedPayloadInvalid, got {other:?}"),
+    }
+
+    // Blocked payloads: strip-width mismatch and zero strips.
+    let row_tiles = vec![Tile {
+        bin: 0,
+        start: 0,
+        end: rows.len(),
+    }];
+    for (fmt_strip, pay_strip) in [(8usize, 4usize), (0, 0)] {
+        let dispatch = vec![BinDispatch {
+            bin_id: 0,
+            kernel: KernelId::Serial,
+            rows: rows.clone(),
+            nnz,
+            format: BinFormat::CacheBlockedCsr {
+                strip_cols: fmt_strip,
+            },
+        }];
+        let blocked_payloads: Vec<BinPayload<f64>> = vec![BinPayload::Blocked {
+            strip_cols: pay_strip,
+        }];
+        assert!(
+            matches!(
+                check_payloads(&a, &dispatch, &blocked_payloads, &row_tiles),
+                Err(VerifyError::BlockedPayloadInvalid { .. })
+            ),
+            "strips {fmt_strip}/{pay_strip} accepted"
+        );
+    }
+}
+
+/// The pack-time delta proof is anchored to the compile-time `n_cols`:
+/// executing (checked or unchecked) against a column-shrunk matrix of
+/// the same pattern otherwise must be rejected, never gathered
+/// out-of-bounds. This is the runtime half of the spmv-lint shrink
+/// guard.
+#[test]
+fn column_shrink_invalidates_the_plan() {
+    // All columns < 100, but the matrix claims 200 columns.
+    let a = gen::random_uniform::<f64>(120, 100, 2, 4, 4);
+    let (rp, ci, vals) = (
+        a.row_ptr().to_vec(),
+        a.col_idx().to_vec(),
+        a.values().to_vec(),
+    );
+    let wide = CsrMatrix::from_parts(120, 200, rp.clone(), ci.clone(), vals.clone()).unwrap();
+    let narrow = CsrMatrix::from_parts(120, 100, rp, ci, vals).unwrap();
+
+    let plan = native_plan(&wide, coarse(KernelId::Serial), PlanConfig::default());
+    let verified = native_plan(&wide, coarse(KernelId::Serial), PlanConfig::default())
+        .verify(&wide)
+        .unwrap();
+    let v_narrow = vec![1.0f64; 100];
+    let mut u = vec![0.0f64; 120];
+    assert!(
+        plan.execute(&narrow, &v_narrow, &mut u).is_err(),
+        "checked execute accepted a shrunk matrix"
+    );
+    assert!(
+        verified
+            .execute_unchecked(&narrow, &v_narrow, &mut u)
+            .is_err(),
+        "unchecked execute accepted a shrunk matrix"
+    );
+    assert!(
+        matches!(
+            native_plan(&wide, coarse(KernelId::Serial), PlanConfig::default()).verify(&narrow),
+            Err(VerifyError::PatternMismatch { .. })
+        ),
+        "verify accepted a shrunk matrix"
+    );
+}
+
+/// Traffic accounting: Auto with an exhausted cache budget (every
+/// working set counts as streaming) realises narrow lanes on a low-span
+/// matrix, cutting index bytes-per-nnz at least 2× under the u32 floor,
+/// with identical value bytes and NNZ.
+#[test]
+fn traffic_stats_reflect_index_compression() {
+    let a = gen::banded::<f64>(2_000, 3, 5);
+    let auto = native_plan(
+        &a,
+        coarse(KernelId::Serial),
+        PlanConfig {
+            llc_bytes: 0,
+            ..PlanConfig::default()
+        },
+    );
+    let fixed = native_plan(
+        &a,
+        coarse(KernelId::Serial),
+        PlanConfig {
+            index: IndexPolicy::Fixed(IndexKind::U32),
+            ..PlanConfig::default()
+        },
+    );
+    assert!(auto.packed_bins() >= 1 && fixed.packed_bins() >= 1);
+    let (ta, tf) = (auto.traffic(), fixed.traffic());
+    assert_eq!(ta.nnz, tf.nnz);
+    assert_eq!(ta.value_bytes, tf.value_bytes);
+    assert!(
+        ta.index_bytes_per_nnz() * 2.0 <= tf.index_bytes_per_nnz(),
+        "compression saved less than 2x: {} vs {}",
+        ta.index_bytes_per_nnz(),
+        tf.index_bytes_per_nnz()
+    );
+}
+
+/// The SimGpu pricing model charges the reduced index stream: the same
+/// strategy priced over a delta-compressed plan reads fewer modelled
+/// bytes than over the u32-floored plan.
+#[test]
+fn sim_pricing_charges_fewer_bytes_for_compressed_indices() {
+    let a = gen::banded::<f64>(3_000, 4, 2);
+    let mk = |policy| {
+        SpmvPlan::compile_with(
+            &a,
+            coarse(KernelId::Serial),
+            Box::new(SimGpuBackend::new(GpuDevice::kaveri())),
+            PlanConfig {
+                index: policy,
+                // Classify the matrix as streaming so Auto compresses.
+                llc_bytes: 0,
+                ..PlanConfig::default()
+            },
+        )
+    };
+    let auto = mk(IndexPolicy::Auto);
+    let fixed = mk(IndexPolicy::Fixed(IndexKind::U32));
+    assert!(auto.packed_bins() >= 1);
+    let v = vec![1.0f64; a.n_cols()];
+    let mut u = vec![0.0f64; a.n_rows()];
+    let ca = auto.execute(&a, &v, &mut u).unwrap();
+    let cf = fixed.execute(&a, &v, &mut u).unwrap();
+    let (ba, bf) = (
+        ca.stats.expect("sim prices").bytes_read,
+        cf.stats.expect("sim prices").bytes_read,
+    );
+    assert!(
+        ba < bf,
+        "compressed plan priced at {ba} bytes, u32 floor at {bf}"
+    );
+}
+
+/// The width axis of the bottleneck gate: the same matrix under `Auto`
+/// keeps full `u32` words when its working set fits the LLC budget
+/// (cache-resident — decode would be pure overhead) and realises narrow
+/// lanes when the budget says it streams; both plans stay bit-identical
+/// to the reference.
+#[test]
+fn width_gate_follows_the_cache_budget() {
+    let a = gen::banded::<f64>(5_000, 3, 11);
+    let streamed = a.nnz() * (8 + 4) + (a.n_rows() + a.n_cols()) * 8;
+    let mk = |llc_bytes| {
+        native_plan(
+            &a,
+            coarse(KernelId::Serial),
+            PlanConfig {
+                llc_bytes,
+                ..PlanConfig::default()
+            },
+        )
+    };
+    let resident = mk(streamed + 1);
+    let streaming = mk(streamed - 1);
+    assert!(resident.packed_bins() >= 1 && streaming.packed_bins() >= 1);
+    for d in resident.dispatch() {
+        if let BinFormat::PackedSell { index, .. } = d.format {
+            assert_eq!(index, IndexKind::U32, "cache-resident bin compressed");
+        }
+    }
+    let narrow = streaming
+        .dispatch()
+        .iter()
+        .filter(
+            |d| matches!(d.format, BinFormat::PackedSell { index, .. } if index < IndexKind::U32),
+        )
+        .count();
+    assert!(
+        narrow >= 1,
+        "streaming-classified plan realised no narrow lanes"
+    );
+    assert!(streaming.traffic().index_bytes < resident.traffic().index_bytes);
+    let v = probe_vector(a.n_cols(), 3);
+    let reference = a.spmv_seq_alloc(&v).unwrap();
+    for plan in [resident, streaming] {
+        let mut u = vec![f64::NAN; a.n_rows()];
+        plan.verify(&a).unwrap().execute(&a, &v, &mut u).unwrap();
+        assert_eq!(u, reference);
+    }
+}

@@ -344,7 +344,10 @@ fn check_payloads_rejects_mismatch_and_bad_tiles() {
         kernel: KernelId::Serial,
         rows,
         nnz,
-        format: BinFormat::PackedSell { chunk: 8 },
+        format: BinFormat::PackedSell {
+            chunk: 8,
+            index: packed.index_kind(),
+        },
     }];
     let good_tiles = vec![Tile {
         bin: 0,

@@ -67,6 +67,51 @@ where
     });
 }
 
+/// [`fused_for_each_with`] where every worker carries a private scratch
+/// value, built once per worker by `init` and handed mutably to each
+/// `body` call that worker makes. The cache-blocked SpMV executor uses
+/// this for its per-row cursor/partial-sum buffers: allocating them per
+/// tile would put a heap allocation on the hot path, while sharing them
+/// across workers would race. The sequential degenerate case (`n <= 1`
+/// or one worker) builds a single scratch and reuses it across all
+/// tiles, so results cannot depend on how tiles map to workers — the
+/// scratch contract is that `body` fully reinitialises whatever state it
+/// reads.
+pub fn fused_for_each_scratch<S, I, F>(workers: usize, n: usize, init: I, body: F)
+where
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) + Sync,
+{
+    let workers = if workers == 0 {
+        num_threads()
+    } else {
+        workers.min(num_threads())
+    }
+    .min(n);
+    if workers <= 1 {
+        let mut scratch = init();
+        for t in 0..n {
+            body(&mut scratch, t);
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let mut scratch = init();
+                loop {
+                    let t = cursor.fetch_add(1, Ordering::Relaxed);
+                    if t >= n {
+                        break;
+                    }
+                    body(&mut scratch, t);
+                }
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +169,44 @@ mod tests {
             seen.lock().unwrap().insert(std::thread::current().id());
         });
         assert!(!seen.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn scratch_variant_covers_every_tile_with_private_state() {
+        let n = 3_000;
+        for workers in [0, 1, 2, 5] {
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            let inits = AtomicUsize::new(0);
+            fused_for_each_scratch(
+                workers,
+                n,
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    Vec::<usize>::new()
+                },
+                |scratch, t| {
+                    // Reinitialise-then-use, as the blocked executor does.
+                    scratch.clear();
+                    scratch.push(t);
+                    hits[scratch[0]].fetch_add(1, Ordering::Relaxed);
+                },
+            );
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "workers = {workers} missed or repeated a tile"
+            );
+            let cap = if workers == 0 {
+                num_threads()
+            } else {
+                workers.min(num_threads())
+            }
+            .max(1);
+            let built = inits.load(Ordering::Relaxed);
+            assert!(
+                (1..=cap).contains(&built),
+                "workers = {workers} built {built} scratches (cap {cap})"
+            );
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod partition;
 pub mod pool;
 pub mod scope;
 
-pub use fused::{fused_for_each, fused_for_each_with};
+pub use fused::{fused_for_each, fused_for_each_scratch, fused_for_each_with};
 pub use partition::{chunk_ranges, Chunk};
 pub use pool::ThreadPool;
 pub use scope::{num_threads, parallel_for, parallel_map_collect, parallel_reduce};

@@ -1,10 +1,83 @@
 //! Sparsity feature extraction — the paper's Table I parameters, which
 //! feed the two-stage machine-learning model, plus the extended
-//! histogram-based features that §IV-C proposes as future work.
+//! histogram-based features that §IV-C proposes as future work and the
+//! column-locality features that drive the bandwidth-tier format gate
+//! (delta-compressed indices vs cache-blocked execution; see the plan
+//! layer).
 
 use crate::csr::CsrMatrix;
 use crate::histogram::RowHistogram;
 use crate::scalar::Scalar;
+
+/// Column-locality summary of a row subset — the cheap structural
+/// signals the bottleneck classifier uses to pick an index width and to
+/// spot scatter-heavy bins (following the lightweight feature-based
+/// selection of Elafrou et al.):
+///
+/// * **column span** (`max col − min col` per row) predicts how far the
+///   `x` gathers of one row reach, hence whether per-chunk base+delta
+///   indices can be narrow;
+/// * **distinct cache lines per row** estimates how many `x` cache lines
+///   one row touches — high values mean the gather is a scatter and the
+///   working set, not the streamed matrix bytes, is the bottleneck.
+///
+/// Lines are counted as transitions of `col / (64 / sizeof(T))` in
+/// storage order, which is exact for column-sorted rows and an upper
+/// bound otherwise. Averages are over **all** listed rows (empty rows
+/// contribute zero), so `avg · rows` reconstructs the exact total.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ColumnLocality {
+    /// Mean per-row column span (`0.0` for empty rows / subsets).
+    pub avg_col_span: f64,
+    /// Largest per-row column span.
+    pub max_col_span: usize,
+    /// Mean distinct-cache-line count per row.
+    pub avg_lines_per_row: f64,
+}
+
+impl ColumnLocality {
+    /// Measure the listed rows of `a`. O(total nnz of the rows).
+    pub fn of_rows<T: Scalar>(a: &CsrMatrix<T>, rows: &[u32]) -> Self {
+        let line = (64 / T::BYTES).max(1) as u32;
+        let mut span_sum = 0.0f64;
+        let mut max_span = 0usize;
+        let mut lines_sum = 0.0f64;
+        for &r in rows {
+            let (cols, _) = a.row(r as usize);
+            if cols.is_empty() {
+                continue;
+            }
+            let (mut lo, mut hi) = (u32::MAX, 0u32);
+            let mut lines = 0u32;
+            let mut prev_line = u32::MAX;
+            for &c in cols {
+                lo = lo.min(c);
+                hi = hi.max(c);
+                let l = c / line;
+                if l != prev_line {
+                    lines += 1;
+                    prev_line = l;
+                }
+            }
+            let span = (hi - lo) as usize;
+            span_sum += span as f64;
+            max_span = max_span.max(span);
+            lines_sum += lines as f64;
+        }
+        let denom = rows.len().max(1) as f64;
+        Self {
+            avg_col_span: span_sum / denom,
+            max_col_span: max_span,
+            avg_lines_per_row: lines_sum / denom,
+        }
+    }
+
+    /// Measure every row of `a`.
+    pub fn of_matrix<T: Scalar>(a: &CsrMatrix<T>) -> Self {
+        let rows: Vec<u32> = (0..a.n_rows() as u32).collect();
+        Self::of_rows(a, &rows)
+    }
+}
 
 /// Which feature vector to extract.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -43,6 +116,13 @@ pub struct MatrixFeatures {
     /// plus the share of empty rows. Empty unless [`FeatureSet::Extended`]
     /// was requested.
     pub hist_shares: Vec<f64>,
+    /// `Avg_col_span` — mean per-row column span (bandwidth-tier gate
+    /// input; see [`ColumnLocality`]). Always computed.
+    pub avg_col_span: f64,
+    /// `Max_col_span` — largest per-row column span.
+    pub max_col_span: usize,
+    /// `Avg_lines_per_row` — mean distinct-cache-lines-per-row estimate.
+    pub avg_lines_per_row: f64,
 }
 
 impl MatrixFeatures {
@@ -72,6 +152,7 @@ impl MatrixFeatures {
                 h.decade_shares()
             }
         };
+        let locality = ColumnLocality::of_matrix(a);
         Self {
             m,
             n: a.n_cols(),
@@ -81,12 +162,17 @@ impl MatrixFeatures {
             min_nnz,
             max_nnz,
             hist_shares,
+            avg_col_span: locality.avg_col_span,
+            max_col_span: locality.max_col_span,
+            avg_lines_per_row: locality.avg_lines_per_row,
         }
     }
 
     /// Flatten into the numeric attribute vector consumed by the learner,
     /// in the fixed order `{M, N, NNZ, Var_NNZ, Avg_NNZ, Min_NNZ, Max_NNZ}`
-    /// (then histogram shares, when extended).
+    /// (then histogram shares and column-locality features, when
+    /// extended — the Table I vector is frozen so checked-in models keep
+    /// their attribute count).
     pub fn to_vec(&self) -> Vec<f64> {
         let mut v = vec![
             self.m as f64,
@@ -97,7 +183,12 @@ impl MatrixFeatures {
             self.min_nnz as f64,
             self.max_nnz as f64,
         ];
-        v.extend_from_slice(&self.hist_shares);
+        if !self.hist_shares.is_empty() {
+            v.extend_from_slice(&self.hist_shares);
+            v.push(self.avg_col_span);
+            v.push(self.max_col_span as f64);
+            v.push(self.avg_lines_per_row);
+        }
         v
     }
 
@@ -112,6 +203,9 @@ impl MatrixFeatures {
                 "Share_10_100",
                 "Share_100_1000",
                 "Share_ge_1000",
+                "Avg_col_span",
+                "Max_col_span",
+                "Avg_lines_per_row",
             ]);
         }
         names
@@ -170,6 +264,45 @@ mod tests {
         assert_eq!(v[0], 4.0); // M
         assert_eq!(v[2], 8.0); // NNZ
         assert_eq!(v[6], 3.0); // Max_NNZ
+    }
+
+    #[test]
+    fn extended_vector_appends_locality_after_shares() {
+        let a = figure1_example::<f64>();
+        let f = MatrixFeatures::extract(&a, FeatureSet::Extended);
+        let v = f.to_vec();
+        assert_eq!(
+            v.len(),
+            MatrixFeatures::attr_names(FeatureSet::Extended).len()
+        );
+        assert_eq!(v[v.len() - 3], f.avg_col_span);
+        assert_eq!(v[v.len() - 2], f.max_col_span as f64);
+        assert_eq!(v[v.len() - 1], f.avg_lines_per_row);
+    }
+
+    #[test]
+    fn column_locality_of_banded_and_scattered_rows() {
+        // A diagonal: every row spans 0 columns and touches one line.
+        let a = crate::csr::CsrMatrix::<f64>::identity(32);
+        let loc = ColumnLocality::of_matrix(&a);
+        assert_eq!(loc.avg_col_span, 0.0);
+        assert_eq!(loc.max_col_span, 0);
+        assert_eq!(loc.avg_lines_per_row, 1.0);
+
+        // Two entries 8000 columns apart: span 8000, two distinct lines
+        // (f64 line = 8 entries), averaged over 2 rows (one empty).
+        let mut coo = crate::CooMatrix::<f64>::new(2, 8_001);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 8_000, 1.0);
+        let b = coo.to_csr();
+        let loc = ColumnLocality::of_matrix(&b);
+        assert_eq!(loc.max_col_span, 8_000);
+        assert_eq!(loc.avg_col_span, 4_000.0);
+        assert_eq!(loc.avg_lines_per_row, 1.0);
+
+        // Empty subsets are all-zero, not NaN.
+        let none = ColumnLocality::of_rows(&b, &[]);
+        assert_eq!(none.avg_lines_per_row, 0.0);
     }
 
     #[test]

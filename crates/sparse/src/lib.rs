@@ -46,7 +46,7 @@ pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use dense_block::DenseBlock;
 pub use error::{CsrBuildError, SparseError};
-pub use features::{FeatureSet, MatrixFeatures};
+pub use features::{ColumnLocality, FeatureSet, MatrixFeatures};
 pub use histogram::RowHistogram;
-pub use packed::{PackedSell, SlabView};
+pub use packed::{BaseMode, IndexKind, PackedSell, SlabView};
 pub use scalar::Scalar;
