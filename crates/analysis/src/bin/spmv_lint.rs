@@ -35,7 +35,7 @@ use spmv_gpusim::GpuDevice;
 use spmv_ml::lint::Severity;
 use spmv_sparse::corpus::CorpusConfig;
 use spmv_verify::interleave::{explore, Verdict};
-use spmv_verify::models::{BatchModel, CursorModel, TwoLockModel};
+use spmv_verify::models::{BatchModel, CursorModel, ShardModel, TwoLockModel};
 use spmv_verify::{driver, hygiene};
 use std::path::{Path, PathBuf};
 
@@ -203,7 +203,7 @@ fn check_concurrency() -> usize {
     let mut bad = 0;
 
     // The shipped protocols must pass…
-    let sound: [(&str, Verdict); 3] = [
+    let sound: [(&str, Verdict); 4] = [
         (
             "pool run_batch (3 workers)",
             explore(BatchModel::correct(3), BUDGET),
@@ -215,6 +215,10 @@ fn check_concurrency() -> usize {
         (
             "consistent lock order",
             explore(TwoLockModel::consistent_order(), BUDGET),
+        ),
+        (
+            "shard home-first claim with ring stealing (2 workers, 3 shards)",
+            explore(ShardModel::correct(2, &[2, 0, 1]), BUDGET),
         ),
     ];
     for (name, v) in sound {
@@ -228,7 +232,7 @@ fn check_concurrency() -> usize {
 
     // …and the injected bugs must be *caught* (checker self-test).
     type Expect = fn(&Verdict) -> bool;
-    let buggy: [(&str, Verdict, Expect); 3] = [
+    let buggy: [(&str, Verdict, Expect); 4] = [
         (
             "notify-without-lock is detected as lost wakeup",
             explore(BatchModel::notify_without_lock(2), BUDGET),
@@ -243,6 +247,11 @@ fn check_concurrency() -> usize {
             "opposite lock order is detected as deadlock",
             explore(TwoLockModel::opposite_order(), BUDGET),
             |v| matches!(v, Verdict::Deadlock { .. }),
+        ),
+        (
+            "dropped ring fallback is detected as stranded items",
+            explore(ShardModel::no_cross_shard_fallback(2, &[1, 1, 1]), BUDGET),
+            |v| matches!(v, Verdict::Violation { .. }),
         ),
     ];
     for (name, v, expected) in buggy {

@@ -16,7 +16,7 @@
 //! matrices — the CI smoke mode).
 
 use spmv_autotune::prelude::*;
-use spmv_bench::setup::{env_usize, load_suite};
+use spmv_bench::setup::{env_usize, load_suite, scaling_efficiency, sweep_threads};
 use spmv_sparse::{gen, CsrMatrix, IndexKind};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -120,6 +120,12 @@ fn measure(name: &str, a: &CsrMatrix<f32>, iters: usize, threads: &[usize]) -> M
     for (tier, config) in tiers() {
         for &w in threads {
             let backend = Box::new(NativeCpuBackend::new().with_workers(w));
+            // Shard the tile queue to match the worker count, so every
+            // tier's scaling curve runs through the sharded executor.
+            let config = PlanConfig {
+                shards: w,
+                ..config
+            };
             let verified = SpmvPlan::compile_with(a, strategy.clone(), backend, config)
                 .verify(a)
                 .expect("tiered plan must verify");
@@ -176,9 +182,7 @@ fn main() {
     let out_path = std::env::var("SPMV_BENCH_BANDWIDTH_OUT")
         .unwrap_or_else(|_| "BENCH_bandwidth.json".to_string());
 
-    let mut threads = vec![1usize, spmv_parallel::num_threads().max(1)];
-    threads.sort_unstable();
-    threads.dedup();
+    let threads = sweep_threads();
 
     let cases: Vec<(String, CsrMatrix<f32>)> = if tiny {
         vec![
@@ -238,15 +242,23 @@ fn main() {
         )
         .unwrap();
         for (j, t) in r.tiers.iter().enumerate() {
+            let base = r
+                .tiers
+                .iter()
+                .find(|q| q.tier == t.tier && q.threads == 1)
+                .map(|q| q.gflops)
+                .unwrap_or(0.0);
             write!(
                 json,
                 "      {{\"tier\": \"{}\", \"threads\": {}, \"gflops\": {:.3}, \
+                 \"scaling_efficiency\": {:.3}, \
                  \"index_bytes_per_nnz\": {:.4}, \"total_bytes_per_nnz\": {:.4}, \
                  \"u8_bins\": {}, \"u16_bins\": {}, \"u32_bins\": {}, \
                  \"blocked_bins\": {}, \"csr_bins\": {}}}",
                 t.tier,
                 t.threads,
                 t.gflops,
+                scaling_efficiency(t.threads, t.gflops, base),
                 t.index_bpn,
                 t.total_bpn,
                 t.u8_bins,

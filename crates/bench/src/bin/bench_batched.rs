@@ -22,7 +22,7 @@
 //! `SPMV_BENCH_TINY=1` (three small synthetic matrices — CI smoke mode).
 
 use spmv_autotune::prelude::*;
-use spmv_bench::setup::{env_usize, load_suite};
+use spmv_bench::setup::{env_usize, load_suite, scaling_efficiency, sweep_threads};
 use spmv_sparse::{gen, CsrMatrix, DenseBlock};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -76,15 +76,20 @@ fn measure(name: &str, a: &CsrMatrix<f32>, iters: usize) -> Row {
     };
     let matrix_bytes = (a.nnz() * (std::mem::size_of::<u32>() + 4)
         + (a.n_rows() + 1) * std::mem::size_of::<usize>()) as f64;
-    let mut thread_counts = vec![1usize, spmv_parallel::num_threads()];
-    thread_counts.dedup();
+    let thread_counts = sweep_threads();
 
     let mut runs = Vec::new();
     for &threads in &thread_counts {
-        let verified = SpmvPlan::compile(
+        // Shard the tile queue to match the worker count, so the sweep
+        // times the sharded runtime the executor actually ships.
+        let verified = SpmvPlan::compile_with(
             a,
             strategy.clone(),
             Box::new(NativeCpuBackend::new().with_workers(threads)),
+            PlanConfig {
+                shards: threads,
+                ..PlanConfig::default()
+            },
         )
         .verify(a)
         .expect("plan must verify");
@@ -176,6 +181,16 @@ fn main() {
     writeln!(json, "{{").unwrap();
     writeln!(json, "  \"bench\": \"batched_exec\",").unwrap();
     writeln!(json, "  \"threads\": {},", spmv_parallel::num_threads()).unwrap();
+    writeln!(
+        json,
+        "  \"threads_swept\": [{}],",
+        sweep_threads()
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    )
+    .unwrap();
     writeln!(json, "  \"iters\": {iters},").unwrap();
     writeln!(json, "  \"tiny\": {tiny},").unwrap();
     writeln!(
@@ -207,16 +222,24 @@ fn main() {
             } else {
                 0.0
             };
+            let t1 = r
+                .runs
+                .iter()
+                .find(|q| q.threads == 1 && q.k == run.k)
+                .map(|q| q.batched_gflops)
+                .unwrap_or(0.0);
             write!(
                 json,
                 "      {{\"threads\": {}, \"k\": {}, \"batched_gflops\": {:.3}, \
                  \"sequential_gflops\": {:.3}, \"speedup_vs_k1\": {:.3}, \
+                 \"scaling_efficiency\": {:.3}, \
                  \"matrix_bytes_per_output\": {:.1}}}",
                 run.threads,
                 run.k,
                 run.batched_gflops,
                 run.sequential_gflops,
                 speedup_vs_k1,
+                scaling_efficiency(run.threads, run.batched_gflops, t1),
                 run.matrix_bytes_per_output,
             )
             .unwrap();

@@ -11,10 +11,15 @@
 
 use spmv_autotune::kernels::cpu::spmv_row_parallel;
 use spmv_autotune::prelude::*;
-use spmv_bench::setup::{env_usize, load_suite};
+use spmv_bench::setup::{env_usize, load_suite, scaling_efficiency, sweep_threads};
 use spmv_sparse::{gen, CsrMatrix};
 use std::fmt::Write as _;
 use std::time::Instant;
+
+struct SweepPoint {
+    threads: usize,
+    gflops: f64,
+}
 
 struct Row {
     name: String,
@@ -28,6 +33,7 @@ struct Row {
     padding_ratio: f64,
     index_bpn: f64,
     total_bpn: f64,
+    sweep: Vec<SweepPoint>,
 }
 
 fn time_loop(iters: usize, mut f: impl FnMut()) -> f64 {
@@ -93,6 +99,38 @@ fn measure(name: &str, a: &CsrMatrix<f32>, iters: usize) -> Row {
         slots as f64 / packed_nnz as f64
     };
     let traffic = plan.traffic();
+
+    // Thread sweep over the sharded runtime: one plan per point, cut
+    // into `t` shards and executed by `t` workers, so the scaling curve
+    // measures exactly what the topology-aware executor ships.
+    let mut sweep = Vec::new();
+    for t in sweep_threads() {
+        let config = PlanConfig {
+            shards: t,
+            ..PlanConfig::default()
+        };
+        let strategy = Strategy {
+            binning: BinningScheme::Coarse { u: 10 },
+            kernels: vec![KernelId::Subvector(8); 8],
+        };
+        let verified = SpmvPlan::compile_with(
+            a,
+            strategy,
+            Box::new(NativeCpuBackend::new().with_workers(t)),
+            config,
+        )
+        .verify(a)
+        .expect("sharded plan must verify");
+        let secs = time_loop(iters, || {
+            verified.execute_unchecked(a, &v, &mut u).unwrap();
+        });
+        assert_eq!(u, csr_ref, "{name}: sharded ({t} threads) diverges");
+        sweep.push(SweepPoint {
+            threads: t,
+            gflops: gflops(a.nnz(), iters, secs),
+        });
+    }
+
     Row {
         name: name.to_string(),
         m: a.n_rows(),
@@ -105,6 +143,7 @@ fn measure(name: &str, a: &CsrMatrix<f32>, iters: usize) -> Row {
         padding_ratio,
         index_bpn: traffic.index_bytes_per_nnz(),
         total_bpn: traffic.total_bytes_per_nnz(),
+        sweep,
     }
 }
 
@@ -128,6 +167,13 @@ fn main() {
             (
                 "tiny-powerlaw".into(),
                 gen::powerlaw::<f32>(3_000, 1, 150, 2.1, 3),
+            ),
+            // Dense-ish rows with enough work per tile that the thread
+            // sweep has something to scale — the CI smoke gate asserts
+            // its 2-thread efficiency.
+            (
+                "tiny-scale16".into(),
+                gen::random_uniform::<f32>(20_000, 20_000, 16, 16, 7),
             ),
         ]
     } else {
@@ -166,7 +212,8 @@ fn main() {
             "    {{\"name\": \"{}\", \"m\": {}, \"n\": {}, \"nnz\": {}, \
              \"csr_gflops\": {:.3}, \"packed_gflops\": {:.3}, \"speedup\": {:.3}, \
              \"packed_bins\": {}, \"csr_bins\": {}, \"padding_ratio\": {:.4}, \
-             \"index_bytes_per_nnz\": {:.4}, \"total_bytes_per_nnz\": {:.4}}}",
+             \"index_bytes_per_nnz\": {:.4}, \"total_bytes_per_nnz\": {:.4}, \
+             \"sweep\": [",
             json_escape(&r.name),
             r.m,
             r.n,
@@ -181,6 +228,19 @@ fn main() {
             r.total_bpn,
         )
         .unwrap();
+        let base = r.sweep.first().map(|p| p.gflops).unwrap_or(0.0);
+        for (j, p) in r.sweep.iter().enumerate() {
+            write!(
+                json,
+                "{}{{\"threads\": {}, \"gflops\": {:.3}, \"scaling_efficiency\": {:.3}}}",
+                if j > 0 { ", " } else { "" },
+                p.threads,
+                p.gflops,
+                scaling_efficiency(p.threads, p.gflops, base),
+            )
+            .unwrap();
+        }
+        write!(json, "]}}").unwrap();
         writeln!(json, "{}", if i + 1 < rows.len() { "," } else { "" }).unwrap();
     }
     writeln!(json, "  ]").unwrap();

@@ -16,6 +16,31 @@ pub fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// The thread sweep every throughput report runs: powers of two up to
+/// the process thread cap, plus the cap itself — `{1, 2, 4, …, N}`.
+/// Scaling efficiency at each point is measured against the 1-thread
+/// entry, which is always present.
+pub fn sweep_threads() -> Vec<usize> {
+    let cap = spmv_parallel::num_threads().max(1);
+    let mut sweep = Vec::new();
+    let mut t = 1usize;
+    while t < cap {
+        sweep.push(t);
+        t *= 2;
+    }
+    sweep.push(cap);
+    sweep
+}
+
+/// `gflops(t) / (t · gflops(1))`: the fraction of perfect linear scaling
+/// a multi-thread point achieves. 0 when the baseline is degenerate.
+pub fn scaling_efficiency(threads: usize, gflops: f64, gflops_1: f64) -> f64 {
+    if gflops_1 <= 0.0 || threads == 0 {
+        return 0.0;
+    }
+    gflops / (threads as f64 * gflops_1)
+}
+
 /// A generated suite matrix with its metadata.
 pub struct SuiteCase {
     /// Table II metadata.

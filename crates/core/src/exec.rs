@@ -9,11 +9,13 @@
 //! [`crate::plan::SpmvPlan`].
 
 use crate::kernels::cpu::{
-    run_plan_fused, run_plan_fused_batch, spmv_rows_chunked, spmv_rows_nnz_balanced,
+    run_plan_fused, run_plan_fused_batch, run_plan_sharded, spmv_rows_chunked,
+    spmv_rows_nnz_balanced,
 };
 use crate::kernels::{run_kernel, KernelId};
-use crate::plan::{rhs_blocks, BinDispatch, BinPayload, Tile};
+use crate::plan::{rhs_blocks, BinDispatch, BinPayload, ShardedTiles, Tile};
 use spmv_gpusim::{GpuDevice, LaunchStats};
+use spmv_parallel::Placement;
 use spmv_sparse::{CsrMatrix, DenseBlock, Scalar};
 use std::time::{Duration, Instant};
 
@@ -48,6 +50,25 @@ impl LaunchCost {
     }
 }
 
+/// The borrowed compiled tables of one plan, bundled for a backend
+/// launch: dispatch entries, payloads, the fused tile queue with its
+/// LPT weights, and (when the plan was compiled for more than one
+/// shard) the shard partition. One bundle instead of five parallel
+/// slice arguments — adding a table no longer ripples through every
+/// backend signature.
+pub struct PlanParts<'a, T: Scalar> {
+    /// Dispatch table (one entry per populated bin).
+    pub dispatch: &'a [BinDispatch],
+    /// Per-bin payloads, aligned with `dispatch`.
+    pub payloads: &'a [BinPayload<T>],
+    /// The fused tile queue (empty for `fused: false` plans).
+    pub tiles: &'a [Tile],
+    /// Per-tile NNZ weights, aligned with `tiles`.
+    pub tile_weights: &'a [usize],
+    /// Shard partition of the tile queue (`None` = flat queue).
+    pub shards: Option<&'a ShardedTiles>,
+}
+
 /// A place kernel launches execute: hands a kernel and a row subset to
 /// some substrate and reports what it cost.
 ///
@@ -75,25 +96,23 @@ pub trait ExecBackend<T: Scalar>: Send + Sync {
     ) -> LaunchCost;
 
     /// Execute a whole compiled plan: dispatch table, per-bin payloads,
-    /// and the fused tile queue.
+    /// the fused tile queue, and (if present) its shard partition.
     ///
-    /// The default implementation ignores payloads and tiles and issues
-    /// one [`launch`](Self::launch) per bin — semantically the reference
-    /// path, and what the simulated GPU keeps (its per-bin pricing *is*
-    /// the point). Backends that can exploit the packed payloads and the
-    /// single-scope tile queue (the native CPU) override this.
+    /// The default implementation ignores payloads, tiles, and shards
+    /// and issues one [`launch`](Self::launch) per bin — semantically
+    /// the reference path, and what the simulated GPU keeps (its per-bin
+    /// pricing *is* the point). Backends that can exploit the packed
+    /// payloads and the single-scope tile queue (the native CPU)
+    /// override this.
     fn launch_plan(
         &self,
         a: &CsrMatrix<T>,
-        dispatch: &[BinDispatch],
-        payloads: &[BinPayload<T>],
-        tiles: &[Tile],
+        parts: &PlanParts<'_, T>,
         v: &[T],
         u: &mut [T],
     ) -> LaunchCost {
-        let _ = (payloads, tiles);
         let mut total = LaunchCost::default();
-        for d in dispatch {
+        for d in parts.dispatch {
             let cost = self.launch(a, &d.rows, d.kernel, v, u);
             total.accumulate(&cost);
         }
@@ -111,23 +130,18 @@ pub trait ExecBackend<T: Scalar>: Send + Sync {
     /// *pricing*, charging matrix traffic once per RHS block.
     ///
     /// [`launch_plan`]: Self::launch_plan
-    #[allow(clippy::too_many_arguments)]
     fn launch_plan_batch(
         &self,
         a: &CsrMatrix<T>,
-        dispatch: &[BinDispatch],
-        payloads: &[BinPayload<T>],
-        tiles: &[Tile],
-        tile_weights: &[usize],
+        parts: &PlanParts<'_, T>,
         x: &DenseBlock<T>,
         y: &mut DenseBlock<T>,
     ) -> LaunchCost {
-        let _ = tile_weights;
         let mut total = LaunchCost::default();
         let mut u = vec![T::ZERO; a.n_rows()];
         for j in 0..x.k() {
             let v = x.column(j);
-            let cost = self.launch_plan(a, dispatch, payloads, tiles, &v, &mut u);
+            let cost = self.launch_plan(a, parts, &v, &mut u);
             y.set_column(j, &u);
             total.accumulate(&cost);
         }
@@ -187,15 +201,12 @@ impl<T: Scalar> ExecBackend<T> for SimGpuBackend {
     fn launch_plan(
         &self,
         a: &CsrMatrix<T>,
-        dispatch: &[BinDispatch],
-        payloads: &[BinPayload<T>],
-        tiles: &[Tile],
+        parts: &PlanParts<'_, T>,
         v: &[T],
         u: &mut [T],
     ) -> LaunchCost {
-        let _ = tiles;
         let mut total = LaunchCost::default();
-        for (d, p) in dispatch.iter().zip(payloads) {
+        for (d, p) in parts.dispatch.iter().zip(parts.payloads) {
             let mut cost = self.launch(a, &d.rows, d.kernel, v, u);
             if let BinPayload::Packed(packed) = p {
                 let saved = (d.nnz * std::mem::size_of::<u32>())
@@ -221,14 +232,10 @@ impl<T: Scalar> ExecBackend<T> for SimGpuBackend {
     fn launch_plan_batch(
         &self,
         a: &CsrMatrix<T>,
-        dispatch: &[BinDispatch],
-        payloads: &[BinPayload<T>],
-        tiles: &[Tile],
-        tile_weights: &[usize],
+        parts: &PlanParts<'_, T>,
         x: &DenseBlock<T>,
         y: &mut DenseBlock<T>,
     ) -> LaunchCost {
-        let _ = tile_weights;
         // The analytic matrix stream of one full traversal: one u32
         // column index and one value per non-zero, plus the row pointer.
         let matrix_bytes = (a.nnz() * (std::mem::size_of::<u32>() + T::BYTES)
@@ -238,7 +245,7 @@ impl<T: Scalar> ExecBackend<T> for SimGpuBackend {
         for (c0, width) in rhs_blocks(x.k()) {
             for kk in 0..width {
                 let v = x.column(c0 + kk);
-                let mut cost = self.launch_plan(a, dispatch, payloads, tiles, &v, &mut u);
+                let mut cost = self.launch_plan(a, parts, &v, &mut u);
                 y.set_column(c0 + kk, &u);
                 if kk > 0 {
                     discount_matrix_traffic(&mut cost, matrix_bytes);
@@ -282,11 +289,13 @@ fn discount_matrix_traffic(cost: &mut LaunchCost, matrix_bytes: f64) {
 ///   partitioning of the bin's row list — the CPU's answer to long-row
 ///   load imbalance.
 ///
-/// The fused worker cap honours the `SPMV_THREADS` environment variable
-/// at construction ([`Default::default`] / [`new`](Self::new)): a
-/// positive integer caps the fused parallel regions at that many
-/// threads, clamped to the pool size; anything else (absent, empty,
-/// non-numeric, `0`) keeps the pool default. This makes bench runs
+/// The fused worker cap honours the process placement at construction
+/// ([`Default::default`] / [`new`](Self::new)): `SPMV_PLACEMENT`
+/// (`flat`, `grouped:G`, `pinned:N`) with `SPMV_THREADS=N` as the
+/// back-compat alias for `pinned:N` — see
+/// [`spmv_parallel::topology`]. A malformed value of either variable
+/// warns once on stderr and falls back to flat (all cores), so a typo
+/// is never silently identical to unset. This makes bench runs
 /// reproducible on shared CI boxes without recompiling.
 /// [`with_workers`](Self::with_workers) still overrides it in code.
 #[derive(Clone, Debug)]
@@ -299,23 +308,15 @@ pub struct NativeCpuBackend {
     workers: usize,
 }
 
-/// Interpret an `SPMV_THREADS` value as a fused worker cap: a positive
-/// integer is clamped to `pool` (the process thread count); anything
-/// else means "no cap" (`0`, the pool default). Pure so it is unit
-/// testable without touching the process environment.
-fn parse_spmv_threads(raw: Option<&str>, pool: usize) -> usize {
-    raw.and_then(|s| s.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .map(|n| n.min(pool.max(1)))
-        .unwrap_or(0)
-}
-
 impl Default for NativeCpuBackend {
     fn default() -> Self {
-        let workers = parse_spmv_threads(
-            std::env::var("SPMV_THREADS").ok().as_deref(),
-            spmv_parallel::num_threads(),
-        );
+        // `Flat` means "no explicit cap" — keep 0 so with_workers-less
+        // construction behaves exactly as before placement existed.
+        let placement = Placement::from_env();
+        let workers = match placement.policy {
+            spmv_parallel::PlacementPolicy::Flat => 0,
+            _ => placement.workers,
+        };
         Self {
             grain: 256,
             parts: spmv_parallel::num_threads() * 4,
@@ -381,28 +382,49 @@ impl<T: Scalar> ExecBackend<T> for NativeCpuBackend {
 
     /// The fused path: one scoped parallel region over the precompiled
     /// tile queue, workers stealing across bins, packed bins executing
-    /// from their SELL slabs. Falls back to per-bin launches when the
-    /// plan was compiled without a tile queue (`fused: false`).
+    /// from their SELL slabs. Sharded plans route through the
+    /// shard-partitioned queues (home-first drain, ring-order stealing,
+    /// first-touch on the first execution); flat plans keep the single
+    /// shared cursor. Falls back to per-bin launches when the plan was
+    /// compiled without a tile queue (`fused: false`).
     fn launch_plan(
         &self,
         a: &CsrMatrix<T>,
-        dispatch: &[BinDispatch],
-        payloads: &[BinPayload<T>],
-        tiles: &[Tile],
+        parts: &PlanParts<'_, T>,
         v: &[T],
         u: &mut [T],
     ) -> LaunchCost {
-        if tiles.is_empty() {
+        if parts.tiles.is_empty() {
             let mut total = LaunchCost::default();
-            for d in dispatch {
+            for d in parts.dispatch {
                 let cost = self.launch(a, &d.rows, d.kernel, v, u);
                 total.accumulate(&cost);
             }
             return total;
         }
         let t0 = Instant::now();
-        run_plan_fused(a, dispatch, payloads, tiles, self.workers, v, u)
-            .expect("plan validated dimensions");
+        match parts.shards {
+            Some(shards) => run_plan_sharded(
+                a,
+                parts.dispatch,
+                parts.payloads,
+                parts.tiles,
+                shards,
+                self.workers,
+                v,
+                u,
+            ),
+            None => run_plan_fused(
+                a,
+                parts.dispatch,
+                parts.payloads,
+                parts.tiles,
+                self.workers,
+                v,
+                u,
+            ),
+        }
+        .expect("plan validated dimensions");
         LaunchCost {
             stats: None,
             wall: t0.elapsed(),
@@ -411,25 +433,25 @@ impl<T: Scalar> ExecBackend<T> for NativeCpuBackend {
 
     /// The real batched path: register-blocked multi-RHS kernels over the
     /// (tile × RHS-block) work queue — one matrix traversal pays for a
-    /// whole RHS block. Works for fused and unfused plans alike (the
-    /// executor synthesizes whole-bin tiles when the queue is empty).
+    /// whole RHS block. Sharded plans route the (tile × block) items
+    /// through the same per-shard queues as the single-vector path.
+    /// Works for fused and unfused plans alike (the executor synthesizes
+    /// whole-bin tiles when the queue is empty).
     fn launch_plan_batch(
         &self,
         a: &CsrMatrix<T>,
-        dispatch: &[BinDispatch],
-        payloads: &[BinPayload<T>],
-        tiles: &[Tile],
-        tile_weights: &[usize],
+        parts: &PlanParts<'_, T>,
         x: &DenseBlock<T>,
         y: &mut DenseBlock<T>,
     ) -> LaunchCost {
         let t0 = Instant::now();
         run_plan_fused_batch(
             a,
-            dispatch,
-            payloads,
-            tiles,
-            tile_weights,
+            parts.dispatch,
+            parts.payloads,
+            parts.tiles,
+            parts.tile_weights,
+            parts.shards,
             self.workers,
             x,
             y,
@@ -524,16 +546,19 @@ mod tests {
     }
 
     #[test]
-    fn spmv_threads_parsing_clamps_and_rejects_garbage() {
-        assert_eq!(parse_spmv_threads(None, 8), 0);
-        assert_eq!(parse_spmv_threads(Some(""), 8), 0);
-        assert_eq!(parse_spmv_threads(Some("zero"), 8), 0);
-        assert_eq!(parse_spmv_threads(Some("0"), 8), 0);
-        assert_eq!(parse_spmv_threads(Some("-3"), 8), 0);
-        assert_eq!(parse_spmv_threads(Some("3"), 8), 3);
-        assert_eq!(parse_spmv_threads(Some(" 5 "), 8), 5);
-        assert_eq!(parse_spmv_threads(Some("64"), 8), 8, "clamped to pool");
-        assert_eq!(parse_spmv_threads(Some("4"), 0), 1, "degenerate pool");
+    fn default_backend_workers_follow_the_process_placement() {
+        // The placement grammar itself (including the SPMV_THREADS alias
+        // and malformed-value rejection) is unit-tested in
+        // `spmv_parallel::topology`; here we only pin the mapping from
+        // the resolved process placement to the backend's worker cap:
+        // flat keeps the "no cap" default, everything else pins it.
+        let placement = Placement::from_env();
+        let backend = NativeCpuBackend::default();
+        let expected = match placement.policy {
+            spmv_parallel::PlacementPolicy::Flat => 0,
+            _ => placement.workers,
+        };
+        assert_eq!(backend.workers, expected);
     }
 
     #[test]

@@ -6,8 +6,10 @@
 //! mirror the load-balancing split the paper's binning addresses:
 //! row-parallel (cheap, imbalanced) versus NNZ-balanced partitioning.
 
-use crate::plan::{rhs_blocks, BinDispatch, BinPayload, Tile};
-use spmv_parallel::{fused_for_each_scratch, fused_for_each_with, parallel_for};
+use crate::plan::{rhs_blocks, BinDispatch, BinPayload, ShardedTiles, Tile};
+use spmv_parallel::{
+    fused_for_each_scratch, fused_for_each_with, parallel_for, sharded_for_each_scratch,
+};
 use spmv_sparse::{CsrMatrix, DenseBlock, Scalar, SparseError};
 
 /// Row-parallel SpMV: rows are distributed in fixed-size chunks. The CPU
@@ -191,47 +193,128 @@ pub fn run_plan_fused<T: Scalar>(
         workers,
         tiles.len(),
         BlockedScratch::<T>::default,
-        |scratch, t| {
-            let tile = &tiles[t];
-            let d = &dispatch[tile.bin];
-            match &payloads[tile.bin] {
-                BinPayload::Csr => {
-                    for &r in &d.rows[tile.start..tile.end] {
-                        let (cols, vals) = a.row(r as usize);
-                        let mut sum = T::ZERO;
-                        for (&c, &x) in cols.iter().zip(vals) {
-                            sum = x.mul_add_(v[c as usize], sum);
-                        }
-                        // SAFETY: tiles of one bin cover disjoint spans of its
-                        // row list, bins own disjoint rows, and the fused
-                        // scope joins before `u` is observable again.
-                        unsafe { out.write(r as usize, sum) };
-                    }
-                }
-                BinPayload::Packed(packed) => {
-                    packed.with_slab(|slab| {
-                        packed.spmv_chunks(slab, tile.start, tile.end, v, |r, sum| {
-                            // SAFETY: chunk ranges of one bin are disjoint and
-                            // each packed row belongs to exactly one chunk;
-                            // same join argument as above.
-                            unsafe { out.write(r, sum) };
-                        });
-                    });
-                }
-                BinPayload::Blocked { strip_cols } => {
-                    blocked_rows_spmv(
-                        a,
-                        &d.rows[tile.start..tile.end],
-                        *strip_cols,
-                        v,
-                        &out,
-                        scratch,
-                    );
-                }
-            }
-        },
+        |scratch, t| exec_tile(a, dispatch, payloads, &tiles[t], v, out, scratch),
     );
     Ok(())
+}
+
+/// Execute one tile of the queue — the shared per-item body of the flat
+/// ([`run_plan_fused`]) and sharded ([`run_plan_sharded`]) executors.
+/// Which worker runs a tile cannot change a bit of the result: the
+/// per-row FMA chains below depend only on the tile, never on the
+/// schedule.
+fn exec_tile<T: Scalar>(
+    a: &CsrMatrix<T>,
+    dispatch: &[BinDispatch],
+    payloads: &[BinPayload<T>],
+    tile: &Tile,
+    v: &[T],
+    out: SliceWriter<T>,
+    scratch: &mut BlockedScratch<T>,
+) {
+    let d = &dispatch[tile.bin];
+    match &payloads[tile.bin] {
+        BinPayload::Csr => {
+            for &r in &d.rows[tile.start..tile.end] {
+                let (cols, vals) = a.row(r as usize);
+                let mut sum = T::ZERO;
+                for (&c, &x) in cols.iter().zip(vals) {
+                    sum = x.mul_add_(v[c as usize], sum);
+                }
+                // SAFETY: tiles of one bin cover disjoint spans of its
+                // row list, bins own disjoint rows, and the enclosing
+                // scope joins before `u` is observable again.
+                unsafe { out.write(r as usize, sum) };
+            }
+        }
+        BinPayload::Packed(packed) => {
+            packed.with_slab(|slab| {
+                packed.spmv_chunks(slab, tile.start, tile.end, v, |r, sum| {
+                    // SAFETY: chunk ranges of one bin are disjoint and
+                    // each packed row belongs to exactly one chunk;
+                    // same join argument as above.
+                    unsafe { out.write(r, sum) };
+                });
+            });
+        }
+        BinPayload::Blocked { strip_cols } => {
+            blocked_rows_spmv(
+                a,
+                &d.rows[tile.start..tile.end],
+                *strip_cols,
+                v,
+                &out,
+                scratch,
+            );
+        }
+    }
+}
+
+/// Execute a sharded plan's tile queue through its per-shard sub-queues
+/// — the topology-aware sibling of [`run_plan_fused`], behind
+/// `NativeCpuBackend::launch_plan` for plans compiled with more than one
+/// shard.
+///
+/// Workers drain their home shard's queue first and steal cross-shard in
+/// ring order only when it is empty (`spmv_parallel::shard`). On the
+/// **first** execution of a plan, a barrier-separated first-touch phase
+/// runs before any tile: each shard's owner zeroes the shard's output
+/// rows and streams its `x` column window, so those pages fault in near
+/// the worker that will write/read them. The zeroes are dead stores
+/// semantically — every shard row is overwritten by exactly one tile —
+/// and the barrier orders them before all real writes, so results stay
+/// bit-for-bit identical to [`run_plan_fused`] and to sequential
+/// execution on every format tier.
+#[allow(clippy::too_many_arguments)]
+pub fn run_plan_sharded<T: Scalar>(
+    a: &CsrMatrix<T>,
+    dispatch: &[BinDispatch],
+    payloads: &[BinPayload<T>],
+    tiles: &[Tile],
+    shards: &ShardedTiles,
+    workers: usize,
+    v: &[T],
+    u: &mut [T],
+) -> Result<(), SparseError> {
+    check_dims(a, v, u)?;
+    assert_eq!(dispatch.len(), payloads.len(), "payload table misaligned");
+    for p in payloads {
+        if let BinPayload::Packed(packed) = p {
+            packed.ensure_values(a);
+        }
+    }
+    let out = SliceWriter::new(u);
+    let do_touch = shards.begin_first_touch();
+    sharded_for_each_scratch(
+        workers,
+        shards.queues(),
+        do_touch,
+        |s| first_touch_shard(shards, s, v, out),
+        BlockedScratch::<T>::default,
+        |scratch, t| exec_tile(a, dispatch, payloads, &tiles[t as usize], v, out, scratch),
+    );
+    Ok(())
+}
+
+/// First-touch one shard's working set: zero its output rows and stream
+/// its `x` window. Placement only — the zeroes are overwritten by the
+/// shard's tiles and the reads are discarded (kept live via
+/// `black_box`).
+fn first_touch_shard<T: Scalar>(shards: &ShardedTiles, s: usize, v: &[T], out: SliceWriter<T>) {
+    for &r in &shards.shard_rows()[s] {
+        // SAFETY: shard row sets are disjoint across shards (proven by
+        // `check_shards`, enforced structurally by tile disjointness),
+        // the touch phase is barrier-ordered before every tile write,
+        // and the sharded scope joins before `u` is observable again.
+        unsafe { out.write(r as usize, T::ZERO) };
+    }
+    let (lo, hi) = shards.x_ranges()[s];
+    let window = &v[lo as usize..(hi as usize).min(v.len())];
+    let mut acc = T::ZERO;
+    for &x in window {
+        acc += x;
+    }
+    std::hint::black_box(acc);
 }
 
 /// Worker-private cursor/partial-sum buffers for the cache-blocked
@@ -327,10 +410,15 @@ fn blocked_rows_spmv<T: Scalar>(
 /// (`rhs_blocks` partitions `[0, K)`, proven by `check_payloads`), so
 /// every `(row, column)` output element is written by exactly one item.
 ///
-/// Plans compiled with `fused: false` have no tile queue; whole-bin
-/// tiles are synthesized on the fly so both configurations run the same
-/// kernels (bit-identical results either way). `workers` caps the
-/// parallel region (`0` = pool default).
+/// Sharded plans route the (tile × block) items through the same
+/// per-shard queues as the single-vector path: an item inherits the
+/// shard that owns its tile, so a shard's workers touch only their own
+/// `y` rows (all `K` columns of them) and `x` window. Plans compiled
+/// with `fused: false` have no tile queue; whole-bin tiles are
+/// synthesized on the fly (unsharded — there is no compile-time
+/// partition to honour) so both configurations run the same kernels
+/// (bit-identical results either way). `workers` caps the parallel
+/// region (`0` = pool default).
 #[allow(clippy::too_many_arguments)]
 pub fn run_plan_fused_batch<T: Scalar>(
     a: &CsrMatrix<T>,
@@ -338,6 +426,7 @@ pub fn run_plan_fused_batch<T: Scalar>(
     payloads: &[BinPayload<T>],
     tiles: &[Tile],
     tile_weights: &[usize],
+    shards: Option<&ShardedTiles>,
     workers: usize,
     x: &DenseBlock<T>,
     y: &mut DenseBlock<T>,
@@ -376,17 +465,33 @@ pub fn run_plan_fused_batch<T: Scalar>(
             payloads,
             &synth_tiles,
             &synth_weights,
+            None,
             workers,
             x,
             y,
         );
     }
-    run_batch_queue(a, dispatch, payloads, tiles, tile_weights, workers, x, y)
+    run_batch_queue(
+        a,
+        dispatch,
+        payloads,
+        tiles,
+        tile_weights,
+        shards,
+        workers,
+        x,
+        y,
+    )
 }
 
 /// The shared (tile × RHS-block) queue executor behind
 /// [`run_plan_fused_batch`]. Dimensions are already validated and packed
 /// value slabs refreshed.
+///
+/// Sharded plans deal the LPT-sorted items onto per-shard queues — an
+/// item belongs to the shard that owns its tile, so each shard queue
+/// keeps the global LPT order among its own items — and drain them with
+/// the same home-first/ring-steal protocol as the single-vector path.
 #[allow(clippy::too_many_arguments)]
 fn run_batch_queue<T: Scalar>(
     a: &CsrMatrix<T>,
@@ -394,12 +499,14 @@ fn run_batch_queue<T: Scalar>(
     payloads: &[BinPayload<T>],
     tiles: &[Tile],
     tile_weights: &[usize],
+    shards: Option<&ShardedTiles>,
     workers: usize,
     x: &DenseBlock<T>,
     y: &mut DenseBlock<T>,
 ) -> Result<(), SparseError> {
     debug_assert_eq!(tiles.len(), tile_weights.len(), "tile weights misaligned");
     let blocks = rhs_blocks(x.k());
+    let k = x.k();
     let mut items: Vec<(u32, u32)> = Vec::with_capacity(tiles.len() * blocks.len());
     for bi in 0..blocks.len() {
         for ti in 0..tiles.len() {
@@ -415,7 +522,7 @@ fn run_batch_queue<T: Scalar>(
     let xs = x.as_slice();
     let x_stride = x.stride();
     let out = BlockWriter::new(y);
-    fused_for_each_with(workers, items.len(), |it| {
+    let exec_item = |it: usize| {
         let (ti, bi) = items[it];
         let tile = &tiles[ti as usize];
         let (c0, width) = blocks[bi as usize];
@@ -486,8 +593,66 @@ fn run_batch_queue<T: Scalar>(
                 });
             }
         }
-    });
+    };
+    match shards {
+        None => fused_for_each_with(workers, items.len(), exec_item),
+        Some(sh) => {
+            // Deal items onto the shard that owns their tile. Pushing in
+            // the globally sorted order keeps each shard queue LPT-sorted
+            // among its own items.
+            let mut owner = vec![0u32; tiles.len()];
+            for (s, queue) in sh.queues().iter().enumerate() {
+                for &t in queue {
+                    owner[t as usize] = s as u32;
+                }
+            }
+            let mut item_queues: Vec<Vec<u32>> = vec![Vec::new(); sh.n_shards()];
+            for (it, &(ti, _)) in items.iter().enumerate() {
+                item_queues[owner[ti as usize] as usize].push(it as u32);
+            }
+            let do_touch = sh.begin_first_touch();
+            sharded_for_each_scratch(
+                workers,
+                &item_queues,
+                do_touch,
+                |s| first_touch_shard_block(sh, s, xs, x_stride, k, &out),
+                || (),
+                |_, it| exec_item(it as usize),
+            );
+        }
+    }
     Ok(())
+}
+
+/// Batched analogue of `first_touch_shard`: zero every RHS column of the
+/// shard's output rows and stream its `x` window (all `K` lanes of the
+/// gathered column range) from a worker homed on the shard. The zeroes
+/// are dead stores — every `(row, block)` cell is overwritten by exactly
+/// one queue item — so results stay bit-identical.
+fn first_touch_shard_block<T: Scalar>(
+    shards: &ShardedTiles,
+    s: usize,
+    xs: &[T],
+    x_stride: usize,
+    k: usize,
+    out: &BlockWriter<T>,
+) {
+    for &r in &shards.shard_rows()[s] {
+        for c in 0..k {
+            // SAFETY: shard write sets are disjoint (proven by
+            // `check_shards`) and the touch phase is barrier-ordered
+            // before every drain, so no other write can race this one.
+            unsafe { out.write_block(r as usize, c, [T::ZERO; 1]) };
+        }
+    }
+    let (lo, hi) = shards.x_ranges()[s];
+    let start = (lo as usize * x_stride).min(xs.len());
+    let end = (hi as usize * x_stride).min(xs.len());
+    let mut acc = T::ZERO;
+    for &v in &xs[start..end] {
+        acc += v;
+    }
+    std::hint::black_box(acc);
 }
 
 /// CSR span of a batched launch: each row's entries are walked once in

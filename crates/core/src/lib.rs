@@ -74,18 +74,20 @@ pub mod verify;
 pub mod prelude {
     pub use crate::baseline::CsrAdaptive;
     pub use crate::binning::{BinningScheme, Bins};
-    pub use crate::exec::{ExecBackend, LaunchCost, NativeCpuBackend, SimGpuBackend};
+    pub use crate::exec::{ExecBackend, LaunchCost, NativeCpuBackend, PlanParts, SimGpuBackend};
     pub use crate::framework::{run_hetero, run_single_kernel, run_strategy, AutoSpmv};
     pub use crate::kernels::{KernelId, ALL_KERNELS};
     pub use crate::model_io::{load_model_file, save_model_file};
     pub use crate::plan::{
         rhs_blocks, BinDispatch, BinFormat, BinPayload, IndexPolicy, PatternFingerprint,
-        PlanConfig, PlanError, SpmvPlan, Tile, TrafficStats, VerifiedPlan,
+        PlanConfig, PlanError, ShardedTiles, SpmvPlan, Tile, TrafficStats, VerifiedPlan,
     };
     pub use crate::strategy::Strategy;
     pub use crate::training::{TrainedModel, Trainer, TrainingReport};
     pub use crate::tuner::{TunedStrategy, Tuner, TunerConfig};
-    pub use crate::verify::{check_dispatch, check_payloads, check_rhs_blocks, VerifyError};
+    pub use crate::verify::{
+        check_dispatch, check_payloads, check_rhs_blocks, check_shards, VerifyError,
+    };
     pub use spmv_gpusim::{GpuDevice, LaunchStats};
     pub use spmv_sparse::DenseBlock;
 }

@@ -1,0 +1,272 @@
+//! Multi-thread determinism suite for the sharded execution runtime:
+//! a plan compiled with shard-partitioned tile queues must produce
+//! **bit-for-bit** the same output as single-threaded execution — for
+//! every format tier (CSR, packed, compressed-index, cache-blocked),
+//! every thread count in {2, 3, 4, 7}, adversarial shard cuts (empty
+//! shards, one-tile shards, more shards than tiles), repeated execution
+//! (the first-touch pass runs once), and the batched (SpMM) path.
+//!
+//! The suite pins `SPMV_NUM_THREADS=8` before the first parallel launch
+//! so the schedules are genuinely multi-threaded even on small CI boxes
+//! (the runtime clamps workers to this cap, never above it).
+
+use spmv_autotune::prelude::*;
+use spmv_sparse::gen;
+use spmv_sparse::gen::mixture::RowRegime;
+use spmv_sparse::{CsrMatrix, IndexKind};
+use std::sync::Once;
+
+/// Freeze the process-wide thread cap high enough that `with_workers(t)`
+/// for every swept `t` really spawns `t` workers. Must run before any
+/// kernel launch (the cap is cached on first use).
+fn setup() {
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        if std::env::var("SPMV_NUM_THREADS").is_err() {
+            std::env::set_var("SPMV_NUM_THREADS", "8");
+        }
+    });
+}
+
+fn irregular(seed: u64) -> CsrMatrix<f64> {
+    gen::mixture(
+        900,
+        1_100,
+        &[
+            RowRegime::new(1, 3, 0.5),
+            RowRegime::new(8, 40, 0.35),
+            RowRegime::new(150, 300, 0.15),
+        ],
+        true,
+        seed,
+    )
+}
+
+fn coarse(kernel: KernelId) -> Strategy {
+    Strategy {
+        binning: BinningScheme::Coarse { u: 10 },
+        kernels: vec![kernel; 8],
+    }
+}
+
+fn probe_vector(n: usize, seed: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| (((i as u64).wrapping_mul(seed + 5) % 19) as f64) - 9.0)
+        .collect()
+}
+
+/// One named `PlanConfig` per format tier, all fused with small tiles so
+/// multi-shard cuts have material to deal.
+fn format_tiers() -> Vec<(&'static str, PlanConfig)> {
+    vec![
+        (
+            "csr",
+            PlanConfig {
+                pack: false,
+                cache_block: false,
+                tile_nnz: 1 << 11,
+                ..PlanConfig::default()
+            },
+        ),
+        (
+            "packed",
+            PlanConfig {
+                tile_nnz: 1 << 11,
+                ..PlanConfig::default()
+            },
+        ),
+        (
+            "compressed",
+            PlanConfig {
+                index: IndexPolicy::Fixed(IndexKind::U16),
+                tile_nnz: 1 << 11,
+                ..PlanConfig::default()
+            },
+        ),
+        (
+            "cache-blocked",
+            PlanConfig {
+                pack: false,
+                l2_bytes: 32 * std::mem::size_of::<f64>(),
+                scatter_lines_per_row: 2.0,
+                tile_nnz: 1 << 11,
+                ..PlanConfig::default()
+            },
+        ),
+    ]
+}
+
+fn plan_with(
+    a: &CsrMatrix<f64>,
+    strategy: Strategy,
+    config: PlanConfig,
+    workers: usize,
+) -> SpmvPlan<f64> {
+    SpmvPlan::compile_with(
+        a,
+        strategy,
+        Box::new(NativeCpuBackend::new().with_workers(workers)),
+        config,
+    )
+}
+
+/// The single-threaded reference: one worker, no shard table.
+fn reference_output(a: &CsrMatrix<f64>, strategy: Strategy, config: &PlanConfig) -> Vec<f64> {
+    let cfg = PlanConfig {
+        shards: 1,
+        ..*config
+    };
+    let plan = plan_with(a, strategy, cfg, 1);
+    assert!(plan.sharded().is_none(), "shards: 1 must mean unsharded");
+    let v = probe_vector(a.n_cols(), 3);
+    let mut u = vec![f64::NAN; a.n_rows()];
+    plan.execute(a, &v, &mut u).unwrap();
+    u
+}
+
+/// Every format tier, every thread count: sharded output equals the
+/// single-threaded output bit for bit, and the sharded plan still
+/// passes `VerifiedPlan` promotion (which now proves the shard cover).
+#[test]
+fn sharded_matches_single_thread_across_formats_and_thread_counts() {
+    setup();
+    let a = irregular(11);
+    let v = probe_vector(a.n_cols(), 3);
+    for (tier, config) in format_tiers() {
+        let reference = reference_output(&a, coarse(KernelId::Subvector(8)), &config);
+        for t in [2usize, 3, 4, 7] {
+            let cfg = PlanConfig {
+                shards: t,
+                ..config
+            };
+            let plan = plan_with(&a, coarse(KernelId::Subvector(8)), cfg, t);
+            let sh = plan
+                .sharded()
+                .unwrap_or_else(|| panic!("{tier}: shards: {t} produced no shard table"));
+            assert_eq!(sh.n_shards(), t, "{tier}: wrong shard count");
+            let mut u = vec![f64::NAN; a.n_rows()];
+            plan.execute(&a, &v, &mut u).unwrap();
+            assert_eq!(u, reference, "{tier}: {t} threads diverge from 1 thread");
+            // Promotion re-proves the shard cover; the fast path must
+            // stay bit-identical too.
+            let verified = plan
+                .verify(&a)
+                .unwrap_or_else(|e| panic!("{tier}: sharded plan failed verify: {e}"));
+            let mut u2 = vec![f64::NAN; a.n_rows()];
+            verified.execute_unchecked(&a, &v, &mut u2).unwrap();
+            assert_eq!(u2, reference, "{tier}: unchecked path diverges");
+        }
+    }
+}
+
+/// Adversarial cuts: far more shards than tiles (most shards empty) and
+/// a single-tile queue (every shard but one empty) must still execute
+/// bit-identically and verify.
+#[test]
+fn adversarial_shard_cuts_stay_bit_identical() {
+    setup();
+    let a = irregular(12);
+    let v = probe_vector(a.n_cols(), 3);
+    let base = PlanConfig {
+        pack: false,
+        cache_block: false,
+        ..PlanConfig::default()
+    };
+
+    // More shards than tiles: the deal leaves empty shards, and workers
+    // outnumbered by shards must still drain every queue (ring steal).
+    let many = PlanConfig {
+        shards: 64,
+        tile_nnz: 1 << 12,
+        ..base
+    };
+    let reference = reference_output(&a, coarse(KernelId::Serial), &base);
+    let plan = plan_with(&a, coarse(KernelId::Serial), many, 3);
+    let sh = plan.sharded().expect("shard table");
+    assert!(
+        sh.queues().iter().any(Vec::is_empty),
+        "64 shards over few tiles should leave empty queues"
+    );
+    let mut u = vec![f64::NAN; a.n_rows()];
+    plan.execute(&a, &v, &mut u).unwrap();
+    assert_eq!(u, reference, "empty-shard cut diverges");
+    plan.verify(&a).expect("empty shards must still verify");
+
+    // One giant tile: a single shard owns all the work, the rest idle.
+    let one_tile = PlanConfig {
+        shards: 4,
+        tile_nnz: usize::MAX,
+        ..base
+    };
+    let plan = plan_with(&a, Strategy::single_kernel(KernelId::Vector), one_tile, 4);
+    let sh = plan.sharded().expect("shard table");
+    let nonempty = sh.queues().iter().filter(|q| !q.is_empty()).count();
+    assert_eq!(nonempty, 1, "one tile must land in exactly one shard");
+    let reference = reference_output(
+        &a,
+        Strategy::single_kernel(KernelId::Vector),
+        &PlanConfig {
+            tile_nnz: usize::MAX,
+            ..PlanConfig {
+                pack: false,
+                cache_block: false,
+                ..PlanConfig::default()
+            }
+        },
+    );
+    let mut u = vec![f64::NAN; a.n_rows()];
+    plan.execute(&a, &v, &mut u).unwrap();
+    assert_eq!(u, reference, "one-tile cut diverges");
+    plan.verify(&a).expect("one-tile shard must still verify");
+}
+
+/// Repeated execution through one plan: the first-touch pass runs once,
+/// and every subsequent execute is bit-identical to the first.
+#[test]
+fn repeated_sharded_execution_is_stable() {
+    setup();
+    let a = irregular(13);
+    let v = probe_vector(a.n_cols(), 7);
+    let cfg = PlanConfig {
+        shards: 4,
+        tile_nnz: 1 << 11,
+        ..PlanConfig::default()
+    };
+    let plan = plan_with(&a, coarse(KernelId::Subvector(16)), cfg, 4);
+    let mut first = vec![f64::NAN; a.n_rows()];
+    plan.execute(&a, &v, &mut first).unwrap();
+    for round in 0..3 {
+        let mut u = vec![f64::NAN; a.n_rows()];
+        plan.execute(&a, &v, &mut u).unwrap();
+        assert_eq!(u, first, "round {round} diverges from first execute");
+    }
+}
+
+/// The batched (SpMM) path routes through the same shard queues: each
+/// output column must match the sharded single-vector execute — which
+/// itself matches the single-threaded reference — bit for bit.
+#[test]
+fn batched_sharded_matches_columns_bit_for_bit() {
+    setup();
+    let a = irregular(14);
+    for t in [2usize, 4] {
+        let cfg = PlanConfig {
+            shards: t,
+            tile_nnz: 1 << 11,
+            ..PlanConfig::default()
+        };
+        let plan = plan_with(&a, coarse(KernelId::Subvector(8)), cfg, t);
+        assert!(plan.sharded().is_some());
+        let k = 5usize;
+        let mut x = DenseBlock::<f64>::zeros(a.n_cols(), k);
+        x.fill_with(|i, j| ((i * 3 + j * 11) % 23) as f64 - 11.0);
+        let mut y = DenseBlock::<f64>::zeros(a.n_rows(), k);
+        plan.execute_batch(&a, &x, &mut y).unwrap();
+        for j in 0..k {
+            let v = x.column(j);
+            let mut u = vec![f64::NAN; a.n_rows()];
+            plan.execute(&a, &v, &mut u).unwrap();
+            assert_eq!(y.column(j), u, "{t} shards: column {j} diverges");
+        }
+    }
+}

@@ -16,7 +16,11 @@
 //!   thread spawn/join each time;
 //! * a fused single-scope dispatcher ([`fused_for_each`]) that runs a
 //!   whole precompiled tile queue in one parallel region, so multi-bin
-//!   plans pay one join instead of one barrier per bin.
+//!   plans pay one join instead of one barrier per bin;
+//! * a topology/placement layer ([`topology`]) naming how many workers
+//!   run and how work queues map onto worker groups, and a sharded
+//!   dispatcher ([`sharded_for_each_scratch`]) that drains per-shard
+//!   queues home-first with ring-order cross-shard stealing.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -25,8 +29,14 @@ pub mod fused;
 pub mod partition;
 pub mod pool;
 pub mod scope;
+pub mod shard;
+pub mod topology;
 
 pub use fused::{fused_for_each, fused_for_each_scratch, fused_for_each_with};
 pub use partition::{chunk_ranges, Chunk};
 pub use pool::ThreadPool;
 pub use scope::{num_threads, parallel_for, parallel_map_collect, parallel_reduce};
+pub use shard::sharded_for_each_scratch;
+pub use topology::{
+    parse_placement, parse_threads_alias, Placement, PlacementError, PlacementPolicy, Topology,
+};

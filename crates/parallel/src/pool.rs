@@ -6,9 +6,16 @@
 //! workers parked on a shared queue and hands out boxed jobs;
 //! [`ThreadPool::run_batch`] submits a batch and blocks until all of it
 //! completes.
+//!
+//! The queue is an explicit `Mutex<VecDeque<Job>>` + `Condvar` rather
+//! than an `mpsc` channel: a channel's `Sender` is `!Sync`, which made
+//! the whole pool `!Sync` and forced every sharing caller to clone or
+//! wrap it. With the explicit queue the pool is `Send + Sync` (statically
+//! asserted below), so a multi-tenant runtime can hand `&ThreadPool` to
+//! concurrent plan executors directly.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -62,28 +69,86 @@ impl BatchState {
     }
 }
 
+/// The shared job queue. Workers park on `cv`; `shutdown` tells them to
+/// exit once the queue is drained (jobs submitted before shutdown still
+/// run — `Drop` relies on that to be loss-free).
+struct Queue {
+    jobs: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+impl Queue {
+    fn new() -> Self {
+        Self {
+            jobs: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: Job) {
+        let mut st = self.jobs.lock().unwrap();
+        assert!(!st.shutdown, "pool already shut down");
+        st.jobs.push_back(job);
+        drop(st);
+        self.cv.notify_one();
+    }
+
+    /// Block for the next job; `None` means drained-and-shut-down.
+    fn pop(&self) -> Option<Job> {
+        let mut st = self.jobs.lock().unwrap();
+        loop {
+            if let Some(job) = st.jobs.pop_front() {
+                return Some(job);
+            }
+            if st.shutdown {
+                return None;
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    fn shut_down(&self) {
+        self.jobs.lock().unwrap().shutdown = true;
+        self.cv.notify_all();
+    }
+}
+
 /// A fixed-size pool of parked worker threads.
 pub struct ThreadPool {
-    tx: Option<Sender<Job>>,
+    queue: Arc<Queue>,
     workers: Vec<JoinHandle<()>>,
     size: usize,
 }
+
+/// Compile-time `Send + Sync` proof: sharing `&ThreadPool` across threads
+/// is part of the pool's contract, not an accident of its current fields.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ThreadPool>();
+};
 
 impl ThreadPool {
     /// Spawn a pool with `size` workers (clamped to ≥ 1).
     pub fn new(size: usize) -> Self {
         let size = size.max(1);
-        let (tx, rx) = channel::<Job>();
-        let rx = Arc::new(Mutex::new(rx));
+        let queue = Arc::new(Queue::new());
         let workers = (0..size)
             .map(|i| {
-                let rx = Arc::clone(&rx);
+                let queue = Arc::clone(&queue);
                 std::thread::Builder::new()
                     .name(format!("spmv-pool-{i}"))
                     .spawn(move || {
                         // Hold the queue lock only while dequeuing, never
                         // while running the job.
-                        while let Some(job) = next_job(&rx) {
+                        while let Some(job) = queue.pop() {
                             job();
                         }
                     })
@@ -91,7 +156,7 @@ impl ThreadPool {
             })
             .collect();
         Self {
-            tx: Some(tx),
+            queue,
             workers,
             size,
         }
@@ -109,11 +174,7 @@ impl ThreadPool {
 
     /// Submit one fire-and-forget job.
     pub fn submit<F: FnOnce() + Send + 'static>(&self, f: F) {
-        self.tx
-            .as_ref()
-            .expect("pool already shut down")
-            .send(Box::new(f))
-            .expect("pool workers exited early");
+        self.queue.push(Box::new(f));
     }
 
     /// Submit a batch of jobs and block until every one has finished.
@@ -229,14 +290,11 @@ impl ErasedSlice {
 // `run_batch_ref` blocking until all runners finish.
 unsafe impl Send for ErasedSlice {}
 
-fn next_job(rx: &Mutex<Receiver<Job>>) -> Option<Job> {
-    rx.lock().unwrap().recv().ok()
-}
-
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        // Close the channel so workers drain and exit, then join them.
-        drop(self.tx.take());
+        // Mark the queue shut down so workers drain what is left and
+        // exit, then join them.
+        self.queue.shut_down();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -361,5 +419,29 @@ mod tests {
         }
         drop(pool); // must drain and join without hanging
         assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn pool_is_shareable_by_reference_across_threads() {
+        // The Send + Sync contract in practice: concurrent submitters
+        // over `&ThreadPool`, no cloning or wrapping.
+        let pool = ThreadPool::new(2);
+        let counter = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let c = &counter;
+                    let jobs: Vec<_> = (0..25)
+                        .map(|_| {
+                            move || {
+                                c.fetch_add(1, Ordering::Relaxed);
+                            }
+                        })
+                        .collect();
+                    pool.run_batch_ref(&jobs);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
     }
 }
