@@ -15,15 +15,21 @@
 //!    bit-for-bit identical, per output column, to single-vector
 //!    executes at RHS widths covering lone-column, remainder, and full
 //!    register-block decompositions.
-//! 5. **Concurrency protocols** — the scope/pool state machines pass
-//!    exhaustive interleaving; the deliberately buggy variants are
-//!    *detected* (a checker that flags nothing proves nothing).
+//! 5. **Concurrency protocols** — the scope/pool/level-barrier state
+//!    machines pass exhaustive interleaving; the deliberately buggy
+//!    variants are *detected* (a checker that flags nothing proves
+//!    nothing).
 //! 6. **Bandwidth tiers** — every (strategy × backend × index/blocking
 //!    tier) plan verifies and executes bit-for-bit against the
 //!    sequential CSR reference, the sweep demonstrably reaches sub-u32
 //!    lanes and cache-blocked bins, and the `n_cols`-shrink guard
 //!    rejects a compressed plan whose delta proof a column-shrunk
 //!    matrix would invalidate.
+//! 7. **Solve schedules** — every (matrix × direction × worker count ×
+//!    level granularity) triangular-solve and SymGS plan passes the
+//!    dependency-order prover and executes bit-for-bit against the
+//!    sequential references, and the sweep demonstrably reaches both
+//!    parallel steps and merged levels.
 //!
 //! `spmv-lint --gen-model <path>` instead trains a small deterministic
 //! model and writes it to `<path>` (used to produce `models/tiny.txt`).
@@ -35,7 +41,7 @@ use spmv_gpusim::GpuDevice;
 use spmv_ml::lint::Severity;
 use spmv_sparse::corpus::CorpusConfig;
 use spmv_verify::interleave::{explore, Verdict};
-use spmv_verify::models::{BatchModel, CursorModel, ShardModel, TwoLockModel};
+use spmv_verify::models::{BatchModel, CursorModel, LevelModel, ShardModel, TwoLockModel};
 use spmv_verify::{driver, hygiene};
 use std::path::{Path, PathBuf};
 
@@ -62,6 +68,7 @@ fn main() {
     failures += check_batched();
     failures += check_concurrency();
     failures += check_bandwidth();
+    failures += check_solve();
 
     if failures > 0 {
         eprintln!("\nspmv-lint: {failures} check(s) FAILED");
@@ -203,7 +210,7 @@ fn check_concurrency() -> usize {
     let mut bad = 0;
 
     // The shipped protocols must pass…
-    let sound: [(&str, Verdict); 4] = [
+    let sound: [(&str, Verdict); 5] = [
         (
             "pool run_batch (3 workers)",
             explore(BatchModel::correct(3), BUDGET),
@@ -220,6 +227,10 @@ fn check_concurrency() -> usize {
             "shard home-first claim with ring stealing (2 workers, 3 shards)",
             explore(ShardModel::correct(2, &[2, 0, 1]), BUDGET),
         ),
+        (
+            "level-barrier stepped solve (3 workers)",
+            explore(LevelModel::correct(3), BUDGET),
+        ),
     ];
     for (name, v) in sound {
         if v.passed() {
@@ -232,7 +243,7 @@ fn check_concurrency() -> usize {
 
     // …and the injected bugs must be *caught* (checker self-test).
     type Expect = fn(&Verdict) -> bool;
-    let buggy: [(&str, Verdict, Expect); 4] = [
+    let buggy: [(&str, Verdict, Expect); 5] = [
         (
             "notify-without-lock is detected as lost wakeup",
             explore(BatchModel::notify_without_lock(2), BUDGET),
@@ -251,6 +262,11 @@ fn check_concurrency() -> usize {
         (
             "dropped ring fallback is detected as stranded items",
             explore(ShardModel::no_cross_shard_fallback(2, &[1, 1, 1]), BUDGET),
+            |v| matches!(v, Verdict::Violation { .. }),
+        ),
+        (
+            "skipped level barrier is detected as a dependency race",
+            explore(LevelModel::skipped_barrier(2), BUDGET),
             |v| matches!(v, Verdict::Violation { .. }),
         ),
     ];
@@ -292,6 +308,30 @@ fn check_bandwidth() -> usize {
         }
     }
     usize::from(bad > 0)
+}
+
+fn check_solve() -> usize {
+    println!("\n== solve schedules (dependency-order prover sweep) ==");
+    let checks = driver::solve_sweep();
+    let mut bad = 0;
+    for c in &checks {
+        if let Err(e) = &c.result {
+            eprintln!(
+                "FAIL: {} over {} (workers = {}, granularity = {}): {e}",
+                c.op, c.matrix, c.workers, c.granularity
+            );
+            bad += 1;
+        }
+    }
+    if bad == 0 {
+        println!(
+            "ok: {} solve schedules certified and bit-identical to the sequential references",
+            checks.len()
+        );
+        0
+    } else {
+        1
+    }
 }
 
 /// Train the small deterministic model committed as `models/tiny.txt`:

@@ -400,6 +400,201 @@ pub fn shrink_guard_lint() -> Result<(), String> {
     Ok(())
 }
 
+/// Lower-triangularise one suite matrix: keep its strictly-lower
+/// entries, clip to square, and plant a well-conditioned diagonal so
+/// the triangular solve is numerically tame. The level structure is
+/// inherited from the suite matrix's sparsity, so the three shapes
+/// (uniform, power-law, mixture) produce genuinely different level-set
+/// profiles.
+pub fn lower_with_diag(a: &CsrMatrix<f64>) -> CsrMatrix<f64> {
+    let n = a.n_rows().min(a.n_cols());
+    let mut coo = spmv_sparse::CooMatrix::<f64>::new(n, n);
+    for i in 0..n {
+        for k in a.row_ptr()[i]..a.row_ptr()[i + 1] {
+            let c = a.col_idx()[k] as usize;
+            if c < i {
+                coo.push(i, c, a.values()[k]);
+            }
+        }
+        coo.push(i, i, 4.0 + (i % 7) as f64);
+    }
+    coo.to_csr()
+}
+
+/// Square-with-full-diagonal companion for the SymGS sweep: every
+/// off-diagonal entry of the suite matrix that fits in the square clip,
+/// plus a dominant diagonal (SymGS requires a diagonal in every row).
+pub fn square_with_diag(a: &CsrMatrix<f64>) -> CsrMatrix<f64> {
+    let n = a.n_rows().min(a.n_cols());
+    let mut coo = spmv_sparse::CooMatrix::<f64>::new(n, n);
+    for i in 0..n {
+        for k in a.row_ptr()[i]..a.row_ptr()[i + 1] {
+            let c = a.col_idx()[k] as usize;
+            if c < n && c != i {
+                coo.push(i, c, a.values()[k]);
+            }
+        }
+        coo.push(i, i, 8.0 + (i % 5) as f64);
+    }
+    coo.to_csr()
+}
+
+/// The level-granularity settings the solve sweep exercises:
+/// every level parallel (maximum barriers), the shipped auto merge, and
+/// everything merged into one serial chunk (zero barriers).
+pub fn solve_granularities() -> Vec<(&'static str, usize)> {
+    vec![("parallel-all", 1), ("auto", 0), ("serial-all", usize::MAX)]
+}
+
+/// Outcome of one solve-schedule check: the plan must pass the
+/// dependency-order prover and its parallel execution must be
+/// bit-for-bit identical to the sequential reference.
+#[derive(Debug)]
+pub struct SolveCheck {
+    /// Operation exercised: `forward`, `backward`, or `symgs`.
+    pub op: &'static str,
+    /// Label of the matrix checked.
+    pub matrix: String,
+    /// Worker count the schedule was built for.
+    pub workers: usize,
+    /// Level-granularity label from [`solve_granularities`].
+    pub granularity: &'static str,
+    /// `Ok` on certified + bitwise-equal, a description otherwise.
+    pub result: Result<(), String>,
+}
+
+/// Solve-schedule sweep: for every suite matrix, build forward SpTRSV
+/// (lower triangle), backward SpTRSV (its transpose) and SymGS plans at
+/// every (worker count × level granularity), run each through the
+/// dependency-order prover, and compare the certified execution
+/// bit-for-bit against [`spmv_sparse::solve::sptrsv_seq`] /
+/// [`spmv_sparse::solve::symgs_seq`].
+///
+/// Like the bandwidth sweep, coverage is asserted: at least one plan
+/// must carry a parallel (barrier-stepped) step and at least one must
+/// have merged levels into fewer barriers than `levels - 1` — a sweep
+/// whose schedules all degenerate to serial proves nothing about the
+/// prover. Those coverage failures are appended as synthetic checks.
+pub fn solve_sweep() -> Vec<SolveCheck> {
+    use spmv_autotune::solve::SolveConfig;
+    use spmv_sparse::solve::SolveDirection;
+
+    let mut out = Vec::new();
+    let mut saw_parallel = false;
+    let mut saw_merged = false;
+    for (label, a) in matrix_suite() {
+        let lower = lower_with_diag(&a);
+        let upper = lower.transpose();
+        let sym = square_with_diag(&a);
+        for workers in [1usize, 4] {
+            for (granularity, min_parallel_rows) in solve_granularities() {
+                let config = SolveConfig {
+                    workers,
+                    min_parallel_rows,
+                };
+                for (op, tri, dir) in [
+                    ("forward", &lower, SolveDirection::Forward),
+                    ("backward", &upper, SolveDirection::Backward),
+                ] {
+                    let result = check_solve_plan(tri, dir, config, &mut saw_parallel);
+                    if let Ok(merged) = &result {
+                        saw_merged |= *merged;
+                    }
+                    out.push(SolveCheck {
+                        op,
+                        matrix: label.clone(),
+                        workers,
+                        granularity,
+                        result: result.map(|_| ()),
+                    });
+                }
+                out.push(SolveCheck {
+                    op: "symgs",
+                    matrix: label.clone(),
+                    workers,
+                    granularity,
+                    result: check_symgs_plan(&sym, config),
+                });
+            }
+        }
+    }
+    for (flag, what) in [
+        (saw_parallel, "no schedule carried a parallel step"),
+        (
+            saw_merged,
+            "no schedule merged levels below levels - 1 barriers",
+        ),
+    ] {
+        out.push(SolveCheck {
+            op: "coverage",
+            matrix: "-".into(),
+            workers: 0,
+            granularity: "sweep-wide",
+            result: if flag {
+                Ok(())
+            } else {
+                Err(format!("{what}: the sweep never exercised it"))
+            },
+        });
+    }
+    out
+}
+
+/// Build + verify + execute one triangular plan; `Ok(merged)` reports
+/// whether the schedule has fewer barriers than `levels - 1` (level
+/// merging actually fired).
+fn check_solve_plan(
+    tri: &CsrMatrix<f64>,
+    dir: spmv_sparse::solve::SolveDirection,
+    config: spmv_autotune::solve::SolveConfig,
+    saw_parallel: &mut bool,
+) -> Result<bool, String> {
+    use spmv_autotune::solve::{SolvePlan, SolveStep};
+    let plan =
+        SolvePlan::build_with(tri, dir, config).map_err(|e| format!("build ({dir:?}): {e}"))?;
+    *saw_parallel |= plan.steps().iter().any(SolveStep::is_parallel);
+    let merged = plan.n_barriers() < plan.n_levels().saturating_sub(1);
+    let verified = plan.verify(tri).map_err(|e| format!("verify: {e}"))?;
+    let b = probe(tri.n_rows());
+    let mut reference = vec![f64::NAN; tri.n_rows()];
+    spmv_sparse::solve::sptrsv_seq(tri, dir, &b, &mut reference)
+        .map_err(|e| format!("sptrsv_seq: {e}"))?;
+    let mut x = vec![f64::NAN; tri.n_rows()];
+    verified
+        .solve_unchecked(tri, &b, &mut x)
+        .map_err(|e| format!("solve_unchecked: {e}"))?;
+    bitwise_eq(&x, &reference, "solve").map(|()| merged)
+}
+
+fn check_symgs_plan(
+    sym: &CsrMatrix<f64>,
+    config: spmv_autotune::solve::SolveConfig,
+) -> Result<(), String> {
+    let mut plan = spmv_autotune::solve::SymgsPlan::build_with(sym, config)
+        .map_err(|e| format!("symgs build: {e}"))?;
+    let b = probe(sym.n_rows());
+    let mut reference = vec![0.25f64; sym.n_rows()];
+    let mut x = vec![0.25f64; sym.n_rows()];
+    for sweep in 0..2 {
+        spmv_sparse::solve::symgs_seq(sym, &b, &mut reference)
+            .map_err(|e| format!("symgs_seq (sweep {sweep}): {e}"))?;
+        plan.apply(sym, &b, &mut x)
+            .map_err(|e| format!("symgs apply (sweep {sweep}): {e}"))?;
+        bitwise_eq(&x, &reference, "symgs")?;
+    }
+    Ok(())
+}
+
+fn bitwise_eq(got: &[f64], want: &[f64], what: &str) -> Result<(), String> {
+    if let Some(row) = (0..got.len()).find(|&r| got[r].to_bits() != want[r].to_bits()) {
+        return Err(format!(
+            "{what} diverges first at row {row}: plan {} vs reference {}",
+            got[row], want[row]
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,6 +628,23 @@ mod tests {
                 c.strategy,
                 c.backend,
                 c.matrix,
+                c.result
+            );
+        }
+    }
+
+    #[test]
+    fn solve_sweep_is_certified_and_bit_identical_everywhere() {
+        let checks = solve_sweep();
+        assert_eq!(checks.len(), 3 * 2 * 3 * 3 + 2, "solve grid changed?");
+        for c in &checks {
+            assert!(
+                c.result.is_ok(),
+                "{} over {} (workers = {}, granularity = {}) failed: {:?}",
+                c.op,
+                c.matrix,
+                c.workers,
+                c.granularity,
                 c.result
             );
         }

@@ -1,6 +1,10 @@
 //! Source-level unsafe-hygiene check: every `unsafe` occurrence in the
 //! workspace's own crates must be justified by a nearby `// SAFETY:`
-//! comment (or a `# Safety` doc section for `unsafe fn` declarations).
+//! comment — and `unsafe fn` *declarations* specifically by a
+//! `# Safety` doc section, the caller-facing half of the contract: a
+//! `// SAFETY:` comment explains why this site is sound, but a
+//! declaration's obligation falls on every caller, so it must live in
+//! the rendered docs.
 //!
 //! This is a lint over text, not an AST pass — deliberately simple and
 //! dependency-free. It scans `crates/*/src` and the workspace `src/`,
@@ -18,17 +22,31 @@ pub struct HygieneFinding {
     pub line: usize,
     /// The offending source line, trimmed.
     pub snippet: String,
+    /// The site is a fn *declaration*, which needs a `# Safety` doc
+    /// section (a `// SAFETY:` comment is not caller-facing).
+    pub needs_doc: bool,
 }
 
 impl std::fmt::Display for HygieneFinding {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{}:{}: `{}` without a SAFETY comment",
-            self.file.display(),
-            self.line,
-            self.snippet
-        )
+        if self.needs_doc {
+            write!(
+                f,
+                "{}:{}: `{}` — {} fn declaration without a `# Safety` doc section",
+                self.file.display(),
+                self.line,
+                self.snippet,
+                ["un", "safe"].concat()
+            )
+        } else {
+            write!(
+                f,
+                "{}:{}: `{}` without a SAFETY comment",
+                self.file.display(),
+                self.line,
+                self.snippet
+            )
+        }
     }
 }
 
@@ -39,7 +57,10 @@ const LOOKBACK: usize = 12;
 
 /// Scan one file's source text. Returns a finding for every line using
 /// the `unsafe` keyword with no `SAFETY`/`# Safety` comment within
-/// [`LOOKBACK`] preceding lines (or on the line itself).
+/// [`LOOKBACK`] preceding lines (or on the line itself) — and, for
+/// `unsafe fn` declarations, a finding whenever the lookback window has
+/// no `# Safety` doc section, even if a `// SAFETY:` comment is present
+/// (the contract must be caller-visible in the docs).
 pub fn scan_source(file: &Path, text: &str) -> Vec<HygieneFinding> {
     // Built by concatenation so this file does not flag itself.
     let needle: String = ["un", "safe"].concat();
@@ -55,19 +76,53 @@ pub fn scan_source(file: &Path, text: &str) -> Vec<HygieneFinding> {
         if !uses_keyword(trimmed, &needle) {
             continue;
         }
-        let justified = (i.saturating_sub(LOOKBACK)..=i).any(|j| {
-            let l = lines[j];
-            l.contains("SAFETY") || l.contains("# Safety")
-        });
+        let is_fn_decl = declares_unsafe_fn(trimmed, &needle);
+        let lookback = i.saturating_sub(LOOKBACK)..=i;
+        let justified = if is_fn_decl {
+            lookback.clone().any(|j| lines[j].contains("# Safety"))
+        } else {
+            lookback
+                .clone()
+                .any(|j| lines[j].contains("SAFETY") || lines[j].contains("# Safety"))
+        };
         if !justified {
             out.push(HygieneFinding {
                 file: file.to_path_buf(),
                 line: i + 1,
                 snippet: trimmed.trim_end().to_string(),
+                needs_doc: is_fn_decl,
             });
         }
     }
     out
+}
+
+/// Does `line` declare an `unsafe fn` (the keyword followed by the `fn`
+/// token and a function *name*)? Matches declarations like
+/// `pub(crate) unsafe fn f(...)`; does not match blocks, trait impls,
+/// fn-pointer *types* (`fn(` with no name), or identifiers merely
+/// containing the keyword.
+fn declares_unsafe_fn(line: &str, needle: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        let before_ok = start == 0 || !is_ident(bytes[start - 1]);
+        let after_ok = end == bytes.len() || !is_ident(bytes[end]);
+        if before_ok && after_ok {
+            let rest = line[end..].trim_start();
+            if rest.strip_prefix("fn").is_some_and(|r| {
+                r.starts_with(char::is_whitespace)
+                    && r.trim_start()
+                        .starts_with(|c: char| c.is_alphabetic() || c == '_')
+            }) {
+                return true;
+            }
+        }
+        from = end;
+    }
+    false
 }
 
 /// Does `line` use `needle` as a standalone keyword (not as part of a
@@ -149,6 +204,51 @@ mod tests {
             "/// # Safety\n///\n/// Caller checks i.\n{} fn g(i: usize) {{}}\n",
             kw("")
         );
+        assert!(scan_source(Path::new("x.rs"), &src).is_empty());
+    }
+
+    #[test]
+    fn fn_decl_with_only_a_safety_comment_is_flagged() {
+        // A `// SAFETY:` comment justifies a *site*; a declaration's
+        // contract must be a caller-visible `# Safety` doc section.
+        let src = format!(
+            "// SAFETY: this is not caller-facing.\n{} fn g(i: usize) {{}}\n",
+            kw("")
+        );
+        let f = scan_source(Path::new("x.rs"), &src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].needs_doc);
+        assert!(f[0].to_string().contains("# Safety"));
+    }
+
+    #[test]
+    fn fn_decl_with_doc_section_and_visibility_is_clean() {
+        let src = format!(
+            "/// # Safety\n///\n/// Caller checks i.\npub(crate) {} fn g(i: usize) {{}}\n",
+            kw("")
+        );
+        assert!(scan_source(Path::new("x.rs"), &src).is_empty());
+    }
+
+    #[test]
+    fn fn_pointer_type_is_not_a_declaration() {
+        // A field of fn-pointer type has no caller-facing doc surface;
+        // the ordinary SAFETY-comment rule applies instead.
+        let src = format!(
+            "// SAFETY: callee contract forwarded by call().\ncall_one: {} fn(*const u8, usize),\n",
+            kw("")
+        );
+        assert!(scan_source(Path::new("x.rs"), &src).is_empty());
+    }
+
+    #[test]
+    fn impl_and_block_sites_still_accept_safety_comments() {
+        let src = format!(
+            "// SAFETY: disjoint writes.\n{} impl Send for W {{}}\n",
+            kw("")
+        );
+        assert!(scan_source(Path::new("x.rs"), &src).is_empty());
+        let src = format!("// SAFETY: in bounds.\nlet v = {} {{ *p }};\n", kw(""));
         assert!(scan_source(Path::new("x.rs"), &src).is_empty());
     }
 

@@ -28,6 +28,14 @@
 //!   stops after its home queue — so queues no worker is homed on (more
 //!   shards than workers) are never drained (detected as stranded
 //!   items).
+//! * [`LevelModel`] — the barrier-stepped level-solve protocol
+//!   (`stepped_for_each` in `crates/parallel/src/step.rs`, driving the
+//!   `SolvePlan` kernels): workers execute their slice of a level, meet
+//!   at a barrier, then execute the next level, whose rows *read* rows
+//!   written in the previous one. The buggy variant arrives at the
+//!   barrier but does not wait — a worker can then read a dependency
+//!   another worker has not written yet (detected as a
+//!   read-before-write violation).
 
 use crate::interleave::Model;
 
@@ -505,6 +513,145 @@ impl Model for ShardModel {
     }
 }
 
+/// Barrier-stepped level-solve protocol of `stepped_for_each`: a fixed
+/// two-level schedule over four rows — level 0 is rows {0, 1} (no
+/// dependencies), level 1 is rows {2, 3} where row 2 reads row 1 and
+/// row 3 reads row 0. Row `i` of a level is owned by worker
+/// `i % workers`, so with two or more workers every level-1 row depends
+/// on a row *another* worker writes — exactly the cross-worker edge the
+/// barrier must order. Each worker writes its level-0 rows, arrives at
+/// the barrier, waits for everyone, then executes its level-1 rows
+/// (reading the dependency, then writing the row). The buggy variant
+/// arrives but does not wait.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct LevelModel {
+    /// Has row `r` been written yet?
+    written: [bool; 4],
+    /// Barrier arrival counter.
+    arrived: u8,
+    /// Per-worker stage: 0 = write level-0 rows, 1 = barrier arrive,
+    /// 2 = barrier wait, 3 = execute level-1 rows, 4 = done.
+    pc: Vec<u8>,
+    /// Per-worker cursor into its owned rows of the current level.
+    k: Vec<u8>,
+    /// First read of an unwritten dependency, as `(row, dep)`.
+    bad_read: Option<(u8, u8)>,
+    /// Re-introduce the skipped-barrier bug.
+    buggy: bool,
+}
+
+/// `(row, dependency)` per level-1 row: row 2 reads row 1, row 3 reads
+/// row 0.
+const LEVEL1_DEPS: [(u8, u8); 2] = [(2, 1), (3, 0)];
+
+impl LevelModel {
+    /// Correct protocol: every worker waits at the barrier between
+    /// levels.
+    pub fn correct(workers: u8) -> Self {
+        Self::new(workers, false)
+    }
+
+    /// Buggy protocol: workers arrive at the barrier but proceed
+    /// without waiting — level-1 reads can beat level-0 writes.
+    pub fn skipped_barrier(workers: u8) -> Self {
+        Self::new(workers, true)
+    }
+
+    fn new(workers: u8, buggy: bool) -> Self {
+        assert!((1..=4).contains(&workers), "1..=4 workers");
+        Self {
+            written: [false; 4],
+            arrived: 0,
+            pc: vec![0; workers as usize],
+            k: vec![0; workers as usize],
+            bad_read: None,
+            buggy,
+        }
+    }
+
+    /// Rows of level `level` owned by worker `t` (row `i % workers`).
+    fn owned(&self, t: usize, level: usize) -> Vec<u8> {
+        let rows: [u8; 2] = if level == 0 { [0, 1] } else { [2, 3] };
+        rows.iter()
+            .enumerate()
+            .filter(|(i, _)| i % self.pc.len() == t)
+            .map(|(_, &r)| r)
+            .collect()
+    }
+}
+
+impl Model for LevelModel {
+    fn n_threads(&self) -> usize {
+        self.pc.len()
+    }
+
+    fn runnable(&self, t: usize) -> bool {
+        match self.pc[t] {
+            // The barrier wait blocks until everyone has arrived.
+            2 => self.arrived as usize == self.pc.len(),
+            4 => false,
+            _ => true,
+        }
+    }
+
+    fn step(&mut self, t: usize) {
+        match self.pc[t] {
+            0 => {
+                let owned = self.owned(t, 0);
+                if let Some(&r) = owned.get(self.k[t] as usize) {
+                    self.written[r as usize] = true;
+                    self.k[t] += 1;
+                }
+                if self.k[t] as usize >= owned.len() {
+                    self.pc[t] = 1;
+                }
+            }
+            1 => {
+                // Barrier arrival (the atomic part every variant keeps).
+                self.arrived += 1;
+                self.k[t] = 0;
+                // BUG toggle: the buggy worker does not wait for the
+                // others before starting the next level.
+                self.pc[t] = if self.buggy { 3 } else { 2 };
+            }
+            2 => {
+                self.pc[t] = 3;
+            }
+            3 => {
+                let owned = self.owned(t, 1);
+                if let Some(&r) = owned.get(self.k[t] as usize) {
+                    let (row, dep) = LEVEL1_DEPS[(r - 2) as usize];
+                    if !self.written[dep as usize] && self.bad_read.is_none() {
+                        self.bad_read = Some((row, dep));
+                    }
+                    self.written[r as usize] = true;
+                    self.k[t] += 1;
+                }
+                if self.k[t] as usize >= owned.len() {
+                    self.pc[t] = 4;
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pc.iter().all(|&pc| pc == 4)
+    }
+
+    fn violation(&self) -> Option<String> {
+        if let Some((row, dep)) = self.bad_read {
+            return Some(format!("row {row} read row {dep} before it was written"));
+        }
+        if self.done() {
+            if let Some(r) = self.written.iter().position(|&w| !w) {
+                return Some(format!("row {r} never written"));
+            }
+        }
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -570,6 +717,36 @@ mod tests {
             }
             other => panic!("expected Violation, got {other}"),
         }
+    }
+
+    #[test]
+    fn barrier_stepped_levels_are_sound() {
+        for workers in 1..=3 {
+            let v = explore(LevelModel::correct(workers), BUDGET);
+            assert!(v.passed(), "workers={workers}: {v}");
+        }
+    }
+
+    #[test]
+    fn skipping_the_barrier_races_a_dependency_read() {
+        let v = explore(LevelModel::skipped_barrier(2), BUDGET);
+        match v {
+            Verdict::Violation { message, .. } => {
+                assert!(
+                    message.contains("before it was written"),
+                    "unexpected message {message}"
+                );
+            }
+            other => panic!("expected Violation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn one_worker_needs_no_barrier() {
+        // A single worker executes levels in program order: even the
+        // buggy variant cannot race with itself.
+        let v = explore(LevelModel::skipped_barrier(1), BUDGET);
+        assert!(v.passed(), "got {v}");
     }
 
     #[test]

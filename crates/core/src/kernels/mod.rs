@@ -18,6 +18,7 @@
 
 pub mod cpu;
 mod serial;
+pub(crate) mod solve;
 mod subvector;
 
 use spmv_gpusim::{GpuDevice, LaunchStats};

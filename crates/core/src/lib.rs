@@ -32,7 +32,12 @@
 //! * [`verify`] — the write-set disjointness checker: proves a plan's
 //!   dispatch table writes every output row exactly once, producing a
 //!   [`VerifiedPlan`] whose `execute_unchecked` drops the per-call
-//!   O(m) fingerprint scan.
+//!   O(m) fingerprint scan;
+//! * [`solve`] — level-scheduled sparse triangular solves and the SymGS
+//!   sweep behind the same plan/verify split: a dependency-order prover
+//!   ([`verify::check_solve_schedule`]) certifies the barrier-stepped
+//!   schedule and mints a [`VerifiedSolvePlan`], bit-for-bit identical
+//!   to the sequential references at every worker count.
 //!
 //! ## Quick start
 //!
@@ -65,6 +70,7 @@ pub mod framework;
 pub mod kernels;
 pub mod model_io;
 pub mod plan;
+pub mod solve;
 pub mod strategy;
 pub mod training;
 pub mod tuner;
@@ -82,11 +88,15 @@ pub mod prelude {
         rhs_blocks, BinDispatch, BinFormat, BinPayload, IndexPolicy, PatternFingerprint,
         PlanConfig, PlanError, ShardedTiles, SpmvPlan, Tile, TrafficStats, VerifiedPlan,
     };
+    pub use crate::solve::{
+        SolveConfig, SolveError, SolvePlan, SolveStep, SymgsPlan, VerifiedSolvePlan,
+    };
     pub use crate::strategy::Strategy;
     pub use crate::training::{TrainedModel, Trainer, TrainingReport};
     pub use crate::tuner::{TunedStrategy, Tuner, TunerConfig};
     pub use crate::verify::{
-        check_dispatch, check_payloads, check_rhs_blocks, check_shards, VerifyError,
+        check_dispatch, check_payloads, check_rhs_blocks, check_shards, check_solve_schedule,
+        VerifyError,
     };
     pub use spmv_gpusim::{GpuDevice, LaunchStats};
     pub use spmv_sparse::DenseBlock;

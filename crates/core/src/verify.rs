@@ -24,6 +24,8 @@
 use crate::kernels::cpu::rows_nnz_cuts;
 use crate::kernels::KernelId;
 use crate::plan::{for_each_tile_row, BinDispatch, BinFormat, BinPayload, ShardedTiles, Tile};
+use crate::solve::SolveStep;
+use spmv_sparse::solve::SolveDirection;
 use spmv_sparse::{CsrMatrix, Scalar};
 
 /// Why a dispatch table failed write-set verification.
@@ -149,6 +151,94 @@ pub enum VerifyError {
         /// What property failed.
         detail: String,
     },
+    /// The matrix handed to [`SolvePlan::verify`] fingerprint-matches
+    /// the plan but disagrees with its structure snapshot — possible
+    /// because the fingerprint hashes only the row pointer, and fatal
+    /// for a solve proof because dependency order lives in the column
+    /// indices.
+    ///
+    /// [`SolvePlan::verify`]: crate::solve::SolvePlan::verify
+    SolveStructureMismatch {
+        /// Which snapshot array disagreed (`"row_ptr"` / `"col_idx"`).
+        what: &'static str,
+    },
+    /// A triangular solve needs a square system; this matrix is not.
+    SolveNotSquare {
+        /// Row count.
+        n_rows: usize,
+        /// Column count.
+        n_cols: usize,
+    },
+    /// A scheduled row id is outside `[0, m)`.
+    SolveRowOutOfBounds {
+        /// The offending row id.
+        row: u32,
+        /// Number of matrix rows.
+        m: usize,
+    },
+    /// A row appears in two schedule slots — two workers (or two steps)
+    /// would both write `x[row]`.
+    SolveRowRepeated {
+        /// The row scheduled twice.
+        row: u32,
+        /// Step that scheduled it first.
+        first_step: usize,
+        /// Step that scheduled it again.
+        step: usize,
+    },
+    /// A row appears in no step — the solve would leave `x[row]` stale.
+    SolveRowUnscheduled {
+        /// The unscheduled row.
+        row: usize,
+    },
+    /// A stored column index is outside the system — the kernel's
+    /// gather of `x[col]` would be out of bounds.
+    SolveColOutOfBounds {
+        /// Row whose entry is bad.
+        row: usize,
+        /// The out-of-range column.
+        col: u32,
+        /// System dimension.
+        n: usize,
+    },
+    /// An entry sits on the wrong side of the diagonal for the solve's
+    /// direction — the matrix is not triangular the way the schedule
+    /// assumes.
+    SolveOffTriangle {
+        /// Direction the schedule was built for.
+        direction: SolveDirection,
+        /// Row of the witness entry.
+        row: usize,
+        /// Column of the witness entry.
+        col: u32,
+    },
+    /// A row has no structural diagonal entry to divide by.
+    SolveMissingDiagonal {
+        /// The diagonal-less row.
+        row: usize,
+    },
+    /// A row runs before a row it reads is finalised: its dependency
+    /// sits in the same or a later step (same-step reads are only legal
+    /// at earlier positions of the *same serial chunk*). Executing this
+    /// schedule would race.
+    SolveDependencyViolated {
+        /// The row that reads too early.
+        row: usize,
+        /// Step the reading row is scheduled in.
+        row_step: usize,
+        /// The dependency it reads.
+        col: usize,
+        /// Step the dependency is scheduled in.
+        col_step: usize,
+    },
+    /// A parallel step's cut positions do not partition its row list
+    /// across the worker team — workers would overlap or skip rows.
+    SolveCutsInvalid {
+        /// The step whose cuts are broken.
+        step: usize,
+        /// What property failed.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for VerifyError {
@@ -234,6 +324,57 @@ impl std::fmt::Display for VerifyError {
             ),
             VerifyError::ShardsNotPartition { shard, detail } => {
                 write!(f, "shard {shard}: shard cover is not a partition: {detail}")
+            }
+            VerifyError::SolveStructureMismatch { what } => write!(
+                f,
+                "matrix {what} disagrees with the plan's structure snapshot \
+                 (same fingerprint, different pattern)"
+            ),
+            VerifyError::SolveNotSquare { n_rows, n_cols } => write!(
+                f,
+                "triangular solve needs a square system, got {n_rows}x{n_cols}"
+            ),
+            VerifyError::SolveRowOutOfBounds { row, m } => {
+                write!(f, "scheduled row {row} out of bounds (m = {m})")
+            }
+            VerifyError::SolveRowRepeated {
+                row,
+                first_step,
+                step,
+            } => write!(
+                f,
+                "row {row} scheduled twice: steps {first_step} and {step}"
+            ),
+            VerifyError::SolveRowUnscheduled { row } => {
+                write!(f, "row {row} appears in no step of the schedule")
+            }
+            VerifyError::SolveColOutOfBounds { row, col, n } => {
+                write!(f, "row {row} gathers column {col} out of bounds (n = {n})")
+            }
+            VerifyError::SolveOffTriangle {
+                direction,
+                row,
+                col,
+            } => write!(
+                f,
+                "{direction} solve schedule over a non-triangular matrix: row {row} \
+                 has an off-triangle entry in column {col}"
+            ),
+            VerifyError::SolveMissingDiagonal { row } => {
+                write!(f, "row {row} has no structural diagonal entry to divide by")
+            }
+            VerifyError::SolveDependencyViolated {
+                row,
+                row_step,
+                col,
+                col_step,
+            } => write!(
+                f,
+                "row {row} (step {row_step}) reads row {col} which is not finalised \
+                 until step {col_step}"
+            ),
+            VerifyError::SolveCutsInvalid { step, detail } => {
+                write!(f, "step {step}: worker cuts are not a partition: {detail}")
             }
         }
     }
@@ -600,6 +741,150 @@ pub fn check_shards<T: Scalar>(
                         "row {r} gathers column {c} outside the x window {lo}..{hi}"
                     )));
                 }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Prove a level-set solve schedule dependency-respecting against the
+/// matrix it claims to solve — the core obligation behind
+/// [`VerifiedSolvePlan`]'s unchecked path:
+///
+/// 1. the matrix is square (the solve reads and writes one vector);
+/// 2. every row of the matrix appears in **exactly one** schedule slot
+///    (no duplicates, no gaps, no out-of-range ids) — so `x[row]` is
+///    written once, by one worker;
+/// 3. every stored entry of every scheduled row is either the row's
+///    own diagonal, or a same-direction dependency (strictly below the
+///    diagonal for forward solves, strictly above for backward) whose
+///    owning row is finalised **before** the reading row runs: in a
+///    strictly earlier step for parallel steps, or at an earlier
+///    position of the same serial chunk (same-worker program order);
+///    columns outside the system are rejected outright — the kernel
+///    would gather out of bounds;
+/// 4. every scheduled row has a structural diagonal entry (the kernel
+///    divides by it);
+/// 5. every parallel step's cut positions partition its row list into
+///    exactly `workers` spans (length `workers + 1`, first 0, last
+///    `|rows|`, monotone) — the role-indexed spans the barrier-stepped
+///    executor hands out are disjoint and complete.
+///
+/// Everything is re-derived from `a`'s structure; nothing the schedule
+/// builder wrote down is trusted. O(m) space, O(m + nnz) time plus the
+/// cut scans.
+///
+/// [`VerifiedSolvePlan`]: crate::solve::VerifiedSolvePlan
+pub fn check_solve_schedule<T: Scalar>(
+    a: &CsrMatrix<T>,
+    direction: SolveDirection,
+    steps: &[SolveStep],
+    workers: usize,
+) -> Result<(), VerifyError> {
+    let m = a.n_rows();
+    if a.n_cols() != m {
+        return Err(VerifyError::SolveNotSquare {
+            n_rows: m,
+            n_cols: a.n_cols(),
+        });
+    }
+    // (2) exactly-once scheduling, recording each row's (step, position)
+    // so the dependency check can compare finalisation order.
+    const UNSCHEDULED: u32 = u32::MAX;
+    let mut step_of: Vec<u32> = vec![UNSCHEDULED; m];
+    let mut pos_of: Vec<u32> = vec![0; m];
+    for (s, st) in steps.iter().enumerate() {
+        for (p, &r) in st.rows().iter().enumerate() {
+            let ri = r as usize;
+            if ri >= m {
+                return Err(VerifyError::SolveRowOutOfBounds { row: r, m });
+            }
+            if step_of[ri] != UNSCHEDULED {
+                return Err(VerifyError::SolveRowRepeated {
+                    row: r,
+                    first_step: step_of[ri] as usize,
+                    step: s,
+                });
+            }
+            step_of[ri] = s as u32;
+            pos_of[ri] = p as u32;
+        }
+        // (5) parallel cuts partition the step's rows across the team.
+        if let SolveStep::Parallel { rows, cuts } = st {
+            let fail = |detail: String| VerifyError::SolveCutsInvalid { step: s, detail };
+            if cuts.len() != workers + 1 {
+                return Err(fail(format!(
+                    "{} cuts for {workers} workers (need workers + 1)",
+                    cuts.len()
+                )));
+            }
+            if cuts.first() != Some(&0) {
+                return Err(fail(format!("first cut {:?} != 0", cuts.first())));
+            }
+            if cuts.last() != Some(&rows.len()) {
+                return Err(fail(format!(
+                    "last cut {:?} != |rows| = {}",
+                    cuts.last(),
+                    rows.len()
+                )));
+            }
+            if let Some(w) = cuts.windows(2).find(|w| w[0] > w[1]) {
+                return Err(fail(format!("cuts not monotone at {} > {}", w[0], w[1])));
+            }
+        }
+    }
+    if let Some(row) = step_of.iter().position(|&s| s == UNSCHEDULED) {
+        return Err(VerifyError::SolveRowUnscheduled { row });
+    }
+    // (3) + (4): per-row structure scan against the finalisation order.
+    for (s, st) in steps.iter().enumerate() {
+        let par = st.is_parallel();
+        for (p, &r) in st.rows().iter().enumerate() {
+            let i = r as usize;
+            let (cols, _) = a.row(i);
+            let mut has_diag = false;
+            for &c in cols {
+                let ci = c as usize;
+                if ci >= m {
+                    return Err(VerifyError::SolveColOutOfBounds {
+                        row: i,
+                        col: c,
+                        n: m,
+                    });
+                }
+                if ci == i {
+                    has_diag = true;
+                    continue;
+                }
+                if !direction.is_dependency(i, ci) {
+                    return Err(VerifyError::SolveOffTriangle {
+                        direction,
+                        row: i,
+                        col: c,
+                    });
+                }
+                let cs = step_of[ci] as usize;
+                let finalised = if par {
+                    // Another worker may own the dependency: only a
+                    // barrier (strictly earlier step) orders its write
+                    // before this read.
+                    cs < s
+                } else {
+                    // Serial chunks run on one worker in listed order:
+                    // an earlier position of the same step suffices.
+                    cs < s || (cs == s && (pos_of[ci] as usize) < p)
+                };
+                if !finalised {
+                    return Err(VerifyError::SolveDependencyViolated {
+                        row: i,
+                        row_step: s,
+                        col: ci,
+                        col_step: cs,
+                    });
+                }
+            }
+            if !has_diag {
+                return Err(VerifyError::SolveMissingDiagonal { row: i });
             }
         }
     }

@@ -20,7 +20,11 @@
 //! * a topology/placement layer ([`topology`]) naming how many workers
 //!   run and how work queues map onto worker groups, and a sharded
 //!   dispatcher ([`sharded_for_each_scratch`]) that drains per-shard
-//!   queues home-first with ring-order cross-shard stealing.
+//!   queues home-first with ring-order cross-shard stealing;
+//! * a barrier-stepped dispatcher ([`stepped_for_each`]) for
+//!   dependency-carrying schedules (level-set triangular solves): one
+//!   worker team marches through barrier-separated steps, so step
+//!   `s + 1` reads what step `s` wrote without a spawn/join per level.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -30,6 +34,7 @@ pub mod partition;
 pub mod pool;
 pub mod scope;
 pub mod shard;
+pub mod step;
 pub mod topology;
 
 pub use fused::{fused_for_each, fused_for_each_scratch, fused_for_each_with};
@@ -37,6 +42,7 @@ pub use partition::{chunk_ranges, Chunk};
 pub use pool::ThreadPool;
 pub use scope::{num_threads, parallel_for, parallel_map_collect, parallel_reduce};
 pub use shard::sharded_for_each_scratch;
+pub use step::stepped_for_each;
 pub use topology::{
     parse_placement, parse_threads_alias, Placement, PlacementError, PlacementPolicy, Topology,
 };

@@ -260,9 +260,12 @@ struct ErasedSlice {
 
 impl ErasedSlice {
     fn new<J: Fn() + Sync>(jobs: &[J]) -> Self {
+        /// # Safety
+        ///
+        /// `base` must come from a live `&[J]` with `i` in bounds
+        /// (ErasedSlice::call's contract).
         unsafe fn call_one<J: Fn() + Sync>(base: *const u8, i: usize) {
-            // SAFETY: the caller guarantees `base` came from a live
-            // `&[J]` with `i` in bounds (ErasedSlice::call's contract).
+            // SAFETY: forwarded directly from this fn's own contract.
             unsafe { (*(base as *const J).add(i))() }
         }
         Self {

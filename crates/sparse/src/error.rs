@@ -152,6 +152,81 @@ impl From<CsrBuildError> for SparseError {
     }
 }
 
+/// Typed rejection of a matrix handed to the triangular-solve stack
+/// ([`level_sets`], [`split_triangular`], and the solve-plan builders in
+/// `spmv-autotune`). Each variant names the violated premise and a
+/// witness, so plan construction fails with a diagnosable error instead
+/// of a panic (or a silently wrong solve).
+///
+/// [`level_sets`]: crate::solve::level_sets
+/// [`split_triangular`]: crate::solve::split_triangular
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveBuildError {
+    /// Triangular solves need a square system.
+    NotSquare {
+        /// Row count.
+        n_rows: usize,
+        /// Column count.
+        n_cols: usize,
+    },
+    /// An entry sits on the wrong side of the diagonal for the
+    /// requested direction (or beyond the matrix entirely): the matrix
+    /// is not triangular the way the solve needs it to be.
+    OffTriangle {
+        /// Direction the solve was built for.
+        direction: crate::solve::SolveDirection,
+        /// Row of the witness entry.
+        row: usize,
+        /// Column of the witness entry.
+        col: u32,
+    },
+    /// A row has no structural diagonal entry — the solve would divide
+    /// by an entry that does not exist.
+    MissingDiagonal {
+        /// First diagonal-less row.
+        row: usize,
+    },
+}
+
+impl fmt::Display for SolveBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SolveBuildError::NotSquare { n_rows, n_cols } => {
+                write!(
+                    f,
+                    "triangular solve needs a square matrix, got {n_rows}x{n_cols}"
+                )
+            }
+            SolveBuildError::OffTriangle {
+                direction,
+                row,
+                col,
+            } => {
+                let side = match direction {
+                    crate::solve::SolveDirection::Forward => "above",
+                    crate::solve::SolveDirection::Backward => "below",
+                };
+                write!(
+                    f,
+                    "{direction} solve needs a triangular matrix: row {row} has an entry in \
+                     column {col}, {side} the diagonal"
+                )
+            }
+            SolveBuildError::MissingDiagonal { row } => {
+                write!(f, "row {row} has no structural diagonal entry to divide by")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveBuildError {}
+
+impl From<SolveBuildError> for SparseError {
+    fn from(e: SolveBuildError) -> Self {
+        SparseError::InvalidStructure(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

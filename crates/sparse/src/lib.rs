@@ -39,14 +39,19 @@ pub mod ops;
 pub mod packed;
 pub mod reorder;
 pub mod scalar;
+pub mod solve;
 pub mod suite;
 
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use dense_block::DenseBlock;
-pub use error::{CsrBuildError, SparseError};
+pub use error::{CsrBuildError, SolveBuildError, SparseError};
 pub use features::{ColumnLocality, FeatureSet, MatrixFeatures};
 pub use histogram::RowHistogram;
 pub use packed::{BaseMode, IndexKind, PackedSell, SlabView};
 pub use scalar::Scalar;
+pub use solve::{
+    level_sets, split_triangular, sptrsv_seq, symgs_seq, SolveDirection, TriangularHalves,
+    Triangularity,
+};
