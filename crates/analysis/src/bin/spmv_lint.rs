@@ -25,7 +25,15 @@
 //!    lanes and cache-blocked bins, and the `n_cols`-shrink guard
 //!    rejects a compressed plan whose delta proof a column-shrunk
 //!    matrix would invalidate.
-//! 7. **Solve schedules** — every (matrix × direction × worker count ×
+//! 7. **Kernel table** — every reachable `KernelKey` (each format's
+//!    kernel family × every register-block width) resolves to a
+//!    registered micro-kernel and every registered entry is reachable
+//!    (no dead table rows), and the specialized sweep proves every
+//!    structure fast path — banded, dense-run, row-run — verifies and
+//!    executes bit-for-bit over the strategy grid, with coverage flags
+//!    guaranteeing each path (and the `specialize` kill switch) actually
+//!    fired.
+//! 8. **Solve schedules** — every (matrix × direction × worker count ×
 //!    level granularity) triangular-solve and SymGS plan passes the
 //!    dependency-order prover and executes bit-for-bit against the
 //!    sequential references, and the sweep demonstrably reaches both
@@ -68,6 +76,7 @@ fn main() {
     failures += check_batched();
     failures += check_concurrency();
     failures += check_bandwidth();
+    failures += check_kernel_table();
     failures += check_solve();
 
     if failures > 0 {
@@ -306,6 +315,35 @@ fn check_bandwidth() -> usize {
             eprintln!("FAIL: shrink guard: {e}");
             bad += 1;
         }
+    }
+    usize::from(bad > 0)
+}
+
+fn check_kernel_table() -> usize {
+    println!("\n== kernel table (registry coverage + specialized fast paths) ==");
+    let mut bad = 0;
+    match driver::kernel_table_lint() {
+        Ok(()) => println!("ok: every reachable KernelKey registered, every entry reachable"),
+        Err(e) => {
+            eprintln!("FAIL: kernel table: {e}");
+            bad += 1;
+        }
+    }
+    let checks = driver::specialized_sweep();
+    let mut sweep_bad = 0;
+    for c in &checks {
+        if let Err(e) = &c.result {
+            eprintln!("FAIL: [{}] {} on {}: {e}", c.tier, c.strategy, c.backend);
+            sweep_bad += 1;
+        }
+    }
+    if sweep_bad == 0 {
+        println!(
+            "ok: {} specialized plans verified and bit-identical to the CSR reference",
+            checks.len()
+        );
+    } else {
+        bad += sweep_bad;
     }
     usize::from(bad > 0)
 }

@@ -400,6 +400,232 @@ pub fn shrink_guard_lint() -> Result<(), String> {
     Ok(())
 }
 
+/// Kernel-table coverage lint, both directions.
+///
+/// 1. **Reachable ⇒ registered**: for every [`BinFormat`] the plan gate
+///    can emit, every `(kernel_family, register-block width)` key must
+///    resolve through [`spmv_autotune::kernels::table::lookup`] — this
+///    is the global version of the per-bin assertion `compile_with`
+///    makes, proven over the whole format space instead of just the
+///    formats one matrix happens to exercise.
+/// 2. **Registered ⇒ reachable**: every entry the `kernel_table!` macro
+///    generated must carry a family some [`BinFormat`] maps to and a
+///    width the RHS blocker can choose — a registered-but-unreachable
+///    micro-kernel is dead code the type system cannot flag.
+/// 3. **Uniqueness**: no two entries share a [`KernelKey`], so table
+///    lookup is unambiguous.
+pub fn kernel_table_lint() -> Result<(), String> {
+    use spmv_autotune::kernels::table::{kernel_table, lookup, KernelKey, RHS_WIDTHS};
+    use std::collections::BTreeSet;
+
+    // One representative per BinFormat variant; the payload-bearing
+    // fields do not influence the family mapping.
+    let formats = [
+        BinFormat::Csr,
+        BinFormat::PackedSell {
+            chunk: 4,
+            index: IndexKind::U16,
+        },
+        BinFormat::CacheBlockedCsr { strip_cols: 64 },
+        BinFormat::DenseRun,
+        BinFormat::Banded { offsets: 3 },
+        BinFormat::RowRunReuse,
+    ];
+
+    // Direction 1: every reachable key resolves.
+    let mut reachable = BTreeSet::new();
+    for format in formats {
+        let family = format.kernel_family();
+        for kb in RHS_WIDTHS {
+            let key = KernelKey { family, kb };
+            if lookup::<f64>(key).is_none() {
+                return Err(format!(
+                    "reachable key {key} (format {format}) has no registered kernel"
+                ));
+            }
+            if lookup::<f32>(key).is_none() {
+                return Err(format!(
+                    "reachable key {key} (format {format}) has no f32 kernel"
+                ));
+            }
+            reachable.insert(key);
+        }
+    }
+
+    // Directions 2 and 3: every registered entry is reachable & unique.
+    let mut seen = BTreeSet::new();
+    for entry in kernel_table::<f64>() {
+        if !seen.insert(entry.key) {
+            return Err(format!("duplicate table entry for key {}", entry.key));
+        }
+        if !reachable.contains(&entry.key) {
+            return Err(format!(
+                "registered kernel {} is unreachable: no BinFormat maps to it",
+                entry.key
+            ));
+        }
+    }
+    if seen.len() != reachable.len() {
+        return Err(format!(
+            "table registers {} keys but {} are reachable",
+            seen.len(),
+            reachable.len()
+        ));
+    }
+    Ok(())
+}
+
+/// An identical-row-run matrix for the specialized sweep: runs of
+/// `run_len` rows sharing one scattered column list (values still
+/// differ per row), the shape the [`BinFormat::RowRunReuse`] gate
+/// exists for. Columns are scattered over 4000 so packed delta lanes
+/// stay wide and the row-run index stream demonstrably wins.
+pub fn row_run_matrix(n_runs: usize, run_len: usize, nnz_per_row: usize) -> CsrMatrix<f64> {
+    let n_rows = n_runs * run_len;
+    let n_cols = 4_000;
+    let mut coo = spmv_sparse::CooMatrix::<f64>::new(n_rows, n_cols);
+    for run in 0..n_runs {
+        let mut cols: Vec<usize> = (0..nnz_per_row)
+            .map(|j| (j * 331 + run * 97) % n_cols)
+            .collect();
+        cols.sort_unstable();
+        cols.dedup();
+        for k in 0..run_len {
+            let r = run * run_len + k;
+            for (j, &c) in cols.iter().enumerate() {
+                coo.push(r, c, 1.0 + (r * 7 + j * 3) as f64 * 0.25);
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// The specialized-tier cases `spmv-lint` sweeps: one (matrix, config)
+/// pair per structure fast path, with the knobs that route the gate
+/// there, plus a disabled tier proving the `specialize` kill switch
+/// regates everything to the PR 5 formats.
+pub fn specialized_tiers() -> Vec<(&'static str, CsrMatrix<f64>, PlanConfig)> {
+    vec![
+        // Band-complete generator under the default knobs.
+        (
+            "banded",
+            gen::banded::<f64>(900, 3, 21),
+            PlanConfig::default(),
+        ),
+        // Same shape with the banded tier disabled and the run threshold
+        // lowered to the generator's run length, forcing dense runs.
+        (
+            "dense-run",
+            gen::banded::<f64>(900, 3, 22),
+            PlanConfig {
+                band_max_offsets: 0,
+                min_dense_run: 2,
+                ..PlanConfig::default()
+            },
+        ),
+        // Identical-row runs, classified streaming so the index-byte
+        // contest against packing is live.
+        (
+            "row-run",
+            row_run_matrix(48, 8, 12),
+            PlanConfig {
+                llc_bytes: 0,
+                ..PlanConfig::default()
+            },
+        ),
+        // Kill switch: a structured matrix with specialization off must
+        // produce zero specialized bins.
+        (
+            "disabled",
+            gen::banded::<f64>(900, 3, 23),
+            PlanConfig {
+                specialize: false,
+                ..PlanConfig::default()
+            },
+        ),
+    ]
+}
+
+/// Outcome of one specialized-tier check: the plan must verify (the
+/// structural payload proofs re-run against the matrix) and execute
+/// bit-for-bit against the sequential CSR reference.
+#[derive(Debug)]
+pub struct SpecializedCheck {
+    /// Tier label from [`specialized_tiers`].
+    pub tier: &'static str,
+    /// Human-readable strategy summary.
+    pub strategy: String,
+    /// Backend name the plan was compiled for.
+    pub backend: &'static str,
+    /// `Ok` on bitwise equality, a description of the failure otherwise.
+    pub result: Result<(), String>,
+}
+
+/// Specialized-kernel sweep: every (strategy × backend) plan over the
+/// [`specialized_tiers`] cases, verified and executed bit-for-bit
+/// against the sequential reference.
+///
+/// Like the bandwidth sweep, coverage is asserted: the sweep must
+/// realise at least one banded, one dense-run, and one row-run bin, and
+/// the `disabled` tier must realise none — a sweep that silently gates
+/// everything back to CSR/packed proves nothing about the fast paths.
+/// Failures of those four invariants are appended as synthetic checks.
+pub fn specialized_sweep() -> Vec<SpecializedCheck> {
+    let mut out = Vec::new();
+    let mut saw_banded = false;
+    let mut saw_dense_run = false;
+    let mut saw_row_run = false;
+    let mut disabled_clean = true;
+    for (tier, a, config) in specialized_tiers() {
+        let reference = a.spmv_seq_alloc(&probe(a.n_cols())).unwrap();
+        for strategy in strategy_grid() {
+            for which in 0..2usize {
+                let backend = backend_pair::<f64>().swap_remove(which);
+                let name = backend.name();
+                let plan = SpmvPlan::compile_with(&a, strategy.clone(), backend, config);
+                for d in plan.dispatch() {
+                    match d.format {
+                        BinFormat::Banded { .. } => saw_banded = true,
+                        BinFormat::DenseRun => saw_dense_run = true,
+                        BinFormat::RowRunReuse => saw_row_run = true,
+                        _ => {}
+                    }
+                }
+                if tier == "disabled" && plan.specialized_bins() > 0 {
+                    disabled_clean = false;
+                }
+                out.push(SpecializedCheck {
+                    tier,
+                    strategy: strategy.describe(),
+                    backend: name,
+                    result: check_against_reference(&a, plan, &reference),
+                });
+            }
+        }
+    }
+    for (flag, what) in [
+        (saw_banded, "no plan realised a banded bin"),
+        (saw_dense_run, "no plan realised a dense-run bin"),
+        (saw_row_run, "no plan realised a row-run bin"),
+        (
+            disabled_clean,
+            "the specialize kill switch leaked a specialized bin",
+        ),
+    ] {
+        out.push(SpecializedCheck {
+            tier: "coverage",
+            strategy: "sweep-wide".into(),
+            backend: "-",
+            result: if flag {
+                Ok(())
+            } else {
+                Err(format!("{what}: the fast-path gate was never exercised"))
+            },
+        });
+    }
+    out
+}
+
 /// Lower-triangularise one suite matrix: keep its strictly-lower
 /// entries, clip to square, and plant a well-conditioned diagonal so
 /// the triangular solve is numerically tame. The level structure is
@@ -653,6 +879,27 @@ mod tests {
     #[test]
     fn shrink_guard_rejects_column_shrunk_matrices() {
         shrink_guard_lint().unwrap();
+    }
+
+    #[test]
+    fn kernel_table_covers_both_directions() {
+        kernel_table_lint().unwrap();
+    }
+
+    #[test]
+    fn specialized_sweep_is_bit_identical_and_covers_every_fast_path() {
+        let checks = specialized_sweep();
+        assert_eq!(checks.len(), 4 * 20 * 2 + 4, "specialized grid changed?");
+        for c in &checks {
+            assert!(
+                c.result.is_ok(),
+                "[{}] {} on {} failed: {:?}",
+                c.tier,
+                c.strategy,
+                c.backend,
+                c.result
+            );
+        }
     }
 
     #[test]

@@ -1,34 +1,35 @@
-//! Bandwidth-tier throughput report: times the same tuned strategy over
-//! every format tier of the bandwidth work — plain CSR, the PR 3
-//! u32-lane packed baseline, delta-compressed lanes, forced
-//! cache-blocked scatter execution, and the full bottleneck-aware gate —
-//! and emits `BENCH_bandwidth.json` with GFLOP/s, modelled traffic
-//! (bytes per non-zero), and the per-tier format mix.
+//! Specialized-kernel throughput report: times the structured subset of
+//! the Table II suite (the banded and block-coupled matrices, plus a
+//! power-law control the gate must decline) over every kernel-table
+//! tier — plain CSR, the PR 3 u32-lane floor, the PR 5 bottleneck-aware
+//! gate with specialization off, the forced dense-run and row-run fast
+//! paths, and the shipped gate with the full table — and emits
+//! `BENCH_specialized.json` with GFLOP/s, modelled traffic (bytes per
+//! non-zero), the per-tier format mix, and a thread sweep with scaling
+//! efficiency.
 //!
 //! Every tier is asserted bit-for-bit against the sequential CSR
 //! reference before its timing is reported.
 //!
-//! Regenerate with `cargo run --release -p spmv-bench --bin bench_bandwidth`.
+//! Regenerate with `cargo run --release -p spmv-bench --bin bench_specialized`.
 //!
 //! Knobs: `SPMV_BENCH_ITERS` (timed iterations, default 20),
-//! `SPMV_BENCH_BANDWIDTH_OUT` (output path, default
-//! `BENCH_bandwidth.json`), `SPMV_BENCH_TINY=1` (three small synthetic
+//! `SPMV_BENCH_SPECIALIZED_OUT` (output path, default
+//! `BENCH_specialized.json`), `SPMV_BENCH_TINY=1` (three small synthetic
 //! matrices — the CI smoke mode).
 
 use spmv_autotune::prelude::*;
-use spmv_bench::setup::{env_usize, load_suite, scaling_efficiency, sweep_threads};
-use spmv_sparse::{gen, CsrMatrix, IndexKind};
+use spmv_bench::setup::{env_usize, scaling_efficiency, sweep_threads};
+use spmv_sparse::{gen, suite, CsrMatrix, IndexKind};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// The format tiers compared. `csr` and `u32` reproduce the pre-PR and
-/// PR 3 layouts; `compressed` isolates the delta lanes (forced past the
-/// width gate, so the byte reduction is measured on every matrix);
-/// `blocked` isolates the column-strip schedule (pack off, strip budget
-/// small enough that the suite matrices qualify); `auto` is the PR 5
-/// bottleneck-aware gate. Every tier pins `specialize: false` so this
-/// report keeps measuring the PR 5 format space — the structure fast
-/// paths have their own report (`bench_specialized`).
+/// The kernel-table tiers compared. `csr` and `u32` reproduce the
+/// pre-packing and PR 3 layouts; `pr5-auto` is the PR 5 bottleneck-aware
+/// gate with the structure fast paths switched off (the best prior
+/// tier on every matrix); `dense-run` and `row-run` force one fast path
+/// each (banded tier disabled, thresholds lowered to the suite's run
+/// lengths); `auto` is the shipped gate searching the full table.
 fn tiers() -> Vec<(&'static str, PlanConfig)> {
     vec![
         (
@@ -50,31 +51,31 @@ fn tiers() -> Vec<(&'static str, PlanConfig)> {
             },
         ),
         (
-            "compressed",
+            "pr5-auto",
             PlanConfig {
-                index: IndexPolicy::Fixed(IndexKind::U8),
-                cache_block: false,
                 specialize: false,
                 ..PlanConfig::default()
             },
         ),
         (
-            "blocked",
+            "dense-run",
             PlanConfig {
-                pack: false,
-                l2_bytes: 4 * 1024,
-                scatter_lines_per_row: 2.0,
-                specialize: false,
+                band_max_offsets: 0,
+                min_dense_run: 2,
+                min_row_run: 0,
                 ..PlanConfig::default()
             },
         ),
         (
-            "auto",
+            "row-run",
             PlanConfig {
-                specialize: false,
+                llc_bytes: 0,
+                band_max_offsets: 0,
+                min_dense_run: 0,
                 ..PlanConfig::default()
             },
         ),
+        ("auto", PlanConfig::default()),
     ]
 }
 
@@ -83,10 +84,12 @@ struct TierRow {
     threads: usize,
     gflops: f64,
     index_bpn: f64,
+    value_bpn: f64,
     total_bpn: f64,
-    u8_bins: usize,
-    u16_bins: usize,
-    u32_bins: usize,
+    banded_bins: usize,
+    dense_run_bins: usize,
+    row_run_bins: usize,
+    packed_bins: usize,
     blocked_bins: usize,
     csr_bins: usize,
 }
@@ -140,7 +143,7 @@ fn measure(name: &str, a: &CsrMatrix<f32>, iters: usize, threads: &[usize]) -> M
             };
             let verified = SpmvPlan::compile_with(a, strategy.clone(), backend, config)
                 .verify(a)
-                .expect("tiered plan must verify");
+                .expect("specialized plan must verify");
             let mut u = vec![0.0f32; a.n_rows()];
             let secs = time_loop(iters, || {
                 verified.execute_unchecked(a, &v, &mut u).unwrap();
@@ -151,14 +154,13 @@ fn measure(name: &str, a: &CsrMatrix<f32>, iters: usize, threads: &[usize]) -> M
             );
             let plan = verified.plan();
             let traffic = plan.traffic();
-            let (mut u8b, mut u16b, mut u32b) = (0usize, 0usize, 0usize);
+            let (mut banded, mut dense_run, mut row_run) = (0usize, 0usize, 0usize);
             for d in plan.dispatch() {
-                if let BinFormat::PackedSell { index, .. } = d.format {
-                    match index {
-                        IndexKind::U8 => u8b += 1,
-                        IndexKind::U16 => u16b += 1,
-                        IndexKind::U32 => u32b += 1,
-                    }
+                match d.format {
+                    BinFormat::Banded { .. } => banded += 1,
+                    BinFormat::DenseRun => dense_run += 1,
+                    BinFormat::RowRunReuse => row_run += 1,
+                    _ => {}
                 }
             }
             rows.push(TierRow {
@@ -166,12 +168,17 @@ fn measure(name: &str, a: &CsrMatrix<f32>, iters: usize, threads: &[usize]) -> M
                 threads: w,
                 gflops: gflops(a.nnz(), iters, secs),
                 index_bpn: traffic.index_bytes_per_nnz(),
+                value_bpn: traffic.value_bytes_per_nnz(),
                 total_bpn: traffic.total_bytes_per_nnz(),
-                u8_bins: u8b,
-                u16_bins: u16b,
-                u32_bins: u32b,
+                banded_bins: banded,
+                dense_run_bins: dense_run,
+                row_run_bins: row_run,
+                packed_bins: plan.packed_bins(),
                 blocked_bins: plan.blocked_bins(),
-                csr_bins: plan.dispatch().len() - plan.packed_bins() - plan.blocked_bins(),
+                csr_bins: plan.dispatch().len()
+                    - plan.packed_bins()
+                    - plan.blocked_bins()
+                    - plan.specialized_bins(),
             });
         }
     }
@@ -184,6 +191,30 @@ fn measure(name: &str, a: &CsrMatrix<f32>, iters: usize, threads: &[usize]) -> M
     }
 }
 
+/// The structured subset of the Table II suite: the three banded
+/// matrices the `Banded` tier exists for, three block-coupled FEM
+/// matrices whose identical-row blocks feed the dense-run and row-run
+/// paths, and a power-law control where the gate must decline every
+/// fast path (its `auto` row must match `pr5-auto`).
+fn structured_suite() -> Vec<(String, CsrMatrix<f32>)> {
+    [
+        "apache1",
+        "cryg10000",
+        "denormal",
+        "crankseg_2",
+        "pcrystk02",
+        "pkustk14",
+        "dictionary28",
+    ]
+    .iter()
+    .map(|name| {
+        let meta = suite::by_name(name).expect("suite matrix");
+        eprintln!("  generating {name} …");
+        (name.to_string(), meta.generate())
+    })
+    .collect()
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -191,28 +222,25 @@ fn json_escape(s: &str) -> String {
 fn main() {
     let iters = env_usize("SPMV_BENCH_ITERS", 20);
     let tiny = std::env::var("SPMV_BENCH_TINY").is_ok_and(|s| s == "1");
-    let out_path = std::env::var("SPMV_BENCH_BANDWIDTH_OUT")
-        .unwrap_or_else(|_| "BENCH_bandwidth.json".to_string());
+    let out_path = std::env::var("SPMV_BENCH_SPECIALIZED_OUT")
+        .unwrap_or_else(|_| "BENCH_specialized.json".to_string());
 
     let threads = sweep_threads();
 
     let cases: Vec<(String, CsrMatrix<f32>)> = if tiny {
         vec![
-            (
-                "tiny-uniform4".into(),
-                gen::random_uniform::<f32>(4_000, 4_000, 4, 4, 1),
-            ),
             ("tiny-banded7".into(), gen::banded::<f32>(4_000, 3, 2)),
+            (
+                "tiny-block6".into(),
+                gen::block_structured::<f32>(300, 6, 8, 4),
+            ),
             (
                 "tiny-powerlaw".into(),
                 gen::powerlaw::<f32>(3_000, 1, 150, 2.1, 3),
             ),
         ]
     } else {
-        load_suite()
-            .into_iter()
-            .map(|c| (c.meta.name.to_string(), c.matrix))
-            .collect()
+        structured_suite()
     };
 
     let mut rows = Vec::new();
@@ -228,7 +256,7 @@ fn main() {
 
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
-    writeln!(json, "  \"bench\": \"bandwidth\",").unwrap();
+    writeln!(json, "  \"bench\": \"specialized\",").unwrap();
     writeln!(
         json,
         "  \"pool_threads\": {},",
@@ -264,18 +292,21 @@ fn main() {
                 json,
                 "      {{\"tier\": \"{}\", \"threads\": {}, \"gflops\": {:.3}, \
                  \"scaling_efficiency\": {:.3}, \
-                 \"index_bytes_per_nnz\": {:.4}, \"total_bytes_per_nnz\": {:.4}, \
-                 \"u8_bins\": {}, \"u16_bins\": {}, \"u32_bins\": {}, \
-                 \"blocked_bins\": {}, \"csr_bins\": {}}}",
+                 \"index_bytes_per_nnz\": {:.4}, \"value_bytes_per_nnz\": {:.4}, \
+                 \"total_bytes_per_nnz\": {:.4}, \
+                 \"banded_bins\": {}, \"dense_run_bins\": {}, \"row_run_bins\": {}, \
+                 \"packed_bins\": {}, \"blocked_bins\": {}, \"csr_bins\": {}}}",
                 t.tier,
                 t.threads,
                 t.gflops,
                 scaling_efficiency(t.threads, t.gflops, base),
                 t.index_bpn,
+                t.value_bpn,
                 t.total_bpn,
-                t.u8_bins,
-                t.u16_bins,
-                t.u32_bins,
+                t.banded_bins,
+                t.dense_run_bins,
+                t.row_run_bins,
+                t.packed_bins,
                 t.blocked_bins,
                 t.csr_bins,
             )

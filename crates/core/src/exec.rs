@@ -190,14 +190,15 @@ impl<T: Scalar> ExecBackend<T> for SimGpuBackend {
         }
     }
 
-    /// Per-bin launches priced with the compressed-index discount: a bin
-    /// whose payload is a delta-compressed SELL slab moves
-    /// `index_stream_bytes()` of column-index traffic instead of the
-    /// `nnz × 4` the functional CSR pricing charged, so the saved bytes
-    /// are subtracted from that bin's modelled traffic (bandwidth-bound
-    /// kernel times scale down with the bytes; compute-bound times are
-    /// left alone). Execution stays per-bin and functional — only the
-    /// price changes.
+    /// Per-bin launches priced with the index-stream discount: a bin
+    /// whose payload moves fewer index bytes than the `nnz × 4` the
+    /// functional CSR pricing charged — a delta-compressed SELL slab, or
+    /// a structure-specialized tier whose metadata (run descriptors,
+    /// diagonal offsets, one column pattern per row run) replaces
+    /// per-element indices entirely — has the saved bytes subtracted
+    /// from its modelled traffic (bandwidth-bound kernel times scale
+    /// down with the bytes; compute-bound times are left alone).
+    /// Execution stays per-bin and functional — only the price changes.
     fn launch_plan(
         &self,
         a: &CsrMatrix<T>,
@@ -208,11 +209,19 @@ impl<T: Scalar> ExecBackend<T> for SimGpuBackend {
         let mut total = LaunchCost::default();
         for (d, p) in parts.dispatch.iter().zip(parts.payloads) {
             let mut cost = self.launch(a, &d.rows, d.kernel, v, u);
-            if let BinPayload::Packed(packed) = p {
-                let saved = (d.nnz * std::mem::size_of::<u32>())
-                    .saturating_sub(packed.index_stream_bytes());
+            let streamed = match p {
+                BinPayload::Packed(packed) => Some(packed.index_stream_bytes()),
+                BinPayload::DenseRun(runs) => Some(runs.index_stream_bytes()),
+                BinPayload::Banded(band) => Some(band.index_stream_bytes()),
+                BinPayload::RowRun(rr) => Some(rr.index_stream_bytes()),
+                BinPayload::Csr | BinPayload::Blocked { .. } => None,
+            };
+            if let Some(bytes) = streamed {
+                let saved = (d.nnz * std::mem::size_of::<u32>()).saturating_sub(bytes);
                 if saved > 0 {
-                    discount_matrix_traffic(&mut cost, saved as f64);
+                    if let Some(stats) = &mut cost.stats {
+                        stats.discount_traffic(saved as f64);
+                    }
                 }
             }
             total.accumulate(&cost);
@@ -248,33 +257,14 @@ impl<T: Scalar> ExecBackend<T> for SimGpuBackend {
                 let mut cost = self.launch_plan(a, parts, &v, &mut u);
                 y.set_column(c0 + kk, &u);
                 if kk > 0 {
-                    discount_matrix_traffic(&mut cost, matrix_bytes);
+                    if let Some(stats) = &mut cost.stats {
+                        stats.discount_traffic(matrix_bytes);
+                    }
                 }
                 total.accumulate(&cost);
             }
         }
         total
-    }
-}
-
-/// Remove one matrix traversal's bytes from a priced launch — the
-/// pricing model for the non-leading columns of an RHS block. The keep
-/// fraction is floored at 1% so a column never becomes free (output
-/// writes and x-gathers always remain).
-fn discount_matrix_traffic(cost: &mut LaunchCost, matrix_bytes: f64) {
-    let Some(stats) = &mut cost.stats else {
-        return;
-    };
-    let traffic = (stats.bytes_read + stats.bytes_written) as f64;
-    if traffic <= 0.0 {
-        return;
-    }
-    let keep = ((traffic - matrix_bytes).max(0.0) / traffic).max(0.01);
-    stats.bytes_read = ((stats.bytes_read as f64) * keep) as u64;
-    stats.transactions = ((stats.transactions as f64) * keep) as u64;
-    if stats.bandwidth_bound {
-        stats.cycles *= keep;
-        stats.seconds *= keep;
     }
 }
 

@@ -6,6 +6,7 @@
 //! mirror the load-balancing split the paper's binning addresses:
 //! row-parallel (cheap, imbalanced) versus NNZ-balanced partitioning.
 
+use crate::kernels::table::{self, BatchArgs, BatchKernelFn, KernelKey};
 use crate::plan::{rhs_blocks, BinDispatch, BinPayload, ShardedTiles, Tile};
 use spmv_parallel::{
     fused_for_each_scratch, fused_for_each_with, parallel_for, sharded_for_each_scratch,
@@ -189,13 +190,38 @@ pub fn run_plan_fused<T: Scalar>(
         }
     }
     let out = SliceWriter::new(u);
+    let kernels = resolve_tile_kernels(payloads);
     fused_for_each_scratch(
         workers,
         tiles.len(),
         BlockedScratch::<T>::default,
-        |scratch, t| exec_tile(a, dispatch, payloads, &tiles[t], v, out, scratch),
+        |scratch, t| exec_tile(a, dispatch, payloads, &kernels, &tiles[t], v, out, scratch),
     );
     Ok(())
+}
+
+/// Resolve each bin's single-vector (`KB = 1`) table kernel once, before
+/// the parallel region opens. `None` for the formats whose single-vector
+/// tile body is bespoke (CSR row walk, packed chunk stream, cache-blocked
+/// strips); the specialized families execute through the same registry
+/// entries as the batched path, over a stride-1 output view.
+fn resolve_tile_kernels<T: Scalar>(payloads: &[BinPayload<T>]) -> Vec<Option<BatchKernelFn<T>>> {
+    payloads
+        .iter()
+        .map(|p| match p {
+            BinPayload::DenseRun(_) | BinPayload::Banded(_) | BinPayload::RowRun(_) => {
+                let key = KernelKey {
+                    family: table::payload_family(p),
+                    kb: 1,
+                };
+                Some(
+                    table::lookup::<T>(key)
+                        .unwrap_or_else(|| panic!("kernel table missing entry {key}")),
+                )
+            }
+            BinPayload::Csr | BinPayload::Packed(_) | BinPayload::Blocked { .. } => None,
+        })
+        .collect()
 }
 
 /// Execute one tile of the queue — the shared per-item body of the flat
@@ -203,10 +229,12 @@ pub fn run_plan_fused<T: Scalar>(
 /// Which worker runs a tile cannot change a bit of the result: the
 /// per-row FMA chains below depend only on the tile, never on the
 /// schedule.
+#[allow(clippy::too_many_arguments)]
 fn exec_tile<T: Scalar>(
     a: &CsrMatrix<T>,
     dispatch: &[BinDispatch],
     payloads: &[BinPayload<T>],
+    kernels: &[Option<BatchKernelFn<T>>],
     tile: &Tile,
     v: &[T],
     out: SliceWriter<T>,
@@ -247,6 +275,25 @@ fn exec_tile<T: Scalar>(
                 scratch,
             );
         }
+        // Structure-specialized bins run their registry kernel at
+        // `KB = 1` over a stride-1 view of `u`: one kernel body per
+        // family serves both the single-vector and the batched path.
+        // Write soundness is the CSR arm's argument — these payloads
+        // tile the bin's row list, so tiles still own disjoint rows.
+        BinPayload::DenseRun(_) | BinPayload::Banded(_) | BinPayload::RowRun(_) => {
+            let args = BatchArgs {
+                a,
+                bin_rows: &d.rows,
+                payload: &payloads[tile.bin],
+                start: tile.start,
+                end: tile.end,
+                xs: v,
+                x_stride: 1,
+                c0: 0,
+                out: out.as_block(),
+            };
+            (kernels[tile.bin].expect("specialized bin without a resolved kernel"))(&args);
+        }
     }
 }
 
@@ -284,6 +331,7 @@ pub fn run_plan_sharded<T: Scalar>(
         }
     }
     let out = SliceWriter::new(u);
+    let kernels = resolve_tile_kernels(payloads);
     let do_touch = shards.begin_first_touch();
     sharded_for_each_scratch(
         workers,
@@ -291,7 +339,18 @@ pub fn run_plan_sharded<T: Scalar>(
         do_touch,
         |s| first_touch_shard(shards, s, v, out),
         BlockedScratch::<T>::default,
-        |scratch, t| exec_tile(a, dispatch, payloads, &tiles[t as usize], v, out, scratch),
+        |scratch, t| {
+            exec_tile(
+                a,
+                dispatch,
+                payloads,
+                &kernels,
+                &tiles[t as usize],
+                v,
+                out,
+                scratch,
+            )
+        },
     );
     Ok(())
 }
@@ -450,7 +509,11 @@ pub fn run_plan_fused_batch<T: Scalar>(
         for (bin, (d, p)) in dispatch.iter().zip(payloads).enumerate() {
             let span = match p {
                 BinPayload::Packed(packed) => packed.n_chunks(),
-                BinPayload::Csr | BinPayload::Blocked { .. } => d.rows.len(),
+                BinPayload::Csr
+                | BinPayload::Blocked { .. }
+                | BinPayload::DenseRun(_)
+                | BinPayload::Banded(_)
+                | BinPayload::RowRun(_) => d.rows.len(),
             };
             synth_tiles.push(Tile {
                 bin,
@@ -522,77 +585,45 @@ fn run_batch_queue<T: Scalar>(
     let xs = x.as_slice();
     let x_stride = x.stride();
     let out = BlockWriter::new(y);
+    // Resolve every (bin, RHS-block) kernel from the generated table
+    // before the parallel region: the hot loop below is one indirect
+    // call per work item, no width `match` and no registry walk.
+    // Cache-blocked bins resolve to the CSR family — the strip schedule
+    // is a single-vector locality optimisation (the register-blocked
+    // walk already amortises gathers across RHS lanes), and both walks
+    // consume storage order, so the results are bit-identical either
+    // way.
+    let resolved: Vec<Vec<BatchKernelFn<T>>> = payloads
+        .iter()
+        .map(|p| {
+            let family = table::payload_family(p);
+            blocks
+                .iter()
+                .map(|&(_, width)| {
+                    let key = KernelKey { family, kb: width };
+                    table::lookup::<T>(key)
+                        .unwrap_or_else(|| panic!("kernel table missing entry {key}"))
+                })
+                .collect()
+        })
+        .collect();
     let exec_item = |it: usize| {
         let (ti, bi) = items[it];
         let tile = &tiles[ti as usize];
-        let (c0, width) = blocks[bi as usize];
+        let (c0, _) = blocks[bi as usize];
         let d = &dispatch[tile.bin];
-        match &payloads[tile.bin] {
-            // Blocked bins run the plain CSR block kernel in the batched
-            // path: the strip schedule is a single-vector locality
-            // optimisation (the register-blocked walk already amortises
-            // gathers across RHS lanes), and both walks consume storage
-            // order, so the results are bit-identical either way.
-            BinPayload::Csr | BinPayload::Blocked { .. } => {
-                let rows = &d.rows[tile.start..tile.end];
-                match width {
-                    8 => csr_rows_block::<T, 8>(a, rows, xs, x_stride, c0, &out),
-                    4 => csr_rows_block::<T, 4>(a, rows, xs, x_stride, c0, &out),
-                    2 => csr_rows_block::<T, 2>(a, rows, xs, x_stride, c0, &out),
-                    _ => csr_rows_block::<T, 1>(a, rows, xs, x_stride, c0, &out),
-                }
-            }
-            BinPayload::Packed(packed) => {
-                packed.with_slab(|slab| match width {
-                    8 => packed.spmm_chunks::<8, _>(
-                        slab,
-                        tile.start,
-                        tile.end,
-                        xs,
-                        x_stride,
-                        c0,
-                        |r, sums| {
-                            // SAFETY: see the write-soundness argument on
-                            // `run_plan_fused_batch`: tiles own disjoint
-                            // rows, blocks own disjoint column ranges,
-                            // and the fused scope joins before `y` is
-                            // observable again.
-                            unsafe { out.write_block(r, c0, sums) }
-                        },
-                    ),
-                    4 => packed.spmm_chunks::<4, _>(
-                        slab,
-                        tile.start,
-                        tile.end,
-                        xs,
-                        x_stride,
-                        c0,
-                        // SAFETY: same (tile × block) disjointness.
-                        |r, sums| unsafe { out.write_block(r, c0, sums) },
-                    ),
-                    2 => packed.spmm_chunks::<2, _>(
-                        slab,
-                        tile.start,
-                        tile.end,
-                        xs,
-                        x_stride,
-                        c0,
-                        // SAFETY: same (tile × block) disjointness.
-                        |r, sums| unsafe { out.write_block(r, c0, sums) },
-                    ),
-                    _ => packed.spmm_chunks::<1, _>(
-                        slab,
-                        tile.start,
-                        tile.end,
-                        xs,
-                        x_stride,
-                        c0,
-                        // SAFETY: same (tile × block) disjointness.
-                        |r, sums| unsafe { out.write_block(r, c0, sums) },
-                    ),
-                });
-            }
-        }
+        let args = BatchArgs {
+            a,
+            bin_rows: &d.rows,
+            payload: &payloads[tile.bin],
+            start: tile.start,
+            end: tile.end,
+            xs,
+            x_stride,
+            c0,
+            out,
+        };
+        resolved[tile.bin][bi as usize](&args);
     };
     match shards {
         None => fused_for_each_with(workers, items.len(), exec_item),
@@ -653,35 +684,6 @@ fn first_touch_shard_block<T: Scalar>(
         acc += v;
     }
     std::hint::black_box(acc);
-}
-
-/// CSR span of a batched launch: each row's entries are walked once in
-/// ascending-`j` order (bit-identical per column to the single-vector
-/// kernels) and every gathered element is broadcast against the `KB`
-/// contiguous x-lanes of its column block.
-fn csr_rows_block<T: Scalar, const KB: usize>(
-    a: &CsrMatrix<T>,
-    rows: &[u32],
-    x: &[T],
-    x_stride: usize,
-    c0: usize,
-    out: &BlockWriter<T>,
-) {
-    for &r in rows {
-        let (cols, vals) = a.row(r as usize);
-        let mut sums = [T::ZERO; KB];
-        for (&c, &av) in cols.iter().zip(vals) {
-            let base = c as usize * x_stride + c0;
-            let xr = &x[base..base + KB];
-            for kk in 0..KB {
-                sums[kk] = av.mul_add_(xr[kk], sums[kk]);
-            }
-        }
-        // SAFETY: each row id appears in exactly one tile of one bin and
-        // this item owns columns `c0..c0 + KB`; the fused scope joins
-        // before the output block is observable again.
-        unsafe { out.write_block(r as usize, c0, sums) };
-    }
 }
 
 /// Positions into `rows` that split it into `parts` spans of roughly
@@ -818,14 +820,34 @@ impl<T> SliceWriter<T> {
         // index `i` for the duration of the enclosing parallel scope.
         unsafe { *self.ptr.add(i) = val };
     }
+
+    /// Reinterpret the wrapped vector as a stride-1 single-column block,
+    /// so the `KB = 1` table kernels can serve single-vector execution:
+    /// `write_block(r, 0, [sum])` lands at index `r`, exactly where
+    /// [`write`](Self::write) would put it.
+    fn as_block(&self) -> BlockWriter<T> {
+        BlockWriter {
+            ptr: self.ptr,
+            stride: 1,
+            #[cfg(debug_assertions)]
+            len: self.len,
+        }
+    }
 }
 
 /// Raw shared-write window over a row-major output block: the batched
 /// counterpart of [`SliceWriter`]. Writes land at `row * stride + col`;
 /// soundness comes from the (tile × RHS-block) disjointness proof — each
 /// work item owns a disjoint (row set × column range) rectangle.
+///
+/// Public only because it appears in [`crate::kernels::table::BatchArgs`]
+/// (so the registry's fn-pointer type is nameable outside the crate);
+/// the fields and both constructors ([`BlockWriter::new`] /
+/// `SliceWriter::as_block`) stay crate-private, so every instance is
+/// born inside an executor that owns the disjointness argument —
+/// external code can inspect the registry but never invoke a kernel.
 #[derive(Clone, Copy)]
-struct BlockWriter<T> {
+pub struct BlockWriter<T> {
     ptr: *mut T,
     stride: usize,
     #[cfg(debug_assertions)]
@@ -854,7 +876,7 @@ impl<T: Scalar> BlockWriter<T> {
     ///
     /// Every target index must be in bounds of the wrapped block and no
     /// other thread may write the same `(row, column)` concurrently.
-    unsafe fn write_block<const KB: usize>(&self, row: usize, c0: usize, sums: [T; KB]) {
+    pub(crate) unsafe fn write_block<const KB: usize>(&self, row: usize, c0: usize, sums: [T; KB]) {
         let base = row * self.stride + c0;
         #[cfg(debug_assertions)]
         debug_assert!(

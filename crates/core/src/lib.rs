@@ -93,7 +93,7 @@ pub mod prelude {
     };
     pub use crate::strategy::Strategy;
     pub use crate::training::{TrainedModel, Trainer, TrainingReport};
-    pub use crate::tuner::{TunedStrategy, Tuner, TunerConfig};
+    pub use crate::tuner::{FormatSearch, TunedFormat, TunedStrategy, Tuner, TunerConfig};
     pub use crate::verify::{
         check_dispatch, check_payloads, check_rhs_blocks, check_shards, check_solve_schedule,
         VerifyError,

@@ -18,13 +18,14 @@
 use crate::binning::{bin_matrix, Bins};
 use crate::exec::{ExecBackend, LaunchCost, PlanParts};
 use crate::kernels::cpu::rows_nnz_cuts;
+use crate::kernels::table::{self, KernelFamily, KernelKey};
 use crate::kernels::KernelId;
 use crate::strategy::Strategy;
 use crate::verify::{check_dispatch, check_payloads, check_shards, VerifyError};
 use spmv_parallel::Placement;
 use spmv_sparse::{
-    ColumnLocality, CsrMatrix, DenseBlock, FeatureSet, IndexKind, MatrixFeatures, PackedSell,
-    Scalar,
+    BandSet, ColumnLocality, CsrMatrix, DenseBlock, DenseRuns, FeatureSet, IndexKind,
+    MatrixFeatures, PackedSell, RowRuns, Scalar,
 };
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -144,6 +145,21 @@ pub enum BinFormat {
         /// Columns per vertical strip of `x`.
         strip_cols: usize,
     },
+    /// Structure fast path: every row of the bin decomposes into long
+    /// contiguous column runs ([`spmv_sparse::DenseRuns`]), so execution
+    /// is strided dense AXPYs with no per-element index gathers.
+    DenseRun,
+    /// Structure fast path: the bin is band-complete over a fixed small
+    /// set of diagonal offsets ([`spmv_sparse::BandSet`]) — execution
+    /// iterates the offset list with zero index traffic.
+    Banded {
+        /// Number of distinct diagonal offsets.
+        offsets: usize,
+    },
+    /// Structure fast path building on PR 5's run-aligned chunks: runs
+    /// of identical-pattern rows ([`spmv_sparse::RowRuns`]) load their
+    /// shared column list once per run instead of once per row.
+    RowRunReuse,
 }
 
 impl std::fmt::Display for BinFormat {
@@ -152,6 +168,26 @@ impl std::fmt::Display for BinFormat {
             BinFormat::Csr => write!(f, "csr"),
             BinFormat::PackedSell { chunk, index } => write!(f, "sell-{chunk}-{index}"),
             BinFormat::CacheBlockedCsr { strip_cols } => write!(f, "blocked-csr-{strip_cols}"),
+            BinFormat::DenseRun => write!(f, "dense-run"),
+            BinFormat::Banded { offsets } => write!(f, "banded-{offsets}"),
+            BinFormat::RowRunReuse => write!(f, "row-run"),
+        }
+    }
+}
+
+impl BinFormat {
+    /// The kernel-table family this format executes with — the index
+    /// plan compilation uses to assert registry coverage (see
+    /// [`crate::kernels::table`]). Cache-blocked bins map to the CSR
+    /// family: the strip schedule is a single-vector scheduling overlay,
+    /// not a different kernel body.
+    pub fn kernel_family(self) -> KernelFamily {
+        match self {
+            BinFormat::Csr | BinFormat::CacheBlockedCsr { .. } => KernelFamily::Csr,
+            BinFormat::PackedSell { .. } => KernelFamily::Packed,
+            BinFormat::DenseRun => KernelFamily::DenseRun,
+            BinFormat::Banded { .. } => KernelFamily::Banded,
+            BinFormat::RowRunReuse => KernelFamily::RowRun,
         }
     }
 }
@@ -178,6 +214,15 @@ pub enum BinPayload<T: Scalar> {
         /// Columns per vertical strip of `x`.
         strip_cols: usize,
     },
+    /// The proven contiguous-run decomposition of the bin's rows
+    /// (see [`BinFormat::DenseRun`]).
+    DenseRun(DenseRuns),
+    /// The proven diagonal-offset set of the bin (see
+    /// [`BinFormat::Banded`]).
+    Banded(BandSet),
+    /// The proven identical-row-run boundaries of the bin (see
+    /// [`BinFormat::RowRunReuse`]).
+    RowRun(RowRuns),
 }
 
 /// One unit of the fused dispatch queue: a contiguous slice of one bin's
@@ -218,7 +263,14 @@ pub(crate) fn for_each_tile_row<T: Scalar>(
                 f(r);
             }
         }
-        BinPayload::Csr | BinPayload::Blocked { .. } => {
+        // Specialized bins tile over row-list positions exactly like CSR
+        // bins — their payloads index the bin's row list, never reorder
+        // it.
+        BinPayload::Csr
+        | BinPayload::Blocked { .. }
+        | BinPayload::DenseRun(_)
+        | BinPayload::Banded(_)
+        | BinPayload::RowRun(_) => {
             for &r in &dispatch[tile.bin].rows[tile.start..tile.end] {
                 f(r);
             }
@@ -446,6 +498,23 @@ pub struct PlanConfig {
     /// queue into `n` NNZ-balanced sub-queues with per-shard row/`x`
     /// working sets (see [`ShardedTiles`]).
     pub shards: usize,
+    /// Probe the structure fast paths ([`BinFormat::Banded`],
+    /// [`BinFormat::DenseRun`], [`BinFormat::RowRunReuse`]) at all
+    /// (`false` restricts the gate to the PR 5 format tiers — the knob
+    /// benches use to pin the compressed baseline).
+    pub specialize: bool,
+    /// Banded fast-path budget: a bin qualifies only when its entries
+    /// sit on at most this many distinct diagonal offsets (`0` disables
+    /// the banded probe).
+    pub band_max_offsets: usize,
+    /// Dense-run fast-path threshold: a bin qualifies only when its
+    /// average contiguous column-run length reaches this (`0` disables
+    /// the dense-run probe).
+    pub min_dense_run: usize,
+    /// Row-run-reuse threshold: a bin qualifies only when its average
+    /// identical-pattern run length reaches this (`0` disables the
+    /// row-run probe).
+    pub min_row_run: usize,
 }
 
 impl Default for PlanConfig {
@@ -463,6 +532,10 @@ impl Default for PlanConfig {
             scatter_lines_per_row: 4.0,
             llc_bytes: 32 * 1024 * 1024,
             shards: 0,
+            specialize: true,
+            band_max_offsets: 16,
+            min_dense_run: 8,
+            min_row_run: 4,
         }
     }
 }
@@ -594,6 +667,17 @@ impl<T: Scalar> SpmvPlan<T> {
         let mut payloads = Vec::new();
         for (bin_id, rows, nnz) in expand_populated(a, &bins) {
             let (format, payload) = choose_format(a, &rows, &config);
+            // Plan compilation indexes the generated kernel table rather
+            // than open-coding dispatch: every format the gate can emit
+            // must resolve at every register-blocked RHS width, or the
+            // plan is unexecutable and compilation must fail loudly.
+            let family = format.kernel_family();
+            for kb in table::RHS_WIDTHS {
+                assert!(
+                    table::lookup::<T>(KernelKey { family, kb }).is_some(),
+                    "kernel table has no entry for {family}×{kb} (bin {bin_id}, format {format})"
+                );
+            }
             dispatch.push(BinDispatch {
                 bin_id,
                 kernel: strategy.kernel_for(bin_id),
@@ -847,6 +931,20 @@ impl<T: Scalar> SpmvPlan<T> {
             .count()
     }
 
+    /// How many bins the gate routed to a structure-specialized tier
+    /// (dense-run, banded, or row-run).
+    pub fn specialized_bins(&self) -> usize {
+        self.dispatch
+            .iter()
+            .filter(|d| {
+                matches!(
+                    d.format,
+                    BinFormat::DenseRun | BinFormat::Banded { .. } | BinFormat::RowRunReuse
+                )
+            })
+            .count()
+    }
+
     /// Memory-traffic accounting for one execution of this plan, summed
     /// over the materialised payloads (see [`TrafficStats`]).
     pub fn traffic(&self) -> TrafficStats {
@@ -860,6 +958,22 @@ impl<T: Scalar> SpmvPlan<T> {
                 BinPayload::Csr | BinPayload::Blocked { .. } => {
                     t.value_bytes += d.nnz * T::BYTES;
                     t.index_bytes += d.nnz * 4;
+                }
+                // The structure fast paths stream values in full but
+                // replace the per-non-zero index stream with their proven
+                // structural metadata: run descriptors, the offset list,
+                // or one pattern load per identical-row run.
+                BinPayload::DenseRun(runs) => {
+                    t.value_bytes += d.nnz * T::BYTES;
+                    t.index_bytes += runs.index_stream_bytes();
+                }
+                BinPayload::Banded(band) => {
+                    t.value_bytes += d.nnz * T::BYTES;
+                    t.index_bytes += band.index_stream_bytes();
+                }
+                BinPayload::RowRun(rr) => {
+                    t.value_bytes += d.nnz * T::BYTES;
+                    t.index_bytes += rr.index_stream_bytes();
                 }
             }
             t.nnz += d.nnz;
@@ -880,24 +994,63 @@ impl<T: Scalar> SpmvPlan<T> {
     }
 }
 
-/// Decide a bin's storage format and materialise its payload. The SELL
-/// gate: packing must be enabled, the bin must have enough rows to fill
-/// lanes, no row may exceed the dense-row bound, the `u32` source map
-/// must suffice, and the realised padding must stay under
-/// [`PlanConfig::max_padding`] — otherwise the bin falls back to CSR.
-/// Packed bins pass through the bottleneck classifier's width axis
-/// ([`IndexPolicy`]): compressed index lanes only when the operand set
-/// outgrows [`PlanConfig::llc_bytes`], full `u32` words when it is
-/// cache-resident. CSR-fallback bins pass through its scatter axis: when
-/// cache blocking is enabled, the rows are column-sorted, `x` outgrows
-/// the [`PlanConfig::l2_bytes`] budget, and the bin's measured column
-/// locality marks it scatter-heavy, the fallback becomes
-/// [`BinFormat::CacheBlockedCsr`] (same semantics, strip schedule).
+/// Decide a bin's storage format and materialise its payload.
+///
+/// **Gate precedence** (first match wins — the order is part of the
+/// contract, regression-tested in `core/tests/specialized_exec.rs`, so a
+/// bin qualifying for several tiers resolves deterministically):
+///
+/// 1. [`BinFormat::Banded`] — band-complete bins over at most
+///    [`PlanConfig::band_max_offsets`] diagonal offsets. Strongest
+///    specialization: zero per-non-zero index traffic *and* the simplest
+///    inner loop, so it outranks everything below.
+/// 2. [`BinFormat::DenseRun`] — rows decomposing into contiguous runs of
+///    average length ≥ [`PlanConfig::min_dense_run`]: near-zero index
+///    traffic (two words per run).
+/// 3. The SELL gate: packing must be enabled, the bin must have enough
+///    rows to fill lanes, no row may exceed the dense-row bound, the
+///    `u32` source map must suffice, and the realised padding must stay
+///    under [`PlanConfig::max_padding`] — otherwise the bin falls back to
+///    CSR. Packed bins pass through the bottleneck classifier's width
+///    axis ([`IndexPolicy`]): compressed index lanes only when the
+///    operand set outgrows [`PlanConfig::llc_bytes`], full `u32` words
+///    when it is cache-resident.
+/// 4. [`BinFormat::RowRunReuse`] — probed only in the compressed regime
+///    (width floor below `u32`, i.e. the streaming working sets where
+///    index bandwidth is the bottleneck) against the packed candidate
+///    the SELL gate just built: it wins exactly when its modelled index
+///    stream is *strictly* smaller than the packed stream; ties keep
+///    [`BinFormat::PackedSell`] (the SIMD-friendlier layout).
+/// 5. CSR-fallback bins pass through the scatter axis: when cache
+///    blocking is enabled, the rows are column-sorted, `x` outgrows the
+///    [`PlanConfig::l2_bytes`] budget, and the bin's measured column
+///    locality marks it scatter-heavy, the fallback becomes
+///    [`BinFormat::CacheBlockedCsr`] (same semantics, strip schedule).
+/// 6. [`BinFormat::Csr`].
+///
+/// The structure probes (1, 2, 4) run only with
+/// [`PlanConfig::specialize`] on; they deliberately sit *outside* the
+/// `pack`/`max_row_nnz` gates — a long-row banded bin is still banded —
+/// but share the ≥ 4 row floor and `u32` source-map bound.
 fn choose_format<T: Scalar>(
     a: &CsrMatrix<T>,
     rows: &[u32],
     config: &PlanConfig,
 ) -> (BinFormat, BinPayload<T>) {
+    let specialize = config.specialize && rows.len() >= 4 && a.nnz() < u32::MAX as usize;
+    if specialize {
+        if let Some(band) = BandSet::detect(a, rows, config.band_max_offsets) {
+            return (
+                BinFormat::Banded {
+                    offsets: band.offsets().len(),
+                },
+                BinPayload::Banded(band),
+            );
+        }
+        if let Some(runs) = DenseRuns::detect(a, rows, config.min_dense_run) {
+            return (BinFormat::DenseRun, BinPayload::DenseRun(runs));
+        }
+    }
     if !config.pack || rows.len() < 4 || a.nnz() >= u32::MAX as usize {
         return csr_fallback(a, rows, config);
     }
@@ -954,6 +1107,18 @@ fn choose_format<T: Scalar>(
             {
                 chunk = c2;
                 packed = alt;
+            }
+        }
+    }
+    // Gate step 4: in the compressed regime, identical-row-run reuse
+    // competes with the packed layout on modelled index bytes. Strictly
+    // smaller wins; ties keep the SELL slab. Not probed at a u32 floor —
+    // cache-resident operand sets re-read their index stream from cache,
+    // so trading the SIMD-friendly slab for pattern reuse buys nothing.
+    if specialize && floor < IndexKind::U32 {
+        if let Some(rr) = RowRuns::detect(a, rows, config.min_row_run) {
+            if rr.index_stream_bytes() < packed.index_stream_bytes() {
+                return (BinFormat::RowRunReuse, BinPayload::RowRun(rr));
             }
         }
     }
@@ -1100,11 +1265,15 @@ fn build_tiles<T: Scalar>(
                     ));
                 }
             }
-            // Blocked bins tile over row spans exactly like CSR bins —
-            // every strip of a row lives inside one tile, so tile
-            // disjointness implies the blocked partial sums never share
-            // an output row across tiles.
-            BinPayload::Csr | BinPayload::Blocked { .. } => {
+            // Blocked and specialized bins tile over row spans exactly
+            // like CSR bins — every strip of a row lives inside one tile,
+            // and the run kernels clip their runs to tile spans — so tile
+            // disjointness covers every partial-sum write.
+            BinPayload::Csr
+            | BinPayload::Blocked { .. }
+            | BinPayload::DenseRun(_)
+            | BinPayload::Banded(_)
+            | BinPayload::RowRun(_) => {
                 let parts = d.nnz.div_ceil(tile_nnz).max(1);
                 let cuts = rows_nnz_cuts(a, &d.rows, parts);
                 for w in cuts.windows(2) {

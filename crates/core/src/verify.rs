@@ -120,6 +120,19 @@ pub enum VerifyError {
         /// What property failed.
         detail: String,
     },
+    /// A bin's structure-specialized payload (dense-run, banded, or
+    /// row-run) fails its re-derivation proof against the CSR arrays —
+    /// the structural premise its unchecked-gather kernel relies on
+    /// (runs really contiguous, bands really complete, run rows really
+    /// identical) does not hold, so promotion must refuse it.
+    SpecializedPayloadInvalid {
+        /// The bin whose specialized payload is broken.
+        bin_id: usize,
+        /// Its kernel.
+        kernel: KernelId,
+        /// What property failed.
+        detail: String,
+    },
     /// The fused tile queue does not partition some bin's work — a tile
     /// range overlaps, gaps, or runs past the end, so the fused execute
     /// would double-write or skip rows.
@@ -314,6 +327,14 @@ impl std::fmt::Display for VerifyError {
             } => write!(
                 f,
                 "bin {bin_id} ({kernel}): blocked payload invalid: {detail}"
+            ),
+            VerifyError::SpecializedPayloadInvalid {
+                bin_id,
+                kernel,
+                detail,
+            } => write!(
+                f,
+                "bin {bin_id} ({kernel}): specialized payload invalid: {detail}"
             ),
             VerifyError::TilesNotPartition { bin_id, detail } => {
                 write!(f, "bin {bin_id}: fused tiles are not a partition: {detail}")
@@ -553,11 +574,55 @@ pub fn check_payloads<T: Scalar>(
                     }
                 }
             }
+            // Re-derivation proofs for the structure-specialized tiers:
+            // each payload's structural premise (the exact license its
+            // unchecked-gather kernel executes under) is re-proven
+            // against the CSR arrays, never trusted from pack time.
+            (BinFormat::DenseRun, BinPayload::DenseRun(runs)) => {
+                runs.check_against(a, &d.rows).map_err(|detail| {
+                    VerifyError::SpecializedPayloadInvalid {
+                        bin_id: d.bin_id,
+                        kernel: d.kernel,
+                        detail,
+                    }
+                })?;
+            }
+            (BinFormat::Banded { offsets }, BinPayload::Banded(band)) => {
+                if band.offsets().len() != offsets {
+                    return Err(VerifyError::SpecializedPayloadInvalid {
+                        bin_id: d.bin_id,
+                        kernel: d.kernel,
+                        detail: format!(
+                            "recorded {offsets} offsets != payload {}",
+                            band.offsets().len()
+                        ),
+                    });
+                }
+                band.check_against(a, &d.rows).map_err(|detail| {
+                    VerifyError::SpecializedPayloadInvalid {
+                        bin_id: d.bin_id,
+                        kernel: d.kernel,
+                        detail,
+                    }
+                })?;
+            }
+            (BinFormat::RowRunReuse, BinPayload::RowRun(rr)) => {
+                rr.check_against(a, &d.rows).map_err(|detail| {
+                    VerifyError::SpecializedPayloadInvalid {
+                        bin_id: d.bin_id,
+                        kernel: d.kernel,
+                        detail,
+                    }
+                })?;
+            }
             (format, payload) => {
                 let have = match payload {
                     BinPayload::Csr => "csr",
                     BinPayload::Packed(_) => "packed",
                     BinPayload::Blocked { .. } => "blocked",
+                    BinPayload::DenseRun(_) => "dense-run",
+                    BinPayload::Banded(_) => "banded",
+                    BinPayload::RowRun(_) => "row-run",
                 };
                 return Err(VerifyError::PackedPayloadInvalid {
                     bin_id: d.bin_id,
@@ -593,8 +658,14 @@ pub fn check_payloads<T: Scalar>(
             BinPayload::Packed(packed) => packed.n_chunks(),
             // Blocked bins tile over row-list spans like CSR bins; all
             // strips of a row live inside its tile, so tile disjointness
-            // covers the blocked partial-sum writes.
-            BinPayload::Csr | BinPayload::Blocked { .. } => d.rows.len(),
+            // covers the blocked partial-sum writes. The specialized
+            // tiers also tile the row list (a row-run clipped by a tile
+            // boundary reloads its pattern, never splits a row's sum).
+            BinPayload::Csr
+            | BinPayload::Blocked { .. }
+            | BinPayload::DenseRun(_)
+            | BinPayload::Banded(_)
+            | BinPayload::RowRun(_) => d.rows.len(),
         };
         let ranges = &mut per_bin[bi];
         ranges.sort_unstable();

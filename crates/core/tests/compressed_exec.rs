@@ -362,6 +362,9 @@ fn traffic_stats_reflect_index_compression() {
         coarse(KernelId::Serial),
         PlanConfig {
             llc_bytes: 0,
+            // This test pins the *packed* tier's compression ratio; the
+            // banded fast path would otherwise claim this matrix first.
+            specialize: false,
             ..PlanConfig::default()
         },
     );
@@ -370,6 +373,7 @@ fn traffic_stats_reflect_index_compression() {
         coarse(KernelId::Serial),
         PlanConfig {
             index: IndexPolicy::Fixed(IndexKind::U32),
+            specialize: false,
             ..PlanConfig::default()
         },
     );
@@ -400,6 +404,9 @@ fn sim_pricing_charges_fewer_bytes_for_compressed_indices() {
                 index: policy,
                 // Classify the matrix as streaming so Auto compresses.
                 llc_bytes: 0,
+                // Pin the packed tier: the banded fast path would
+                // otherwise claim this matrix before packing runs.
+                specialize: false,
                 ..PlanConfig::default()
             },
         )
@@ -436,6 +443,9 @@ fn width_gate_follows_the_cache_budget() {
             coarse(KernelId::Serial),
             PlanConfig {
                 llc_bytes,
+                // Pin the packed tier: the banded fast path would
+                // otherwise claim this matrix before packing runs.
+                specialize: false,
                 ..PlanConfig::default()
             },
         )

@@ -159,7 +159,13 @@ fn padding_overflow_falls_back_to_csr() {
             binning: BinningScheme::Single,
             kernels: vec![KernelId::Vector],
         },
-        PlanConfig::default(),
+        PlanConfig {
+            // This test pins the *packing* gate's padding fallback; the
+            // dense-run fast path would otherwise (correctly) claim the
+            // fully dense row first.
+            specialize: false,
+            ..PlanConfig::default()
+        },
     );
     assert_eq!(plan.dispatch().len(), 1, "Single binning should be one bin");
     assert_eq!(

@@ -83,6 +83,30 @@ impl LaunchStats {
         }
         (self.bytes_read + self.bytes_written) as f64 / self.seconds / 1e9
     }
+
+    /// Remove `matrix_bytes` of modelled matrix-stream traffic from this
+    /// priced launch — the discount behind every format tier that moves
+    /// fewer index bytes than the functional CSR pricing charged
+    /// (delta-compressed SELL slabs, structure-specialized traversals)
+    /// and behind the non-leading columns of a register-blocked RHS
+    /// block. Bytes and transactions scale by the kept fraction;
+    /// cycles/seconds scale only when the launch was bandwidth-bound
+    /// (compute-bound kernels do not run faster for moving fewer bytes).
+    /// The keep fraction is floored at 1% so a launch never becomes free
+    /// (output writes and `x`-gathers always remain).
+    pub fn discount_traffic(&mut self, matrix_bytes: f64) {
+        let traffic = (self.bytes_read + self.bytes_written) as f64;
+        if traffic <= 0.0 {
+            return;
+        }
+        let keep = ((traffic - matrix_bytes).max(0.0) / traffic).max(0.01);
+        self.bytes_read = ((self.bytes_read as f64) * keep) as u64;
+        self.transactions = ((self.transactions as f64) * keep) as u64;
+        if self.bandwidth_bound {
+            self.cycles *= keep;
+            self.seconds *= keep;
+        }
+    }
 }
 
 /// Price a finished launch trace.

@@ -40,6 +40,7 @@ pub mod packed;
 pub mod reorder;
 pub mod scalar;
 pub mod solve;
+pub mod special;
 pub mod suite;
 
 pub use coo::CooMatrix;
@@ -55,3 +56,4 @@ pub use solve::{
     level_sets, split_triangular, sptrsv_seq, symgs_seq, SolveDirection, TriangularHalves,
     Triangularity,
 };
+pub use special::{BandSet, DenseRuns, RowRuns};
