@@ -15,10 +15,12 @@
 //!    bit-for-bit identical, per output column, to single-vector
 //!    executes at RHS widths covering lone-column, remainder, and full
 //!    register-block decompositions.
-//! 5. **Concurrency protocols** — the scope/pool/level-barrier state
-//!    machines pass exhaustive interleaving; the deliberately buggy
-//!    variants are *detected* (a checker that flags nothing proves
-//!    nothing).
+//! 5. **Concurrency protocols** — the scope/pool/level-barrier and
+//!    serving admission-queue state machines pass exhaustive
+//!    interleaving (the admission model proves the coalescing-window
+//!    protocol loses no request: no lost-wakeup between "batch
+//!    dispatched" and "new arrival"); the deliberately buggy variants
+//!    are *detected* (a checker that flags nothing proves nothing).
 //! 6. **Bandwidth tiers** — every (strategy × backend × index/blocking
 //!    tier) plan verifies and executes bit-for-bit against the
 //!    sequential CSR reference, the sweep demonstrably reaches sub-u32
@@ -49,7 +51,9 @@ use spmv_gpusim::GpuDevice;
 use spmv_ml::lint::Severity;
 use spmv_sparse::corpus::CorpusConfig;
 use spmv_verify::interleave::{explore, Verdict};
-use spmv_verify::models::{BatchModel, CursorModel, LevelModel, ShardModel, TwoLockModel};
+use spmv_verify::models::{
+    AdmissionModel, BatchModel, CursorModel, LevelModel, ShardModel, TwoLockModel,
+};
 use spmv_verify::{driver, hygiene};
 use std::path::{Path, PathBuf};
 
@@ -219,7 +223,7 @@ fn check_concurrency() -> usize {
     let mut bad = 0;
 
     // The shipped protocols must pass…
-    let sound: [(&str, Verdict); 5] = [
+    let sound: [(&str, Verdict); 6] = [
         (
             "pool run_batch (3 workers)",
             explore(BatchModel::correct(3), BUDGET),
@@ -240,6 +244,10 @@ fn check_concurrency() -> usize {
             "level-barrier stepped solve (3 workers)",
             explore(LevelModel::correct(3), BUDGET),
         ),
+        (
+            "serving admission queue (3 producers, batches of 2)",
+            explore(AdmissionModel::correct(3, 2), BUDGET),
+        ),
     ];
     for (name, v) in sound {
         if v.passed() {
@@ -252,7 +260,7 @@ fn check_concurrency() -> usize {
 
     // …and the injected bugs must be *caught* (checker self-test).
     type Expect = fn(&Verdict) -> bool;
-    let buggy: [(&str, Verdict, Expect); 5] = [
+    let buggy: [(&str, Verdict, Expect); 6] = [
         (
             "notify-without-lock is detected as lost wakeup",
             explore(BatchModel::notify_without_lock(2), BUDGET),
@@ -277,6 +285,11 @@ fn check_concurrency() -> usize {
             "skipped level barrier is detected as a dependency race",
             explore(LevelModel::skipped_barrier(2), BUDGET),
             |v| matches!(v, Verdict::Violation { .. }),
+        ),
+        (
+            "non-atomic admission wait is detected as a stranded request",
+            explore(AdmissionModel::sleep_after_unlock(2, 2), BUDGET),
+            |v| matches!(v, Verdict::Deadlock { .. }),
         ),
     ];
     for (name, v, expected) in buggy {

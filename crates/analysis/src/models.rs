@@ -28,6 +28,17 @@
 //!   stops after its home queue — so queues no worker is homed on (more
 //!   shards than workers) are never drained (detected as stranded
 //!   items).
+//! * [`AdmissionModel`] — the serving layer's admission-queue protocol
+//!   (`SpmvServer` in `crates/server/src/serve.rs`): producers enqueue
+//!   requests and notify under the queue lock; one dispatcher drains
+//!   coalesced batches of up to `K` requests, executes each batch
+//!   *outside* the lock, then **reacquires and rechecks** the queue
+//!   before ever waiting — so an arrival that lands while a batch is in
+//!   flight is found on the recheck, and the condvar wait itself is an
+//!   atomic unlock-and-sleep. The buggy variant splits that wait into
+//!   unlock *then* sleep: a producer's notify can land in the window
+//!   between them and be lost, stranding the enqueued request with the
+//!   dispatcher asleep forever (detected as a deadlock).
 //! * [`LevelModel`] — the barrier-stepped level-solve protocol
 //!   (`stepped_for_each` in `crates/parallel/src/step.rs`, driving the
 //!   `SolvePlan` kernels): workers execute their slice of a level, meet
@@ -513,6 +524,210 @@ impl Model for ShardModel {
     }
 }
 
+/// Admission-queue coalescing protocol of the serving layer:
+/// `producers` producer threads each enqueue one request (and mark
+/// themselves finished) under the queue lock, notifying the dispatcher
+/// before unlocking; one dispatcher thread drains batches of up to
+/// `max_batch` requests, executes each batch outside the lock, then
+/// reacquires the lock and rechecks the queue before deciding to wait.
+/// Thread ids `0..producers` are producers, `producers` is the
+/// dispatcher.
+///
+/// The modelled wait is the *indefinite* empty-queue wait (the
+/// coalescing-window `wait_timeout` only runs when a partial batch is
+/// already pending, and a timeout would eventually mask a lost wakeup —
+/// the protocol must not need that rescue). Partial batches are
+/// implicit: the dispatcher takes `min(queued, max_batch)` whenever the
+/// queue is non-empty, which covers both the batch-full and the
+/// window-expired dispatch triggers.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct AdmissionModel {
+    /// Requests enqueued and not yet taken into a batch.
+    queued: u8,
+    /// Requests whose batch has been dispatched (responses filled).
+    served: u8,
+    /// Requests currently in the in-flight batch (outside the lock).
+    in_flight: u8,
+    /// Producers that have finished their enqueue.
+    producers_done: u8,
+    /// Current queue-lock holder (thread id), if any.
+    lock: Option<u8>,
+    /// Is the dispatcher asleep on the condition variable?
+    sleeping: bool,
+    /// Per-producer program counter.
+    prod_pc: Vec<u8>,
+    /// Dispatcher program counter.
+    disp_pc: u8,
+    /// Batch-size cap `K`.
+    max_batch: u8,
+    /// Re-introduce the non-atomic (unlock, then sleep) wait.
+    buggy: bool,
+}
+
+impl AdmissionModel {
+    /// Correct protocol: the dispatcher's cv-wait atomically unlocks and
+    /// sleeps, and every wait is preceded by a locked recheck.
+    pub fn correct(producers: u8, max_batch: u8) -> Self {
+        Self::new(producers, max_batch, false)
+    }
+
+    /// Buggy protocol: the dispatcher releases the lock and only then
+    /// goes to sleep — a notify landing in between is lost.
+    pub fn sleep_after_unlock(producers: u8, max_batch: u8) -> Self {
+        Self::new(producers, max_batch, true)
+    }
+
+    fn new(producers: u8, max_batch: u8, buggy: bool) -> Self {
+        assert!(max_batch >= 1, "batch cap must be at least 1");
+        Self {
+            queued: 0,
+            served: 0,
+            in_flight: 0,
+            producers_done: 0,
+            lock: None,
+            sleeping: false,
+            prod_pc: vec![0; producers as usize],
+            disp_pc: 0,
+            max_batch,
+            buggy,
+        }
+    }
+
+    fn dispatcher_id(&self) -> usize {
+        self.prod_pc.len()
+    }
+
+    /// Wake the dispatcher if (and only if) it is currently asleep; a
+    /// notify with nobody sleeping is lost, exactly like a real condvar.
+    fn notify(&mut self) {
+        if self.sleeping {
+            self.sleeping = false;
+        }
+    }
+}
+
+// Producer pcs: 0 = acquire lock; 1 = enqueue + notify + unlock;
+// 2 = done.
+// Dispatcher pcs: 0 = acquire lock; 1 = locked check (take batch /
+// exit / wait); 2 = execute batch outside the lock; 3 = asleep (wake
+// reacquires the lock); 4 = sleep without the lock (buggy only, the
+// lock was released at pc 1); 6 = done.
+impl Model for AdmissionModel {
+    fn n_threads(&self) -> usize {
+        self.prod_pc.len() + 1
+    }
+
+    fn runnable(&self, t: usize) -> bool {
+        if t < self.prod_pc.len() {
+            match self.prod_pc[t] {
+                0 => self.lock.is_none(),
+                1 => true,
+                _ => false,
+            }
+        } else {
+            match self.disp_pc {
+                0 => self.lock.is_none(),
+                1 | 2 | 4 => true,
+                // Asleep: only a notify makes the dispatcher runnable
+                // again (then it must reacquire the lock).
+                3 => !self.sleeping && self.lock.is_none(),
+                _ => false,
+            }
+        }
+    }
+
+    fn step(&mut self, t: usize) {
+        if t < self.prod_pc.len() {
+            match self.prod_pc[t] {
+                0 => {
+                    self.lock = Some(t as u8);
+                    self.prod_pc[t] = 1;
+                }
+                1 => {
+                    // Enqueue, mark this producer finished, and notify —
+                    // all under the lock — then unlock.
+                    self.queued += 1;
+                    self.producers_done += 1;
+                    self.notify();
+                    self.lock = None;
+                    self.prod_pc[t] = 2;
+                }
+                _ => unreachable!(),
+            }
+        } else {
+            let d = self.dispatcher_id() as u8;
+            match self.disp_pc {
+                0 | 3 => {
+                    self.lock = Some(d);
+                    self.disp_pc = 1;
+                }
+                1 => {
+                    if self.queued > 0 {
+                        // Coalesce up to `max_batch` requests and leave
+                        // the lock to execute them.
+                        let take = self.queued.min(self.max_batch);
+                        self.queued -= take;
+                        self.in_flight = take;
+                        self.lock = None;
+                        self.disp_pc = 2;
+                    } else if self.producers_done as usize == self.prod_pc.len() {
+                        self.lock = None;
+                        self.disp_pc = 6;
+                    } else if self.buggy {
+                        // BUG (part 1): release the lock first…
+                        self.lock = None;
+                        self.disp_pc = 4;
+                    } else {
+                        // cv.wait(): atomically unlock and sleep.
+                        self.lock = None;
+                        self.sleeping = true;
+                        self.disp_pc = 3;
+                    }
+                }
+                2 => {
+                    // Execute the batch outside the lock, then loop back
+                    // to reacquire and recheck — arrivals that landed
+                    // during execution are found there, never waited
+                    // past.
+                    self.served += self.in_flight;
+                    self.in_flight = 0;
+                    self.disp_pc = 0;
+                }
+                4 => {
+                    // BUG (part 2): …then sleep in a separate step. A
+                    // notify arriving in between found nobody sleeping
+                    // and was lost.
+                    self.sleeping = true;
+                    self.disp_pc = 3;
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.disp_pc == 6 && self.prod_pc.iter().all(|&pc| pc == 2)
+    }
+
+    fn violation(&self) -> Option<String> {
+        if self.disp_pc == 6 {
+            if self.queued > 0 || self.in_flight > 0 {
+                return Some(format!(
+                    "dispatcher exited with {} queued + {} in-flight requests",
+                    self.queued, self.in_flight
+                ));
+            }
+            if self.served != self.producers_done {
+                return Some(format!(
+                    "{} requests enqueued but {} served",
+                    self.producers_done, self.served
+                ));
+            }
+        }
+        None
+    }
+}
+
 /// Barrier-stepped level-solve protocol of `stepped_for_each`: a fixed
 /// two-level schedule over four rows — level 0 is rows {0, 1} (no
 /// dependencies), level 1 is rows {2, 3} where row 2 reads row 1 and
@@ -747,6 +962,35 @@ mod tests {
         // buggy variant cannot race with itself.
         let v = explore(LevelModel::skipped_barrier(1), BUDGET);
         assert!(v.passed(), "got {v}");
+    }
+
+    #[test]
+    fn admission_protocol_is_sound() {
+        // Producers × batch caps covering: serial admission, coalesced
+        // full batches, partial batches (more producers than the cap
+        // forces multiple dispatches; a cap above the producer count
+        // forces a partial one).
+        for producers in 1..=3u8 {
+            for max_batch in [1, 2, 8] {
+                let v = explore(AdmissionModel::correct(producers, max_batch), BUDGET);
+                assert!(v.passed(), "producers={producers}, k={max_batch}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn sleeping_after_unlock_loses_an_arrival() {
+        let v = explore(AdmissionModel::sleep_after_unlock(2, 8), BUDGET);
+        assert!(matches!(v, Verdict::Deadlock { .. }), "got {v}");
+    }
+
+    #[test]
+    fn even_one_producer_can_slip_the_non_atomic_wait() {
+        // Dispatcher checks the empty queue, unlocks; the lone producer
+        // enqueues and notifies into the gap; the dispatcher then sleeps
+        // forever on a request that is already there.
+        let v = explore(AdmissionModel::sleep_after_unlock(1, 1), BUDGET);
+        assert!(matches!(v, Verdict::Deadlock { .. }), "got {v}");
     }
 
     #[test]

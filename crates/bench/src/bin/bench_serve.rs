@@ -1,0 +1,394 @@
+//! Multi-tenant serving report: drives the `spmv-serve` admission queue
+//! with open-loop Poisson traffic and emits `BENCH_serve.json`.
+//!
+//! Two phases:
+//!
+//! * **Repeat traffic** — closed-loop requests cycling over a small set
+//!   of registered matrices after a one-pass warm-up. Every post-warm
+//!   lookup must be a plan-cache hit; the report records the measured
+//!   hit rate (CI gates it at exactly 1.0).
+//! * **Saturation** — open-loop Poisson arrivals at ~4× the estimated
+//!   single-request service rate, replayed against two server arms with
+//!   the *same* arrival schedule: `unbatched` (`max_batch = 1`, the
+//!   one-at-a-time baseline) and `batched` (`max_batch = 8` with a
+//!   coalescing window). Per arm: wall-clock drain time, throughput,
+//!   p50/p99/p99.9 latency (arrival → batch completion), and the batch
+//!   occupancy histogram. Coalescing amortizes the matrix walk across
+//!   same-matrix requests, so the batched arm must clear the backlog at
+//!   least as fast as the baseline (CI gates `batched_vs_unbatched ≥ 1`
+//!   on multicore runners).
+//!
+//! Every response is cross-checked bit-for-bit against a standalone
+//! single-vector execute before any number is reported.
+//!
+//! Regenerate with `cargo run --release -p spmv-bench --bin bench_serve`.
+//!
+//! Knobs: `SPMV_BENCH_SERVE_REQUESTS` (saturation requests, default
+//! 1200), `SPMV_BENCH_SERVE_OUT` (output path, default
+//! `BENCH_serve.json`), `SPMV_BENCH_TINY=1` (small matrices + short
+//! trace — CI smoke mode).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spmv_autotune::prelude::*;
+use spmv_bench::setup::env_usize;
+use spmv_serve::{CacheConfig, ServeConfig, SpmvServer};
+use spmv_sparse::{gen, CsrMatrix};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+fn strategy() -> Strategy {
+    Strategy {
+        binning: BinningScheme::Coarse { u: 10 },
+        kernels: vec![KernelId::Subvector(8); 8],
+    }
+}
+
+fn request_vector(n: usize, salt: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| ((((i * 31 + salt * 7) % 17) as f32) - 8.0) / 4.0)
+        .collect()
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+struct ArmResult {
+    label: &'static str,
+    max_batch: usize,
+    window_us: u64,
+    wall_secs: f64,
+    throughput_rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+    mean_occupancy: f64,
+    occupancy: Vec<u64>,
+    batches: u64,
+    cache_hit_rate: f64,
+}
+
+/// One request of the pre-generated trace: who asks, for which matrix,
+/// and when (offset from trace start).
+struct TraceEntry {
+    tenant: u32,
+    matrix: u64,
+    arrival: Duration,
+}
+
+/// Replay `trace` open-loop against a server arm: the generator sleeps
+/// to each arrival offset regardless of how the server keeps up, so a
+/// slow arm accumulates queue (that is the point of the comparison).
+fn run_arm(
+    label: &'static str,
+    max_batch: usize,
+    window: Duration,
+    matrices: &[(u64, CsrMatrix<f32>)],
+    expected: &[(u64, Vec<f32>, Vec<f32>)],
+    trace: &[TraceEntry],
+) -> ArmResult {
+    let server = SpmvServer::start(ServeConfig {
+        max_batch,
+        coalesce_window: window,
+        cache: CacheConfig::default(),
+        ..ServeConfig::default()
+    });
+    for (id, a) in matrices {
+        server.register_matrix(*id, a.clone(), strategy());
+    }
+    // Warm every plan so the trace measures serving, not compilation.
+    let far = Instant::now() + Duration::from_secs(600);
+    for (id, a) in matrices {
+        server
+            .submit(0, *id, vec![1.0; a.n_cols()], far)
+            .unwrap()
+            .wait()
+            .unwrap();
+    }
+    let warm_stats = server.stats();
+
+    let start = Instant::now();
+    let mut tickets = Vec::with_capacity(trace.len());
+    for (i, e) in trace.iter().enumerate() {
+        let target = start + e.arrival;
+        let now = Instant::now();
+        if target > now {
+            std::thread::sleep(target - now);
+        }
+        let (_, x, _) = &expected[i];
+        let submitted = Instant::now();
+        let ticket = server
+            .submit(
+                e.tenant,
+                e.matrix,
+                x.clone(),
+                submitted + Duration::from_millis(5),
+            )
+            .unwrap();
+        tickets.push((submitted, ticket));
+    }
+    let mut latencies_us = Vec::with_capacity(trace.len());
+    let mut last_completed = start;
+    for (i, (submitted, ticket)) in tickets.into_iter().enumerate() {
+        let resp = ticket.wait().unwrap();
+        let (mid, _, want) = &expected[i];
+        assert_eq!(
+            &resp.y, want,
+            "{label}: request {i} (matrix {mid}) diverges from the standalone execute"
+        );
+        latencies_us.push(
+            resp.completed
+                .saturating_duration_since(submitted)
+                .as_secs_f64()
+                * 1e6,
+        );
+        if resp.completed > last_completed {
+            last_completed = resp.completed;
+        }
+    }
+    let wall_secs = last_completed
+        .saturating_duration_since(start)
+        .as_secs_f64();
+    let stats = server.stats();
+    server.shutdown();
+
+    latencies_us.sort_by(|a, b| a.total_cmp(b));
+    let served = trace.len() as f64;
+    let batches = stats.batches - warm_stats.batches;
+    let occupancy: Vec<u64> = stats
+        .occupancy
+        .iter()
+        .zip(warm_stats.occupancy.iter().chain(std::iter::repeat(&0)))
+        .map(|(a, w)| a - w)
+        .collect();
+    let hits = stats.cache.hits - warm_stats.cache.hits;
+    let lookups = stats.cache.lookups() - warm_stats.cache.lookups();
+    ArmResult {
+        label,
+        max_batch,
+        window_us: window.as_micros() as u64,
+        wall_secs,
+        throughput_rps: if wall_secs > 0.0 {
+            served / wall_secs
+        } else {
+            0.0
+        },
+        p50_us: percentile(&latencies_us, 0.50),
+        p99_us: percentile(&latencies_us, 0.99),
+        p999_us: percentile(&latencies_us, 0.999),
+        mean_occupancy: if batches > 0 {
+            served / batches as f64
+        } else {
+            0.0
+        },
+        occupancy,
+        batches,
+        cache_hit_rate: if lookups > 0 {
+            hits as f64 / lookups as f64
+        } else {
+            1.0
+        },
+    }
+}
+
+/// Closed-loop repeat traffic: after a one-pass warm-up, every lookup
+/// must hit the plan cache. Returns (requests, hit_rate, builds).
+fn repeat_traffic(matrices: &[(u64, CsrMatrix<f32>)], requests: usize) -> (usize, f64, u64) {
+    let server = SpmvServer::start(ServeConfig::default());
+    for (id, a) in matrices {
+        server.register_matrix(*id, a.clone(), strategy());
+    }
+    let far = Instant::now() + Duration::from_secs(600);
+    for (id, a) in matrices {
+        server
+            .submit(0, *id, vec![1.0; a.n_cols()], far)
+            .unwrap()
+            .wait()
+            .unwrap();
+    }
+    let warm = server.stats();
+    for i in 0..requests {
+        let (id, a) = &matrices[i % matrices.len()];
+        server
+            .submit((i % 4) as u32, *id, request_vector(a.n_cols(), i), far)
+            .unwrap()
+            .wait()
+            .unwrap();
+    }
+    let stats = server.stats();
+    server.shutdown();
+    let hits = stats.cache.hits - warm.cache.hits;
+    let lookups = stats.cache.lookups() - warm.cache.lookups();
+    let rate = if lookups > 0 {
+        hits as f64 / lookups as f64
+    } else {
+        1.0
+    };
+    (requests, rate, stats.cache.builds)
+}
+
+fn main() {
+    let tiny = std::env::var("SPMV_BENCH_TINY").is_ok_and(|s| s == "1");
+    let requests = env_usize("SPMV_BENCH_SERVE_REQUESTS", if tiny { 240 } else { 1200 });
+    let out_path =
+        std::env::var("SPMV_BENCH_SERVE_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+
+    // Two matrices with a 3:1 traffic split: the hot matrix is what
+    // coalescing feeds on, the cold one keeps the scheduler honest.
+    let (m, nnz_lo, nnz_hi) = if tiny { (4_000, 3, 6) } else { (60_000, 5, 12) };
+    let matrices: Vec<(u64, CsrMatrix<f32>)> = vec![
+        (1, gen::random_uniform::<f32>(m, m, nnz_lo, nnz_hi, 21)),
+        (2, gen::random_uniform::<f32>(m / 2, m, nnz_lo, nnz_hi, 22)),
+    ];
+
+    // Estimate single-request service time from a standalone verified
+    // plan (lower bound: server adds queueing/wakeup overhead), then
+    // drive arrivals at ~4× that rate — firmly saturating.
+    let a_hot = &matrices[0].1;
+    let verified = SpmvPlan::compile_with(
+        a_hot,
+        strategy(),
+        Box::new(NativeCpuBackend::new()),
+        PlanConfig::default(),
+    )
+    .verify(a_hot)
+    .expect("calibration plan must verify");
+    let xcal = request_vector(a_hot.n_cols(), 0);
+    let mut ucal = vec![0.0f32; a_hot.n_rows()];
+    verified.execute_unchecked(a_hot, &xcal, &mut ucal).unwrap();
+    let t0 = Instant::now();
+    let cal_iters = 20;
+    for _ in 0..cal_iters {
+        verified.execute_unchecked(a_hot, &xcal, &mut ucal).unwrap();
+    }
+    let service_est = t0.elapsed().as_secs_f64() / cal_iters as f64;
+    let mean_gap = service_est / 4.0;
+    let arrival_rate = 1.0 / mean_gap;
+
+    // Pre-generate one Poisson trace shared by both arms, plus the
+    // expected (standalone) answer for every request.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut clock = Duration::ZERO;
+    let mut trace = Vec::with_capacity(requests);
+    let mut expected = Vec::with_capacity(requests);
+    let mut plans = std::collections::HashMap::new();
+    for (id, a) in &matrices {
+        let p = SpmvPlan::compile_with(
+            a,
+            strategy(),
+            Box::new(NativeCpuBackend::new()),
+            PlanConfig::default(),
+        )
+        .verify(a)
+        .expect("reference plan must verify");
+        plans.insert(*id, p);
+    }
+    for i in 0..requests {
+        let gap = -mean_gap * (1.0 - rng.gen::<f64>()).ln();
+        clock += Duration::from_secs_f64(gap);
+        let matrix = if i % 4 == 3 { 2u64 } else { 1u64 };
+        let a = &matrices.iter().find(|(id, _)| *id == matrix).unwrap().1;
+        let x = request_vector(a.n_cols(), i);
+        let mut want = vec![0.0f32; a.n_rows()];
+        plans[&matrix].execute_unchecked(a, &x, &mut want).unwrap();
+        trace.push(TraceEntry {
+            tenant: (i % 4) as u32,
+            matrix,
+            arrival: clock,
+        });
+        expected.push((matrix, x, want));
+    }
+
+    eprintln!(
+        "  serving {requests} requests over {} threads (service est {:.1} µs, \
+         arrival rate {:.0} req/s) …",
+        spmv_parallel::num_threads(),
+        service_est * 1e6,
+        arrival_rate
+    );
+
+    let (repeat_requests, repeat_hit_rate, repeat_builds) = repeat_traffic(&matrices, 100);
+    eprintln!("  repeat-traffic hit rate: {repeat_hit_rate:.3}");
+
+    let unbatched = run_arm("unbatched", 1, Duration::ZERO, &matrices, &expected, &trace);
+    eprintln!(
+        "  unbatched: {:.0} req/s, p99 {:.0} µs",
+        unbatched.throughput_rps, unbatched.p99_us
+    );
+    let batched = run_arm(
+        "batched",
+        8,
+        Duration::from_micros(200),
+        &matrices,
+        &expected,
+        &trace,
+    );
+    eprintln!(
+        "  batched:   {:.0} req/s, p99 {:.0} µs, mean occupancy {:.2}",
+        batched.throughput_rps, batched.p99_us, batched.mean_occupancy
+    );
+
+    let speedup = if unbatched.throughput_rps > 0.0 {
+        batched.throughput_rps / unbatched.throughput_rps
+    } else {
+        0.0
+    };
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"serve\",").unwrap();
+    writeln!(json, "  \"threads\": {},", spmv_parallel::num_threads()).unwrap();
+    writeln!(json, "  \"tiny\": {tiny},").unwrap();
+    writeln!(json, "  \"requests\": {requests},").unwrap();
+    writeln!(json, "  \"tenants\": 4,").unwrap();
+    writeln!(json, "  \"service_est_us\": {:.2},", service_est * 1e6).unwrap();
+    writeln!(json, "  \"arrival_rate_rps\": {arrival_rate:.1},").unwrap();
+    writeln!(
+        json,
+        "  \"repeat_traffic\": {{\"requests\": {repeat_requests}, \
+         \"hit_rate\": {repeat_hit_rate:.4}, \"builds\": {repeat_builds}}},"
+    )
+    .unwrap();
+    writeln!(json, "  \"batched_vs_unbatched\": {speedup:.3},").unwrap();
+    writeln!(json, "  \"arms\": [").unwrap();
+    for (i, arm) in [&unbatched, &batched].iter().enumerate() {
+        let occ = arm
+            .occupancy
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        write!(
+            json,
+            "    {{\"label\": \"{}\", \"max_batch\": {}, \"coalesce_window_us\": {}, \
+             \"wall_secs\": {:.4}, \"throughput_rps\": {:.1}, \"p50_us\": {:.1}, \
+             \"p99_us\": {:.1}, \"p999_us\": {:.1}, \"batches\": {}, \
+             \"mean_occupancy\": {:.3}, \"occupancy\": [{}], \"cache_hit_rate\": {:.4}}}",
+            arm.label,
+            arm.max_batch,
+            arm.window_us,
+            arm.wall_secs,
+            arm.throughput_rps,
+            arm.p50_us,
+            arm.p99_us,
+            arm.p999_us,
+            arm.batches,
+            arm.mean_occupancy,
+            occ,
+            arm.cache_hit_rate,
+        )
+        .unwrap();
+        writeln!(json, "{}", if i == 0 { "," } else { "" }).unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

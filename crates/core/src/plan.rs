@@ -33,7 +33,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 /// checksum of the row-pointer array. Two matrices with equal
 /// fingerprints have the same row lengths everywhere, which is exactly
 /// the information binning consumed.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct PatternFingerprint {
     /// Rows.
     pub m: usize,
@@ -60,6 +60,31 @@ impl PatternFingerprint {
             row_ptr_hash: h,
         }
     }
+
+    /// A second, independent row-pointer checksum ([`confirm_row_ptr`])
+    /// for `a` — what a cache layer stores next to a fingerprinted entry
+    /// so a hit can be confirmed without trusting FNV-1a alone.
+    pub fn confirm_of<T: Scalar>(a: &CsrMatrix<T>) -> u64 {
+        confirm_row_ptr(a.row_ptr())
+    }
+}
+
+/// Position-mixed SplitMix64 checksum over a row-pointer array: each
+/// element is finalized together with its index, and the results are
+/// combined with wrapping addition. Structurally unrelated to the FNV-1a
+/// multiply-xor chain in [`PatternFingerprint::of`], so an adversarially
+/// forged (or astronomically unlucky) FNV collision does not also
+/// collide here — the confirmation a plan cache performs before reusing
+/// an entry whose fingerprint matched. O(m), allocation-free.
+pub fn confirm_row_ptr(row_ptr: &[usize]) -> u64 {
+    let mut acc: u64 = 0;
+    for (i, &p) in row_ptr.iter().enumerate() {
+        let mut z = (p as u64) ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        acc = acc.wrapping_add(z ^ (z >> 31));
+    }
+    acc
 }
 
 /// Why a plan refused to execute.
@@ -536,6 +561,49 @@ impl Default for PlanConfig {
             band_max_offsets: 16,
             min_dense_run: 8,
             min_row_run: 4,
+        }
+    }
+}
+
+/// A hashable identity for a [`PlanConfig`] — the second half of a plan
+/// cache key (the first being the [`PatternFingerprint`]). `PlanConfig`
+/// itself carries `f64` thresholds, so it cannot be `Eq`/`Hash`; the key
+/// freezes those fields through [`f64::to_bits`], which is exactly the
+/// right equivalence for caching: two configs compile identical plans
+/// iff every knob — including the float gates, bit-for-bit — agrees.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PlanConfigKey {
+    flags: [bool; 4],
+    sizes: [usize; 9],
+    floats: [u64; 2],
+    /// `IndexPolicy` discriminant: 0 = `Auto`, else 1 + byte width.
+    index: u8,
+}
+
+impl PlanConfig {
+    /// The cache identity of this configuration (see [`PlanConfigKey`]).
+    pub fn cache_key(&self) -> PlanConfigKey {
+        PlanConfigKey {
+            flags: [self.pack, self.fused, self.cache_block, self.specialize],
+            sizes: [
+                self.chunk,
+                self.max_row_nnz,
+                self.tile_nnz,
+                self.l2_bytes,
+                self.llc_bytes,
+                self.shards,
+                self.band_max_offsets,
+                self.min_dense_run,
+                self.min_row_run,
+            ],
+            floats: [
+                self.max_padding.to_bits(),
+                self.scatter_lines_per_row.to_bits(),
+            ],
+            index: match self.index {
+                IndexPolicy::Auto => 0,
+                IndexPolicy::Fixed(k) => 1 + k.bytes() as u8,
+            },
         }
     }
 }
@@ -1396,6 +1464,18 @@ impl<T: Scalar> VerifiedPlan<T> {
         &self.plan
     }
 
+    /// The pattern this plan is bound to (cache-key convenience; same as
+    /// `plan().fingerprint()`).
+    pub fn fingerprint(&self) -> &PatternFingerprint {
+        &self.plan.fingerprint
+    }
+
+    /// The configuration the plan was compiled with (cache-key
+    /// convenience; same as `plan().config()`).
+    pub fn config(&self) -> &PlanConfig {
+        &self.plan.config
+    }
+
     /// Unwrap, dropping the proof token.
     pub fn into_inner(self) -> SpmvPlan<T> {
         self.plan
@@ -1469,6 +1549,50 @@ mod tests {
             }
             a.fill_values_with(|k| ((k + round) % 7) as f64 - 3.0);
         }
+    }
+
+    #[test]
+    fn confirm_checksum_is_independent_of_fnv() {
+        // Same multiset of row-pointer values in a different order: the
+        // position-mixed confirm checksum must separate what a purely
+        // value-driven digest could conflate, and any structural change
+        // must move it.
+        let a = [0usize, 2, 5, 9];
+        let b = [0usize, 5, 2, 9];
+        assert_ne!(confirm_row_ptr(&a), confirm_row_ptr(&b));
+        assert_eq!(confirm_row_ptr(&a), confirm_row_ptr(&[0, 2, 5, 9]));
+        let m = gen::random_uniform::<f64>(200, 200, 1, 6, 1);
+        let mut v = m.clone();
+        v.fill_values_with(|k| k as f64);
+        // Value-only updates leave the structural confirm unchanged.
+        assert_eq!(
+            PatternFingerprint::confirm_of(&m),
+            PatternFingerprint::confirm_of(&v)
+        );
+    }
+
+    #[test]
+    fn cache_key_freezes_every_knob_including_floats() {
+        let base = PlanConfig::default();
+        assert_eq!(base.cache_key(), PlanConfig::default().cache_key());
+        let padded = PlanConfig {
+            max_padding: 1.25 + f64::EPSILON,
+            ..base
+        };
+        assert_ne!(base.cache_key(), padded.cache_key());
+        let fixed = PlanConfig {
+            index: IndexPolicy::Fixed(IndexKind::U16),
+            ..base
+        };
+        assert_ne!(base.cache_key(), fixed.cache_key());
+        assert_ne!(
+            fixed.cache_key(),
+            PlanConfig {
+                index: IndexPolicy::Fixed(IndexKind::U32),
+                ..base
+            }
+            .cache_key()
+        );
     }
 
     #[test]

@@ -11,16 +11,15 @@ use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
-/// Number of worker threads used by the free functions: the
-/// `SPMV_NUM_THREADS` environment variable if set, otherwise the machine's
-/// available parallelism (minimum 1).
+/// The raw hardware thread budget: the `SPMV_NUM_THREADS` environment
+/// variable if set, otherwise the machine's available parallelism
+/// (minimum 1). This is what [`crate::topology::Topology::detect`]
+/// reports as `cores` — the ceiling placement policies resolve against,
+/// *not* the worker count parallel regions use (that is [`num_threads`]).
 ///
-/// The value is computed once per process and cached — kernel launches
-/// call this on their hot path (per bin, per execute), and re-parsing an
-/// environment variable there costs a syscall plus a UTF-8 validation per
-/// call. Consequence: changing `SPMV_NUM_THREADS` after the first launch
-/// has no effect for the rest of the process.
-pub fn num_threads() -> usize {
+/// Computed once per process and cached: changing `SPMV_NUM_THREADS`
+/// after the first launch has no effect for the rest of the process.
+pub(crate) fn hardware_threads() -> usize {
     static CACHED: OnceLock<usize> = OnceLock::new();
     *CACHED.get_or_init(|| {
         if let Ok(s) = std::env::var("SPMV_NUM_THREADS") {
@@ -32,6 +31,21 @@ pub fn num_threads() -> usize {
             .map(NonZeroUsize::get)
             .unwrap_or(1)
     })
+}
+
+/// Number of worker threads used by the free functions: the resolved
+/// process placement's worker count
+/// ([`crate::topology::Placement::from_env`]), so every layer — the flat
+/// loops here, the sharded runtime, the thread pool, servers, benches —
+/// observes **one** topology per process. `SPMV_PLACEMENT` (or the
+/// `SPMV_THREADS` alias) caps this; with neither set it is the hardware
+/// budget (`SPMV_NUM_THREADS` or the machine's available parallelism).
+///
+/// The placement is computed once per process and cached — kernel
+/// launches call this on their hot path (per bin, per execute), and
+/// re-parsing environment variables there costs syscalls per call.
+pub fn num_threads() -> usize {
+    crate::topology::Placement::from_env().workers
 }
 
 /// Run `body(start, end)` over `[0, n)` in dynamically scheduled chunks of

@@ -18,7 +18,7 @@
 //! loud warning (once per process) and fall back to [`PlacementPolicy::
 //! Flat`] — previously a typo was indistinguishable from unset.
 
-use crate::scope::num_threads;
+use crate::scope::hardware_threads;
 use std::sync::OnceLock;
 
 /// What the machine offers: the frozen process thread count and the
@@ -28,17 +28,21 @@ use std::sync::OnceLock;
 /// overrides it explicitly.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Topology {
-    /// Worker threads available to the process ([`num_threads`]).
+    /// Worker threads available to the process (the raw hardware budget:
+    /// `SPMV_NUM_THREADS` or the machine's available parallelism).
     pub cores: usize,
     /// Worker groups sharing a cache level (1 when unknown).
     pub groups: usize,
 }
 
 impl Topology {
-    /// Detect the process topology: [`num_threads`] workers, one group.
+    /// Detect the process topology: the raw hardware thread budget, one
+    /// group. Deliberately *not* [`crate::scope::num_threads`] — that is
+    /// the placement-resolved worker count, which is derived from this
+    /// ceiling (the other direction would be circular).
     pub fn detect() -> Self {
         Self {
-            cores: num_threads().max(1),
+            cores: hardware_threads().max(1),
             groups: 1,
         }
     }
@@ -175,9 +179,15 @@ impl Placement {
     /// stderr **once per process** (see [`PlacementError`]) and fall
     /// back to `Flat`; unset variables stay silent.
     ///
-    /// Cached after first use, like [`num_threads`] — plan compilation
-    /// consults this, and re-parsing the environment per compile would
-    /// put syscalls on a warm path.
+    /// This is the **single entry point** for topology resolution:
+    /// [`crate::scope::num_threads`] (and through it every flat parallel
+    /// loop, the thread pool default, and the benches) returns
+    /// `from_env().workers`, so no two layers of one process can observe
+    /// different thread counts from the same environment.
+    ///
+    /// Cached after first use — plan compilation consults this, and
+    /// re-parsing the environment per compile would put syscalls on a
+    /// warm path.
     pub fn from_env() -> Self {
         static CACHED: OnceLock<Placement> = OnceLock::new();
         *CACHED.get_or_init(|| {
@@ -276,8 +286,14 @@ mod tests {
 
     #[test]
     fn detect_is_consistent_with_num_threads() {
+        // One topology per process: the free-function worker count IS
+        // the resolved placement's, and never exceeds the hardware
+        // budget detection reports.
         let t = Topology::detect();
-        assert_eq!(t.cores, num_threads().max(1));
+        assert!(t.cores >= 1);
         assert_eq!(t.groups, 1);
+        let p = Placement::from_env();
+        assert_eq!(crate::scope::num_threads(), p.workers);
+        assert!(p.workers <= t.cores);
     }
 }

@@ -1,0 +1,829 @@
+//! Admission-queue serving: deficit round-robin fairness and SpMM
+//! coalescing over the concurrent plan cache.
+//!
+//! The server accepts single-vector requests tagged `(tenant, matrix,
+//! deadline)` and turns same-matrix requests into one SpMM launch: the
+//! plan/execute split makes a `K`-column batch cost barely more than a
+//! single `y = Ax` (the pattern walk amortizes across columns), so at
+//! saturation a coalesced server clears the queue `~K×` faster than a
+//! one-at-a-time loop. Batched results are **bit-for-bit** what the
+//! standalone single-vector path produces (a repo-wide invariant of
+//! `execute_batch`), so coalescing is invisible to tenants.
+//!
+//! Scheduling is two-level:
+//!
+//! 1. **Deficit round-robin across tenants.** Every backlogged tenant
+//!    holds a deficit counter; dispatching a request costs one unit.
+//!    When no backlogged tenant has deficit left, every backlogged
+//!    tenant is topped up by [`ServeConfig::quantum`] — a new round.
+//!    Among eligible tenants the dispatcher picks the one whose head
+//!    request has the **earliest deadline** (ties: lowest tenant id),
+//!    so fairness is long-run per-tenant throughput while short-run
+//!    order respects urgency.
+//! 2. **Same-matrix coalescing.** The selected request anchors a batch.
+//!    The dispatcher then pulls *riders* — queued requests for the same
+//!    matrix, from any tenant, each charged one deficit unit (possibly
+//!    driving the counter negative, which the next quantum repays) —
+//!    until the batch holds [`ServeConfig::max_batch`] columns or the
+//!    anchor has waited [`ServeConfig::coalesce_window`] since arrival.
+//!    The window bounds the latency cost of coalescing: an anchor never
+//!    waits past `enqueued + coalesce_window` for company.
+//!
+//! The dispatcher's sleep/wake protocol — re-check the queue *after*
+//! every dispatch and only then sleep, with the "going to sleep"
+//! decision made atomically under the queue lock — is exactly the
+//! `AdmissionModel` interleaving exhaustively checked in the analysis
+//! crate (`spmv-lint`): an arrival can never slip between "batch
+//! dispatched" and "dispatcher asleep" and be stranded.
+//!
+//! Value refreshes ride the `values_id` mechanism: [`SpmvServer::
+//! update_values`] swaps the registered matrix for a value-updated
+//! clone (same pattern, new id), and cached plans re-gather their
+//! packed value slabs lazily on next execute — no plan rebuild, no
+//! cache invalidation.
+
+use crate::cache::{CacheConfig, CacheError, CacheStats, PlanCache};
+use spmv_autotune::{NativeCpuBackend, PlanConfig, SpmvPlan, Strategy};
+use spmv_sparse::{CsrMatrix, DenseBlock, Scalar};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tenant identity; fairness is accounted per tenant.
+pub type TenantId = u32;
+
+/// Registered-matrix identity; coalescing groups by matrix.
+pub type MatrixId = u64;
+
+/// Why a request (or a registry call) failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request names a matrix that was never registered.
+    UnknownMatrix(MatrixId),
+    /// The request vector length does not match the matrix width.
+    DimensionMismatch {
+        matrix: MatrixId,
+        expected: usize,
+        got: usize,
+    },
+    /// Plan compile/verify failed (shared by every request that joined
+    /// the build).
+    Plan(String),
+    /// The batched launch itself failed.
+    Exec(String),
+    /// The server is shutting down and no longer admits requests.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownMatrix(id) => write!(f, "unknown matrix id {id}"),
+            ServeError::DimensionMismatch {
+                matrix,
+                expected,
+                got,
+            } => write!(
+                f,
+                "matrix {matrix} expects a length-{expected} vector, got {got}"
+            ),
+            ServeError::Plan(msg) => write!(f, "plan build failed: {msg}"),
+            ServeError::Exec(msg) => write!(f, "batched execute failed: {msg}"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Serving knobs. Defaults suit a latency-sensitive multi-tenant mix;
+/// `max_batch: 1` plus a zero window degrades to a one-at-a-time
+/// baseline server (the bench's control arm).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Maximum SpMM batch width; a full batch dispatches immediately.
+    pub max_batch: usize,
+    /// How long an anchor request may wait (from its arrival) for
+    /// same-matrix riders before the batch dispatches anyway.
+    pub coalesce_window: Duration,
+    /// Deficit round-robin top-up per round: how many requests a
+    /// backlogged tenant may dispatch before yielding the round.
+    pub quantum: u32,
+    /// Worker threads for the execution backend (0 = backend default).
+    pub workers: usize,
+    /// Plan cache sizing.
+    pub cache: CacheConfig,
+    /// Configuration every served plan is compiled with (part of the
+    /// cache key).
+    pub plan: PlanConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 8,
+            coalesce_window: Duration::from_micros(200),
+            quantum: 4,
+            workers: 0,
+            cache: CacheConfig::default(),
+            plan: PlanConfig::default(),
+        }
+    }
+}
+
+/// A completed request: the result column plus how it was served.
+#[derive(Clone, Debug)]
+pub struct Response<T> {
+    /// `y = A x` for this request's vector — bit-for-bit equal to a
+    /// standalone single-vector execute through the same plan.
+    pub y: Vec<T>,
+    /// Width of the SpMM batch this request rode in (1 = unbatched).
+    pub batch_k: usize,
+    /// When the batch's launch finished.
+    pub completed: Instant,
+}
+
+struct TicketInner<T> {
+    slot: Mutex<Option<Result<Response<T>, ServeError>>>,
+    cv: Condvar,
+}
+
+impl<T> TicketInner<T> {
+    fn new() -> Self {
+        Self {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn resolve(&self, r: Result<Response<T>, ServeError>) {
+        let mut slot = self.slot.lock().unwrap();
+        *slot = Some(r);
+        self.cv.notify_all();
+    }
+}
+
+/// Handle for one admitted request; [`wait`](Ticket::wait) blocks until
+/// the batch it rides in completes.
+pub struct Ticket<T> {
+    inner: Arc<TicketInner<T>>,
+}
+
+impl<T: Clone> Ticket<T> {
+    /// Block until the request is served (or failed).
+    pub fn wait(self) -> Result<Response<T>, ServeError> {
+        let mut slot = self.inner.slot.lock().unwrap();
+        while slot.is_none() {
+            slot = self.inner.cv.wait(slot).unwrap();
+        }
+        slot.as_ref().unwrap().clone()
+    }
+}
+
+struct Pending<T> {
+    matrix: MatrixId,
+    x: Vec<T>,
+    deadline: Instant,
+    enqueued: Instant,
+    ticket: Arc<TicketInner<T>>,
+}
+
+struct QueueState<T> {
+    queues: HashMap<TenantId, VecDeque<Pending<T>>>,
+    deficits: HashMap<TenantId, i64>,
+    shutdown: bool,
+}
+
+impl<T> QueueState<T> {
+    fn total_queued(&self) -> usize {
+        self.queues.values().map(|q| q.len()).sum()
+    }
+
+    /// DRR tenant selection: among backlogged tenants with deficit
+    /// remaining, the one whose head request has the earliest deadline
+    /// (tie: lowest tenant id). Refills every backlogged tenant's
+    /// deficit by `quantum` when none is eligible — a new round.
+    fn select_tenant(&mut self, quantum: i64) -> TenantId {
+        loop {
+            let pick = self
+                .queues
+                .iter()
+                .filter(|(t, q)| !q.is_empty() && self.deficits[*t] > 0)
+                .min_by_key(|(t, q)| (q.front().unwrap().deadline, **t))
+                .map(|(t, _)| *t);
+            if let Some(t) = pick {
+                return t;
+            }
+            let backlogged: Vec<TenantId> = self
+                .queues
+                .iter()
+                .filter(|(_, q)| !q.is_empty())
+                .map(|(t, _)| *t)
+                .collect();
+            debug_assert!(!backlogged.is_empty(), "select_tenant on empty queues");
+            for t in backlogged {
+                *self.deficits.entry(t).or_insert(0) += quantum;
+            }
+        }
+    }
+
+    /// Pull queued same-matrix requests into `batch` (from any tenant,
+    /// any queue position — requests are independent, so out-of-order
+    /// completion within a tenant is observable only as lower latency).
+    /// Each rider is charged one deficit unit; the counter may go
+    /// negative and is repaid by future quanta.
+    fn pull_riders(&mut self, matrix: MatrixId, batch: &mut Vec<Pending<T>>, max_batch: usize) {
+        if batch.len() >= max_batch {
+            return;
+        }
+        let mut tenants: Vec<TenantId> = self.queues.keys().copied().collect();
+        tenants.sort_unstable();
+        for t in tenants {
+            let queue = self.queues.get_mut(&t).unwrap();
+            let mut i = 0;
+            while i < queue.len() && batch.len() < max_batch {
+                if queue[i].matrix == matrix {
+                    batch.push(queue.remove(i).unwrap());
+                    *self.deficits.entry(t).or_insert(0) -= 1;
+                } else {
+                    i += 1;
+                }
+            }
+            if batch.len() >= max_batch {
+                return;
+            }
+        }
+    }
+}
+
+struct Registered<T: Scalar> {
+    matrix: Arc<CsrMatrix<T>>,
+    strategy: Strategy,
+}
+
+struct Inner<T: Scalar> {
+    config: ServeConfig,
+    registry: RwLock<HashMap<MatrixId, Registered<T>>>,
+    cache: PlanCache<T>,
+    queue: Mutex<QueueState<T>>,
+    arrivals: Condvar,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    batches: AtomicU64,
+    /// `occupancy[k-1]` counts batches dispatched with width `k`.
+    occupancy: Vec<AtomicU64>,
+}
+
+/// Snapshot of serving counters ([`SpmvServer::stats`]).
+#[derive(Clone, Debug)]
+pub struct ServeStats {
+    /// Requests admitted.
+    pub submitted: u64,
+    /// Requests served successfully.
+    pub completed: u64,
+    /// SpMM batches dispatched.
+    pub batches: u64,
+    /// Batch-width histogram: `occupancy[k-1]` = batches of width `k`.
+    pub occupancy: Vec<u64>,
+    /// Plan-cache counters.
+    pub cache: CacheStats,
+}
+
+impl ServeStats {
+    /// Mean columns per dispatched batch (1.0 = no coalescing won).
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        let served: u64 = self
+            .occupancy
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as u64 + 1) * c)
+            .sum();
+        served as f64 / self.batches as f64
+    }
+}
+
+/// Multi-tenant SpMV server: matrix registry, plan cache, admission
+/// queue, and one dispatcher thread. See the module docs for the
+/// scheduling contract.
+pub struct SpmvServer<T: Scalar> {
+    inner: Arc<Inner<T>>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl<T: Scalar> SpmvServer<T> {
+    /// Start a server (spawns the dispatcher thread).
+    pub fn start(config: ServeConfig) -> Self {
+        let max_batch = config.max_batch.max(1);
+        let config = ServeConfig {
+            max_batch,
+            quantum: config.quantum.max(1),
+            ..config
+        };
+        let cache = PlanCache::new(config.cache);
+        let inner = Arc::new(Inner {
+            occupancy: (0..max_batch).map(|_| AtomicU64::new(0)).collect(),
+            config,
+            registry: RwLock::new(HashMap::new()),
+            cache,
+            queue: Mutex::new(QueueState {
+                queues: HashMap::new(),
+                deficits: HashMap::new(),
+                shutdown: false,
+            }),
+            arrivals: Condvar::new(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+        });
+        let worker = Arc::clone(&inner);
+        let dispatcher = std::thread::Builder::new()
+            .name("spmv-serve-dispatch".into())
+            .spawn(move || dispatcher_loop(worker))
+            .expect("spawn dispatcher");
+        Self {
+            inner,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// Register (or replace) a matrix under `id`. Requests may name it
+    /// immediately; its plan is built on first use and cached by
+    /// pattern, so replacing a matrix with an identical pattern keeps
+    /// the cached plan warm.
+    pub fn register_matrix(&self, id: MatrixId, a: CsrMatrix<T>, strategy: Strategy) {
+        let mut reg = self.inner.registry.write().unwrap();
+        reg.insert(
+            id,
+            Registered {
+                matrix: Arc::new(a),
+                strategy,
+            },
+        );
+    }
+
+    /// Refresh the numeric values of a registered matrix in place (same
+    /// pattern). Cached plans are *not* invalidated: the swapped-in
+    /// clone carries a fresh `values_id`, and packed value slabs
+    /// re-gather lazily on the next execute.
+    pub fn update_values(&self, id: MatrixId, f: impl FnMut(usize) -> T) -> Result<(), ServeError> {
+        let mut reg = self.inner.registry.write().unwrap();
+        let entry = reg.get_mut(&id).ok_or(ServeError::UnknownMatrix(id))?;
+        let mut refreshed = (*entry.matrix).clone();
+        refreshed.fill_values_with(f);
+        entry.matrix = Arc::new(refreshed);
+        Ok(())
+    }
+
+    /// Admit a request: `y = A_matrix · x` for `tenant`, scheduled no
+    /// later than its DRR turn and preferentially by `deadline`.
+    /// Validation (matrix known, dimensions right) happens here, so a
+    /// ticket always resolves with an execution outcome.
+    pub fn submit(
+        &self,
+        tenant: TenantId,
+        matrix: MatrixId,
+        x: Vec<T>,
+        deadline: Instant,
+    ) -> Result<Ticket<T>, ServeError> {
+        let expected = {
+            let reg = self.inner.registry.read().unwrap();
+            reg.get(&matrix)
+                .ok_or(ServeError::UnknownMatrix(matrix))?
+                .matrix
+                .n_cols()
+        };
+        if x.len() != expected {
+            return Err(ServeError::DimensionMismatch {
+                matrix,
+                expected,
+                got: x.len(),
+            });
+        }
+        let ticket = Arc::new(TicketInner::new());
+        {
+            let mut q = self.inner.queue.lock().unwrap();
+            if q.shutdown {
+                return Err(ServeError::ShuttingDown);
+            }
+            q.deficits.entry(tenant).or_insert(0);
+            q.queues.entry(tenant).or_default().push_back(Pending {
+                matrix,
+                x,
+                deadline,
+                enqueued: Instant::now(),
+                ticket: Arc::clone(&ticket),
+            });
+            self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+            // Wake the dispatcher: a new arrival can complete a batch
+            // or end an idle sleep. (Never lost: the dispatcher only
+            // sleeps while holding this lock — the AdmissionModel
+            // invariant.)
+            self.inner.arrivals.notify_all();
+        }
+        Ok(Ticket { inner: ticket })
+    }
+
+    /// Serving counters (dispatch side quiesced = exact).
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            submitted: self.inner.submitted.load(Ordering::Relaxed),
+            completed: self.inner.completed.load(Ordering::Relaxed),
+            batches: self.inner.batches.load(Ordering::Relaxed),
+            occupancy: self
+                .inner
+                .occupancy
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            cache: self.inner.cache.stats(),
+        }
+    }
+
+    /// Stop admitting, drain every queued request, and join the
+    /// dispatcher. Tickets submitted before the call all resolve.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        let mut q = self.inner.queue.lock().unwrap();
+        q.shutdown = true;
+        self.inner.arrivals.notify_all();
+    }
+}
+
+impl<T: Scalar> Drop for SpmvServer<T> {
+    fn drop(&mut self) {
+        if let Some(h) = self.dispatcher.take() {
+            self.begin_shutdown();
+            let _ = h.join();
+        }
+    }
+}
+
+/// The dispatcher: wait for work → select anchor by DRR/EDF → coalesce
+/// riders within the window → execute the batch with no queue lock held
+/// → loop (re-checking the queue *before* the next sleep, so a request
+/// that arrived during the execute is picked up immediately).
+fn dispatcher_loop<T: Scalar>(inner: Arc<Inner<T>>) {
+    loop {
+        let (matrix, batch) = {
+            let mut q = inner.queue.lock().unwrap();
+            loop {
+                if q.total_queued() > 0 {
+                    break;
+                }
+                if q.shutdown {
+                    return;
+                }
+                // Sleep decision is made while holding the queue lock;
+                // submit() can't enqueue-and-notify in the gap. This is
+                // the atomicity the AdmissionModel proves necessary.
+                q = inner.arrivals.wait(q).unwrap();
+            }
+            let quantum = i64::from(inner.config.quantum);
+            let tenant = q.select_tenant(quantum);
+            let anchor = q.queues.get_mut(&tenant).unwrap().pop_front().unwrap();
+            *q.deficits.entry(tenant).or_insert(0) -= 1;
+            let matrix = anchor.matrix;
+            let window_ends = anchor.enqueued + inner.config.coalesce_window;
+            let mut batch = vec![anchor];
+            loop {
+                q.pull_riders(matrix, &mut batch, inner.config.max_batch);
+                if batch.len() >= inner.config.max_batch || q.shutdown {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= window_ends {
+                    break;
+                }
+                let (guard, _timeout) = inner.arrivals.wait_timeout(q, window_ends - now).unwrap();
+                q = guard;
+            }
+            (matrix, batch)
+        };
+        serve_batch(&inner, matrix, batch);
+    }
+}
+
+fn fail_all<T>(batch: Vec<Pending<T>>, err: ServeError) {
+    for p in batch {
+        p.ticket.resolve(Err(err.clone()));
+    }
+}
+
+/// Execute one coalesced batch and resolve its tickets. Runs with no
+/// queue lock held; the plan comes from the cache (single-flight cold,
+/// wait-free warm).
+fn serve_batch<T: Scalar>(inner: &Inner<T>, matrix: MatrixId, batch: Vec<Pending<T>>) {
+    let k = batch.len();
+    debug_assert!(k >= 1);
+    inner.batches.fetch_add(1, Ordering::Relaxed);
+    inner.occupancy[(k - 1).min(inner.occupancy.len() - 1)].fetch_add(1, Ordering::Relaxed);
+
+    let registered = {
+        let reg = inner.registry.read().unwrap();
+        reg.get(&matrix)
+            .map(|r| (Arc::clone(&r.matrix), r.strategy.clone()))
+    };
+    let Some((a, strategy)) = registered else {
+        // Registration is validated at submit; a replaced-away matrix
+        // between submit and dispatch still fails cleanly.
+        fail_all(batch, ServeError::UnknownMatrix(matrix));
+        return;
+    };
+
+    let plan = inner.cache.get_or_build(&a, &inner.config.plan, || {
+        let backend = if inner.config.workers > 0 {
+            NativeCpuBackend::new().with_workers(inner.config.workers)
+        } else {
+            NativeCpuBackend::new()
+        };
+        SpmvPlan::compile_with(&a, strategy.clone(), Box::new(backend), inner.config.plan)
+            .verify(&a)
+            .map_err(|e| CacheError::Build(e.to_string()))
+    });
+    let plan = match plan {
+        Ok(p) => p,
+        Err(e) => {
+            fail_all(batch, ServeError::Plan(e.to_string()));
+            return;
+        }
+    };
+
+    let mut columns = Vec::with_capacity(k);
+    let mut tickets = Vec::with_capacity(k);
+    for p in batch {
+        columns.push(p.x);
+        tickets.push(p.ticket);
+    }
+    let x = DenseBlock::from_columns(&columns);
+    let mut y = DenseBlock::zeros(a.n_rows(), k);
+    match plan.execute_batch_unchecked(&a, &x, &mut y) {
+        Ok(_) => {
+            let completed = Instant::now();
+            // Count before resolving: a ticket-holder reading stats()
+            // right after wait() must see its own completion.
+            inner.completed.fetch_add(k as u64, Ordering::Relaxed);
+            for (j, ticket) in tickets.iter().enumerate() {
+                ticket.resolve(Ok(Response {
+                    y: y.column(j),
+                    batch_k: k,
+                    completed,
+                }));
+            }
+        }
+        Err(e) => {
+            let err = ServeError::Exec(e.to_string());
+            for ticket in &tickets {
+                ticket.resolve(Err(err.clone()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_autotune::{BinningScheme, KernelId};
+    use spmv_sparse::gen;
+
+    fn strategy() -> Strategy {
+        Strategy {
+            binning: BinningScheme::Coarse { u: 10 },
+            kernels: vec![KernelId::Serial; 8],
+        }
+    }
+
+    fn far_deadline() -> Instant {
+        Instant::now() + Duration::from_secs(60)
+    }
+
+    #[test]
+    fn round_trip_matches_direct_execute() {
+        let server = SpmvServer::start(ServeConfig::default());
+        let a = gen::random_uniform::<f64>(400, 380, 1, 6, 11);
+        let x: Vec<f64> = (0..380).map(|i| (i % 13) as f64 * 0.25 - 1.0).collect();
+        let mut expect = vec![0.0; 400];
+        SpmvPlan::compile_with(
+            &a,
+            strategy(),
+            Box::new(NativeCpuBackend::new()),
+            PlanConfig::default(),
+        )
+        .verify(&a)
+        .unwrap()
+        .execute(&a, &x, &mut expect)
+        .unwrap();
+
+        server.register_matrix(7, a, strategy());
+        let resp = server
+            .submit(0, 7, x, far_deadline())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(resp.y, expect, "served response must be bit-for-bit");
+        server.shutdown();
+    }
+
+    #[test]
+    fn submit_validates_matrix_and_dimensions() {
+        let server = SpmvServer::start(ServeConfig::default());
+        let a = gen::random_uniform::<f64>(50, 40, 1, 3, 2);
+        server.register_matrix(1, a, strategy());
+        assert_eq!(
+            server
+                .submit(0, 99, vec![0.0; 40], far_deadline())
+                .err()
+                .unwrap(),
+            ServeError::UnknownMatrix(99)
+        );
+        assert_eq!(
+            server
+                .submit(0, 1, vec![0.0; 41], far_deadline())
+                .err()
+                .unwrap(),
+            ServeError::DimensionMismatch {
+                matrix: 1,
+                expected: 40,
+                got: 41
+            }
+        );
+    }
+
+    #[test]
+    fn same_matrix_requests_coalesce_into_one_batch() {
+        // A wide window plus exactly max_batch requests: the anchor
+        // waits, riders join, and the full batch dispatches early.
+        let server = SpmvServer::start(ServeConfig {
+            max_batch: 8,
+            coalesce_window: Duration::from_secs(5),
+            ..ServeConfig::default()
+        });
+        let a = gen::random_uniform::<f64>(300, 300, 1, 5, 3);
+        server.register_matrix(1, a, strategy());
+        // Warm the plan so the first dispatch doesn't spend its window
+        // compiling.
+        server
+            .submit(0, 1, vec![1.0; 300], far_deadline())
+            .unwrap()
+            .wait()
+            .unwrap();
+        let tickets: Vec<_> = (0..8)
+            .map(|t| {
+                server
+                    .submit(t, 1, vec![t as f64; 300], far_deadline())
+                    .unwrap()
+            })
+            .collect();
+        for t in tickets {
+            let r = t.wait().unwrap();
+            assert!(r.batch_k >= 1);
+        }
+        let stats = server.stats();
+        assert_eq!(stats.completed, 9);
+        assert!(
+            stats.occupancy.iter().skip(1).any(|&c| c > 0),
+            "no coalescing at all under a 5s window: {:?}",
+            stats.occupancy
+        );
+        assert_eq!(stats.cache.builds, 1, "one matrix, one plan build");
+        server.shutdown();
+    }
+
+    #[test]
+    fn drr_prefers_earliest_deadline_and_refills_rounds() {
+        let now = Instant::now();
+        let pending = |matrix: MatrixId, deadline: Instant| Pending::<f64> {
+            matrix,
+            x: vec![],
+            deadline,
+            enqueued: now,
+            ticket: Arc::new(TicketInner::new()),
+        };
+        let mut q = QueueState {
+            queues: HashMap::new(),
+            deficits: HashMap::new(),
+            shutdown: false,
+        };
+        let late = now + Duration::from_millis(50);
+        let soon = now + Duration::from_millis(5);
+        q.queues.entry(3).or_default().push_back(pending(1, late));
+        q.queues.entry(7).or_default().push_back(pending(1, soon));
+        q.deficits.insert(3, 0);
+        q.deficits.insert(7, 0);
+        // Both start exhausted: selection refills both (one round) and
+        // picks the earlier deadline.
+        assert_eq!(q.select_tenant(2), 7);
+        assert_eq!(q.deficits[&3], 2);
+        assert_eq!(q.deficits[&7], 2);
+        // Exhaust tenant 7's deficit: tenant 3 wins despite the later
+        // deadline — that's the fairness half.
+        *q.deficits.get_mut(&7).unwrap() = 0;
+        assert_eq!(q.select_tenant(2), 3);
+        // Equal deadlines tie-break on the lower tenant id.
+        q.queues.entry(2).or_default().push_back(pending(1, late));
+        q.deficits.insert(2, 1);
+        assert_eq!(q.select_tenant(2), 2);
+    }
+
+    #[test]
+    fn riders_are_charged_deficit_and_capped_at_max_batch() {
+        let now = Instant::now();
+        let mut q = QueueState {
+            queues: HashMap::new(),
+            deficits: HashMap::new(),
+            shutdown: false,
+        };
+        for t in 0..3u32 {
+            for _ in 0..4 {
+                q.queues.entry(t).or_default().push_back(Pending::<f64> {
+                    matrix: 1,
+                    x: vec![],
+                    deadline: now,
+                    enqueued: now,
+                    ticket: Arc::new(TicketInner::new()),
+                });
+            }
+            q.deficits.insert(t, 1);
+        }
+        let mut batch = Vec::new();
+        q.pull_riders(1, &mut batch, 8);
+        assert_eq!(batch.len(), 8);
+        assert_eq!(q.total_queued(), 4);
+        // Tenants 0 and 1 each contributed 4 riders (charged below
+        // zero); tenant 2 untouched.
+        assert_eq!(q.deficits[&0], -3);
+        assert_eq!(q.deficits[&1], -3);
+        assert_eq!(q.deficits[&2], 1);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_requests() {
+        let server = SpmvServer::start(ServeConfig {
+            coalesce_window: Duration::from_millis(20),
+            ..ServeConfig::default()
+        });
+        let a = gen::random_uniform::<f64>(200, 200, 1, 4, 5);
+        server.register_matrix(1, a, strategy());
+        let tickets: Vec<_> = (0..12)
+            .map(|t| {
+                server
+                    .submit(t % 3, 1, vec![1.0 + t as f64; 200], far_deadline())
+                    .unwrap()
+            })
+            .collect();
+        server.shutdown();
+        for t in tickets {
+            t.wait().expect("shutdown must drain, not drop, requests");
+        }
+    }
+
+    #[test]
+    fn value_refresh_is_visible_without_plan_rebuild() {
+        let server = SpmvServer::start(ServeConfig::default());
+        let a = gen::random_uniform::<f64>(250, 250, 1, 5, 8);
+        server.register_matrix(1, a.clone(), strategy());
+        let x = vec![1.0; 250];
+        let before = server
+            .submit(0, 1, x.clone(), far_deadline())
+            .unwrap()
+            .wait()
+            .unwrap();
+        server.update_values(1, |i| (i % 7) as f64 - 3.0).unwrap();
+        let after = server
+            .submit(0, 1, x.clone(), far_deadline())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_ne!(before.y, after.y, "new values must be served");
+        // Same pattern ⇒ same plan: no rebuild happened.
+        let stats = server.stats();
+        assert_eq!(stats.cache.builds, 1);
+        // And the refreshed result matches a from-scratch execute on the
+        // refreshed matrix.
+        let mut refreshed = a;
+        refreshed.fill_values_with(|i| (i % 7) as f64 - 3.0);
+        let mut expect = vec![0.0; 250];
+        SpmvPlan::compile_with(
+            &refreshed,
+            strategy(),
+            Box::new(NativeCpuBackend::new()),
+            PlanConfig::default(),
+        )
+        .verify(&refreshed)
+        .unwrap()
+        .execute(&refreshed, &x, &mut expect)
+        .unwrap();
+        assert_eq!(after.y, expect);
+        server.shutdown();
+    }
+}
