@@ -231,6 +231,12 @@ fn main() {
     writeln!(json, "  \"bench\": \"bandwidth\",").unwrap();
     writeln!(
         json,
+        "  \"hardware_threads\": {},",
+        spmv_parallel::machine_threads()
+    )
+    .unwrap();
+    writeln!(
+        json,
         "  \"pool_threads\": {},",
         spmv_parallel::num_threads()
     )

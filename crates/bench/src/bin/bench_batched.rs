@@ -180,6 +180,12 @@ fn main() {
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
     writeln!(json, "  \"bench\": \"batched_exec\",").unwrap();
+    writeln!(
+        json,
+        "  \"hardware_threads\": {},",
+        spmv_parallel::machine_threads()
+    )
+    .unwrap();
     writeln!(json, "  \"threads\": {},", spmv_parallel::num_threads()).unwrap();
     writeln!(
         json,

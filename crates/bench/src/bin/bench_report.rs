@@ -197,6 +197,12 @@ fn main() {
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
     writeln!(json, "  \"bench\": \"packed_exec\",").unwrap();
+    writeln!(
+        json,
+        "  \"hardware_threads\": {},",
+        spmv_parallel::machine_threads()
+    )
+    .unwrap();
     writeln!(json, "  \"threads\": {},", spmv_parallel::num_threads()).unwrap();
     writeln!(json, "  \"iters\": {iters},").unwrap();
     writeln!(json, "  \"tiny\": {tiny},").unwrap();

@@ -342,6 +342,12 @@ fn main() {
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
     writeln!(json, "  \"bench\": \"serve\",").unwrap();
+    writeln!(
+        json,
+        "  \"hardware_threads\": {},",
+        spmv_parallel::machine_threads()
+    )
+    .unwrap();
     writeln!(json, "  \"threads\": {},", spmv_parallel::num_threads()).unwrap();
     writeln!(json, "  \"tiny\": {tiny},").unwrap();
     writeln!(json, "  \"requests\": {requests},").unwrap();

@@ -236,6 +236,12 @@ fn main() {
     writeln!(json, "  \"bench\": \"solve\",").unwrap();
     writeln!(
         json,
+        "  \"hardware_threads\": {},",
+        spmv_parallel::machine_threads()
+    )
+    .unwrap();
+    writeln!(
+        json,
         "  \"pool_threads\": {},",
         spmv_parallel::num_threads()
     )

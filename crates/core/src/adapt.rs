@@ -1,0 +1,359 @@
+//! Online bottleneck classification: the decision half of the
+//! measured-feedback loop (the observation half is [`crate::telemetry`]).
+//!
+//! Offline tuning predicts a plan from static features; this module asks
+//! the complementary question *after* the plan has run: is the plan
+//! performing the way its own traffic model says it should, and if not,
+//! which resource is it actually limited by? The answer — a
+//! [`Bottleneck`] — maps directly onto a compile-time knob the
+//! refinement layer can turn:
+//!
+//! | class | evidence | suggested move |
+//! |---|---|---|
+//! | [`Imbalanced`](Bottleneck::Imbalanced) | static shard-load skew above threshold | cut finer tiles so the LPT deal can even out |
+//! | [`LatencyBound`](Bottleneck::LatencyBound) | scatter-heavy rows with cache blocking off | enable column blocking |
+//! | [`MemoryBound`](Bottleneck::MemoryBound) | full-width index stream with compression headroom, or measured time far above the traffic-model roofline | re-open the pack/specialize/index gates |
+//! | [`OnModel`](Bottleneck::OnModel) | none of the above | leave the plan alone |
+//!
+//! The checks run in that order and the *structural* signals come first,
+//! deliberately: they are computed from the compiled plan, so a CI gate
+//! exercising the refinement loop classifies deterministically — timing
+//! noise on a loaded runner cannot flip a forced-CSR plan's verdict.
+//! The measured-divergence check is the catch-all for plans whose
+//! structure looks fine but whose observed rate says otherwise.
+//!
+//! Thresholds default to the same gate priors plan compilation uses
+//! ([`PlanConfig::scatter_lines_per_row`] for scatter, the 4-bytes-per-
+//! non-zero `u32` index stream the CSR fallback is charged) — the
+//! classifier and the compiler must agree on what "scatter-heavy" or
+//! "uncompressed" mean, or refinement would oscillate.
+
+use crate::plan::{IndexPolicy, PlanConfig, TrafficStats};
+use crate::telemetry::TelemetrySnapshot;
+use spmv_sparse::IndexKind;
+
+/// What is limiting a running plan, per the classifier's evidence order
+/// (see the module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bottleneck {
+    /// Moving more bytes than it needs to: an uncompressed index stream
+    /// with compression headroom, or measured time far above the
+    /// traffic-model roofline.
+    MemoryBound,
+    /// The compiled shard deal loads one shard markedly heavier than the
+    /// mean — workers idle at the join.
+    Imbalanced,
+    /// Scatter-heavy gathers of `x` with column blocking disabled —
+    /// rows stall on cache-line latency, not bandwidth.
+    LatencyBound,
+    /// Performing as the traffic model predicts (or too few samples to
+    /// say otherwise); no refinement warranted.
+    OnModel,
+}
+
+impl Bottleneck {
+    /// Stable lower-case name (report keys, bench JSON).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Bottleneck::MemoryBound => "memory_bound",
+            Bottleneck::Imbalanced => "imbalanced",
+            Bottleneck::LatencyBound => "latency_bound",
+            Bottleneck::OnModel => "on_model",
+        }
+    }
+}
+
+impl std::fmt::Display for Bottleneck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Classifier thresholds. Defaults inherit the format-gate priors the
+/// compiler already uses, so classification agrees with compilation.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptConfig {
+    /// No verdict before this many completed executes — the hysteresis
+    /// floor that keeps one cold-cache launch from triggering a rebuild.
+    pub min_executes: u64,
+    /// Observed / predicted ns ratio above which a structurally clean
+    /// plan is still declared off-model ([`Bottleneck::MemoryBound`]).
+    pub divergence_ratio: f64,
+    /// Static `max / mean` shard load at or above which the plan is
+    /// [`Bottleneck::Imbalanced`].
+    pub imbalance_threshold: f64,
+    /// Index bytes per non-zero at or above which the stream counts as
+    /// uncompressed (the CSR fallback is charged 4 — a full `u32` per
+    /// non-zero).
+    pub index_bytes_per_nnz: f64,
+    /// Streaming rate (GB/s = bytes/ns) the roofline prediction assumes;
+    /// [`predicted_ns`](AdaptConfig::predicted_ns) divides modelled
+    /// traffic by it. Deliberately conservative: only plans *far* below
+    /// even a modest rate trip the measured-divergence check.
+    pub assumed_bandwidth_gbps: f64,
+}
+
+impl Default for AdaptConfig {
+    fn default() -> Self {
+        Self {
+            min_executes: 8,
+            divergence_ratio: 1.5,
+            imbalance_threshold: 1.25,
+            index_bytes_per_nnz: 3.5,
+            assumed_bandwidth_gbps: 10.0,
+        }
+    }
+}
+
+impl AdaptConfig {
+    /// Roofline prediction: nanoseconds one execute should take if the
+    /// modelled traffic streams at the assumed bandwidth.
+    pub fn predicted_ns(&self, traffic: &TrafficStats) -> f64 {
+        let bytes = (traffic.value_bytes + traffic.index_bytes + traffic.x_gather_bytes) as f64;
+        bytes / self.assumed_bandwidth_gbps.max(1e-9)
+    }
+
+    /// Observed / predicted time ratio (0.0 with no samples): > 1 means
+    /// slower than the traffic model's roofline.
+    pub fn divergence(&self, snapshot: &TelemetrySnapshot, traffic: &TrafficStats) -> f64 {
+        if snapshot.ewma_ns_per_column <= 0.0 {
+            return 0.0;
+        }
+        snapshot.ewma_ns_per_column / self.predicted_ns(traffic).max(1e-9)
+    }
+}
+
+/// Whether `config` still has traffic-shrinking gates closed that a
+/// refinement could open (the "headroom" precondition for the structural
+/// [`Bottleneck::MemoryBound`] verdict — with every gate already open,
+/// a fat index stream is the matrix's fault, not the plan's).
+fn compression_headroom(config: &PlanConfig) -> bool {
+    !config.pack || !config.specialize || config.index == IndexPolicy::Fixed(IndexKind::U32)
+}
+
+/// Classify what limits a plan, from a telemetry snapshot plus the
+/// plan's compile-time facts. Structural checks run before the measured
+/// one (see the module docs for the order and why it is deterministic).
+pub fn classify(
+    snapshot: &TelemetrySnapshot,
+    traffic: &TrafficStats,
+    config: &PlanConfig,
+    avg_lines_per_row: f64,
+    cfg: &AdaptConfig,
+) -> Bottleneck {
+    if snapshot.executes < cfg.min_executes {
+        return Bottleneck::OnModel;
+    }
+    if snapshot.static_imbalance >= cfg.imbalance_threshold {
+        return Bottleneck::Imbalanced;
+    }
+    if avg_lines_per_row >= config.scatter_lines_per_row && !config.cache_block {
+        return Bottleneck::LatencyBound;
+    }
+    if traffic.index_bytes_per_nnz() >= cfg.index_bytes_per_nnz && compression_headroom(config) {
+        return Bottleneck::MemoryBound;
+    }
+    if cfg.divergence(snapshot, traffic) >= cfg.divergence_ratio {
+        return Bottleneck::MemoryBound;
+    }
+    Bottleneck::OnModel
+}
+
+/// The compile-time move that addresses `bottleneck`, as a candidate
+/// [`PlanConfig`] derived from the incumbent's. `None` when the verdict
+/// needs no move ([`Bottleneck::OnModel`]) or every relevant knob is
+/// already at its limit — the refinement layer treats `None` as "keep
+/// the incumbent".
+///
+/// The suggestion is a *candidate*, not a decision: the refinement layer
+/// compiles it, proves it ([`crate::plan::SpmvPlan::verify`]), A/B-times
+/// it against the incumbent on live traffic, and only swaps if it
+/// measures faster. A wrong suggestion therefore costs one background
+/// compile, never a regression.
+pub fn suggest(bottleneck: Bottleneck, incumbent: &PlanConfig) -> Option<PlanConfig> {
+    match bottleneck {
+        Bottleneck::MemoryBound => {
+            if !compression_headroom(incumbent) {
+                return None;
+            }
+            Some(PlanConfig {
+                pack: true,
+                specialize: true,
+                index: IndexPolicy::Auto,
+                cache_block: true,
+                ..*incumbent
+            })
+        }
+        Bottleneck::Imbalanced => {
+            // Finer tiles give the LPT deal more pieces to even out.
+            let finer = match incumbent.tile_nnz {
+                0 => 2048,
+                n if n > 256 => n / 2,
+                _ => return None,
+            };
+            Some(PlanConfig {
+                tile_nnz: finer,
+                ..*incumbent
+            })
+        }
+        Bottleneck::LatencyBound => {
+            if incumbent.cache_block {
+                return None;
+            }
+            Some(PlanConfig {
+                cache_block: true,
+                ..*incumbent
+            })
+        }
+        Bottleneck::OnModel => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(executes: u64, ewma_ns: f64, imbalance: f64) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            executes,
+            columns: executes,
+            ewma_ns_per_column: ewma_ns,
+            last_ns_per_column: ewma_ns,
+            flops_per_column: 2_000.0,
+            model_bytes: 12_000,
+            static_imbalance: imbalance,
+        }
+    }
+
+    fn traffic(index_bytes: usize) -> TrafficStats {
+        TrafficStats {
+            value_bytes: 4_000,
+            index_bytes,
+            x_gather_bytes: 1_000,
+            nnz: 1_000,
+        }
+    }
+
+    fn forced_csr() -> PlanConfig {
+        PlanConfig {
+            pack: false,
+            cache_block: false,
+            specialize: false,
+            ..PlanConfig::default()
+        }
+    }
+
+    #[test]
+    fn too_few_samples_is_on_model() {
+        let cfg = AdaptConfig::default();
+        let b = classify(
+            &snap(3, 1e9, 9.0),
+            &traffic(4_000),
+            &forced_csr(),
+            1.0,
+            &cfg,
+        );
+        assert_eq!(b, Bottleneck::OnModel);
+    }
+
+    #[test]
+    fn shard_skew_wins_over_everything() {
+        let cfg = AdaptConfig::default();
+        let b = classify(
+            &snap(100, 1e9, 1.5),
+            &traffic(4_000),
+            &forced_csr(),
+            9.0,
+            &cfg,
+        );
+        assert_eq!(b, Bottleneck::Imbalanced);
+    }
+
+    #[test]
+    fn scatter_without_blocking_is_latency_bound() {
+        let cfg = AdaptConfig::default();
+        let b = classify(
+            &snap(100, 100.0, 1.0),
+            &traffic(4_000),
+            &forced_csr(),
+            6.0,
+            &cfg,
+        );
+        assert_eq!(b, Bottleneck::LatencyBound);
+    }
+
+    #[test]
+    fn forced_csr_index_stream_is_memory_bound() {
+        // 4 index bytes per nnz with pack/specialize off: structural
+        // verdict, independent of the measured time.
+        let cfg = AdaptConfig::default();
+        let b = classify(
+            &snap(100, 1.0, 1.0),
+            &traffic(4_000),
+            &forced_csr(),
+            1.0,
+            &cfg,
+        );
+        assert_eq!(b, Bottleneck::MemoryBound);
+    }
+
+    #[test]
+    fn fat_index_without_headroom_is_not_structural() {
+        // Every gate already open: the index stream is the matrix's
+        // nature, and a fast plan stays on-model.
+        let cfg = AdaptConfig::default();
+        let open = PlanConfig::default();
+        let b = classify(&snap(100, 1.0, 1.0), &traffic(4_000), &open, 1.0, &cfg);
+        assert_eq!(b, Bottleneck::OnModel);
+    }
+
+    #[test]
+    fn measured_divergence_is_the_catch_all() {
+        let cfg = AdaptConfig::default();
+        let open = PlanConfig::default();
+        let t = traffic(1_000); // compressed: below the index prior
+        let predicted = cfg.predicted_ns(&t);
+        let slow = snap(100, predicted * 2.0, 1.0);
+        assert_eq!(
+            classify(&slow, &t, &open, 1.0, &cfg),
+            Bottleneck::MemoryBound
+        );
+        let fine = snap(100, predicted * 1.2, 1.0);
+        assert_eq!(classify(&fine, &t, &open, 1.0, &cfg), Bottleneck::OnModel);
+    }
+
+    #[test]
+    fn suggestions_open_the_right_gate() {
+        let csr = forced_csr();
+        let s = suggest(Bottleneck::MemoryBound, &csr).expect("headroom exists");
+        assert!(s.pack && s.specialize && s.cache_block);
+        assert_eq!(s.index, IndexPolicy::Auto);
+
+        let s = suggest(Bottleneck::LatencyBound, &csr).expect("blocking off");
+        assert!(s.cache_block);
+        assert!(!s.pack, "latency move must not touch unrelated knobs");
+
+        let s = suggest(Bottleneck::Imbalanced, &PlanConfig::default()).expect("auto tiles");
+        assert_eq!(s.tile_nnz, 2048);
+        let s2 = suggest(Bottleneck::Imbalanced, &s).expect("still divisible");
+        assert_eq!(s2.tile_nnz, 1024);
+    }
+
+    #[test]
+    fn exhausted_knobs_suggest_nothing() {
+        assert!(suggest(Bottleneck::OnModel, &PlanConfig::default()).is_none());
+        assert!(suggest(Bottleneck::MemoryBound, &PlanConfig::default()).is_none());
+        assert!(suggest(Bottleneck::LatencyBound, &PlanConfig::default()).is_none());
+        let floor = PlanConfig {
+            tile_nnz: 256,
+            ..PlanConfig::default()
+        };
+        assert!(suggest(Bottleneck::Imbalanced, &floor).is_none());
+    }
+
+    #[test]
+    fn divergence_is_zero_before_first_sample() {
+        let cfg = AdaptConfig::default();
+        assert_eq!(cfg.divergence(&snap(0, 0.0, 1.0), &traffic(4_000)), 0.0);
+    }
+}

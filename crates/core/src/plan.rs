@@ -21,6 +21,7 @@ use crate::kernels::cpu::rows_nnz_cuts;
 use crate::kernels::table::{self, KernelFamily, KernelKey};
 use crate::kernels::KernelId;
 use crate::strategy::Strategy;
+use crate::telemetry::PlanTelemetry;
 use crate::verify::{check_dispatch, check_payloads, check_shards, VerifyError};
 use spmv_parallel::Placement;
 use spmv_sparse::{
@@ -696,6 +697,10 @@ pub struct SpmvPlan<T: Scalar> {
     shards: Option<ShardedTiles>,
     config: PlanConfig,
     backend: Box<dyn ExecBackend<T>>,
+    /// Lock-free measured-feedback counters (EWMA ns/column, effective
+    /// rate, static shard imbalance) updated by every execute path —
+    /// the observation side of the online bottleneck classifier.
+    telemetry: PlanTelemetry,
 }
 
 // Compile-time `Send + Sync` proofs: plans, proof tokens, and shard
@@ -779,6 +784,29 @@ impl<T: Scalar> SpmvPlan<T> {
         } else {
             None
         };
+        // Freeze the telemetry constants now: the modelled traffic and the
+        // shard deal's static imbalance never change after compilation, so
+        // the execute paths only ever touch the atomic counters.
+        let shard_loads: Vec<usize> = shards
+            .as_ref()
+            .map(|s| {
+                s.queues()
+                    .iter()
+                    .map(|q| {
+                        q.iter()
+                            .map(|&t| tile_weights.get(t as usize).copied().unwrap_or(0))
+                            .sum()
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let traffic = traffic_of(
+            &dispatch,
+            &payloads,
+            features.avg_lines_per_row,
+            fingerprint.m,
+        );
+        let telemetry = PlanTelemetry::new(a.nnz(), &traffic, &shard_loads);
         Self {
             strategy,
             features,
@@ -790,6 +818,7 @@ impl<T: Scalar> SpmvPlan<T> {
             shards,
             config,
             backend,
+            telemetry,
         }
     }
 
@@ -839,7 +868,11 @@ impl<T: Scalar> SpmvPlan<T> {
     /// shard partition — to the backend. All validation happens in the
     /// callers.
     fn launch_all(&self, a: &CsrMatrix<T>, v: &[T], u: &mut [T]) -> LaunchCost {
-        self.backend.launch_plan(a, &self.parts(), v, u)
+        let cost = self.backend.launch_plan(a, &self.parts(), v, u);
+        // Feed the wall time the backend already measured into the
+        // telemetry EWMA: no extra clock read on the hot path.
+        self.telemetry.record(cost.wall.as_nanos() as u64, 1);
+        cost
     }
 
     /// Batched execute: `y = A · x` for every column of `x` in one
@@ -899,7 +932,9 @@ impl<T: Scalar> SpmvPlan<T> {
         x: &DenseBlock<T>,
         y: &mut DenseBlock<T>,
     ) -> LaunchCost {
-        self.backend.launch_plan_batch(a, &self.parts(), x, y)
+        let cost = self.backend.launch_plan_batch(a, &self.parts(), x, y);
+        self.telemetry.record(cost.wall.as_nanos() as u64, x.k());
+        cost
     }
 
     /// Prove this plan's write sets against `a` and, on success, wrap it
@@ -1016,39 +1051,12 @@ impl<T: Scalar> SpmvPlan<T> {
     /// Memory-traffic accounting for one execution of this plan, summed
     /// over the materialised payloads (see [`TrafficStats`]).
     pub fn traffic(&self) -> TrafficStats {
-        let mut t = TrafficStats::default();
-        for (d, p) in self.dispatch.iter().zip(&self.payloads) {
-            match p {
-                BinPayload::Packed(packed) => {
-                    t.value_bytes += packed.slots() * T::BYTES;
-                    t.index_bytes += packed.index_stream_bytes();
-                }
-                BinPayload::Csr | BinPayload::Blocked { .. } => {
-                    t.value_bytes += d.nnz * T::BYTES;
-                    t.index_bytes += d.nnz * 4;
-                }
-                // The structure fast paths stream values in full but
-                // replace the per-non-zero index stream with their proven
-                // structural metadata: run descriptors, the offset list,
-                // or one pattern load per identical-row run.
-                BinPayload::DenseRun(runs) => {
-                    t.value_bytes += d.nnz * T::BYTES;
-                    t.index_bytes += runs.index_stream_bytes();
-                }
-                BinPayload::Banded(band) => {
-                    t.value_bytes += d.nnz * T::BYTES;
-                    t.index_bytes += band.index_stream_bytes();
-                }
-                BinPayload::RowRun(rr) => {
-                    t.value_bytes += d.nnz * T::BYTES;
-                    t.index_bytes += rr.index_stream_bytes();
-                }
-            }
-            t.nnz += d.nnz;
-        }
-        t.x_gather_bytes =
-            (self.features.avg_lines_per_row * 64.0 * self.fingerprint.m as f64).round() as usize;
-        t
+        traffic_of(
+            &self.dispatch,
+            &self.payloads,
+            self.features.avg_lines_per_row,
+            self.fingerprint.m,
+        )
     }
 
     /// Name of the backend launches run on.
@@ -1060,6 +1068,55 @@ impl<T: Scalar> SpmvPlan<T> {
     pub fn launches(&self) -> usize {
         self.dispatch.len()
     }
+
+    /// The plan's execution telemetry (live counters; take a
+    /// [`snapshot`](PlanTelemetry::snapshot) to classify or report).
+    pub fn telemetry(&self) -> &PlanTelemetry {
+        &self.telemetry
+    }
+}
+
+/// [`SpmvPlan::traffic`] over borrowed tables, so compilation can price
+/// a plan's traffic before the plan value exists (telemetry freezes the
+/// modelled byte count at compile time).
+fn traffic_of<T: Scalar>(
+    dispatch: &[BinDispatch],
+    payloads: &[BinPayload<T>],
+    avg_lines_per_row: f64,
+    m: usize,
+) -> TrafficStats {
+    let mut t = TrafficStats::default();
+    for (d, p) in dispatch.iter().zip(payloads) {
+        match p {
+            BinPayload::Packed(packed) => {
+                t.value_bytes += packed.slots() * T::BYTES;
+                t.index_bytes += packed.index_stream_bytes();
+            }
+            BinPayload::Csr | BinPayload::Blocked { .. } => {
+                t.value_bytes += d.nnz * T::BYTES;
+                t.index_bytes += d.nnz * 4;
+            }
+            // The structure fast paths stream values in full but
+            // replace the per-non-zero index stream with their proven
+            // structural metadata: run descriptors, the offset list,
+            // or one pattern load per identical-row run.
+            BinPayload::DenseRun(runs) => {
+                t.value_bytes += d.nnz * T::BYTES;
+                t.index_bytes += runs.index_stream_bytes();
+            }
+            BinPayload::Banded(band) => {
+                t.value_bytes += d.nnz * T::BYTES;
+                t.index_bytes += band.index_stream_bytes();
+            }
+            BinPayload::RowRun(rr) => {
+                t.value_bytes += d.nnz * T::BYTES;
+                t.index_bytes += rr.index_stream_bytes();
+            }
+        }
+        t.nnz += d.nnz;
+    }
+    t.x_gather_bytes = (avg_lines_per_row * 64.0 * m as f64).round() as usize;
+    t
 }
 
 /// Decide a bin's storage format and materialise its payload.
@@ -1474,6 +1531,12 @@ impl<T: Scalar> VerifiedPlan<T> {
     /// convenience; same as `plan().config()`).
     pub fn config(&self) -> &PlanConfig {
         &self.plan.config
+    }
+
+    /// The plan's execution telemetry (live counters; take a
+    /// [`snapshot`](crate::telemetry::PlanTelemetry::snapshot) to read).
+    pub fn telemetry(&self) -> &crate::telemetry::PlanTelemetry {
+        self.plan.telemetry()
     }
 
     /// Unwrap, dropping the proof token.

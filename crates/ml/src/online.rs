@@ -1,0 +1,379 @@
+//! Incremental retraining over measured feedback.
+//!
+//! The offline pipeline trains once from an exhaustive oracle sweep and
+//! ships a frozen rule-set. The online loop produces a trickle of
+//! better evidence: `(features, measured_best)` pairs where
+//! `measured_best` was decided by *timing real candidates on the live
+//! machine*, not by the simulator. [`IncrementalLearner`] accumulates
+//! those pairs and periodically refits the C4.5 tree + rule-set over
+//! the weighted history.
+//!
+//! Two guards keep the loop safe:
+//!
+//! * **Recency decay** — every retrain multiplies the weight of the
+//!   examples it already had by a decay factor and drops examples whose
+//!   weight falls below a floor. Fresh measurements therefore dominate
+//!   without a hard cutover, and the history stays bounded.
+//! * **The lint gate** — a refitted rule-set is installed only if the
+//!   static rule linter ([`crate::lint::lint_ruleset`]) reports no
+//!   [`Severity::Error`] findings. A degenerate refit (e.g. from a
+//!   poisoned or too-small batch) is rejected and the previous model —
+//!   possibly the offline one the learner was seeded with — keeps
+//!   serving. The dispatcher never observes a model the linter would
+//!   refuse to load from disk.
+
+use crate::dataset::{AttrSpec, Dataset};
+use crate::lint::{lint_ruleset, LintOptions, Severity};
+use crate::rules::RuleSet;
+use crate::tree::{DecisionTree, TreeConfig};
+
+/// Knobs for the incremental loop.
+#[derive(Clone, Debug)]
+pub struct OnlineConfig {
+    /// Multiplier applied to every already-present example's weight at
+    /// each retrain (fresh examples enter at weight 1.0).
+    pub decay: f64,
+    /// Examples whose decayed weight falls below this are dropped —
+    /// the history-size bound.
+    pub min_weight: f64,
+    /// No refit below this many retained examples (a tree fit on two
+    /// points is noise).
+    pub min_examples: usize,
+    /// Tree induction hyper-parameters for the refit.
+    pub tree: TreeConfig,
+    /// Confidence factor for rule extraction (C5.0's `-c`).
+    pub cf: f64,
+    /// Lint gate options; `class_limit` defaults to the learner's own
+    /// class count via [`IncrementalLearner::new`] when left `None`.
+    pub lint: LintOptions,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        Self {
+            decay: 0.9,
+            min_weight: 0.05,
+            min_examples: 8,
+            tree: TreeConfig::default(),
+            cf: 0.25,
+            lint: LintOptions::default(),
+        }
+    }
+}
+
+/// Why (or why not) a [`IncrementalLearner::retrain_incremental`] call
+/// changed the served model.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RetrainOutcome {
+    /// Not enough retained history to refit; nothing changed.
+    TooFewExamples {
+        /// Examples currently retained.
+        have: usize,
+        /// The configured floor.
+        need: usize,
+    },
+    /// The refit passed the lint gate and is now the served model.
+    Accepted {
+        /// Rules in the installed rule-set.
+        rules: usize,
+        /// Non-fatal linter findings it carries.
+        warnings: usize,
+    },
+    /// The refit produced `Error`-severity findings; the previous model
+    /// (if any) keeps serving.
+    RejectedByLinter {
+        /// Fatal findings the candidate produced.
+        errors: usize,
+    },
+}
+
+/// One retained observation: a feature row, the class measurement chose,
+/// and its decayed weight.
+#[derive(Clone, Debug)]
+struct Example {
+    row: Vec<f64>,
+    label: usize,
+    weight: f64,
+}
+
+/// Accumulates measured `(features, best)` pairs and refits the
+/// rule-set model on demand, behind a lint gate. See the module docs.
+#[derive(Debug)]
+pub struct IncrementalLearner {
+    attrs: Vec<AttrSpec>,
+    class_names: Vec<String>,
+    examples: Vec<Example>,
+    model: Option<RuleSet>,
+    config: OnlineConfig,
+    retrains: u64,
+    rejections: u64,
+}
+
+impl IncrementalLearner {
+    /// An empty learner for the given schema. `config.lint.class_limit`
+    /// is defaulted to the schema's class count if unset, so the gate
+    /// always checks against the universe this learner dispatches into.
+    pub fn new(attrs: Vec<AttrSpec>, class_names: Vec<String>, mut config: OnlineConfig) -> Self {
+        assert!(!class_names.is_empty(), "need at least one class");
+        assert!(
+            (0.0..=1.0).contains(&config.decay),
+            "decay must be in [0, 1]"
+        );
+        if config.lint.class_limit.is_none() {
+            config.lint.class_limit = Some(class_names.len());
+        }
+        Self {
+            attrs,
+            class_names,
+            examples: Vec::new(),
+            model: None,
+            config,
+            retrains: 0,
+            rejections: 0,
+        }
+    }
+
+    /// Seed the learner with an already-trained (e.g. offline) model
+    /// that serves until the first accepted refit replaces it.
+    pub fn with_model(mut self, model: RuleSet) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Record one measured observation: on `features`, timing found
+    /// class `measured_best` fastest. Enters at weight 1.0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width or label is out of the schema's range
+    /// (same contract as [`Dataset::push`]).
+    pub fn observe(&mut self, features: &[f64], measured_best: usize) {
+        assert_eq!(features.len(), self.attrs.len(), "row width mismatch");
+        assert!(measured_best < self.class_names.len(), "label out of range");
+        self.examples.push(Example {
+            row: features.to_vec(),
+            label: measured_best,
+            weight: 1.0,
+        });
+    }
+
+    /// Retained observations.
+    pub fn n_examples(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// The currently served model (`None` until seeded or first
+    /// accepted refit).
+    pub fn model(&self) -> Option<&RuleSet> {
+        self.model.as_ref()
+    }
+
+    /// Predict with the served model (`None` when there is none yet).
+    pub fn predict(&self, row: &[f64]) -> Option<usize> {
+        Some(self.model.as_ref()?.predict(row))
+    }
+
+    /// `(accepted refits, linter rejections)` so far.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.retrains, self.rejections)
+    }
+
+    /// Decay the history, refit the tree + rule-set over what remains,
+    /// and install the result iff the lint gate passes. See the module
+    /// docs for the two guards; returns what happened.
+    pub fn retrain_incremental(&mut self) -> RetrainOutcome {
+        // Age everything that was already here. Doing this first means
+        // repeated retrains without fresh observations still converge
+        // the history toward empty rather than refitting forever on
+        // stale evidence.
+        for e in &mut self.examples {
+            e.weight *= self.config.decay;
+        }
+        let floor = self.config.min_weight;
+        self.examples.retain(|e| e.weight >= floor);
+
+        if self.examples.len() < self.config.min_examples {
+            return RetrainOutcome::TooFewExamples {
+                have: self.examples.len(),
+                need: self.config.min_examples,
+            };
+        }
+
+        let mut data = Dataset::new(self.attrs.clone(), self.class_names.clone());
+        for e in &self.examples {
+            data.push_weighted(&e.row, e.label, e.weight);
+        }
+        let tree = DecisionTree::fit(&data, &self.config.tree);
+        let candidate = RuleSet::from_tree(&tree, &data, self.config.cf);
+
+        let findings = lint_ruleset(&candidate, &self.config.lint);
+        let errors = findings
+            .iter()
+            .filter(|f| f.severity() == Severity::Error)
+            .count();
+        if errors > 0 {
+            self.rejections += 1;
+            return RetrainOutcome::RejectedByLinter { errors };
+        }
+        self.retrains += 1;
+        self.model = Some(candidate);
+        RetrainOutcome::Accepted {
+            rules: self.model.as_ref().map(|m| m.rules().len()).unwrap_or(0),
+            warnings: findings.len() - errors,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> (Vec<AttrSpec>, Vec<String>) {
+        (
+            vec![AttrSpec::numeric("nnz_per_row")],
+            vec!["serial".into(), "vector".into()],
+        )
+    }
+
+    fn learner() -> IncrementalLearner {
+        let (attrs, classes) = schema();
+        IncrementalLearner::new(attrs, classes, OnlineConfig::default())
+    }
+
+    #[test]
+    fn refuses_to_fit_on_too_little_evidence() {
+        let mut l = learner();
+        l.observe(&[1.0], 0);
+        let out = l.retrain_incremental();
+        assert_eq!(out, RetrainOutcome::TooFewExamples { have: 1, need: 8 });
+        assert!(l.model().is_none());
+    }
+
+    #[test]
+    fn learns_a_separable_measured_mapping() {
+        let mut l = learner();
+        for i in 0..10 {
+            l.observe(&[i as f64], 0);
+            l.observe(&[100.0 + i as f64], 1);
+        }
+        match l.retrain_incremental() {
+            RetrainOutcome::Accepted { rules, .. } => assert!(rules >= 1),
+            other => panic!("expected acceptance, got {other:?}"),
+        }
+        assert_eq!(l.predict(&[3.0]), Some(0));
+        assert_eq!(l.predict(&[105.0]), Some(1));
+        assert_eq!(l.counters(), (1, 0));
+    }
+
+    #[test]
+    fn decay_lets_fresh_measurements_overturn_stale_ones() {
+        let (attrs, classes) = schema();
+        let mut l = IncrementalLearner::new(
+            attrs,
+            classes,
+            OnlineConfig {
+                decay: 0.5,
+                min_weight: 0.05,
+                min_examples: 4,
+                ..OnlineConfig::default()
+            },
+        );
+        // Old regime: everything measured best as class 0.
+        for i in 0..8 {
+            l.observe(&[i as f64], 0);
+        }
+        assert!(matches!(
+            l.retrain_incremental(),
+            RetrainOutcome::Accepted { .. }
+        ));
+        assert_eq!(l.predict(&[4.0]), Some(0));
+        // Regime change: the same region now measures best as class 1.
+        // After a few decayed retrains with fresh contradicting
+        // evidence, the new regime must win.
+        for round in 0..4 {
+            for i in 0..8 {
+                l.observe(&[i as f64 + round as f64 * 0.1], 1);
+            }
+            l.retrain_incremental();
+        }
+        assert_eq!(l.predict(&[4.0]), Some(1));
+    }
+
+    #[test]
+    fn history_stays_bounded_by_the_weight_floor() {
+        let (attrs, classes) = schema();
+        let mut l = IncrementalLearner::new(
+            attrs,
+            classes,
+            OnlineConfig {
+                decay: 0.5,
+                min_weight: 0.1,
+                min_examples: 2,
+                ..OnlineConfig::default()
+            },
+        );
+        for i in 0..8 {
+            l.observe(&[i as f64], (i % 2) as usize);
+        }
+        // 0.5^4 = 0.0625 < 0.1: four retrains fully age out the batch.
+        for _ in 0..4 {
+            l.retrain_incremental();
+        }
+        assert_eq!(l.n_examples(), 0);
+    }
+
+    #[test]
+    fn lint_gate_keeps_the_previous_model_on_rejection() {
+        let (attrs, classes) = schema();
+        // Gate configured for a 1-class universe while the schema
+        // allows 2: any refit that ever predicts class 1 must be
+        // rejected, exactly as a stale on-disk model would be.
+        let mut l = IncrementalLearner::new(
+            attrs,
+            classes,
+            OnlineConfig {
+                min_examples: 4,
+                lint: LintOptions {
+                    class_limit: Some(1),
+                    ..LintOptions::default()
+                },
+                ..OnlineConfig::default()
+            },
+        );
+        for i in 0..6 {
+            l.observe(&[i as f64], 0);
+        }
+        assert!(matches!(
+            l.retrain_incremental(),
+            RetrainOutcome::Accepted { .. }
+        ));
+        let before = l.model().expect("model installed").dump();
+
+        for i in 0..20 {
+            l.observe(&[100.0 + i as f64], 1);
+        }
+        match l.retrain_incremental() {
+            RetrainOutcome::RejectedByLinter { errors } => assert!(errors > 0),
+            other => panic!("expected lint rejection, got {other:?}"),
+        }
+        let after = l.model().expect("previous model kept").dump();
+        assert_eq!(before, after, "rejected refit must not replace the model");
+        assert_eq!(l.counters().1, 1);
+    }
+
+    #[test]
+    fn seeded_model_serves_before_any_refit() {
+        let (attrs, classes) = schema();
+        let mut data = Dataset::new(attrs.clone(), classes.clone());
+        for i in 0..6 {
+            data.push(&[i as f64], 0);
+            data.push(&[50.0 + i as f64], 1);
+        }
+        let tree = DecisionTree::fit(&data, &TreeConfig::default());
+        let offline = RuleSet::from_tree(&tree, &data, 0.25);
+        let l =
+            IncrementalLearner::new(attrs, classes, OnlineConfig::default()).with_model(offline);
+        assert_eq!(l.predict(&[2.0]), Some(0));
+        assert_eq!(l.predict(&[55.0]), Some(1));
+    }
+}

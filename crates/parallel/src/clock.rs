@@ -1,0 +1,135 @@
+//! Injectable monotonic clocks.
+//!
+//! Telemetry EWMAs and refinement hysteresis are *time-based* policies,
+//! and time-based policies are untestable against the wall clock: a
+//! loaded CI runner stretches every interval, so an assertion like
+//! "no second refinement within the hysteresis window" flakes. The
+//! [`Clock`] trait splits the policy from the clock: production code
+//! takes `&dyn Clock` (or the [`MonotonicClock`] default) and tests
+//! inject a [`FakeClock`] they advance by hand, making every
+//! time-dependent branch deterministic.
+//!
+//! The contract is deliberately tiny — a monotonic nanosecond counter
+//! with an arbitrary epoch. Nothing here is wall time: differences are
+//! meaningful, absolute values are not.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// A monotonic nanosecond counter with an arbitrary epoch.
+///
+/// Implementations must be monotone (successive [`now_ns`](Clock::now_ns)
+/// calls never decrease) and thread-safe; callers only ever subtract two
+/// readings.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since the clock's (arbitrary) epoch.
+    fn now_ns(&self) -> u64;
+}
+
+/// The production clock: [`Instant`]-backed, epoch fixed at first use so
+/// readings fit comfortably in `u64` nanoseconds (~584 years of range).
+#[derive(Debug, Default)]
+pub struct MonotonicClock;
+
+/// Process-wide epoch shared by every [`MonotonicClock`], so readings
+/// from different clock instances are mutually comparable.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        epoch().elapsed().as_nanos() as u64
+    }
+}
+
+/// A hand-advanced clock for tests: starts at 0 and only moves when
+/// [`advance_ns`](FakeClock::advance_ns) is called. Shared freely across
+/// threads (atomic), so a test can drive a background worker's notion of
+/// time from the outside.
+#[derive(Debug, Default)]
+pub struct FakeClock {
+    now: AtomicU64,
+}
+
+impl FakeClock {
+    /// A fake clock at time 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Move time forward by `ns`.
+    pub fn advance_ns(&self, ns: u64) {
+        self.now.fetch_add(ns, Ordering::SeqCst);
+    }
+
+    /// Jump to an absolute reading. Panics if `ns` would move time
+    /// backwards — the [`Clock`] contract is monotone.
+    pub fn set_ns(&self, ns: u64) {
+        let prev = self.now.swap(ns, Ordering::SeqCst);
+        assert!(
+            prev <= ns,
+            "FakeClock must not go backwards ({prev} -> {ns})"
+        );
+    }
+}
+
+impl Clock for FakeClock {
+    fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_is_monotone() {
+        let c = MonotonicClock;
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn two_monotonic_clocks_share_an_epoch() {
+        let a = MonotonicClock.now_ns();
+        let b = MonotonicClock.now_ns();
+        // Different instances, comparable readings: b happened after a.
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn fake_clock_only_moves_when_advanced() {
+        let c = FakeClock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.advance_ns(5);
+        c.advance_ns(7);
+        assert_eq!(c.now_ns(), 12);
+        c.set_ns(40);
+        assert_eq!(c.now_ns(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not go backwards")]
+    fn fake_clock_rejects_time_travel() {
+        let c = FakeClock::new();
+        c.set_ns(10);
+        c.set_ns(3);
+    }
+
+    #[test]
+    fn fake_clock_is_shareable_across_threads() {
+        let c = std::sync::Arc::new(FakeClock::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || c.advance_ns(100));
+            }
+        });
+        assert_eq!(c.now_ns(), 400);
+    }
+}

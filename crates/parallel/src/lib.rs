@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod clock;
 pub mod fused;
 pub mod partition;
 pub mod pool;
@@ -37,10 +38,14 @@ pub mod shard;
 pub mod step;
 pub mod topology;
 
+pub use clock::{Clock, FakeClock, MonotonicClock};
 pub use fused::{fused_for_each, fused_for_each_scratch, fused_for_each_with};
 pub use partition::{chunk_ranges, Chunk};
 pub use pool::ThreadPool;
-pub use scope::{num_threads, parallel_for, parallel_map_collect, parallel_reduce};
+pub use scope::{
+    hardware_threads, machine_threads, num_threads, parallel_for, parallel_map_collect,
+    parallel_reduce,
+};
 pub use shard::sharded_for_each_scratch;
 pub use step::stepped_for_each;
 pub use topology::{

@@ -19,7 +19,7 @@ use std::sync::OnceLock;
 ///
 /// Computed once per process and cached: changing `SPMV_NUM_THREADS`
 /// after the first launch has no effect for the rest of the process.
-pub(crate) fn hardware_threads() -> usize {
+pub fn hardware_threads() -> usize {
     static CACHED: OnceLock<usize> = OnceLock::new();
     *CACHED.get_or_init(|| {
         if let Ok(s) = std::env::var("SPMV_NUM_THREADS") {
@@ -27,10 +27,21 @@ pub(crate) fn hardware_threads() -> usize {
                 return n.max(1);
             }
         }
-        std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1)
+        machine_threads()
     })
+}
+
+/// The machine's *actual* available parallelism, with no environment
+/// override (minimum 1). This is what bench reports record as
+/// `hardware_threads`: a sweep that forced 4 workers via
+/// `SPMV_NUM_THREADS=4` on a single-core container is oversubscribed,
+/// and downstream comparisons need the honest core count to filter
+/// such runs — reporting the overridable budget would hide exactly the
+/// condition the field exists to flag.
+pub fn machine_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 /// Number of worker threads used by the free functions: the resolved

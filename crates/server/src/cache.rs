@@ -30,8 +30,24 @@
 //!   structurally different matrix, it only ever rebuilds.
 //!
 //! Capacity is bounded per shard (`capacity / shards`, min 1): when an
-//! insert overflows a shard, the Ready entry with the oldest LRU stamp
-//! is evicted. In-flight builds are never evicted.
+//! insert overflows a shard, eviction is **cost-aware**, not pure LRU.
+//! Each Ready entry remembers the wall time its build actually took,
+//! and the victim is the entry minimising `build_ns / (age + 1)` (age
+//! in LRU ticks) — the one that is cheapest to get back per tick of
+//! disuse. Equal-cost entries degrade to exact LRU; an expensive plan
+//! (a large matrix's multi-second compile-and-verify) survives a scan
+//! of cheap one-shot plans that would have flushed it under pure
+//! recency. In-flight builds are never evicted.
+//!
+//! The cache is also the **publication point for online refinement**:
+//! [`PlanCache::swap`] atomically replaces a Ready entry with a faster
+//! plan compiled for the *same pattern and confirm checksum* under the
+//! *same key*, so tenants that keep requesting the original
+//! configuration transparently receive the refined plan. Readers are
+//! never disturbed: in-flight executes hold their own `Arc` to the old
+//! plan and finish on it; the swap only redirects future lookups. Both
+//! sides of a swap are [`VerifiedPlan`]s for one structure, so results
+//! stay bit-for-bit identical across the transition.
 
 use spmv_autotune::{confirm_row_ptr, PatternFingerprint, PlanConfig, PlanConfigKey, VerifiedPlan};
 use spmv_sparse::{CsrMatrix, Scalar};
@@ -96,11 +112,14 @@ pub struct CacheStats {
     pub builds: u64,
     /// Misses resolved by joining another thread's in-flight build.
     pub joined_builds: u64,
-    /// Ready entries evicted by the LRU capacity bound.
+    /// Ready entries evicted by the cost-aware capacity bound.
     pub evictions: u64,
     /// Fingerprint matches rejected by the confirm checksum — each one
     /// is a would-have-been wrong-plan reuse the secondary hash caught.
     pub collisions: u64,
+    /// Refined plans published over an incumbent via
+    /// [`PlanCache::swap`].
+    pub swaps: u64,
 }
 
 impl CacheStats {
@@ -127,6 +146,9 @@ struct Entry<T: Scalar> {
     confirm: u64,
     /// LRU stamp: the global tick at last use (relaxed store on hit).
     last_used: AtomicU64,
+    /// Measured wall time of the build that produced this entry — the
+    /// rebuild cost the eviction score protects.
+    build_ns: u64,
 }
 
 /// Single-flight rendezvous: the building thread publishes here, every
@@ -176,6 +198,7 @@ pub struct PlanCache<T: Scalar> {
     joined_builds: AtomicU64,
     evictions: AtomicU64,
     collisions: AtomicU64,
+    swaps: AtomicU64,
 }
 
 impl<T: Scalar> PlanCache<T> {
@@ -193,6 +216,7 @@ impl<T: Scalar> PlanCache<T> {
             joined_builds: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             collisions: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
         }
     }
 
@@ -277,7 +301,9 @@ impl<T: Scalar> PlanCache<T> {
                 Action::Build(flight) => {
                     let builder = build.take().expect("builder runs at most once");
                     self.builds.fetch_add(1, Ordering::Relaxed);
+                    let started = std::time::Instant::now();
                     let result = builder();
+                    let build_ns = started.elapsed().as_nanos() as u64;
                     let mut map = shard.write().unwrap();
                     return match result {
                         Ok(plan) => {
@@ -285,6 +311,7 @@ impl<T: Scalar> PlanCache<T> {
                                 plan: Arc::new(plan),
                                 confirm,
                                 last_used: AtomicU64::new(self.next_tick()),
+                                build_ns,
                             });
                             map.insert(key, SlotState::Ready(Arc::clone(&entry)));
                             self.evict_over_capacity(&mut map, &key);
@@ -323,6 +350,69 @@ impl<T: Scalar> PlanCache<T> {
         }
     }
 
+    /// Atomically publish a refined `plan` over the slot at `key`: the
+    /// refinement layer's swap point. Future lookups for `key` with the
+    /// same `confirm` checksum receive `plan`; executes already running
+    /// on the incumbent hold their own `Arc` and finish undisturbed.
+    ///
+    /// The caller must guarantee `plan` is verified **for the same
+    /// matrix structure** the slot serves — same fingerprint (the first
+    /// half of `key`) and same `confirm` checksum — which is what makes
+    /// the swap response-invariant: both sides write bit-identical
+    /// outputs for every input. `build_ns` is the measured cost of
+    /// producing the replacement (it becomes the entry's rebuild cost
+    /// for eviction scoring). The plan's telemetry is reset so the
+    /// replacement earns its own execute history.
+    ///
+    /// Returns `false` without publishing when the slot currently holds
+    /// an in-flight build (never race a builder; the refiner retries on
+    /// its next pass). Publishes and returns `true` when the slot is
+    /// Ready or empty.
+    pub fn swap(
+        &self,
+        key: PlanKey,
+        confirm: u64,
+        build_ns: u64,
+        plan: Arc<VerifiedPlan<T>>,
+    ) -> bool {
+        debug_assert_eq!(
+            plan.fingerprint(),
+            &key.0,
+            "swapped plan must match the slot's pattern"
+        );
+        let shard = &self.shards[self.shard_index(&key)];
+        let mut map = shard.write().unwrap();
+        if let Some(SlotState::Building(_)) = map.get(&key) {
+            return false;
+        }
+        plan.telemetry().reset_measurements();
+        let entry = Arc::new(Entry {
+            plan,
+            confirm,
+            last_used: AtomicU64::new(self.next_tick()),
+            build_ns,
+        });
+        map.insert(key, SlotState::Ready(entry));
+        self.evict_over_capacity(&mut map, &key);
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Visit every Ready entry as `(key, confirm, plan)` — the
+    /// refinement layer's scan surface. Shards are visited under their
+    /// read lock, so `f` must not call back into the cache (collect
+    /// candidates, drop out of the scan, then act).
+    pub fn for_each_ready(&self, mut f: impl FnMut(&PlanKey, u64, &Arc<VerifiedPlan<T>>)) {
+        for shard in &self.shards {
+            let map = shard.read().unwrap();
+            for (k, v) in map.iter() {
+                if let SlotState::Ready(e) = v {
+                    f(k, e.confirm, &e.plan);
+                }
+            }
+        }
+    }
+
     /// Counter snapshot (relaxed loads; exact once concurrent lookups
     /// quiesce).
     pub fn stats(&self) -> CacheStats {
@@ -333,6 +423,7 @@ impl<T: Scalar> PlanCache<T> {
             joined_builds: self.joined_builds.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             collisions: self.collisions.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
         }
     }
 
@@ -369,9 +460,14 @@ impl<T: Scalar> PlanCache<T> {
         e.last_used.store(self.next_tick(), Ordering::Relaxed);
     }
 
-    /// Evict least-recently-used Ready entries until the shard is back
-    /// under its capacity. `keep` (the just-inserted key) is exempt so
-    /// an insert can never evict itself.
+    /// Evict Ready entries until the shard is back under its capacity,
+    /// by lowest **retention score** `build_ns / (age + 1)`: the score
+    /// is what a tick of keeping the entry around is worth in avoided
+    /// rebuild time, so the victim is the entry cheapest to reacquire
+    /// per tick of disuse. Equal costs degrade to exact LRU (oldest
+    /// stamp first); ties break on the older stamp, so eviction is
+    /// deterministic. `keep` (the just-inserted key) is exempt so an
+    /// insert can never evict itself.
     fn evict_over_capacity(&self, map: &mut HashMap<PlanKey, SlotState<T>>, keep: &PlanKey) {
         loop {
             let ready = map
@@ -381,16 +477,20 @@ impl<T: Scalar> PlanCache<T> {
             if ready <= self.per_shard_capacity {
                 return;
             }
+            let now = self.tick.load(Ordering::Relaxed);
             let victim = map
                 .iter()
                 .filter_map(|(k, v)| match v {
                     SlotState::Ready(e) if k != keep => {
-                        Some((*k, e.last_used.load(Ordering::Relaxed)))
+                        let stamp = e.last_used.load(Ordering::Relaxed);
+                        let age = now.saturating_sub(stamp);
+                        let score = e.build_ns as f64 / (age + 1) as f64;
+                        Some((*k, score, stamp))
                     }
                     _ => None,
                 })
-                .min_by_key(|&(_, stamp)| stamp)
-                .map(|(k, _)| k);
+                .min_by(|a, b| a.1.total_cmp(&b.1).then(a.2.cmp(&b.2)))
+                .map(|(k, _, _)| k);
             match victim {
                 Some(k) => {
                     map.remove(&k);
@@ -485,6 +585,15 @@ mod tests {
         assert_eq!(s.lookups(), 8);
     }
 
+    /// Build with the measured cost pinned well above compile noise, so
+    /// the cost-aware eviction score degrades to exact LRU between
+    /// entries (equal costs ⇒ oldest stamp loses) and the test stays
+    /// deterministic on a loaded runner.
+    fn compile_flat_cost(a: &CsrMatrix<f64>) -> Result<VerifiedPlan<f64>, CacheError> {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        compile(a)
+    }
+
     #[test]
     fn capacity_evicts_least_recently_used() {
         let cache = PlanCache::new(CacheConfig {
@@ -496,17 +605,17 @@ mod tests {
             .map(|seed| gen::random_uniform::<f64>(200 + seed, 200, 1, 4, seed as u64))
             .collect();
         cache
-            .get_or_build(&mats[0], &cfg, || compile(&mats[0]))
+            .get_or_build(&mats[0], &cfg, || compile_flat_cost(&mats[0]))
             .unwrap();
         cache
-            .get_or_build(&mats[1], &cfg, || compile(&mats[1]))
+            .get_or_build(&mats[1], &cfg, || compile_flat_cost(&mats[1]))
             .unwrap();
         // Touch matrix 0 so matrix 1 is the LRU victim.
         cache
-            .get_or_build(&mats[0], &cfg, || compile(&mats[0]))
+            .get_or_build(&mats[0], &cfg, || compile_flat_cost(&mats[0]))
             .unwrap();
         cache
-            .get_or_build(&mats[2], &cfg, || compile(&mats[2]))
+            .get_or_build(&mats[2], &cfg, || compile_flat_cost(&mats[2]))
             .unwrap();
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.stats().evictions, 1);
@@ -605,5 +714,151 @@ mod tests {
             .get_or_build_keyed(shared_key, cb, || compile(&mb))
             .unwrap();
         assert!(Arc::ptr_eq(&p_b, &p_b2));
+    }
+
+    /// The cost-aware satellite regression: an expensive-to-rebuild plan
+    /// must survive a scan of cheap one-shot plans that would have
+    /// flushed it under pure LRU.
+    #[test]
+    fn expensive_plan_survives_a_scan_of_cheap_one_shots() {
+        let cache = PlanCache::new(CacheConfig {
+            shards: 1,
+            capacity: 2,
+        });
+        let cfg = PlanConfig::default();
+        let pricey = gen::random_uniform::<f64>(400, 400, 2, 6, 42);
+        // ~100 ms measured build vs sub-ms scans: orders of magnitude,
+        // immune to compile-time noise.
+        cache
+            .get_or_build(&pricey, &cfg, || {
+                std::thread::sleep(std::time::Duration::from_millis(100));
+                compile(&pricey)
+            })
+            .unwrap();
+        // A scan of cheap plans, each requested exactly once and never
+        // again. Pure LRU would evict the (now oldest) expensive entry
+        // on the second scan insert; cost-aware eviction must keep it
+        // and churn the cheap entries among themselves.
+        let scan: Vec<_> = (0..5)
+            .map(|seed| gen::random_uniform::<f64>(60 + seed, 60, 1, 3, seed as u64))
+            .collect();
+        for m in &scan {
+            cache.get_or_build(m, &cfg, || compile(m)).unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+        assert!(cache.stats().evictions >= 4);
+        // The expensive plan is still served from cache: no new build.
+        let before = cache.stats().builds;
+        cache
+            .get_or_build(&pricey, &cfg, || compile(&pricey))
+            .unwrap();
+        assert_eq!(
+            cache.stats().builds,
+            before,
+            "expensive plan was evicted by the cheap scan"
+        );
+    }
+
+    #[test]
+    fn swap_replaces_the_served_plan_without_a_rebuild() {
+        let cache = PlanCache::new(CacheConfig::default());
+        let a = gen::random_uniform::<f64>(300, 300, 1, 5, 7);
+        let incumbent_cfg = PlanConfig {
+            pack: false,
+            cache_block: false,
+            specialize: false,
+            ..PlanConfig::default()
+        };
+        let p1 = cache
+            .get_or_build(&a, &incumbent_cfg, || {
+                let strategy = Strategy {
+                    binning: BinningScheme::Coarse { u: 10 },
+                    kernels: vec![KernelId::Serial; 8],
+                };
+                SpmvPlan::compile_with(
+                    &a,
+                    strategy,
+                    Box::new(NativeCpuBackend::new()),
+                    incumbent_cfg,
+                )
+                .verify(&a)
+                .map_err(|e| CacheError::Build(e.to_string()))
+            })
+            .unwrap();
+        // Refine: a plan compiled with the gates open, published under
+        // the incumbent's key.
+        let refined = Arc::new(compile(&a).unwrap());
+        refined.telemetry().record(1_000, 1);
+        let key = (PatternFingerprint::of(&a), incumbent_cfg.cache_key());
+        let confirm = confirm_row_ptr(a.row_ptr());
+        assert!(cache.swap(key, confirm, 5_000, Arc::clone(&refined)));
+        // Future lookups for the *original* config now get the refined
+        // plan, from cache, with its telemetry freshly zeroed.
+        let before = cache.stats().builds;
+        let p2 = cache
+            .get_or_build(&a, &incumbent_cfg, || unreachable!("must be a hit"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&p2, &refined));
+        assert!(!Arc::ptr_eq(&p2, &p1));
+        assert_eq!(cache.stats().builds, before);
+        assert_eq!(cache.stats().swaps, 1);
+        assert_eq!(p2.telemetry().snapshot().executes, 0);
+    }
+
+    #[test]
+    fn swap_refuses_to_race_an_in_flight_build() {
+        let cache = PlanCache::<f64>::new(CacheConfig::default());
+        let a = gen::random_uniform::<f64>(200, 200, 1, 4, 11);
+        let cfg = PlanConfig::default();
+        let key = (PatternFingerprint::of(&a), cfg.cache_key());
+        let confirm = confirm_row_ptr(a.row_ptr());
+        let refined = Arc::new(compile(&a).unwrap());
+        // While a build is in flight for the key, swap must decline.
+        let swapped = std::thread::scope(|s| {
+            let cache = &cache;
+            let in_builder = Arc::new(std::sync::Barrier::new(2));
+            let release = Arc::new(std::sync::Barrier::new(2));
+            let b1 = Arc::clone(&in_builder);
+            let r1 = Arc::clone(&release);
+            let a_ref = &a;
+            s.spawn(move || {
+                cache
+                    .get_or_build(a_ref, &cfg, || {
+                        b1.wait();
+                        r1.wait();
+                        compile(a_ref)
+                    })
+                    .unwrap();
+            });
+            in_builder.wait();
+            let swapped = cache.swap(key, confirm, 1, Arc::clone(&refined));
+            release.wait();
+            swapped
+        });
+        assert!(!swapped, "swap must not stomp an in-flight build");
+        assert_eq!(cache.stats().swaps, 0);
+    }
+
+    #[test]
+    fn for_each_ready_scans_every_ready_entry() {
+        let cache = PlanCache::new(CacheConfig::default());
+        let cfg = PlanConfig::default();
+        let mats: Vec<_> = (1..=3)
+            .map(|seed| gen::random_uniform::<f64>(150 + seed, 150, 1, 4, seed as u64))
+            .collect();
+        for m in &mats {
+            cache.get_or_build(m, &cfg, || compile(m)).unwrap();
+        }
+        let mut seen = Vec::new();
+        cache.for_each_ready(|key, confirm, plan| {
+            assert_eq!(plan.fingerprint(), &key.0);
+            seen.push((key.0, *plan.config(), confirm));
+        });
+        assert_eq!(seen.len(), 3);
+        for m in &mats {
+            let fp = PatternFingerprint::of(m);
+            let confirm = confirm_row_ptr(m.row_ptr());
+            assert!(seen.iter().any(|(f, _, c)| *f == fp && *c == confirm));
+        }
     }
 }

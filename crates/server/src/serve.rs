@@ -42,8 +42,16 @@
 //! packed value slabs lazily on next execute — no plan rebuild, no
 //! cache invalidation.
 
-use crate::cache::{CacheConfig, CacheError, CacheStats, PlanCache};
-use spmv_autotune::{NativeCpuBackend, PlanConfig, SpmvPlan, Strategy};
+use crate::cache::{CacheConfig, CacheError, CacheStats, PlanCache, PlanKey};
+use crate::refine::{
+    classify_plan, feature_row, learner_schema, probe_candidate, RefineConfig, RefineCounters,
+    RefineMode, RefineScheduler, RefineStats, CLASS_INCUMBENT, CLASS_REFINED,
+};
+use spmv_autotune::{
+    confirm_row_ptr, NativeCpuBackend, PatternFingerprint, PlanConfig, SpmvPlan, Strategy,
+};
+use spmv_ml::{IncrementalLearner, OnlineConfig, RetrainOutcome};
+use spmv_parallel::{Clock, MonotonicClock};
 use spmv_sparse::{CsrMatrix, DenseBlock, Scalar};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -118,6 +126,10 @@ pub struct ServeConfig {
     /// Configuration every served plan is compiled with (part of the
     /// cache key).
     pub plan: PlanConfig,
+    /// Online refinement knobs; defaults come from the environment
+    /// (`SPMV_REFINE` and friends, off when unset), so a deployment
+    /// can turn the loop on without touching code.
+    pub refine: RefineConfig,
 }
 
 impl Default for ServeConfig {
@@ -129,6 +141,7 @@ impl Default for ServeConfig {
             workers: 0,
             cache: CacheConfig::default(),
             plan: PlanConfig::default(),
+            refine: RefineConfig::from_env(),
         }
     }
 }
@@ -274,6 +287,13 @@ struct Inner<T: Scalar> {
     batches: AtomicU64,
     /// `occupancy[k-1]` counts batches dispatched with width `k`.
     occupancy: Vec<AtomicU64>,
+    /// Background-refinement counters (worker increments).
+    refine: RefineCounters,
+    /// Stop flag + wakeup for the refinement worker. Separate from the
+    /// dispatcher's queue condvar: refinement paces itself on
+    /// `scan_interval`, not on arrivals.
+    refine_stop: Mutex<bool>,
+    refine_halt: Condvar,
 }
 
 /// Snapshot of serving counters ([`SpmvServer::stats`]).
@@ -289,6 +309,8 @@ pub struct ServeStats {
     pub occupancy: Vec<u64>,
     /// Plan-cache counters.
     pub cache: CacheStats,
+    /// Online-refinement counters (zero when `SPMV_REFINE` is off).
+    pub refine: RefineStats,
 }
 
 impl ServeStats {
@@ -313,10 +335,12 @@ impl ServeStats {
 pub struct SpmvServer<T: Scalar> {
     inner: Arc<Inner<T>>,
     dispatcher: Option<JoinHandle<()>>,
+    refiner: Option<JoinHandle<()>>,
 }
 
 impl<T: Scalar> SpmvServer<T> {
-    /// Start a server (spawns the dispatcher thread).
+    /// Start a server (spawns the dispatcher thread, plus the
+    /// refinement worker when [`RefineConfig::mode`] is not `Off`).
     pub fn start(config: ServeConfig) -> Self {
         let max_batch = config.max_batch.max(1);
         let config = ServeConfig {
@@ -339,15 +363,26 @@ impl<T: Scalar> SpmvServer<T> {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            refine: RefineCounters::default(),
+            refine_stop: Mutex::new(false),
+            refine_halt: Condvar::new(),
         });
         let worker = Arc::clone(&inner);
         let dispatcher = std::thread::Builder::new()
             .name("spmv-serve-dispatch".into())
             .spawn(move || dispatcher_loop(worker))
             .expect("spawn dispatcher");
+        let refiner = (inner.config.refine.mode != RefineMode::Off).then(|| {
+            let worker = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("spmv-serve-refine".into())
+                .spawn(move || refiner_loop(worker))
+                .expect("spawn refiner")
+        });
         Self {
             inner,
             dispatcher: Some(dispatcher),
+            refiner,
         }
     }
 
@@ -441,30 +476,43 @@ impl<T: Scalar> SpmvServer<T> {
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
             cache: self.inner.cache.stats(),
+            refine: self.inner.refine.snapshot(),
         }
     }
 
-    /// Stop admitting, drain every queued request, and join the
-    /// dispatcher. Tickets submitted before the call all resolve.
+    /// Stop admitting, drain every queued request, and join the worker
+    /// threads. Tickets submitted before the call all resolve.
     pub fn shutdown(mut self) {
         self.begin_shutdown();
-        if let Some(h) = self.dispatcher.take() {
-            let _ = h.join();
-        }
+        self.join_workers();
     }
 
     fn begin_shutdown(&self) {
-        let mut q = self.inner.queue.lock().unwrap();
-        q.shutdown = true;
-        self.inner.arrivals.notify_all();
+        {
+            let mut q = self.inner.queue.lock().unwrap();
+            q.shutdown = true;
+            self.inner.arrivals.notify_all();
+        }
+        let mut stop = self.inner.refine_stop.lock().unwrap();
+        *stop = true;
+        self.inner.refine_halt.notify_all();
+    }
+
+    fn join_workers(&mut self) {
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.refiner.take() {
+            let _ = h.join();
+        }
     }
 }
 
 impl<T: Scalar> Drop for SpmvServer<T> {
     fn drop(&mut self) {
-        if let Some(h) = self.dispatcher.take() {
+        if self.dispatcher.is_some() || self.refiner.is_some() {
             self.begin_shutdown();
-            let _ = h.join();
+            self.join_workers();
         }
     }
 }
@@ -585,6 +633,131 @@ fn serve_batch<T: Scalar>(inner: &Inner<T>, matrix: MatrixId, batch: Vec<Pending
             let err = ServeError::Exec(e.to_string());
             for ticket in &tickets {
                 ticket.resolve(Err(err.clone()));
+            }
+        }
+    }
+}
+
+/// The background refinement worker: every `scan_interval`, scan the
+/// cache's Ready plans, classify each against its telemetry, and — in
+/// `auto` mode — build, A/B-probe, and publish the suggested
+/// configuration when it measures faster. Runs at the cadence of
+/// [`RefineConfig::scan_interval`] with hysteresis per plan, entirely
+/// off the request path: the only shared state it writes is the cache
+/// slot (via [`PlanCache::swap`]) and its own counters.
+///
+/// Every completed A/B also feeds the incremental learner; after
+/// [`RefineConfig::retrain_every`] observations it refits the rule-set
+/// behind the lint gate (see [`crate::refine`] module docs).
+fn refiner_loop<T: Scalar>(inner: Arc<Inner<T>>) {
+    let cfg = inner.config.refine;
+    let clock = MonotonicClock;
+    let mut sched: RefineScheduler<PlanKey> = RefineScheduler::new();
+    let (attrs, classes) = learner_schema();
+    let mut learner = IncrementalLearner::new(attrs, classes, OnlineConfig::default());
+    let mut since_retrain = 0usize;
+    loop {
+        {
+            let stop = inner.refine_stop.lock().unwrap();
+            if *stop {
+                return;
+            }
+            let (stop, _timeout) = inner
+                .refine_halt
+                .wait_timeout(stop, cfg.scan_interval)
+                .unwrap();
+            if *stop {
+                return;
+            }
+        }
+        inner.refine.scans.fetch_add(1, Ordering::Relaxed);
+
+        // Collect outside the scan: for_each_ready holds shard read
+        // locks, and acting on a plan re-enters the cache.
+        let mut ready: Vec<(PlanKey, u64, Arc<spmv_autotune::VerifiedPlan<T>>)> = Vec::new();
+        inner
+            .cache
+            .for_each_ready(|key, confirm, plan| ready.push((*key, confirm, Arc::clone(plan))));
+
+        for (key, confirm, plan) in ready {
+            let (_bottleneck, Some(suggestion)) = classify_plan(&plan, &cfg.adapt) else {
+                continue;
+            };
+            inner.refine.eligible.fetch_add(1, Ordering::Relaxed);
+            let now = clock.now_ns();
+            if !sched.ready(&key, now, cfg.hysteresis_ns) {
+                inner
+                    .refine
+                    .hysteresis_skips
+                    .fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            if cfg.mode == RefineMode::Observe {
+                sched.record(&key, now);
+                inner.refine.observed.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            // Find the live matrix this plan serves: same pattern (the
+            // key's fingerprint) *and* same confirm checksum, the exact
+            // pair the cache itself trusts.
+            let matched = {
+                let reg = inner.registry.read().unwrap();
+                reg.values().find_map(|r| {
+                    (PatternFingerprint::of(r.matrix.as_ref()) == key.0
+                        && confirm_row_ptr(r.matrix.row_ptr()) == confirm)
+                        .then(|| Arc::clone(&r.matrix))
+                })
+            };
+            let Some(a) = matched else {
+                // Unregistered since caching; the entry will age out.
+                continue;
+            };
+            sched.record(&key, now);
+            match probe_candidate(&a, &plan, suggestion, inner.config.workers, &cfg) {
+                Ok(report) => {
+                    inner.refine.built.fetch_add(1, Ordering::Relaxed);
+                    let label = if report.improved {
+                        CLASS_REFINED
+                    } else {
+                        CLASS_INCUMBENT
+                    };
+                    learner.observe(&feature_row(plan.plan().features()), label);
+                    inner
+                        .refine
+                        .learner_observations
+                        .fetch_add(1, Ordering::Relaxed);
+                    since_retrain += 1;
+                    if since_retrain >= cfg.retrain_every.max(1) {
+                        since_retrain = 0;
+                        match learner.retrain_incremental() {
+                            RetrainOutcome::Accepted { .. } => {
+                                inner
+                                    .refine
+                                    .learner_retrains
+                                    .fetch_add(1, Ordering::Relaxed);
+                            }
+                            RetrainOutcome::RejectedByLinter { .. } => {
+                                inner
+                                    .refine
+                                    .learner_rejections
+                                    .fetch_add(1, Ordering::Relaxed);
+                            }
+                            RetrainOutcome::TooFewExamples { .. } => {}
+                        }
+                    }
+                    let published = report.improved
+                        && inner
+                            .cache
+                            .swap(key, confirm, report.build_ns, report.candidate);
+                    if published {
+                        inner.refine.swapped.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        inner.refine.kept.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(_) => {
+                    inner.refine.failures.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
     }
@@ -785,6 +958,127 @@ mod tests {
         for t in tickets {
             t.wait().expect("shutdown must drain, not drop, requests");
         }
+    }
+
+    /// The online-refinement satellite: with the loop forced hot
+    /// (`min_speedup: 0.0` publishes any verified candidate, zero
+    /// hysteresis, 1 ms scans), a mispredicted forced-CSR plan on a
+    /// banded matrix must get refined *while requests are in flight*,
+    /// and every response before, across, and after the swap must be
+    /// bit-for-bit the forced-CSR reference.
+    #[test]
+    fn live_refinement_swap_keeps_responses_bit_for_bit() {
+        let plan_cfg = PlanConfig {
+            pack: false,
+            cache_block: false,
+            specialize: false,
+            ..PlanConfig::default()
+        };
+        let server = SpmvServer::start(ServeConfig {
+            plan: plan_cfg,
+            refine: RefineConfig {
+                mode: RefineMode::Auto,
+                min_speedup: 0.0,
+                hysteresis_ns: 0,
+                scan_interval: Duration::from_millis(1),
+                ..RefineConfig::default()
+            },
+            ..ServeConfig::default()
+        });
+        let a = gen::banded::<f64>(2_000, 3, 2);
+        let x: Vec<f64> = (0..a.n_cols())
+            .map(|i| (i % 17) as f64 * 0.5 - 4.0)
+            .collect();
+        let mut expect = vec![0.0; a.n_rows()];
+        SpmvPlan::compile_with(&a, strategy(), Box::new(NativeCpuBackend::new()), plan_cfg)
+            .verify(&a)
+            .unwrap()
+            .execute(&a, &x, &mut expect)
+            .unwrap();
+        server.register_matrix(1, a, strategy());
+
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            // A few tenants at once, so executes overlap the refiner's
+            // probe/swap window.
+            let tickets: Vec<_> = (0..4)
+                .map(|t| server.submit(t, 1, x.clone(), far_deadline()).unwrap())
+                .collect();
+            for t in tickets {
+                let r = t.wait().unwrap();
+                assert_eq!(r.y, expect, "response changed across refinement");
+            }
+            let s = server.stats();
+            if s.refine.swapped >= 1 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "refiner never published: {:?}",
+                s.refine
+            );
+        }
+        // Served from the refined plan now; still bit-for-bit.
+        for _ in 0..4 {
+            let r = server
+                .submit(0, 1, x.clone(), far_deadline())
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(r.y, expect);
+        }
+        let s = server.stats();
+        assert!(s.refine.built >= 1, "no candidate was ever built");
+        assert_eq!(
+            s.cache.swaps, s.refine.swapped,
+            "every publish must go through the cache swap point"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn observe_mode_counts_divergence_but_never_builds() {
+        let plan_cfg = PlanConfig {
+            pack: false,
+            cache_block: false,
+            specialize: false,
+            ..PlanConfig::default()
+        };
+        let server = SpmvServer::start(ServeConfig {
+            plan: plan_cfg,
+            refine: RefineConfig {
+                mode: RefineMode::Observe,
+                hysteresis_ns: 0,
+                scan_interval: Duration::from_millis(1),
+                ..RefineConfig::default()
+            },
+            ..ServeConfig::default()
+        });
+        let a = gen::banded::<f64>(2_000, 3, 2);
+        let x = vec![1.0; a.n_cols()];
+        server.register_matrix(1, a, strategy());
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            server
+                .submit(0, 1, x.clone(), far_deadline())
+                .unwrap()
+                .wait()
+                .unwrap();
+            let s = server.stats();
+            if s.refine.observed >= 1 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "observe mode never classified: {:?}",
+                s.refine
+            );
+        }
+        let s = server.stats();
+        assert_eq!(s.refine.built, 0, "observe mode must not compile");
+        assert_eq!(s.refine.swapped, 0);
+        assert_eq!(s.cache.swaps, 0);
+        server.shutdown();
     }
 
     #[test]
